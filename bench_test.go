@@ -1,0 +1,403 @@
+// Package labflow_bench is the benchmark harness: one testing.B benchmark
+// per paper artifact (see DESIGN.md's experiment index) plus micro-benches
+// for the primitive operations. Regenerate everything with:
+//
+//	go test -bench=. -benchmem .
+//
+// Experiment map:
+//
+//	E1/F1 (Section-10 table + growth figure)  BenchmarkTable10_*
+//	E2    (clustering ablation)               BenchmarkClustering_*
+//	E3    (operation-class profile)           BenchmarkOps_*
+//	E4    (schema evolution)                  BenchmarkEvolution
+//	E5    (buffer-pool sweep)                 BenchmarkBufferSweep_*
+//
+// Custom metrics reported: faults/op (simulated page faults, the paper's
+// majflt analog), db-bytes (final database size), steps/op.
+package labflow_bench
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"labflow/internal/core"
+	"labflow/internal/labbase"
+	"labflow/internal/lbq"
+	"labflow/internal/seqio"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+	"labflow/internal/wire"
+	"labflow/internal/workflow"
+)
+
+// benchParams is the standard benchmark scale: big enough to exceed the
+// bounded pools, small enough that the full suite runs in minutes.
+func benchParams() core.Params {
+	p := core.DefaultParams()
+	p.BaseClones = 24
+	p.TclonesPerClone = 8
+	p.Intervals = 4
+	p.PoolPages = 96
+	p.ResidentPages = 96
+	return p
+}
+
+// --- E1/F1: the Section-10 table, one benchmark per server version ----------
+
+func benchTable10(b *testing.B, kind core.StoreKind) {
+	p := benchParams()
+	var faults, size, steps uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(kind, b.TempDir(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		faults += res.Total.MajFlt
+		size = res.Total.SizeBytes
+		steps += res.StepCount
+	}
+	b.ReportMetric(float64(faults)/float64(b.N), "faults/op")
+	b.ReportMetric(float64(size), "db-bytes")
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+}
+
+func BenchmarkTable10_OStore(b *testing.B)   { benchTable10(b, core.StoreOStore) }
+func BenchmarkTable10_TexasTC(b *testing.B)  { benchTable10(b, core.StoreTexasTC) }
+func BenchmarkTable10_Texas(b *testing.B)    { benchTable10(b, core.StoreTexas) }
+func BenchmarkTable10_OStoreMM(b *testing.B) { benchTable10(b, core.StoreOStoreMM) }
+func BenchmarkTable10_TexasMM(b *testing.B)  { benchTable10(b, core.StoreTexasMM) }
+
+// --- E2: clustering ablation -------------------------------------------------
+
+func benchClustering(b *testing.B, kind core.StoreKind) {
+	p := benchParams()
+	dir := b.TempDir()
+	built, err := core.Build(kind, dir, p, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clones := built.Clones
+	if err := built.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var faults uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Reopen cold each iteration: every page touch is a real fault.
+		sm, err := core.MakeStore(kind, dir, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := labbase.Open(sm, labbase.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := sm.Stats().Faults
+		for j := 0; j < len(clones); j += 4 {
+			if err := core.ScanFamilyForBench(db, clones[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		faults += sm.Stats().Faults - base
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(faults)/float64(b.N), "faults/op")
+}
+
+func BenchmarkClustering_Texas(b *testing.B)   { benchClustering(b, core.StoreTexas) }
+func BenchmarkClustering_TexasTC(b *testing.B) { benchClustering(b, core.StoreTexasTC) }
+
+// --- E3: operation classes ----------------------------------------------------
+
+// opsDB builds one populated database per benchmark.
+func opsDB(b *testing.B) *core.BuiltDB {
+	b.Helper()
+	p := benchParams()
+	built, err := core.Build(core.StoreTexasTC, b.TempDir(), p, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { built.Close() })
+	return built
+}
+
+func BenchmarkOps_TrackingUpdate(b *testing.B) {
+	built := opsDB(b)
+	db := built.DB
+	clones := built.Clones
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := clones[i%len(clones)]
+		if err := db.Begin(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.RecordStep(labbase.StepSpec{
+			Class: core.StepIncorporate, ValidTime: built.Engine.Clock() + int64(i),
+			Materials: []workflow.ID{m},
+			Attrs: []labbase.AttrValue{
+				{Name: "map_position", Value: labbase.Int64(int64(i))},
+				{Name: "ok", Value: labbase.Bool(true)},
+			},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOps_MostRecentIndex(b *testing.B) {
+	built := opsDB(b)
+	clones := built.Clones
+	attrs := []string{"consensus", "coverage", "num_hits", "hits"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := built.DB.MostRecent(clones[i%len(clones)], attrs[i%len(attrs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOps_MostRecentScan(b *testing.B) {
+	built := opsDB(b)
+	clones := built.Clones
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := built.DB.MostRecentScan(clones[i%len(clones)], "coverage"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOps_HistoryScan(b *testing.B) {
+	built := opsDB(b)
+	clones := built.Clones
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hist, err := built.DB.History(clones[i%len(clones)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range hist {
+			if _, err := built.DB.GetStep(h.Step); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkOps_Counting(b *testing.B) {
+	built := opsDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := built.DB.CountMaterials("clone"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := built.DB.CountSteps(core.StepDetermineSeq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOps_HitListRetrieval(b *testing.B) {
+	built := opsDB(b)
+	clones := built.Clones
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, found, err := built.DB.MostRecent(clones[i%len(clones)], "hits")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if found {
+			_ = len(v.List)
+		}
+	}
+}
+
+func BenchmarkOps_Dump(b *testing.B) {
+	built := opsDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := built.DB.Dump(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOps_DeductiveQuery(b *testing.B) {
+	built := opsDB(b)
+	bridge := lbq.New(built.DB)
+	if err := bridge.Engine().Consult(`
+		finished(M) <- material(M, clone), state(M, c_incorporated).
+	`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bridge.Query("setof(M, finished(M), L), length(L, N)", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: schema evolution -------------------------------------------------------
+
+func BenchmarkEvolution(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunEvolution(core.StoreTexasMM, b.TempDir(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.VersionsAfter != 2 || !res.OldStepsVerified {
+			b.Fatalf("evolution broken: %+v", res)
+		}
+	}
+}
+
+// --- E5: buffer sweep -----------------------------------------------------------
+
+func benchSweep(b *testing.B, pool int) {
+	p := benchParams()
+	p.PoolPages = pool
+	var faults uint64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.StoreOStore, b.TempDir(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		faults += res.Total.MajFlt
+	}
+	b.ReportMetric(float64(faults)/float64(b.N), "faults/op")
+}
+
+func BenchmarkBufferSweep_48(b *testing.B)   { benchSweep(b, 48) }
+func BenchmarkBufferSweep_96(b *testing.B)   { benchSweep(b, 96) }
+func BenchmarkBufferSweep_384(b *testing.B)  { benchSweep(b, 384) }
+func BenchmarkBufferSweep_4096(b *testing.B) { benchSweep(b, 4096) }
+
+// --- Micro-benches over the substrates -------------------------------------------
+
+func BenchmarkMicro_StorageAllocate(b *testing.B) {
+	sm := memstore.Open("bench-mm")
+	defer sm.Close()
+	if err := sm.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.Allocate(storage.SegHistory, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := sm.Commit(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMicro_HomologySearch(b *testing.B) {
+	gen := seqio.NewGen(1)
+	db, err := seqio.NewHomologyDB(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := gen.Sequence(1500)
+	for i := 0; i < 200; i++ {
+		db.Add(fmt.Sprintf("ACC%04d", i), gen.Mutate(base, 0.3))
+	}
+	query := gen.Mutate(base, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := db.Search(query, 10, 0.02); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkMicro_Assemble(b *testing.B) {
+	gen := seqio.NewGen(2)
+	tpl := gen.Sequence(1600)
+	var reads []seqio.Read
+	for start := 0; start+400 <= len(tpl); start += 150 {
+		reads = append(reads, gen.ReadAt(tpl, start, 400, 0.02))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if asm := seqio.Assemble(reads); len(asm.Consensus) == 0 {
+			b.Fatal("empty assembly")
+		}
+	}
+}
+
+func BenchmarkMicro_WireRoundTrip(b *testing.B) {
+	db, err := labbase.Open(memstore.Open("wire-mm"), labbase.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	srv := wire.NewServer(db)
+	srv.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ln.Close()
+		srv.Shutdown()
+		<-done
+	}()
+	client, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.DefineMaterialClass("clone", ""); err != nil {
+		b.Fatal(err)
+	}
+	m, err := client.CreateMaterial("clone", "c", "", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.RecordStep(labbase.StepSpec{
+		Class: "measure", ValidTime: 1, Materials: []storage.OID{m},
+		Attrs: []labbase.AttrValue{{Name: "w", Value: labbase.Float64(1)}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := client.MostRecent(m, "w"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_DatalogResolution(b *testing.B) {
+	bridgeDB, err := labbase.Open(memstore.Open("dl-mm"), labbase.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bridgeDB.Close()
+	bridge := lbq.New(bridgeDB)
+	if err := bridge.Engine().Consult(`
+		nrev([], []).
+		nrev([H|T], R) <- nrev(T, RT), append(RT, [H], R).
+	`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := bridge.Query("nrev([1,2,3,4,5,6,7,8,9,10,11,12], R)", 1)
+		if err != nil || len(sols) != 1 {
+			b.Fatal(err)
+		}
+	}
+}

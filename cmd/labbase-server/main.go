@@ -1,0 +1,99 @@
+// Command labbase-server runs a LabBase data server: one process owning a
+// storage manager, serving workflow tracking and history queries to network
+// clients over the wire protocol.
+//
+// Usage:
+//
+//	labbase-server -addr :7047 -store texas+tc -path /var/lab/lab.db
+//	labbase-server -addr :7047 -store ostore-mm          # volatile
+//	labbase-server ... -rules site.lbq                   # deductive views
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+	"labflow/internal/storage/ostore"
+	"labflow/internal/storage/texas"
+	"labflow/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7047", "listen address")
+		storeName = flag.String("store", "texas+tc", "ostore | texas | texas+tc | ostore-mm | texas-mm")
+		path      = flag.String("path", "labbase.db", "database file (persistent stores)")
+		pool      = flag.Int("pool", 512, "ostore buffer-pool pages")
+		resident  = flag.Int("resident", 0, "texas resident-page bound (0 = unbounded)")
+		rules     = flag.String("rules", "", "file of deductive rules to consult at start")
+	)
+	flag.Parse()
+
+	sm, err := openStore(*storeName, *path, *pool, *resident)
+	if err != nil {
+		log.Fatalf("labbase-server: %v", err)
+	}
+	db, err := labbase.Open(sm, labbase.DefaultOptions())
+	if err != nil {
+		log.Fatalf("labbase-server: open database: %v", err)
+	}
+	srv := wire.NewServer(db)
+
+	if *rules != "" {
+		src, err := os.ReadFile(*rules)
+		if err != nil {
+			log.Fatalf("labbase-server: rules: %v", err)
+		}
+		if err := srv.Bridge().Engine().Consult(string(src)); err != nil {
+			log.Fatalf("labbase-server: consult rules: %v", err)
+		}
+		log.Printf("consulted rules from %s", *rules)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("labbase-server: listen: %v", err)
+	}
+	log.Printf("labbase-server: %s store, listening on %s", sm.Name(), ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("labbase-server: shutting down")
+		ln.Close()
+		srv.Shutdown()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("labbase-server: serve: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Fatalf("labbase-server: close: %v", err)
+	}
+}
+
+func openStore(name, path string, pool, resident int) (storage.Manager, error) {
+	switch name {
+	case "ostore", "OStore":
+		return ostore.Open(ostore.Options{Path: path, PoolPages: pool})
+	case "texas", "Texas":
+		return texas.Open(texas.Options{Path: path, MaxResidentPages: resident})
+	case "texas+tc", "Texas+TC":
+		return texas.Open(texas.Options{Path: path, MaxResidentPages: resident, Clustering: true})
+	case "ostore-mm", "OStore-mm":
+		return memstore.Open("OStore-mm"), nil
+	case "texas-mm", "Texas-mm":
+		return memstore.Open("Texas-mm"), nil
+	default:
+		return nil, fmt.Errorf("unknown store %q", name)
+	}
+}

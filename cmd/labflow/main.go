@@ -1,0 +1,199 @@
+// Command labflow runs the LabFlow-1 benchmark and its companion
+// experiments, printing the paper's tables.
+//
+// Usage:
+//
+//	labflow -experiment table10 [-stores OStore,Texas+TC,...] [-scale N]
+//	labflow -experiment ops     [-store Texas+TC]
+//	labflow -experiment clustering
+//	labflow -experiment evolution [-store Texas+TC]
+//	labflow -experiment sweep   [-pools 64,192,512,4096]
+//	labflow -experiment all
+//
+// The working data lives under -dir (a temporary directory by default) and
+// is removed afterwards unless -keep is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"labflow/internal/core"
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "table10", "schema | table10 | ops | clustering | evolution | sweep | all")
+		stores     = flag.String("stores", "", "comma-separated server versions for table10 (default: all five)")
+		store      = flag.String("store", "Texas+TC", "server version for ops/evolution")
+		dir        = flag.String("dir", "", "working directory (default: a temp dir)")
+		keep       = flag.Bool("keep", false, "keep the working directory")
+		scale      = flag.Int("scale", 0, "override BaseClones (the 1X unit)")
+		intervals  = flag.Int("intervals", 0, "override the number of 0.5X intervals")
+		seed       = flag.Int64("seed", 0, "override the workload seed")
+		pools      = flag.String("pools", "64,192,512,4096", "pool sizes (pages) for the sweep")
+		shape      = flag.Bool("check-shape", true, "verify the paper-shape expectations after table10")
+		jsonOut    = flag.String("json", "", "also write table10 results to this JSON file")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *stores, *store, *dir, *keep, *scale, *intervals, *seed, *pools, *shape, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "labflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, stores, store, dir string, keep bool, scale, intervals int, seed int64, pools string, shape bool, jsonOut string) error {
+	p := core.DefaultParams()
+	if scale > 0 {
+		// Keep the cache-to-database ratio of the default configuration:
+		// the benchmark studies locality under proportional memory
+		// pressure, not an ever-shrinking cache.
+		ratio := float64(scale) / float64(p.BaseClones)
+		p.BaseClones = scale
+		p.PoolPages = int(float64(p.PoolPages)*ratio + 0.5)
+		p.ResidentPages = int(float64(p.ResidentPages)*ratio + 0.5)
+	}
+	if intervals > 0 {
+		p.Intervals = intervals
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "labflow-*")
+		if err != nil {
+			return err
+		}
+		dir = tmp
+		if !keep {
+			defer os.RemoveAll(tmp)
+		}
+	}
+	if keep {
+		fmt.Fprintf(os.Stderr, "working directory: %s\n", dir)
+	}
+
+	experiments := []string{experiment}
+	if experiment == "all" {
+		experiments = []string{"schema", "table10", "ops", "clustering", "evolution", "sweep"}
+	}
+	for i, exp := range experiments {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := runOne(exp, stores, store, dir, p, pools, shape, jsonOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(experiment, stores, store, dir string, p core.Params, pools string, shape bool, jsonOut string) error {
+	switch experiment {
+	case "schema":
+		// Paper Table 1: the fixed storage schema, independent of the
+		// evolving user schema.
+		fmt.Println("Storage schema (paper Table 1) — fixed, never evolves:")
+		for _, class := range labbase.StorageSchema() {
+			fmt.Printf("  %s\n", class)
+		}
+		fmt.Println("\nStorage segments (three small/hot, one large/cold):")
+		for seg := storage.SegmentID(0); seg < storage.NumSegments; seg++ {
+			kind := "small, frequently accessed"
+			if seg == storage.SegHistory {
+				kind = "large, infrequently accessed"
+			}
+			fmt.Printf("  %-9s %s\n", seg, kind)
+		}
+
+	case "table10":
+		kinds := core.AllStoreKinds
+		if stores != "" {
+			kinds = nil
+			for _, name := range strings.Split(stores, ",") {
+				k, err := core.ParseStoreKind(strings.TrimSpace(name))
+				if err != nil {
+					return err
+				}
+				kinds = append(kinds, k)
+			}
+		}
+		results, err := core.RunAll(kinds, dir+"/table10", p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatTable10(results))
+		fmt.Println()
+		fmt.Print(core.FormatSeries(results))
+		if jsonOut != "" {
+			if err := core.WriteJSON(jsonOut, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "results written to %s\n", jsonOut)
+		}
+		if shape {
+			if problems := core.CheckShape(results); len(problems) > 0 {
+				for _, prob := range problems {
+					fmt.Fprintln(os.Stderr, "shape violation:", prob)
+				}
+				return fmt.Errorf("%d shape expectation(s) violated", len(problems))
+			}
+			fmt.Println("\nshape check: all paper-shape expectations hold")
+		}
+
+	case "ops":
+		kind, err := core.ParseStoreKind(store)
+		if err != nil {
+			return err
+		}
+		res, err := core.RunOps(kind, dir+"/ops", p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatOps(res))
+
+	case "clustering":
+		res, err := core.RunClustering(dir+"/clustering", p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatClustering(res))
+
+	case "evolution":
+		kind, err := core.ParseStoreKind(store)
+		if err != nil {
+			return err
+		}
+		res, err := core.RunEvolution(kind, dir+"/evolution", p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatEvolution(res))
+
+	case "sweep":
+		var sizes []int
+		for _, s := range strings.Split(pools, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad pool size %q", s)
+			}
+			sizes = append(sizes, n)
+		}
+		res, err := core.RunBufferSweep(dir+"/sweep", p, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatSweep(res))
+
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

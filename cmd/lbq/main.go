@@ -1,0 +1,174 @@
+// Command lbq is an interactive shell for the deductive query language,
+// either against a local database file or a running labbase-server.
+//
+// Usage:
+//
+//	lbq -store texas+tc -path lab.db            # local database
+//	lbq -connect 127.0.0.1:7047                 # remote server
+//	echo 'state(M, S).' | lbq -path lab.db      # one-shot
+//
+// Rules can be loaded with -rules file.lbq; inside the shell, lines ending
+// in '.' are queries; ':quit' exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"labflow/internal/labbase"
+	"labflow/internal/lbq"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+	"labflow/internal/storage/ostore"
+	"labflow/internal/storage/texas"
+	"labflow/internal/wire"
+)
+
+func main() {
+	var (
+		path      = flag.String("path", "", "local database file")
+		storeName = flag.String("store", "texas+tc", "local store kind (ostore | texas | texas+tc | mm)")
+		connect   = flag.String("connect", "", "remote server address (overrides -path)")
+		rules     = flag.String("rules", "", "rules file to consult (local mode)")
+		max       = flag.Int("max", 20, "maximum solutions per query (0 = all)")
+	)
+	flag.Parse()
+
+	query, err := makeQuerier(*connect, *path, *storeName, *rules)
+	if err != nil {
+		log.Fatalf("lbq: %v", err)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	interactive := isTerminalish()
+	if interactive {
+		fmt.Println("LabBase deductive query shell — queries end with '.', :quit exits")
+	}
+	for {
+		if interactive {
+			fmt.Print("lbq> ")
+		}
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ":quit" || line == ":q":
+			return
+		}
+		out, err := query(line, *max)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			continue
+		}
+		fmt.Print(out)
+	}
+}
+
+// querier runs one query and renders its solutions.
+type querier func(q string, max int) (string, error)
+
+func makeQuerier(connect, path, storeName, rules string) (querier, error) {
+	if connect != "" {
+		client, err := wire.Dial(connect)
+		if err != nil {
+			return nil, err
+		}
+		return func(q string, max int) (string, error) {
+			sols, err := client.Query(q, max)
+			if err != nil {
+				return "", err
+			}
+			return renderStringSolutions(sols), nil
+		}, nil
+	}
+
+	var bridge *lbq.Bridge
+	sm, err := openLocal(storeName, path)
+	if err != nil {
+		return nil, err
+	}
+	db, err := labbase.Open(sm, labbase.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	bridge = lbq.New(db)
+	if rules != "" {
+		src, err := os.ReadFile(rules)
+		if err != nil {
+			return nil, err
+		}
+		if err := bridge.Engine().Consult(string(src)); err != nil {
+			return nil, err
+		}
+	}
+	return func(q string, max int) (string, error) {
+		sols, err := bridge.Query(q, max)
+		if err != nil {
+			return "", err
+		}
+		var out []map[string]string
+		for _, sol := range sols {
+			row := make(map[string]string, len(sol))
+			for name, term := range sol {
+				row[name] = term.String()
+			}
+			out = append(out, row)
+		}
+		return renderStringSolutions(out), nil
+	}, nil
+}
+
+func openLocal(storeName, path string) (storage.Manager, error) {
+	switch storeName {
+	case "ostore":
+		return ostore.Open(ostore.Options{Path: path})
+	case "texas":
+		return texas.Open(texas.Options{Path: path})
+	case "texas+tc":
+		return texas.Open(texas.Options{Path: path, Clustering: true})
+	case "mm":
+		return memstore.Open("lbq-mm"), nil
+	default:
+		return nil, fmt.Errorf("unknown store %q", storeName)
+	}
+}
+
+func renderStringSolutions(sols []map[string]string) string {
+	if len(sols) == 0 {
+		return "no.\n"
+	}
+	var b strings.Builder
+	for i, sol := range sols {
+		if len(sol) == 0 {
+			fmt.Fprintf(&b, "yes.\n")
+			continue
+		}
+		names := make([]string, 0, len(sol))
+		for name := range sol {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for j, name := range names {
+			parts[j] = name + " = " + sol[name]
+		}
+		fmt.Fprintf(&b, "%3d. %s\n", i+1, strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+func isTerminalish() bool {
+	info, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,126 @@
+// Client/server: the paper's Architecture (C) deployment — a LabBase data
+// server owning the storage manager, with lab applications connecting over
+// the network. This example starts a server on a loopback port, connects
+// two clients (a "sequencing robot" recording results and a "dashboard"
+// querying them), and shuts down cleanly.
+//
+// Run with: go run ./examples/clientserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+	"labflow/internal/wire"
+)
+
+func main() {
+	// --- Server side -----------------------------------------------------
+	db, err := labbase.Open(memstore.Open("lab-server"), labbase.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := wire.NewServer(db)
+	srv.SetLogf(nil)
+	// Site rules live on the server: every client sees the same views.
+	err = srv.Bridge().Engine().Consult(`
+		needs_review(M) <- state(M, sequenced), most_recent(M, quality, Q), Q < 0.5.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Printf("server: %s store on %s\n", db.Manager().Name(), ln.Addr())
+
+	// --- The robot client records workflow activity ----------------------
+	robot, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := robot.DefineMaterialClass("tclone", ""); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []string{"queued", "sequenced"} {
+		if _, err := robot.DefineState(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var mats []storage.OID
+	for i := 0; i < 6; i++ {
+		m, err := robot.CreateMaterial("tclone", fmt.Sprintf("t%03d", i), "queued", int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mats = append(mats, m)
+		q := 0.3 + 0.12*float64(i) // two low-quality runs, four good ones
+		if _, err := robot.RecordStep(labbase.StepSpec{
+			Class: "determine_sequence", ValidTime: int64(100 + i),
+			Materials: []storage.OID{m},
+			Attrs: []labbase.AttrValue{
+				{Name: "sequence", Value: labbase.String("ACGTACGT")},
+				{Name: "quality", Value: labbase.Float64(q)},
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := robot.SetState(m, "sequenced"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("robot: recorded %d sequencing runs\n", len(mats))
+	robot.Close()
+
+	// --- The dashboard client queries ------------------------------------
+	dash, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := dash.CountInState("sequenced")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dashboard: %d materials sequenced\n", n)
+
+	v, _, _, err := dash.MostRecent(mats[3], "quality")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dashboard: t003 latest quality = %.2f\n", v.Float)
+
+	// The server-side deductive view, over the wire.
+	sols, err := dash.Query("needs_review(M), material_name(M, Name)", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dashboard: %d run(s) need review:\n", len(sols))
+	for _, sol := range sols {
+		fmt.Printf("  material %s (name %s)\n", sol["M"], sol["Name"])
+	}
+
+	name, stats, err := dash.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dashboard: server %s holds %d live objects\n", name, stats.LiveObjects)
+	dash.Close()
+
+	// --- Shutdown ---------------------------------------------------------
+	ln.Close()
+	srv.Shutdown()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server: shut down cleanly")
+}

@@ -1,0 +1,89 @@
+// Deductive queries: the Section 6-8 query language over a populated
+// database — views layered on the event history, the paper's workflow
+// advance rule, setof-based counting, and list generation.
+//
+// Run with: go run ./examples/deductive
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"labflow/internal/core"
+	"labflow/internal/lbq"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "deductive-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Populate a small lab with the standard workload.
+	p := core.DefaultParams()
+	p.BaseClones = 10
+	p.TclonesPerClone = 4
+	built, err := core.Build(core.StoreTexasMM, dir, p, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer built.Close()
+
+	bridge := lbq.New(built.DB)
+
+	// Views over the event history, in the language itself. The paper:
+	// "a material derives its attributes from the steps that have
+	// processed it" — these rules ARE that derivation.
+	err = bridge.Engine().Consult(`
+		% A clone is finished when it has been incorporated.
+		finished(M) <- material(M, clone), state(M, c_incorporated).
+
+		% Well-covered clones: assembled at depth 1.2 or better.
+		well_covered(M) <- finished(M), most_recent(M, coverage, C), C >= 1.2.
+
+		% Interesting clones have at least one homology hit.
+		interesting(M) <- finished(M), most_recent(M, num_hits, N), N > 0.
+
+		% The paper's advance rule, against the real state predicates.
+		ready_to_archive(M) <- finished(M), well_covered(M).
+
+		% Per-tclone sequencing quality, for aggregation.
+		tclone_quality(Q) <- material(M, tclone), most_recent(M, quality, Q), Q > 0.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(title, q string) {
+		fmt.Printf("?- %s\n", q)
+		sols, err := bridge.Query(q, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(sols) == 0 {
+			fmt.Println("   no.")
+		}
+		for _, sol := range sols {
+			fmt.Printf("   %v\n", sol)
+		}
+		fmt.Println()
+		_ = title
+	}
+
+	// Counting via setof + length, the benchmark's counting idiom.
+	run("count", "setof(M, finished(M), L), length(L, N)")
+
+	// Joins across most-recent values.
+	run("coverage", "well_covered(M), most_recent(M, coverage, C)")
+
+	// Negation as failure: finished but uninteresting clones.
+	run("negation", "finished(M), \\+ interesting(M)")
+
+	// List generation: pull a stored BLAST hit list apart with member/2.
+	run("hits", "interesting(M), most_recent(M, hits, Hits), member([Acc, Score], Hits), Score > 0.1")
+
+	// Aggregate the lab's sequencing quality with findall + sum_list.
+	run("aggregate", `findall(Q, tclone_quality(Q), Qs), length(Qs, N), sum_list(Qs, Sum), Avg is Sum / N`)
+}

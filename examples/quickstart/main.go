@@ -1,0 +1,108 @@
+// Quickstart: open a LabBase database, define a miniature workflow schema,
+// track one material through two steps, and ask the signature LabFlow-1
+// query — "what is the most recent value of this attribute?"
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+)
+
+func main() {
+	// A main-memory store keeps the example self-contained; swap in
+	// texas.Open or ostore.Open for a persistent database.
+	db, err := labbase.Open(memstore.Open("quickstart"), labbase.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Schema: one material class, two workflow states, one step class.
+	must(db.Begin())
+	_, err = db.DefineMaterialClass("clone", "")
+	check(err)
+	_, err = db.DefineState("waiting_for_sequencing")
+	check(err)
+	_, err = db.DefineState("done")
+	check(err)
+	_, _, err = db.DefineStepClass("determine_sequence", []labbase.AttrDef{
+		{Name: "sequence", Kind: labbase.KindString},
+		{Name: "quality", Kind: labbase.KindFloat},
+		{Name: "ok", Kind: labbase.KindBool},
+	})
+	check(err)
+	must(db.Commit())
+
+	// Track a material: create it, run a step, record the results, move it
+	// to its next state.
+	must(db.Begin())
+	clone, err := db.CreateMaterial("clone", "c0001", "waiting_for_sequencing", 100)
+	check(err)
+	step1, err := db.RecordStep(labbase.StepSpec{
+		Class:     "determine_sequence",
+		ValidTime: 110,
+		Materials: []storage.OID{clone},
+		Attrs: []labbase.AttrValue{
+			{Name: "sequence", Value: labbase.String("ACGTACGTTGCA")},
+			{Name: "quality", Value: labbase.Float64(0.72)},
+			{Name: "ok", Value: labbase.Bool(false)}, // low quality: redo
+		},
+	})
+	check(err)
+	// The redo arrives later but is also *later in lab time*, so it wins.
+	step2, err := db.RecordStep(labbase.StepSpec{
+		Class:     "determine_sequence",
+		ValidTime: 130,
+		Materials: []storage.OID{clone},
+		Attrs: []labbase.AttrValue{
+			{Name: "sequence", Value: labbase.String("ACGTACGTTGCAACGT")},
+			{Name: "quality", Value: labbase.Float64(0.97)},
+			{Name: "ok", Value: labbase.Bool(true)},
+		},
+	})
+	check(err)
+	must(db.SetState(clone, "done"))
+	must(db.Commit())
+
+	// The most-recent query answers from the valid-time index without
+	// scanning the history.
+	seq, src, _, err := db.MostRecent(clone, "sequence")
+	check(err)
+	fmt.Printf("most recent sequence: %s (from step %v)\n", seq.Str, src)
+	q, _, _, err := db.MostRecent(clone, "quality")
+	check(err)
+	fmt.Printf("most recent quality:  %v\n", q.Float)
+
+	// The full audit trail is still there.
+	hist, err := db.History(clone)
+	check(err)
+	fmt.Printf("audit trail: %d events (step1=%v, step2=%v)\n", len(hist), step1, step2)
+	for _, h := range hist {
+		s, err := db.GetStep(h.Step)
+		check(err)
+		ok, _ := s.Attr("ok")
+		fmt.Printf("  t=%-4d %s v%d ok=%v\n", h.ValidTime, s.Class, s.Version, ok)
+	}
+
+	state, err := db.State(clone)
+	check(err)
+	fmt.Printf("state: %s\n", state)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

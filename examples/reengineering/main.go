@@ -1,0 +1,130 @@
+// Re-engineering: the paper's dynamic schema evolution, live. A lab runs
+// its sequencing step for a while, then the workflow changes — the step now
+// also records the sequencing chemistry. No migration, no downtime: the new
+// attribute set becomes version 2 of the step class the moment the first
+// evolved step is recorded, and every old instance stays exactly as written.
+//
+// Run with: go run ./examples/reengineering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+)
+
+func main() {
+	db, err := labbase.Open(memstore.Open("reeng"), labbase.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.Begin())
+	_, err = db.DefineMaterialClass("tclone", "")
+	check(err)
+	_, err = db.DefineState("active")
+	check(err)
+	t1, err := db.CreateMaterial("tclone", "t1", "active", 0)
+	check(err)
+	must(db.Commit())
+
+	// Era 1: the original process records sequence + quality.
+	must(db.Begin())
+	for i := 0; i < 3; i++ {
+		_, err = db.RecordStep(labbase.StepSpec{
+			Class: "determine_sequence", ValidTime: int64(10 + i),
+			Materials: []storage.OID{t1},
+			Attrs: []labbase.AttrValue{
+				{Name: "sequence", Value: labbase.String("ACGT")},
+				{Name: "quality", Value: labbase.Float64(0.9)},
+			},
+		})
+		check(err)
+	}
+	must(db.Commit())
+	printVersions(db)
+
+	// Era 2: process re-engineering — dye-terminator chemistry arrives and
+	// the step now records it. Recording with the new attribute set IS the
+	// schema change.
+	fmt.Println("\n--- the lab switches chemistry; the step now records it ---")
+	must(db.Begin())
+	evolved, err := db.RecordStep(labbase.StepSpec{
+		Class: "determine_sequence", ValidTime: 20,
+		Materials: []storage.OID{t1},
+		Attrs: []labbase.AttrValue{
+			{Name: "sequence", Value: labbase.String("ACGTTT")},
+			{Name: "quality", Value: labbase.Float64(0.95)},
+			{Name: "chemistry", Value: labbase.String("dye-terminator")},
+		},
+	})
+	check(err)
+	must(db.Commit())
+	printVersions(db)
+
+	// Era 3: a technician still using the old protocol records an old-shape
+	// step; it lands back on version 1. No data was reorganized at any
+	// point: each instance stays with the version that created it.
+	must(db.Begin())
+	late, err := db.RecordStep(labbase.StepSpec{
+		Class: "determine_sequence", ValidTime: 15, // and it is late, too
+		Materials: []storage.OID{t1},
+		Attrs: []labbase.AttrValue{
+			{Name: "sequence", Value: labbase.String("GGGG")},
+			{Name: "quality", Value: labbase.Float64(0.4)},
+		},
+	})
+	check(err)
+	must(db.Commit())
+
+	fmt.Println("\naudit trail (instance -> version):")
+	hist, err := db.History(t1)
+	check(err)
+	for _, h := range hist {
+		s, err := db.GetStep(h.Step)
+		check(err)
+		chem := "-"
+		if v, ok := s.Attr("chemistry"); ok {
+			chem = v.Str
+		}
+		marker := ""
+		if h.Step == evolved {
+			marker = "   <- the evolving insert"
+		}
+		if h.Step == late {
+			marker = "   <- old protocol, late arrival"
+		}
+		fmt.Printf("  t=%-3d version %d  chemistry=%-15s%s\n", h.ValidTime, s.Version, chem, marker)
+	}
+
+	// Most-recent still follows valid time: the evolved step at t=20 wins
+	// over the late arrival at t=15.
+	seq, _, _, err := db.MostRecent(t1, "sequence")
+	check(err)
+	fmt.Printf("\nmost recent sequence: %s (valid time order, not arrival order)\n", seq.Str)
+}
+
+func printVersions(db *labbase.DB) {
+	vers, err := db.StepClassVersions("determine_sequence")
+	check(err)
+	fmt.Printf("determine_sequence has %d version(s):\n", len(vers))
+	for i, attrs := range vers {
+		fmt.Printf("  v%d: %v\n", i+1, attrs)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module labflow
+
+go 1.22

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteJSONRoundTrip: the machine-readable artifact re-reads into the
+// same results.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	p := testParams()
+	res, err := Run(StoreTexasMM, t.TempDir(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := WriteJSON(path, []*RunResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []*RunResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("results = %d", len(back))
+	}
+	got := back[0]
+	if got.Store != res.Store || got.StepCount != res.StepCount || got.Materials != res.Materials {
+		t.Errorf("round trip changed results: %+v vs %+v", got, res)
+	}
+	if len(got.Rows) != len(res.Rows) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(res.Rows))
+	}
+	for i := range got.Rows {
+		if got.Rows[i] != res.Rows[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, got.Rows[i], res.Rows[i])
+		}
+	}
+	if err := WriteJSON(filepath.Join(t.TempDir(), "missing", "x.json"), nil); err == nil {
+		t.Error("writing into a missing directory should fail")
+	}
+}

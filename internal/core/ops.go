@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"labflow/internal/labbase"
+	"labflow/internal/lbq"
+	"labflow/internal/metrics"
+	"labflow/internal/storage"
+	"labflow/internal/workflow"
+)
+
+// OpsRow is one operation class's measured profile.
+type OpsRow struct {
+	Op        string
+	N         int
+	Total     time.Duration
+	PerOp     time.Duration
+	OpsPerSec float64
+}
+
+// OpsResult is the Section-8 operation-class profile (experiment E3).
+type OpsResult struct {
+	Store string
+	Rows  []OpsRow
+}
+
+// BuiltDB is a database pre-populated with a 1X LabFlow-1 run, plus the
+// handles experiments need to keep working with it.
+type BuiltDB struct {
+	DB     *labbase.DB
+	SM     storage.Manager
+	Lab    *Lab
+	Engine *workflow.Engine
+	Clones []workflow.ID // clones that completed the workflow
+}
+
+// Build populates a fresh database by running the workload to scale
+// (scaleX halves of BaseClones, so scaleX=2 is a 1.0X database).
+func Build(kind StoreKind, dir string, p Params, scaleX int) (*BuiltDB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sm, err := MakeStore(kind, dir, p)
+	if err != nil {
+		return nil, err
+	}
+	db, err := labbase.Open(sm, labbase.DefaultOptions())
+	if err != nil {
+		sm.Close()
+		return nil, err
+	}
+	if err := db.Begin(); err != nil {
+		return nil, err
+	}
+	if err := DefineSchema(db); err != nil {
+		return nil, err
+	}
+	if err := db.Commit(); err != nil {
+		return nil, err
+	}
+	lab, err := NewLab(p)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := workflow.New(lab.Graph(), db, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetOutOfOrder(p.OutOfOrderProb, p.OutOfOrderSkew)
+	eng.AfterStep = func(step workflow.ID, class string, mats []workflow.ID) error {
+		lab.NoteSpawns(class, mats)
+		return nil
+	}
+	perInterval := (p.BaseClones + 1) / 2
+	for i := 0; i < scaleX; i++ {
+		if err := db.Begin(); err != nil {
+			return nil, err
+		}
+		if _, err := eng.InjectRoots(perInterval, "c"); err != nil {
+			return nil, err
+		}
+		if err := db.Commit(); err != nil {
+			return nil, err
+		}
+		for tick := 0; ; tick++ {
+			if tick > 100000 {
+				return nil, fmt.Errorf("core: build did not quiesce")
+			}
+			if err := db.Begin(); err != nil {
+				return nil, err
+			}
+			worked, err := eng.Tick()
+			if err != nil {
+				return nil, err
+			}
+			if err := db.Commit(); err != nil {
+				return nil, err
+			}
+			if !worked {
+				break
+			}
+		}
+	}
+	done, err := db.MaterialsInState(StCloneDone)
+	if err != nil {
+		return nil, err
+	}
+	return &BuiltDB{DB: db, SM: sm, Lab: lab, Engine: eng, Clones: done}, nil
+}
+
+// Close releases the built database.
+func (b *BuiltDB) Close() error { return b.DB.Close() }
+
+func timeOp(name string, n int, fn func(i int) error) (OpsRow, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return OpsRow{}, fmt.Errorf("core: %s[%d]: %w", name, i, err)
+		}
+	}
+	total := time.Since(start)
+	row := OpsRow{Op: name, N: n, Total: total}
+	if n > 0 {
+		row.PerOp = total / time.Duration(n)
+		if total > 0 {
+			row.OpsPerSec = float64(n) / total.Seconds()
+		}
+	}
+	return row, nil
+}
+
+// RunOps measures the Section-8 operation classes on a 1X database.
+func RunOps(kind StoreKind, dir string, p Params) (*OpsResult, error) {
+	built, err := Build(kind, dir, p, 2)
+	if err != nil {
+		return nil, err
+	}
+	defer built.Close()
+	db := built.DB
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x0B5))
+	clones := built.Clones
+	if len(clones) == 0 {
+		return nil, fmt.Errorf("core: built database has no finished clones")
+	}
+
+	res := &OpsResult{Store: built.SM.Name()}
+	add := func(row OpsRow, err error) error {
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, row)
+		return nil
+	}
+
+	// 8.3 workflow tracking: record step + state transition, one txn each.
+	if err := add(timeOp("tracking update (record step + set state)", 400, func(i int) error {
+		m := clones[rng.Intn(len(clones))]
+		if err := db.Begin(); err != nil {
+			return err
+		}
+		if _, err := db.RecordStep(labbase.StepSpec{
+			Class: StepIncorporate, ValidTime: built.Engine.Clock() + int64(i),
+			Materials: []workflow.ID{m},
+			Attrs: []labbase.AttrValue{
+				{Name: "map_position", Value: labbase.Int64(int64(i))},
+				{Name: "ok", Value: labbase.Bool(true)},
+			},
+		}); err != nil {
+			return err
+		}
+		if err := db.SetState(m, StCloneDone); err != nil {
+			return err
+		}
+		return db.Commit()
+	})); err != nil {
+		return nil, err
+	}
+
+	// 8.2 most-recent queries through the index.
+	if err := add(timeOp("most-recent query (index)", 4000, func(i int) error {
+		m := clones[rng.Intn(len(clones))]
+		_, _, _, err := db.MostRecent(m, queryAttrs[i%len(queryAttrs)])
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Keyed lookup: resolve a material by name and read its current value —
+	// the benchmark's analog of TPC's look-up-by-key transaction.
+	names := make([]string, len(clones))
+	for i, c := range clones {
+		m, err := db.GetMaterial(c)
+		if err != nil {
+			return nil, err
+		}
+		names[i] = m.Name
+	}
+	if err := add(timeOp("keyed lookup (name -> most-recent)", 2000, func(i int) error {
+		oid, ok := db.LookupMaterial(names[rng.Intn(len(names))])
+		if !ok {
+			return fmt.Errorf("name index miss")
+		}
+		_, _, _, err := db.MostRecent(oid, "coverage")
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// The same query answered by scanning the history — what the index saves.
+	if err := add(timeOp("most-recent query (history scan)", 400, func(i int) error {
+		m := clones[rng.Intn(len(clones))]
+		_, _, _, err := db.MostRecentScan(m, queryAttrs[i%len(queryAttrs)])
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// State dispatch: the workflow scheduler's query.
+	if err := add(timeOp("materials-in-state listing", 400, func(i int) error {
+		_, err := db.MaterialsInState(AllStates[i%len(AllStates)])
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Counting.
+	if err := add(timeOp("counting (class + state counts)", 1000, func(i int) error {
+		if _, err := db.CountMaterials("clone"); err != nil {
+			return err
+		}
+		if _, err := db.CountSteps(StepDetermineSeq); err != nil {
+			return err
+		}
+		_, err := db.CountInState(StCloneDone)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Set/list generation: retrieve stored BLAST hit lists.
+	if err := add(timeOp("hit-list retrieval (set/list generation)", 1000, func(i int) error {
+		m := clones[rng.Intn(len(clones))]
+		v, _, found, err := db.MostRecent(m, "hits")
+		if err != nil {
+			return err
+		}
+		if found && v.Kind != labbase.KindList {
+			return fmt.Errorf("hits kind = %v", v.Kind)
+		}
+		return nil
+	})); err != nil {
+		return nil, err
+	}
+
+	// History scan: full audit trail of one material.
+	if err := add(timeOp("history scan (one material)", 400, func(i int) error {
+		m := clones[rng.Intn(len(clones))]
+		hist, err := db.History(m)
+		if err != nil {
+			return err
+		}
+		for _, h := range hist {
+			if _, err := db.GetStep(h.Step); err != nil {
+				return err
+			}
+		}
+		return nil
+	})); err != nil {
+		return nil, err
+	}
+
+	// Deductive queries through the Section-6 language.
+	bridge := lbq.New(db)
+	if err := bridge.Engine().Consult(`
+		sequenced(M) <- state(M, t_sequenced), most_recent(M, ok, true).
+	`); err != nil {
+		return nil, err
+	}
+	if err := add(timeOp("deductive query (state+most-recent join)", 40, func(i int) error {
+		_, err := bridge.Query("setof(M, sequenced(M), L), length(L, N)", 0)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// Archival dump.
+	if err := add(timeOp("full database dump", 2, func(i int) error {
+		_, err := db.Dump()
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	return res, nil
+}
+
+// FormatOps renders the operation profile.
+func FormatOps(res *OpsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LabFlow-1 operation-class profile (Section 8) — %s, 1.0X database\n\n", res.Store)
+	tab := metrics.NewTable("Operation", "N", "total ms", "us/op", "ops/sec")
+	for _, r := range res.Rows {
+		tab.Row(r.Op,
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%.2f", float64(r.Total.Microseconds())/1000),
+			fmt.Sprintf("%.1f", float64(r.PerOp.Nanoseconds())/1000),
+			fmt.Sprintf("%.0f", r.OpsPerSec))
+	}
+	_ = tab.Write(&b)
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage/memstore"
+)
+
+func TestTraceGenerateDeterministic(t *testing.T) {
+	p := testParams()
+	var a, b bytes.Buffer
+	na, err := GenerateTrace(&a, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := GenerateTrace(&b, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("same seed produced different traces (%d vs %d events)", na, nb)
+	}
+	if na == 0 {
+		t.Fatal("empty trace")
+	}
+	p2 := p
+	p2.Seed = 77
+	var c bytes.Buffer
+	if _, err := GenerateTrace(&c, p2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestTraceReplayEquivalence replays a generated trace into a fresh database
+// and checks it reaches the same logical state as running the workload
+// directly.
+func TestTraceReplayEquivalence(t *testing.T) {
+	p := testParams()
+
+	// Direct run.
+	direct, err := Build(StoreTexasMM, t.TempDir(), p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+
+	// Trace + replay.
+	var buf bytes.Buffer
+	if _, err := GenerateTrace(&buf, p, 2); err != nil {
+		t.Fatal(err)
+	}
+	db, err := labbase.Open(memstore.Open("replay-mm"), labbase.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefineSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReplayTrace(&buf, db, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 || stats.Steps == 0 {
+		t.Fatalf("replay stats = %+v", stats)
+	}
+
+	// Logical state must agree with the direct run.
+	type counter func(*labbase.DB) (uint64, error)
+	checks := map[string]counter{
+		"materials": func(d *labbase.DB) (uint64, error) { return d.CountMaterials("material") },
+		"clones":    func(d *labbase.DB) (uint64, error) { return d.CountMaterials("clone") },
+		"tclones":   func(d *labbase.DB) (uint64, error) { return d.CountMaterials("tclone") },
+		"seq steps": func(d *labbase.DB) (uint64, error) { return d.CountSteps(StepDetermineSeq) },
+		"gel steps": func(d *labbase.DB) (uint64, error) { return d.CountSteps(StepRunGel) },
+		"done":      func(d *labbase.DB) (uint64, error) { return d.CountInState(StCloneDone) },
+		"sequenced": func(d *labbase.DB) (uint64, error) { return d.CountInState(StTcloneDone) },
+	}
+	for name, fn := range checks {
+		want, err := fn(direct.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fn(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: replay %d != direct %d", name, got, want)
+		}
+	}
+	// Dumps agree in volume.
+	dd, err := direct.DB.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := db.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd != rd {
+		t.Errorf("dump mismatch: direct %+v, replay %+v", dd, rd)
+	}
+}
+
+func TestTraceValueRoundTrip(t *testing.T) {
+	vals := []labbase.Value{
+		labbase.Nil(),
+		labbase.Int64(-7),
+		labbase.Float64(2.25),
+		labbase.String("ACGT"),
+		labbase.Bool(true),
+		labbase.ListOf(labbase.String("LF1"), labbase.Float64(0.5),
+			labbase.ListOf(labbase.Int64(1), labbase.Bool(false))),
+	}
+	for _, v := range vals {
+		got, err := fromTraceValue(toTraceValue(v))
+		if err != nil {
+			t.Fatalf("round trip %v: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	if _, err := fromTraceValue(TraceValue{Kind: "martian"}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	db, err := labbase.Open(memstore.Open("garbage-mm"), labbase.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	cases := []string{
+		`{"kind":"step","id":1,"class":"x","materials":[999]}`, // unknown material
+		`{"kind":"state","id":42,"state":"s"}`,                 // unknown id
+		`{"kind":"weird"}`,                                     // unknown kind
+		`not json at all`,
+	}
+	for _, src := range cases {
+		if _, err := ReplayTrace(strings.NewReader(src), db, 10); err == nil {
+			t.Errorf("trace %q should fail to replay", src)
+		}
+	}
+}

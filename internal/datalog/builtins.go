@@ -1,0 +1,538 @@
+package datalog
+
+import (
+	"fmt"
+	"math"
+)
+
+func registerBuiltins(e *Engine) {
+	b := e.builtins
+	b["=/2"] = biUnify
+	b["\\=/2"] = biNotUnify
+	b["==/2"] = biEq
+	b["\\==/2"] = biNeq
+	b["is/2"] = biIs
+	b["</2"] = biCompare(func(c int) bool { return c < 0 })
+	b[">/2"] = biCompare(func(c int) bool { return c > 0 })
+	b["=</2"] = biCompare(func(c int) bool { return c <= 0 })
+	b[">=/2"] = biCompare(func(c int) bool { return c >= 0 })
+	b["=:=/2"] = biCompare(func(c int) bool { return c == 0 })
+	b["=\\=/2"] = biCompare(func(c int) bool { return c != 0 })
+	b["var/1"] = biTypeTest(func(t Term) bool { _, ok := t.(*Var); return ok })
+	b["nonvar/1"] = biTypeTest(func(t Term) bool { _, ok := t.(*Var); return !ok })
+	b["atom/1"] = biTypeTest(func(t Term) bool { _, ok := t.(Atom); return ok })
+	b["number/1"] = biTypeTest(func(t Term) bool {
+		switch t.(type) {
+		case Int, Float:
+			return true
+		}
+		return false
+	})
+	b["integer/1"] = biTypeTest(func(t Term) bool { _, ok := t.(Int); return ok })
+	b["float/1"] = biTypeTest(func(t Term) bool { _, ok := t.(Float); return ok })
+	b["string/1"] = biTypeTest(func(t Term) bool { _, ok := t.(Str); return ok })
+	b["is_list/1"] = biTypeTest(func(t Term) bool { _, ok := ListSlice(t); return ok })
+	b["call/1"] = biCall
+	b["not/1"] = func(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+		return e.solveNeg(args[0], bs, depth, k)
+	}
+	b["findall/3"] = biFindall
+	b["setof/3"] = biSetof
+	b["length/2"] = biLength
+	b["between/3"] = biBetween
+	b["assert/1"] = biAssert
+	b["assertz/1"] = biAssert
+	b["retract/1"] = biRetract
+	b["write/1"] = biWrite
+	b["writeln/1"] = biWriteln
+	b["copy_term/2"] = biCopyTerm
+	b["=../2"] = biUniv
+}
+
+func biUnify(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	mark := bs.Mark()
+	if Unify(args[0], args[1], bs) {
+		done, err := k()
+		if err != nil || done {
+			return done, err
+		}
+	}
+	bs.Undo(mark)
+	return false, nil
+}
+
+func biNotUnify(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	mark := bs.Mark()
+	ok := Unify(args[0], args[1], bs)
+	bs.Undo(mark)
+	if ok {
+		return false, nil
+	}
+	return k()
+}
+
+func biEq(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	if compare(args[0], args[1]) == 0 {
+		return k()
+	}
+	return false, nil
+}
+
+func biNeq(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	if compare(args[0], args[1]) != 0 {
+		return k()
+	}
+	return false, nil
+}
+
+// Eval computes an arithmetic expression term.
+func Eval(t Term) (Term, error) {
+	t = deref(t)
+	switch x := t.(type) {
+	case Int, Float:
+		return x, nil
+	case *Var:
+		return nil, fmt.Errorf("datalog: arithmetic on unbound variable")
+	case *Compound:
+		if len(x.Args) == 1 && x.Functor == "-" {
+			v, err := Eval(x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			switch n := v.(type) {
+			case Int:
+				return Int(-n), nil
+			case Float:
+				return Float(-n), nil
+			}
+			return nil, fmt.Errorf("datalog: bad operand to unary -")
+		}
+		if len(x.Args) == 1 && x.Functor == "abs" {
+			v, err := Eval(x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			switch n := v.(type) {
+			case Int:
+				if n < 0 {
+					return Int(-n), nil
+				}
+				return n, nil
+			case Float:
+				return Float(math.Abs(float64(n))), nil
+			}
+		}
+		if len(x.Args) != 2 {
+			break
+		}
+		a, err := Eval(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		bv, err := Eval(x.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		ai, aIsInt := a.(Int)
+		bi, bIsInt := bv.(Int)
+		bothInt := aIsInt && bIsInt
+		af, bf := numVal(a), numVal(bv)
+		switch x.Functor {
+		case "+":
+			if bothInt {
+				return ai + bi, nil
+			}
+			return Float(af + bf), nil
+		case "-":
+			if bothInt {
+				return ai - bi, nil
+			}
+			return Float(af - bf), nil
+		case "*":
+			if bothInt {
+				return ai * bi, nil
+			}
+			return Float(af * bf), nil
+		case "/":
+			if bf == 0 {
+				return nil, fmt.Errorf("datalog: division by zero")
+			}
+			if bothInt && int64(ai)%int64(bi) == 0 {
+				return ai / bi, nil
+			}
+			return Float(af / bf), nil
+		case "//":
+			if !bothInt {
+				return nil, fmt.Errorf("datalog: // requires integers")
+			}
+			if bi == 0 {
+				return nil, fmt.Errorf("datalog: division by zero")
+			}
+			return ai / bi, nil
+		case "mod":
+			if !bothInt {
+				return nil, fmt.Errorf("datalog: mod requires integers")
+			}
+			if bi == 0 {
+				return nil, fmt.Errorf("datalog: division by zero")
+			}
+			m := ai % bi
+			if (m < 0) != (bi < 0) && m != 0 {
+				m += bi
+			}
+			return m, nil
+		case "min":
+			if bothInt {
+				return min(ai, bi), nil
+			}
+			return Float(math.Min(af, bf)), nil
+		case "max":
+			if bothInt {
+				return max(ai, bi), nil
+			}
+			return Float(math.Max(af, bf)), nil
+		}
+	}
+	return nil, fmt.Errorf("datalog: cannot evaluate %s", t)
+}
+
+func biIs(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	v, err := Eval(args[1])
+	if err != nil {
+		return false, err
+	}
+	mark := bs.Mark()
+	if Unify(args[0], v, bs) {
+		done, err := k()
+		if err != nil || done {
+			return done, err
+		}
+	}
+	bs.Undo(mark)
+	return false, nil
+}
+
+func biCompare(test func(int) bool) builtin {
+	return func(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+		a, err := Eval(args[0])
+		if err != nil {
+			return false, err
+		}
+		b, err := Eval(args[1])
+		if err != nil {
+			return false, err
+		}
+		if test(cmpFloat(numVal(a), numVal(b))) {
+			return k()
+		}
+		return false, nil
+	}
+}
+
+func biTypeTest(test func(Term) bool) builtin {
+	return func(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+		if test(deref(args[0])) {
+			return k()
+		}
+		return false, nil
+	}
+}
+
+func biCall(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	return e.solveGoal(args[0], bs, depth+1, k)
+}
+
+func biFindall(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	template, goal, out := args[0], args[1], args[2]
+	var results []Term
+	err := e.enumerate(goal, bs, depth, func() {
+		results = append(results, Resolve(template))
+	})
+	if err != nil {
+		return false, err
+	}
+	mark := bs.Mark()
+	if Unify(out, MkList(results...), bs) {
+		done, err := k()
+		if err != nil || done {
+			return done, err
+		}
+	}
+	bs.Undo(mark)
+	return false, nil
+}
+
+// biSetof collects the template instances, sorts them, removes duplicates,
+// and fails when there are none — the standard Prolog setof behaviour the
+// benchmark's counting queries rely on. (Unlike full Prolog, free variables
+// in the goal are not grouped over; use findall for bag semantics.)
+func biSetof(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	template, goal, out := args[0], args[1], args[2]
+	var results []Term
+	err := e.enumerate(goal, bs, depth, func() {
+		results = append(results, Resolve(template))
+	})
+	if err != nil {
+		return false, err
+	}
+	if len(results) == 0 {
+		return false, nil
+	}
+	results = sortUnique(results)
+	mark := bs.Mark()
+	if Unify(out, MkList(results...), bs) {
+		done, err := k()
+		if err != nil || done {
+			return done, err
+		}
+	}
+	bs.Undo(mark)
+	return false, nil
+}
+
+func biLength(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	if elems, ok := ListSlice(args[0]); ok {
+		mark := bs.Mark()
+		if Unify(args[1], Int(len(elems)), bs) {
+			done, err := k()
+			if err != nil || done {
+				return done, err
+			}
+		}
+		bs.Undo(mark)
+		return false, nil
+	}
+	if n, ok := deref(args[1]).(Int); ok && n >= 0 {
+		vars := make([]Term, n)
+		for i := range vars {
+			vars[i] = &Var{Name: "_"}
+		}
+		mark := bs.Mark()
+		if Unify(args[0], MkList(vars...), bs) {
+			done, err := k()
+			if err != nil || done {
+				return done, err
+			}
+		}
+		bs.Undo(mark)
+		return false, nil
+	}
+	return false, fmt.Errorf("datalog: length/2 needs a list or a length")
+}
+
+func biBetween(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	lo, ok1 := deref(args[0]).(Int)
+	hi, ok2 := deref(args[1]).(Int)
+	if !ok1 || !ok2 {
+		return false, fmt.Errorf("datalog: between/3 needs integer bounds")
+	}
+	if x, ok := deref(args[2]).(Int); ok {
+		if x >= lo && x <= hi {
+			return k()
+		}
+		return false, nil
+	}
+	for i := lo; i <= hi; i++ {
+		mark := bs.Mark()
+		if Unify(args[2], i, bs) {
+			done, err := k()
+			if err != nil || done {
+				return done, err
+			}
+		}
+		bs.Undo(mark)
+	}
+	return false, nil
+}
+
+// clauseOf splits an assertable term into head and body.
+func clauseOf(t Term) (Clause, error) {
+	t = Resolve(t)
+	if c, ok := t.(*Compound); ok && (c.Functor == ":-" || c.Functor == "<-") && len(c.Args) == 2 {
+		if !validHead(c.Args[0]) {
+			return Clause{}, fmt.Errorf("datalog: assert head %s is not callable", c.Args[0])
+		}
+		return Clause{Head: c.Args[0], Body: flattenConj(c.Args[1])}, nil
+	}
+	if !validHead(t) {
+		return Clause{}, fmt.Errorf("datalog: cannot assert %s", t)
+	}
+	return Clause{Head: t}, nil
+}
+
+// biAssert inserts a fact or rule — the paper's assert(p): "inserts the
+// atomic formula p into the database. This predicate is always true."
+func biAssert(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	c, err := clauseOf(args[0])
+	if err != nil {
+		return false, err
+	}
+	if err := e.Add(c); err != nil {
+		return false, err
+	}
+	return k()
+}
+
+// biRetract deletes the first matching clause — the paper's retract(p):
+// "true if p was in the database prior to deletion."
+func biRetract(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	pat := deref(args[0])
+	patHead, patBody := pat, Term(Atom("true"))
+	if c, ok := pat.(*Compound); ok && (c.Functor == ":-" || c.Functor == "<-") && len(c.Args) == 2 {
+		patHead, patBody = c.Args[0], c.Args[1]
+	}
+	key, ok := indicator(patHead)
+	if !ok {
+		return false, fmt.Errorf("datalog: retract of non-callable %s", pat)
+	}
+	pred, ok := e.clauses[key]
+	if !ok {
+		return false, nil
+	}
+	for _, ic := range pred.candidates(patHead) {
+		c := ic.c
+		mark := bs.Mark()
+		seen := make(map[*Var]*Var)
+		head := renameTerm(c.Head, seen)
+		var bodyT Term = Atom("true")
+		if len(c.Body) > 0 {
+			bodyT = renameTerm(conjoin(c.Body), seen)
+		}
+		if Unify(patHead, head, bs) && Unify(patBody, bodyT, bs) {
+			pred.remove(c)
+			done, err := k()
+			if err != nil || done {
+				return done, err
+			}
+			bs.Undo(mark)
+			return false, nil // retract is not undone on backtracking
+		}
+		bs.Undo(mark)
+	}
+	return false, nil
+}
+
+func conjoin(goals []Term) Term {
+	if len(goals) == 0 {
+		return Atom("true")
+	}
+	t := goals[len(goals)-1]
+	for i := len(goals) - 2; i >= 0; i-- {
+		t = &Compound{Functor: ",", Args: []Term{goals[i], t}}
+	}
+	return t
+}
+
+func biWrite(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	fmt.Fprint(e.out, Resolve(args[0]).String())
+	return k()
+}
+
+func biWriteln(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	fmt.Fprintln(e.out, Resolve(args[0]).String())
+	return k()
+}
+
+func biCopyTerm(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	cp := renameTerm(args[0], make(map[*Var]*Var))
+	mark := bs.Mark()
+	if Unify(args[1], cp, bs) {
+		done, err := k()
+		if err != nil || done {
+			return done, err
+		}
+	}
+	bs.Undo(mark)
+	return false, nil
+}
+
+// biUniv implements T =.. [Functor|Args].
+func biUniv(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	t := deref(args[0])
+	switch x := t.(type) {
+	case *Compound:
+		list := MkList(append([]Term{Atom(x.Functor)}, x.Args...)...)
+		mark := bs.Mark()
+		if Unify(args[1], list, bs) {
+			done, err := k()
+			if err != nil || done {
+				return done, err
+			}
+		}
+		bs.Undo(mark)
+		return false, nil
+	case Atom, Int, Float, Str:
+		mark := bs.Mark()
+		if Unify(args[1], MkList(t), bs) {
+			done, err := k()
+			if err != nil || done {
+				return done, err
+			}
+		}
+		bs.Undo(mark)
+		return false, nil
+	case *Var:
+		elems, ok := ListSlice(args[1])
+		if !ok || len(elems) == 0 {
+			return false, fmt.Errorf("datalog: =.. needs a bound term or a list")
+		}
+		f, ok := deref(elems[0]).(Atom)
+		if !ok {
+			if len(elems) == 1 {
+				mark := bs.Mark()
+				if Unify(args[0], elems[0], bs) {
+					done, err := k()
+					if err != nil || done {
+						return done, err
+					}
+				}
+				bs.Undo(mark)
+				return false, nil
+			}
+			return false, fmt.Errorf("datalog: =.. functor must be an atom")
+		}
+		var built Term
+		if len(elems) == 1 {
+			built = f
+		} else {
+			built = &Compound{Functor: string(f), Args: elems[1:]}
+		}
+		mark := bs.Mark()
+		if Unify(args[0], built, bs) {
+			done, err := k()
+			if err != nil || done {
+				return done, err
+			}
+		}
+		bs.Undo(mark)
+		return false, nil
+	}
+	return false, fmt.Errorf("datalog: bad =.. arguments")
+}
+
+// prelude is the library loaded into every engine.
+const prelude = `
+member(X, [X|_]).
+member(X, [_|T]) <- member(X, T).
+
+append([], L, L).
+append([H|T], L, [H|R]) <- append(T, L, R).
+
+reverse([], []).
+reverse([H|T], R) <- reverse(T, RT), append(RT, [H], R).
+
+last([X], X).
+last([_|T], X) <- last(T, X).
+
+nth0(0, [X|_], X) <- !.
+nth0(N, [_|T], X) <- N > 0, N1 is N - 1, nth0(N1, T, X).
+
+sum_list([], 0).
+sum_list([H|T], S) <- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X).
+max_list([H|T], M) <- max_list(T, M1), M is max(H, M1).
+
+min_list([X], X).
+min_list([H|T], M) <- min_list(T, M1), M is min(H, M1).
+`

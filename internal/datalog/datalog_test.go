@@ -1,0 +1,500 @@
+package datalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustEngine(t *testing.T, program string) *Engine {
+	t.Helper()
+	e := New()
+	if err := e.Consult(program); err != nil {
+		t.Fatalf("Consult: %v", err)
+	}
+	return e
+}
+
+func solutions(t *testing.T, e *Engine, q string) []Solution {
+	t.Helper()
+	sols, err := e.Query(q, 0)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	return sols
+}
+
+func proves(t *testing.T, e *Engine, q string) bool {
+	t.Helper()
+	ok, err := e.Prove(q)
+	if err != nil {
+		t.Fatalf("Prove(%q): %v", q, err)
+	}
+	return ok
+}
+
+func TestFactsAndRules(t *testing.T) {
+	e := mustEngine(t, `
+		parent(tom, bob).
+		parent(tom, liz).
+		parent(bob, ann).
+		parent(bob, pat).
+		grandparent(X, Z) <- parent(X, Y), parent(Y, Z).
+		ancestor(X, Y) <- parent(X, Y).
+		ancestor(X, Z) <- parent(X, Y), ancestor(Y, Z).
+	`)
+	sols := solutions(t, e, "grandparent(tom, Who)")
+	if len(sols) != 2 {
+		t.Fatalf("grandparent solutions = %d, want 2", len(sols))
+	}
+	got := map[string]bool{}
+	for _, s := range sols {
+		got[s["Who"].String()] = true
+	}
+	if !got["ann"] || !got["pat"] {
+		t.Errorf("grandchildren = %v", got)
+	}
+	if !proves(t, e, "ancestor(tom, pat)") {
+		t.Error("ancestor(tom, pat) should hold")
+	}
+	if proves(t, e, "ancestor(pat, tom)") {
+		t.Error("ancestor(pat, tom) should fail")
+	}
+}
+
+func TestPaperStyleRuleSyntax(t *testing.T) {
+	// The paper's workflow transition, verbatim style: assert/retract of
+	// state facts guarded by a test predicate.
+	e := mustEngine(t, `
+		state(m1, waiting_for_sequencing).
+		test_sequencing_ok(_).
+		advance(M) <- state(M, waiting_for_sequencing),
+		              test_sequencing_ok(M),
+		              retract(state(M, waiting_for_sequencing)),
+		              assert(state(M, waiting_for_incorporation)).
+	`)
+	if !proves(t, e, "advance(m1)") {
+		t.Fatal("advance(m1) should succeed")
+	}
+	if proves(t, e, "state(m1, waiting_for_sequencing)") {
+		t.Error("old state should be retracted")
+	}
+	if !proves(t, e, "state(m1, waiting_for_incorporation)") {
+		t.Error("new state should be asserted")
+	}
+	// A second advance fails: no material is waiting.
+	if proves(t, e, "advance(m1)") {
+		t.Error("second advance should fail")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	e := New()
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{"X is 2 + 3 * 4", "14"},
+		{"X is (2 + 3) * 4", "20"},
+		{"X is 10 / 4", "2.5"},
+		{"X is 10 / 5", "2"},
+		{"X is 17 // 5", "3"},
+		{"X is 17 mod 5", "2"},
+		{"X is -3 mod 5", "2"},
+		{"X is abs(-7)", "7"},
+		{"X is min(3, 9)", "3"},
+		{"X is max(3, 9)", "9"},
+		{"X is 1.5 + 1", "2.5"},
+		{"X is -(4)", "-4"},
+	}
+	for _, c := range cases {
+		sols := solutions(t, e, c.q)
+		if len(sols) != 1 || sols[0]["X"].String() != c.want {
+			t.Errorf("%s = %v, want %s", c.q, sols, c.want)
+		}
+	}
+	if _, err := e.Query("X is 1/0", 0); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := e.Query("X is foo + 1", 0); err == nil {
+		t.Error("non-numeric arithmetic should error")
+	}
+	if !proves(t, e, "3 < 4, 4 =< 4, 5 > 1, 5 >= 5, 2 =:= 2.0, 2 =\\= 3") {
+		t.Error("numeric comparisons failed")
+	}
+}
+
+func TestListsAndPrelude(t *testing.T) {
+	e := New()
+	if !proves(t, e, "member(b, [a, b, c])") {
+		t.Error("member failed")
+	}
+	if proves(t, e, "member(z, [a, b, c])") {
+		t.Error("member(z) should fail")
+	}
+	sols := solutions(t, e, "append(X, Y, [1, 2])")
+	if len(sols) != 3 {
+		t.Errorf("append splits = %d, want 3", len(sols))
+	}
+	sols = solutions(t, e, "reverse([1, 2, 3], R)")
+	if len(sols) != 1 || sols[0]["R"].String() != "[3, 2, 1]" {
+		t.Errorf("reverse = %v", sols)
+	}
+	sols = solutions(t, e, "length([a, b, c], N)")
+	if len(sols) != 1 || sols[0]["N"].String() != "3" {
+		t.Errorf("length = %v", sols)
+	}
+	sols = solutions(t, e, "length(L, 2)")
+	if len(sols) != 1 {
+		t.Errorf("length mode 2 = %v", sols)
+	}
+	sols = solutions(t, e, "sum_list([1, 2, 3, 4], S)")
+	if len(sols) != 1 || sols[0]["S"].String() != "10" {
+		t.Errorf("sum_list = %v", sols)
+	}
+	sols = solutions(t, e, "[H|T] = [1, 2, 3]")
+	if len(sols) != 1 || sols[0]["H"].String() != "1" || sols[0]["T"].String() != "[2, 3]" {
+		t.Errorf("list destructuring = %v", sols)
+	}
+}
+
+func TestFindallSetof(t *testing.T) {
+	e := mustEngine(t, `
+		clone(c1). clone(c2). clone(c3).
+		size(c1, 5). size(c2, 3). size(c3, 5).
+	`)
+	sols := solutions(t, e, "findall(C, clone(C), L)")
+	if len(sols) != 1 || sols[0]["L"].String() != "[c1, c2, c3]" {
+		t.Errorf("findall = %v", sols)
+	}
+	// setof sorts and deduplicates. (No ^/2 grouping; use a helper goal.)
+	e2 := mustEngine(t, `
+		size(c1, 5). size(c2, 3). size(c3, 5).
+		size_of_any(S) <- size(_, S).
+	`)
+	sols = solutions(t, e2, "setof(S, size_of_any(S), L)")
+	if len(sols) != 1 || sols[0]["L"].String() != "[3, 5]" {
+		t.Errorf("setof = %v", sols)
+	}
+	// Counting via setof + length: the benchmark's counting idiom.
+	sols = solutions(t, e2, "setof(S, size_of_any(S), L), length(L, N)")
+	if len(sols) != 1 || sols[0]["N"].String() != "2" {
+		t.Errorf("count = %v", sols)
+	}
+	// setof fails on empty; findall yields [].
+	if err := e2.Consult("nosolutions(x) <- fail."); err != nil {
+		t.Fatal(err)
+	}
+	if proves(t, e2, "setof(X, nosolutions(X), _)") {
+		t.Error("setof over empty should fail")
+	}
+	if !proves(t, e2, "findall(X, nosolutions(X), [])") {
+		t.Error("findall over empty should give []")
+	}
+}
+
+// TestSetofLargeInts: int64 values near 2^56 (OIDs) must not be merged by
+// the float64 rounding in term comparison.
+func TestSetofLargeInts(t *testing.T) {
+	e := mustEngine(t, `
+		big(72057594037927937).
+		big(72057594037927938).
+		big(72057594037927939).
+	`)
+	sols := solutions(t, e, "setof(X, big(X), L), length(L, N)")
+	if len(sols) != 1 || sols[0]["N"].String() != "3" {
+		t.Fatalf("setof over large ints = %v, want N=3", sols)
+	}
+	if !proves(t, e, "72057594037927937 \\== 72057594037927938") {
+		t.Error("structural inequality of adjacent large ints failed")
+	}
+}
+
+func TestCut(t *testing.T) {
+	e := mustEngine(t, `
+		first(X, [X|_]) <- !.
+		first(X, [_|T]) <- first(X, T).
+
+		max(X, Y, X) <- X >= Y, !.
+		max(_, Y, Y).
+
+		f(1). f(2). f(3).
+		onlyone(X) <- f(X), !.
+	`)
+	sols := solutions(t, e, "onlyone(X)")
+	if len(sols) != 1 || sols[0]["X"].String() != "1" {
+		t.Errorf("cut solutions = %v, want [1]", sols)
+	}
+	sols = solutions(t, e, "max(3, 7, M)")
+	if len(sols) != 1 || sols[0]["M"].String() != "7" {
+		t.Errorf("max(3,7) = %v", sols)
+	}
+	sols = solutions(t, e, "max(9, 7, M)")
+	if len(sols) != 1 || sols[0]["M"].String() != "9" {
+		t.Errorf("max(9,7) = %v (cut must prevent the second clause)", sols)
+	}
+	// Cut inside a called predicate must not cut the caller.
+	e2 := mustEngine(t, `
+		g(1). g(2).
+		h(X) <- g(X), inner.
+		inner <- !.
+	`)
+	sols = solutions(t, e2, "h(X)")
+	if len(sols) != 2 {
+		t.Errorf("cut in callee leaked: %v", sols)
+	}
+}
+
+func TestNegationAsFailure(t *testing.T) {
+	e := mustEngine(t, `
+		bird(tweety). bird(peng).
+		penguin(peng).
+		flies(X) <- bird(X), \+ penguin(X).
+	`)
+	sols := solutions(t, e, "flies(X)")
+	if len(sols) != 1 || sols[0]["X"].String() != "tweety" {
+		t.Errorf("flies = %v", sols)
+	}
+	if !proves(t, e, "\\+ flies(peng)") {
+		t.Error("\\+ flies(peng) should hold")
+	}
+}
+
+func TestIfThenElse(t *testing.T) {
+	e := mustEngine(t, `
+		grade(S, pass) <- (S >= 50 -> true ; fail).
+		classify(X, big) <- (X > 100 -> true ; fail).
+		classify(X, small) <- (X > 100 -> fail ; true).
+	`)
+	if !proves(t, e, "grade(60, pass)") {
+		t.Error("grade(60) should pass")
+	}
+	if proves(t, e, "grade(40, pass)") {
+		t.Error("grade(40) should fail")
+	}
+	sols := solutions(t, e, "classify(150, C)")
+	if len(sols) != 1 || sols[0]["C"].String() != "big" {
+		t.Errorf("classify(150) = %v", sols)
+	}
+	sols = solutions(t, e, "classify(5, C)")
+	if len(sols) != 1 || sols[0]["C"].String() != "small" {
+		t.Errorf("classify(5) = %v", sols)
+	}
+	// Disjunction.
+	sols = solutions(t, e, "(X = 1 ; X = 2)")
+	if len(sols) != 2 {
+		t.Errorf("disjunction = %v", sols)
+	}
+}
+
+func TestAssertRetractDynamics(t *testing.T) {
+	e := New()
+	e.Declare("counter", 1)
+	if proves(t, e, "counter(_)") {
+		t.Error("declared empty predicate should fail")
+	}
+	if !proves(t, e, "assert(counter(0))") {
+		t.Fatal("assert failed")
+	}
+	if !proves(t, e, "counter(0)") {
+		t.Error("asserted fact not found")
+	}
+	// Assert a rule.
+	if !proves(t, e, "assert((double(X, Y) :- Y is X * 2))") {
+		t.Fatal("assert rule failed")
+	}
+	sols := solutions(t, e, "double(21, Y)")
+	if len(sols) != 1 || sols[0]["Y"].String() != "42" {
+		t.Errorf("asserted rule = %v", sols)
+	}
+	if !proves(t, e, "retract(counter(0))") {
+		t.Error("retract failed")
+	}
+	if proves(t, e, "counter(_)") {
+		t.Error("retracted fact still present")
+	}
+	if proves(t, e, "retract(counter(0))") {
+		t.Error("retract of absent fact should fail")
+	}
+	// Unknown (undeclared) predicate errors.
+	if _, err := e.Query("no_such_predicate(1)", 0); err == nil {
+		t.Error("unknown predicate should error")
+	}
+}
+
+func TestStringsAndQuotedAtoms(t *testing.T) {
+	e := mustEngine(t, `
+		seq(c1, "ACGT").
+		lab('Whitehead Institute').
+	`)
+	sols := solutions(t, e, `seq(c1, S)`)
+	if len(sols) != 1 || sols[0]["S"].String() != `"ACGT"` {
+		t.Errorf("string fact = %v", sols)
+	}
+	if !proves(t, e, `lab('Whitehead Institute')`) {
+		t.Error("quoted atom match failed")
+	}
+	if proves(t, e, `seq(c1, "TTTT")`) {
+		t.Error("mismatched string should fail")
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	e := New()
+	var buf bytes.Buffer
+	e.SetOutput(&buf)
+	if !proves(t, e, `write(hello), nl, writeln(42)`) {
+		t.Fatal("write goals failed")
+	}
+	if got := buf.String(); got != "hello\n42\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	e := New()
+	sols := solutions(t, e, "between(1, 5, X)")
+	if len(sols) != 5 {
+		t.Errorf("between = %d solutions", len(sols))
+	}
+	if !proves(t, e, "between(1, 5, 3)") || proves(t, e, "between(1, 5, 9)") {
+		t.Error("between check mode wrong")
+	}
+}
+
+func TestUniv(t *testing.T) {
+	e := New()
+	sols := solutions(t, e, "foo(a, b) =.. L")
+	if len(sols) != 1 || sols[0]["L"].String() != "[foo, a, b]" {
+		t.Errorf("univ decompose = %v", sols)
+	}
+	sols = solutions(t, e, "T =.. [bar, 1, 2]")
+	if len(sols) != 1 || sols[0]["T"].String() != "bar(1, 2)" {
+		t.Errorf("univ construct = %v", sols)
+	}
+}
+
+func TestTypeTests(t *testing.T) {
+	e := New()
+	for _, q := range []string{
+		"var(_)", "nonvar(a)", "atom(abc)", "number(3)", "number(3.5)",
+		"integer(3)", "float(3.5)", `string("x")`, "is_list([1, 2])",
+		"\\+ atom(3)", "\\+ integer(3.5)", "\\+ is_list(foo)", "X = 5, nonvar(X), integer(X)",
+	} {
+		if !proves(t, e, q) {
+			t.Errorf("%s should hold", q)
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	for _, src := range []string{
+		"foo(",          // truncated
+		"foo(a) bar(b)", // missing '.'
+		"3.",            // number as clause head... actually callable check
+		"foo(a)) .",     // stray paren
+		`foo("unterminated`,
+		"foo('unterminated",
+		"/* unterminated",
+	} {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) should fail", src)
+		}
+	}
+	if _, _, err := ParseQuery("foo(X), ,"); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestDeepRecursionGuard(t *testing.T) {
+	e := mustEngine(t, `loop(X) <- loop(X).`)
+	if _, err := e.Query("loop(1)", 1); err == nil || !strings.Contains(err.Error(), "depth limit") {
+		t.Errorf("infinite recursion error = %v", err)
+	}
+}
+
+func TestQueryLimit(t *testing.T) {
+	e := mustEngine(t, `n(1). n(2). n(3). n(4).`)
+	sols, err := e.Query("n(X)", 2)
+	if err != nil || len(sols) != 2 {
+		t.Errorf("limited query = %v, %v", sols, err)
+	}
+}
+
+// TestQuickRoundTripTerms: parse(print(t)) == t for random ground terms.
+func TestQuickRoundTripTerms(t *testing.T) {
+	atoms := []string{"a", "foo", "bar_baz", "x1"}
+	build := func(rng *quick.Config) {}
+	_ = build
+	f := func(seed uint32, depth uint8) bool {
+		term := genTerm(int(seed), int(depth)%3)
+		src := "t(" + term.String() + ")."
+		cs, err := ParseProgram(src)
+		if err != nil || len(cs) != 1 {
+			return false
+		}
+		parsed := cs[0].Head.(*Compound).Args[0]
+		return compare(parsed, term) == 0
+	}
+	_ = atoms
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genTerm builds a deterministic ground term from a seed.
+func genTerm(seed, depth int) Term {
+	atoms := []string{"a", "foo", "bar_baz", "lab"}
+	switch seed % 5 {
+	case 0:
+		return Int(seed * 13 % 1000)
+	case 1:
+		return Float(float64(seed%97) + 0.5)
+	case 2:
+		return Atom(atoms[seed%len(atoms)])
+	case 3:
+		if depth <= 0 {
+			return Str("s")
+		}
+		return MkList(genTerm(seed/2, depth-1), genTerm(seed/3, depth-1))
+	default:
+		if depth <= 0 {
+			return Atom("leaf")
+		}
+		return &Compound{Functor: "f", Args: []Term{genTerm(seed/2, depth-1), genTerm(seed/5, depth-1)}}
+	}
+}
+
+// TestQuickUnifySymmetric: unification is symmetric on random term pairs.
+func TestQuickUnifySymmetric(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		a := genTerm(int(s1), 2)
+		b := genTerm(int(s2), 2)
+		bs1 := &Bindings{}
+		r1 := Unify(a, b, bs1)
+		bs2 := &Bindings{}
+		r2 := Unify(b, a, bs2)
+		return r1 == r2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindingsUndo(t *testing.T) {
+	v1 := &Var{Name: "X"}
+	v2 := &Var{Name: "Y"}
+	bs := &Bindings{}
+	mark := bs.Mark()
+	if !Unify(v1, Atom("a"), bs) || !Unify(v2, Atom("b"), bs) {
+		t.Fatal("unify failed")
+	}
+	if deref(v1) != Atom("a") || deref(v2) != Atom("b") {
+		t.Fatal("bindings not visible")
+	}
+	bs.Undo(mark)
+	if v1.Ref != nil || v2.Ref != nil {
+		t.Error("Undo did not unbind")
+	}
+}

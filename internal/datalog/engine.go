@@ -1,0 +1,376 @@
+package datalog
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Cont is a search continuation: it returns true to stop the whole search
+// (enough answers) and false to ask for more solutions via backtracking.
+type Cont func() (bool, error)
+
+// Extern is a predicate implemented outside the engine (for example over the
+// LabBase database). It must, for each solution: bind its arguments with
+// Unify against bs, call k, undo to its own mark if k returned false, and
+// keep enumerating; it returns k's final verdict.
+type Extern func(args []Term, bs *Bindings, k Cont) (bool, error)
+
+type builtin func(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error)
+
+// cutSignal unwinds resolution to the clause barrier a cut belongs to.
+type cutSignal struct{ barrier int64 }
+
+func (cutSignal) Error() string { return "datalog: cut" }
+
+// Engine is a deductive-query engine: a clause database plus a resolution
+// procedure with backtracking, negation as failure, cut, and the update and
+// aggregation builtins of the LabFlow-1 benchmark (assert, retract, setof,
+// findall).
+type Engine struct {
+	clauses  map[string]*predicate
+	builtins map[string]builtin
+	externs  map[string]Extern
+	out      io.Writer
+	maxDepth int
+	barrier  int64
+}
+
+// New returns an engine with the standard builtins and library predicates
+// loaded.
+func New() *Engine {
+	e := &Engine{
+		clauses:  make(map[string]*predicate),
+		builtins: make(map[string]builtin),
+		externs:  make(map[string]Extern),
+		out:      os.Stdout,
+		maxDepth: 100000,
+	}
+	registerBuiltins(e)
+	if err := e.Consult(prelude); err != nil {
+		panic("datalog: prelude failed to load: " + err.Error())
+	}
+	return e
+}
+
+// SetOutput redirects write/1 and friends.
+func (e *Engine) SetOutput(w io.Writer) { e.out = w }
+
+// Consult parses and adds a program.
+func (e *Engine) Consult(src string) error {
+	cs, err := ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	for i := range cs {
+		if err := e.Add(cs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add appends one clause to the database.
+func (e *Engine) Add(c Clause) error {
+	key, ok := indicator(c.Head)
+	if !ok {
+		return fmt.Errorf("datalog: clause head %s is not callable", c.Head)
+	}
+	if _, isB := e.builtins[key]; isB {
+		return fmt.Errorf("datalog: cannot redefine builtin %s", key)
+	}
+	if _, isX := e.externs[key]; isX {
+		return fmt.Errorf("datalog: cannot redefine external predicate %s", key)
+	}
+	p, ok := e.clauses[key]
+	if !ok {
+		p = newPredicate()
+		e.clauses[key] = p
+	}
+	cc := c
+	p.add(&cc)
+	return nil
+}
+
+// Declare registers an empty dynamic predicate, so querying it fails rather
+// than erroring before the first assert.
+func (e *Engine) Declare(name string, arity int) {
+	key := fmt.Sprintf("%s/%d", name, arity)
+	if _, ok := e.clauses[key]; !ok {
+		e.clauses[key] = newPredicate()
+	}
+}
+
+// RegisterExtern installs a database-backed predicate.
+func (e *Engine) RegisterExtern(name string, arity int, fn Extern) {
+	e.externs[fmt.Sprintf("%s/%d", name, arity)] = fn
+}
+
+// Solution is one answer: named query variables mapped to resolved terms.
+type Solution map[string]Term
+
+// Query runs a goal conjunction and returns up to max solutions (max <= 0
+// means all).
+func (e *Engine) Query(src string, max int) ([]Solution, error) {
+	goals, vars, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Solution
+	bs := &Bindings{}
+	_, err = e.solveSeq(goals, bs, 0, func() (bool, error) {
+		sol := make(Solution, len(vars))
+		for name, v := range vars {
+			sol[name] = Resolve(v)
+		}
+		out = append(out, sol)
+		return max > 0 && len(out) >= max, nil
+	})
+	if cs, ok := err.(cutSignal); ok {
+		_ = cs // a top-level cut just stops the search
+		err = nil
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Prove reports whether the goal has at least one solution.
+func (e *Engine) Prove(src string) (bool, error) {
+	sols, err := e.Query(src, 1)
+	return len(sols) > 0, err
+}
+
+// Solve runs parsed goals under an existing binding environment (used by
+// tests and the lbq bridge).
+func (e *Engine) Solve(goals []Term, bs *Bindings, k Cont) (bool, error) {
+	done, err := e.solveSeq(goals, bs, 0, k)
+	if _, ok := err.(cutSignal); ok {
+		err = nil
+	}
+	return done, err
+}
+
+func (e *Engine) solveSeq(goals []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	if depth > e.maxDepth {
+		return false, fmt.Errorf("datalog: depth limit %d exceeded", e.maxDepth)
+	}
+	if len(goals) == 0 {
+		return k()
+	}
+	g := goals[0]
+	rest := goals[1:]
+	return e.solveGoal(g, bs, depth, func() (bool, error) {
+		return e.solveSeq(rest, bs, depth, k)
+	})
+}
+
+func (e *Engine) solveGoal(goal Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	if depth > e.maxDepth {
+		return false, fmt.Errorf("datalog: depth limit %d exceeded", e.maxDepth)
+	}
+	g := deref(goal)
+	switch t := g.(type) {
+	case *Var:
+		return false, fmt.Errorf("datalog: unbound goal")
+	case Atom:
+		switch t {
+		case "true":
+			return k()
+		case "fail", "false":
+			return false, nil
+		case "!":
+			// An untagged cut (for example inside call/1): cut to here.
+			return k()
+		case "nl":
+			fmt.Fprintln(e.out)
+			return k()
+		}
+	case *Compound:
+		switch t.Functor {
+		case "$cut":
+			done, err := k()
+			if err != nil {
+				return done, err
+			}
+			return done, cutSignal{barrier: int64(t.Args[0].(Int))}
+		case ",":
+			if len(t.Args) == 2 {
+				return e.solveSeq(flattenConj(t), bs, depth, k)
+			}
+		case ";":
+			if len(t.Args) == 2 {
+				return e.solveOr(t.Args[0], t.Args[1], bs, depth, k)
+			}
+		case "->":
+			if len(t.Args) == 2 {
+				return e.solveIfThenElse(t.Args[0], t.Args[1], Atom("fail"), bs, depth, k)
+			}
+		case "\\+":
+			if len(t.Args) == 1 {
+				return e.solveNeg(t.Args[0], bs, depth, k)
+			}
+		}
+	default:
+		return false, fmt.Errorf("datalog: goal %s is not callable", g)
+	}
+
+	key, ok := indicator(g)
+	if !ok {
+		return false, fmt.Errorf("datalog: goal %s is not callable", g)
+	}
+	if b, isB := e.builtins[key]; isB {
+		return b(e, goalArgs(g), bs, depth, k)
+	}
+	if x, isX := e.externs[key]; isX {
+		return x(goalArgs(g), bs, k)
+	}
+	return e.call(g, key, bs, depth, k)
+}
+
+func goalArgs(g Term) []Term {
+	if c, ok := deref(g).(*Compound); ok {
+		return c.Args
+	}
+	return nil
+}
+
+// call resolves a user-defined predicate, establishing a cut barrier for the
+// clause bodies it tries.
+func (e *Engine) call(g Term, key string, bs *Bindings, depth int, k Cont) (bool, error) {
+	pred, ok := e.clauses[key]
+	if !ok {
+		return false, fmt.Errorf("datalog: unknown predicate %s", key)
+	}
+	e.barrier++
+	id := e.barrier
+	for _, ic := range pred.candidates(g) {
+		c := ic.c
+		mark := bs.Mark()
+		seen := make(map[*Var]*Var)
+		head := renameTerm(c.Head, seen)
+		if Unify(g, head, bs) {
+			body := make([]Term, len(c.Body))
+			for i, bg := range c.Body {
+				body[i] = tagCuts(renameTerm(bg, seen), id)
+			}
+			done, err := e.solveSeq(body, bs, depth+1, k)
+			if cut, isCut := err.(cutSignal); isCut {
+				if cut.barrier == id {
+					if !done {
+						bs.Undo(mark)
+					}
+					return done, nil
+				}
+				return done, err // belongs to an outer barrier
+			}
+			if err != nil {
+				return done, err
+			}
+			if done {
+				return true, nil
+			}
+		}
+		bs.Undo(mark)
+	}
+	return false, nil
+}
+
+// tagCuts rewrites cut atoms in a clause body so they unwind to this call's
+// barrier. Cuts inside control structures (, ; ->) are transparent; cuts
+// inside other goals (call/1, findall/3, ...) are opaque, as in Prolog.
+func tagCuts(t Term, id int64) Term {
+	switch t := t.(type) {
+	case Atom:
+		if t == "!" {
+			return &Compound{Functor: "$cut", Args: []Term{Int(id)}}
+		}
+	case *Compound:
+		switch t.Functor {
+		case ",", ";", "->":
+			if len(t.Args) == 2 {
+				return &Compound{Functor: t.Functor, Args: []Term{
+					tagCuts(t.Args[0], id), tagCuts(t.Args[1], id),
+				}}
+			}
+		}
+	}
+	return t
+}
+
+func (e *Engine) solveOr(a, b Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	// if-then-else written (Cond -> Then ; Else).
+	if c, ok := deref(a).(*Compound); ok && c.Functor == "->" && len(c.Args) == 2 {
+		return e.solveIfThenElse(c.Args[0], c.Args[1], b, bs, depth, k)
+	}
+	mark := bs.Mark()
+	done, err := e.solveGoal(a, bs, depth+1, k)
+	if err != nil || done {
+		return done, err
+	}
+	bs.Undo(mark)
+	return e.solveGoal(b, bs, depth+1, k)
+}
+
+func (e *Engine) solveIfThenElse(cond, then, els Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	mark := bs.Mark()
+	found := false
+	done, err := e.solveGoal(cond, bs, depth+1, func() (bool, error) {
+		found = true
+		return true, nil // commit to the first solution of Cond
+	})
+	_ = done
+	if cut, isCut := err.(cutSignal); isCut {
+		_ = cut
+		err = nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if found {
+		done, err := e.solveGoal(then, bs, depth+1, k)
+		if err != nil || done {
+			return done, err
+		}
+		bs.Undo(mark)
+		return false, nil
+	}
+	bs.Undo(mark)
+	return e.solveGoal(els, bs, depth+1, k)
+}
+
+func (e *Engine) solveNeg(g Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	mark := bs.Mark()
+	found := false
+	_, err := e.solveGoal(g, bs, depth+1, func() (bool, error) {
+		found = true
+		return true, nil
+	})
+	if _, isCut := err.(cutSignal); isCut {
+		err = nil
+	}
+	bs.Undo(mark)
+	if err != nil {
+		return false, err
+	}
+	if found {
+		return false, nil
+	}
+	return k()
+}
+
+// enumerate runs goal, invoking collect (with bindings in place) for every
+// solution, and backtracks through all of them. Used by findall and setof.
+func (e *Engine) enumerate(goal Term, bs *Bindings, depth int, collect func()) error {
+	mark := bs.Mark()
+	_, err := e.solveGoal(goal, bs, depth+1, func() (bool, error) {
+		collect()
+		return false, nil // keep backtracking
+	})
+	bs.Undo(mark)
+	if _, isCut := err.(cutSignal); isCut {
+		err = nil
+	}
+	return err
+}

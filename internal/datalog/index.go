@@ -1,0 +1,130 @@
+package datalog
+
+// First-argument indexing: each predicate keeps, besides its ordered clause
+// list, a map from constant first arguments to the clauses that can match
+// them. A call with a bound constant first argument resolves against the
+// merged (order-preserving) union of that bucket and the clauses whose first
+// argument is not a constant — O(matching clauses) instead of O(all
+// clauses), which matters for the fact bases LabBase queries build up.
+
+type indexedClause struct {
+	pos int
+	c   *Clause
+}
+
+// constKey identifies an indexable constant first argument.
+type constKey struct {
+	kind byte // 'a'tom, 'i'nt, 'f'loat, 's'tring
+	i    int64
+	f    float64
+	s    string
+}
+
+func keyFor(t Term) (constKey, bool) {
+	switch x := deref(t).(type) {
+	case Atom:
+		return constKey{kind: 'a', s: string(x)}, true
+	case Int:
+		return constKey{kind: 'i', i: int64(x)}, true
+	case Float:
+		return constKey{kind: 'f', f: float64(x)}, true
+	case Str:
+		return constKey{kind: 's', s: string(x)}, true
+	default:
+		return constKey{}, false
+	}
+}
+
+// predicate is one functor/arity's clause store.
+type predicate struct {
+	next    int // position counter (monotonic; survives retracts)
+	all     []indexedClause
+	byConst map[constKey][]indexedClause
+	generic []indexedClause // clauses whose first head arg is not a constant
+}
+
+func newPredicate() *predicate {
+	return &predicate{byConst: make(map[constKey][]indexedClause)}
+}
+
+func headFirstArg(c *Clause) (Term, bool) {
+	h, ok := deref(c.Head).(*Compound)
+	if !ok || len(h.Args) == 0 {
+		return nil, false
+	}
+	return h.Args[0], true
+}
+
+// add appends a clause (assert order).
+func (p *predicate) add(c *Clause) {
+	ic := indexedClause{pos: p.next, c: c}
+	p.next++
+	p.all = append(p.all, ic)
+	if arg, ok := headFirstArg(c); ok {
+		if key, isConst := keyFor(arg); isConst {
+			p.byConst[key] = append(p.byConst[key], ic)
+			return
+		}
+	}
+	p.generic = append(p.generic, ic)
+}
+
+// remove deletes one clause (pointer identity) and rebuilds the index —
+// retract is rare next to resolution.
+func (p *predicate) remove(c *Clause) {
+	all := p.all
+	p.all = p.all[:0]
+	p.byConst = make(map[constKey][]indexedClause)
+	p.generic = p.generic[:0]
+	removed := false
+	for _, ic := range all {
+		if !removed && ic.c == c {
+			removed = true
+			continue
+		}
+		p.all = append(p.all, ic)
+		if arg, ok := headFirstArg(ic.c); ok {
+			if key, isConst := keyFor(arg); isConst {
+				p.byConst[key] = append(p.byConst[key], ic)
+				continue
+			}
+		}
+		p.generic = append(p.generic, ic)
+	}
+}
+
+// candidates returns the clauses a goal must try, in clause order. When the
+// goal's first argument is a bound constant, only the matching bucket and
+// the generic clauses are considered.
+func (p *predicate) candidates(goal Term) []indexedClause {
+	g, ok := deref(goal).(*Compound)
+	if !ok || len(g.Args) == 0 {
+		return p.all
+	}
+	key, isConst := keyFor(g.Args[0])
+	if !isConst {
+		return p.all
+	}
+	bucket := p.byConst[key]
+	if len(p.generic) == 0 {
+		return bucket
+	}
+	if len(bucket) == 0 {
+		return p.generic
+	}
+	// Merge the two position-sorted lists.
+	out := make([]indexedClause, 0, len(bucket)+len(p.generic))
+	i, j := 0, 0
+	for i < len(bucket) && j < len(p.generic) {
+		if bucket[i].pos < p.generic[j].pos {
+			out = append(out, bucket[i])
+			i++
+		} else {
+			out = append(out, p.generic[j])
+			j++
+		}
+	}
+	out = append(out, bucket[i:]...)
+	out = append(out, p.generic[j:]...)
+	return out
+}

@@ -1,0 +1,103 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestIndexPreservesClauseOrder: first-argument indexing must not reorder
+// solutions — constant-bucket and generic clauses interleave by position.
+func TestIndexPreservesClauseOrder(t *testing.T) {
+	e := mustEngine(t, `
+		p(1, first).
+		p(X, generic1) <- integer(X).
+		p(1, second).
+		p(2, other).
+		p(_, generic2).
+	`)
+	sols := solutions(t, e, "p(1, R)")
+	want := []string{"first", "generic1", "second", "generic2"}
+	if len(sols) != len(want) {
+		t.Fatalf("solutions = %d, want %d: %v", len(sols), len(want), sols)
+	}
+	for i, w := range want {
+		if got := sols[i]["R"].String(); got != w {
+			t.Errorf("solution %d = %s, want %s", i, got, w)
+		}
+	}
+	// Unbound first argument uses the full clause list (generic1's
+	// integer(X) guard fails on the unbound variable, leaving 4).
+	sols = solutions(t, e, "p(X, R)")
+	if len(sols) != 4 {
+		t.Errorf("unbound scan = %d solutions, want 4", len(sols))
+	}
+	// A constant with no bucket still reaches generic clauses.
+	sols = solutions(t, e, "p(99, R)")
+	if len(sols) != 2 || sols[0]["R"].String() != "generic1" || sols[1]["R"].String() != "generic2" {
+		t.Errorf("no-bucket constant = %v", sols)
+	}
+}
+
+// TestIndexAfterRetract checks the rebuild path keeps order and buckets.
+func TestIndexAfterRetract(t *testing.T) {
+	e := mustEngine(t, `
+		q(1, a). q(1, b). q(2, c). q(_, g).
+	`)
+	if !proves(t, e, "retract(q(1, a))") {
+		t.Fatal("retract failed")
+	}
+	sols := solutions(t, e, "q(1, R)")
+	if len(sols) != 2 || sols[0]["R"].String() != "b" || sols[1]["R"].String() != "g" {
+		t.Fatalf("after retract = %v", sols)
+	}
+	// Assert after retract lands at the end.
+	if !proves(t, e, "assert(q(1, z))") {
+		t.Fatal(err(t))
+	}
+	sols = solutions(t, e, "q(1, R)")
+	if len(sols) != 3 || sols[2]["R"].String() != "z" {
+		t.Fatalf("after assert = %v", sols)
+	}
+}
+
+func err(t *testing.T) string { t.Helper(); return "assert failed" }
+
+// TestIndexKinds: atoms, ints, floats and strings index independently.
+func TestIndexKinds(t *testing.T) {
+	e := mustEngine(t, `
+		k(foo, atom).
+		k(1, int).
+		k(1.0, float).
+		k("1", string).
+	`)
+	for q, want := range map[string]string{
+		"k(foo, R)": "atom",
+		"k(1, R)":   "int",
+		"k(1.0, R)": "float",
+		`k("1", R)`: "string",
+	} {
+		sols := solutions(t, e, q)
+		if len(sols) != 1 || sols[0]["R"].String() != want {
+			t.Errorf("%s = %v, want %s", q, sols, want)
+		}
+	}
+}
+
+// BenchmarkIndexedPointLookup measures a keyed fact lookup in a large base;
+// first-argument indexing makes it constant time.
+func BenchmarkIndexedPointLookup(b *testing.B) {
+	e := New()
+	e.Declare("n", 2)
+	for i := 0; i < 10000; i++ {
+		if err := e.Add(Clause{Head: &Compound{Functor: "n", Args: []Term{Int(i), Int(i * 2)}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := e.Query(fmt.Sprintf("n(%d, X)", i%10000), 0)
+		if err != nil || len(sols) != 1 {
+			b.Fatalf("lookup failed: %v %v", sols, err)
+		}
+	}
+}

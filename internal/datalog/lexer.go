@@ -1,0 +1,299 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokAtom
+	tokVar
+	tokInt
+	tokFloat
+	tokStr
+	tokPunct // ( ) [ ] , | and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src    []rune
+	pos    int
+	line   int
+	peeked *token
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("datalog: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() (token, error) {
+	if l.peeked == nil {
+		t, err := l.lex()
+		if err != nil {
+			return token{}, err
+		}
+		l.peeked = &t
+	}
+	return *l.peeked, nil
+}
+
+func (l *lexer) next() (token, error) {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t, nil
+	}
+	return l.lex()
+}
+
+func (l *lexer) cur() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) rune {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) advance() {
+	if l.cur() == '\n' {
+		l.line++
+	}
+	l.pos++
+}
+
+// multi-rune operator tokens, longest first.
+var operators = []string{
+	"=\\=", "=..", "\\==", "\\=", "=:=", "=<", ">=", "==", "<-", ":-", "\\+",
+	"//", "->", "=", "<", ">", "+", "-", "*", "/", "!", ";",
+}
+
+func (l *lexer) lex() (token, error) {
+	for {
+		c := l.cur()
+		switch {
+		case c == 0:
+			return token{kind: tokEOF, line: l.line}, nil
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+			continue
+		case c == '%': // line comment
+			for l.cur() != 0 && l.cur() != '\n' {
+				l.advance()
+			}
+			continue
+		case c == '/' && l.at(1) == '*': // block comment
+			l.advance()
+			l.advance()
+			for !(l.cur() == '*' && l.at(1) == '/') {
+				if l.cur() == 0 {
+					return token{}, l.errf("unterminated block comment")
+				}
+				l.advance()
+			}
+			l.advance()
+			l.advance()
+			continue
+		}
+		break
+	}
+
+	line := l.line
+	c := l.cur()
+
+	// Numbers (a leading '-' is handled by the parser as an operator).
+	if unicode.IsDigit(c) {
+		start := l.pos
+		isFloat := false
+		for unicode.IsDigit(l.cur()) {
+			l.advance()
+		}
+		if l.cur() == '.' && unicode.IsDigit(l.at(1)) {
+			isFloat = true
+			l.advance()
+			for unicode.IsDigit(l.cur()) {
+				l.advance()
+			}
+		}
+		if l.cur() == 'e' || l.cur() == 'E' {
+			save := l.pos
+			l.advance()
+			if l.cur() == '+' || l.cur() == '-' {
+				l.advance()
+			}
+			if unicode.IsDigit(l.cur()) {
+				isFloat = true
+				for unicode.IsDigit(l.cur()) {
+					l.advance()
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		text := string(l.src[start:l.pos])
+		if isFloat {
+			return token{kind: tokFloat, text: text, line: line}, nil
+		}
+		return token{kind: tokInt, text: text, line: line}, nil
+	}
+
+	// Variables: uppercase or underscore start.
+	if unicode.IsUpper(c) || c == '_' {
+		start := l.pos
+		for isIdentRune(l.cur()) {
+			l.advance()
+		}
+		return token{kind: tokVar, text: string(l.src[start:l.pos]), line: line}, nil
+	}
+
+	// Plain atoms: lowercase start.
+	if unicode.IsLower(c) {
+		start := l.pos
+		for isIdentRune(l.cur()) {
+			l.advance()
+		}
+		return token{kind: tokAtom, text: string(l.src[start:l.pos]), line: line}, nil
+	}
+
+	// Quoted atoms.
+	if c == '\'' {
+		l.advance()
+		var b strings.Builder
+		for {
+			c := l.cur()
+			if c == 0 {
+				return token{}, l.errf("unterminated quoted atom")
+			}
+			if c == '\\' {
+				l.advance()
+				e, err := l.escape()
+				if err != nil {
+					return token{}, err
+				}
+				b.WriteRune(e)
+				continue
+			}
+			if c == '\'' {
+				l.advance()
+				return token{kind: tokAtom, text: b.String(), line: line}, nil
+			}
+			b.WriteRune(c)
+			l.advance()
+		}
+	}
+
+	// Strings.
+	if c == '"' {
+		l.advance()
+		var b strings.Builder
+		for {
+			c := l.cur()
+			if c == 0 {
+				return token{}, l.errf("unterminated string")
+			}
+			if c == '\\' {
+				l.advance()
+				e, err := l.escape()
+				if err != nil {
+					return token{}, err
+				}
+				b.WriteRune(e)
+				continue
+			}
+			if c == '"' {
+				l.advance()
+				return token{kind: tokStr, text: b.String(), line: line}, nil
+			}
+			b.WriteRune(c)
+			l.advance()
+		}
+	}
+
+	// Single-rune structural punctuation.
+	switch c {
+	case '(', ')', '[', ']', ',', '|', '.':
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line}, nil
+	}
+
+	// Operator tokens.
+	rest := string(l.src[l.pos:])
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			for range op {
+				l.advance()
+			}
+			return token{kind: tokPunct, text: op, line: line}, nil
+		}
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+func (l *lexer) escape() (rune, error) {
+	c := l.cur()
+	l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	case '0':
+		return 0, nil
+	case 'x': // \xHH
+		var v rune
+		for i := 0; i < 2; i++ {
+			h := hexVal(l.cur())
+			if h < 0 {
+				return 0, l.errf("bad \\x escape")
+			}
+			v = v<<4 | rune(h)
+			l.advance()
+		}
+		return v, nil
+	default:
+		return 0, l.errf("unknown escape \\%c", c)
+	}
+}
+
+func hexVal(c rune) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

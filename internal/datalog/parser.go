@@ -1,0 +1,335 @@
+package datalog
+
+import (
+	"strconv"
+)
+
+// Clause is a Horn clause: Head <- Body. Facts have an empty body.
+type Clause struct {
+	Head Term
+	Body []Term
+}
+
+type opInfo struct {
+	prec  int
+	right bool // right-associative (xfy)
+}
+
+var infixOps = map[string]opInfo{
+	"<-": {1200, false}, ":-": {1200, false},
+	";": {1100, true}, "->": {1050, true}, ",": {1000, true},
+	"=": {700, false}, "\\=": {700, false}, "==": {700, false}, "\\==": {700, false},
+	"is": {700, false}, "<": {700, false}, ">": {700, false}, "=<": {700, false},
+	">=": {700, false}, "=:=": {700, false}, "=\\=": {700, false}, "=..": {700, false},
+	"+": {500, false}, "-": {500, false},
+	"*": {400, false}, "/": {400, false}, "//": {400, false}, "mod": {400, false},
+}
+
+type parser struct {
+	lx   *lexer
+	vars map[string]*Var
+}
+
+// ParseProgram parses a sequence of clauses ("head." or "head <- body.").
+func ParseProgram(src string) ([]Clause, error) {
+	p := &parser{lx: newLexer(src)}
+	var out []Clause
+	for {
+		t, err := p.lx.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokEOF {
+			return out, nil
+		}
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+}
+
+// ParseQuery parses a goal conjunction (with optional trailing '.') and
+// returns the goals plus the named variables they mention.
+func ParseQuery(src string) ([]Term, map[string]*Var, error) {
+	p := &parser{lx: newLexer(src), vars: make(map[string]*Var)}
+	t, err := p.parseExpr(1100) // no clause operators in queries
+	if err != nil {
+		return nil, nil, err
+	}
+	tok, err := p.lx.peek()
+	if err != nil {
+		return nil, nil, err
+	}
+	if tok.kind == tokPunct && tok.text == "." {
+		p.lx.next()
+		tok, err = p.lx.peek()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if tok.kind != tokEOF {
+		return nil, nil, p.lx.errf("unexpected %q after query", tok.text)
+	}
+	return flattenConj(t), p.vars, nil
+}
+
+func (p *parser) parseClause() (Clause, error) {
+	p.vars = make(map[string]*Var)
+	t, err := p.parseExpr(1200)
+	if err != nil {
+		return Clause{}, err
+	}
+	dot, err := p.lx.next()
+	if err != nil {
+		return Clause{}, err
+	}
+	if !(dot.kind == tokPunct && dot.text == ".") {
+		return Clause{}, p.lx.errf("expected '.' after clause, got %q", dot.text)
+	}
+	if c, ok := t.(*Compound); ok && (c.Functor == "<-" || c.Functor == ":-") && len(c.Args) == 2 {
+		head := c.Args[0]
+		if !validHead(head) {
+			return Clause{}, p.lx.errf("clause head %s is not callable", head)
+		}
+		return Clause{Head: head, Body: flattenConj(c.Args[1])}, nil
+	}
+	if !validHead(t) {
+		return Clause{}, p.lx.errf("fact %s is not callable", t)
+	}
+	return Clause{Head: t}, nil
+}
+
+func callable(t Term) bool {
+	switch t.(type) {
+	case Atom, *Compound:
+		return true
+	}
+	return false
+}
+
+// validHead accepts callable terms that are not control constructs — a head
+// of "<-", ",", ";" and the like is a malformed program, not a predicate.
+func validHead(t Term) bool {
+	if !callable(t) {
+		return false
+	}
+	if c, ok := t.(*Compound); ok {
+		switch c.Functor {
+		case "<-", ":-", ",", ";", "->", "\\+", "!":
+			return false
+		}
+	}
+	return true
+}
+
+// flattenConj splits a ','-tree into a goal list.
+func flattenConj(t Term) []Term {
+	if c, ok := t.(*Compound); ok && c.Functor == "," && len(c.Args) == 2 {
+		return append(flattenConj(c.Args[0]), flattenConj(c.Args[1])...)
+	}
+	return []Term{t}
+}
+
+func (p *parser) parseExpr(maxPrec int) (Term, error) {
+	left, err := p.parsePrimary(maxPrec)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok, err := p.lx.peek()
+		if err != nil {
+			return nil, err
+		}
+		var opText string
+		switch {
+		case tok.kind == tokPunct:
+			opText = tok.text
+		case tok.kind == tokAtom && (tok.text == "is" || tok.text == "mod"):
+			opText = tok.text
+		default:
+			return left, nil
+		}
+		info, ok := infixOps[opText]
+		if !ok || info.prec > maxPrec {
+			return left, nil
+		}
+		p.lx.next()
+		sub := info.prec - 1
+		if info.right {
+			sub = info.prec
+		}
+		right, err := p.parseExpr(sub)
+		if err != nil {
+			return nil, err
+		}
+		left = &Compound{Functor: opText, Args: []Term{left, right}}
+	}
+}
+
+func (p *parser) parsePrimary(maxPrec int) (Term, error) {
+	tok, err := p.lx.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			return nil, p.lx.errf("bad integer %q", tok.text)
+		}
+		return Int(n), nil
+	case tokFloat:
+		f, err := strconv.ParseFloat(tok.text, 64)
+		if err != nil {
+			return nil, p.lx.errf("bad float %q", tok.text)
+		}
+		return Float(f), nil
+	case tokStr:
+		return Str(tok.text), nil
+	case tokVar:
+		if tok.text == "_" {
+			return &Var{Name: "_"}, nil
+		}
+		if v, ok := p.vars[tok.text]; ok {
+			return v, nil
+		}
+		v := &Var{Name: tok.text}
+		p.vars[tok.text] = v
+		return v, nil
+	case tokAtom:
+		return p.parseAtomTerm(tok.text)
+	case tokPunct:
+		switch tok.text {
+		case "(":
+			t, err := p.parseExpr(1200)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return t, nil
+		case "[":
+			return p.parseList()
+		case "-": // prefix minus
+			operand, err := p.parsePrimary(200)
+			if err != nil {
+				return nil, err
+			}
+			switch n := operand.(type) {
+			case Int:
+				return Int(-n), nil
+			case Float:
+				return Float(-n), nil
+			}
+			return &Compound{Functor: "-", Args: []Term{operand}}, nil
+		case "\\+":
+			if 900 > maxPrec {
+				return nil, p.lx.errf("\\+ not allowed here")
+			}
+			operand, err := p.parseExpr(900)
+			if err != nil {
+				return nil, err
+			}
+			return &Compound{Functor: "\\+", Args: []Term{operand}}, nil
+		case "!":
+			return Atom("!"), nil
+		}
+	}
+	return nil, p.lx.errf("unexpected token %q", tok.text)
+}
+
+// parseAtomTerm handles an atom that may start a compound term.
+func (p *parser) parseAtomTerm(name string) (Term, error) {
+	tok, err := p.lx.peek()
+	if err != nil {
+		return nil, err
+	}
+	if !(tok.kind == tokPunct && tok.text == "(") {
+		return Atom(name), nil
+	}
+	p.lx.next()
+	var args []Term
+	for {
+		a, err := p.parseExpr(999) // ',' separates arguments
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		tok, err := p.lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind != tokPunct {
+			return nil, p.lx.errf("expected ',' or ')' in arguments, got %q", tok.text)
+		}
+		switch tok.text {
+		case ",":
+			continue
+		case ")":
+			return &Compound{Functor: name, Args: args}, nil
+		default:
+			return nil, p.lx.errf("expected ',' or ')' in arguments, got %q", tok.text)
+		}
+	}
+}
+
+func (p *parser) parseList() (Term, error) {
+	tok, err := p.lx.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind == tokPunct && tok.text == "]" {
+		p.lx.next()
+		return EmptyList, nil
+	}
+	var elems []Term
+	for {
+		e, err := p.parseExpr(999)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		tok, err := p.lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind != tokPunct {
+			return nil, p.lx.errf("expected ',', '|' or ']' in list, got %q", tok.text)
+		}
+		switch tok.text {
+		case ",":
+			continue
+		case "|":
+			tail, err := p.parseExpr(999)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			var t Term = tail
+			for i := len(elems) - 1; i >= 0; i-- {
+				t = Cons(elems[i], t)
+			}
+			return t, nil
+		case "]":
+			return MkList(elems...), nil
+		default:
+			return nil, p.lx.errf("expected ',', '|' or ']' in list, got %q", tok.text)
+		}
+	}
+}
+
+func (p *parser) expect(text string) error {
+	tok, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != tokPunct || tok.text != text {
+		return p.lx.errf("expected %q, got %q", text, tok.text)
+	}
+	return nil
+}

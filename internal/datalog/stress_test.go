@@ -1,0 +1,92 @@
+package datalog
+
+import (
+	"testing"
+)
+
+// TestSixQueens solves the 6-queens problem through the engine — a dense
+// exercise of backtracking, arithmetic, negation-free safety checks,
+// recursion and list manipulation.
+func TestSixQueens(t *testing.T) {
+	e := mustEngine(t, `
+		queens(N, Qs) <- range_list(1, N, Ns), permute(Ns, Qs), safe(Qs).
+
+		range_list(L, H, []) <- L > H.
+		range_list(L, H, [L|T]) <- L =< H, L1 is L + 1, range_list(L1, H, T).
+
+		permute([], []).
+		permute(L, [H|T]) <- select(H, L, R), permute(R, T).
+
+		select(X, [X|T], T).
+		select(X, [H|T], [H|R]) <- select(X, T, R).
+
+		safe([]).
+		safe([Q|Qs]) <- no_attack(Q, Qs, 1), safe(Qs).
+
+		no_attack(_, [], _).
+		no_attack(Q, [Q1|Qs], D) <-
+			Q =\= Q1 + D,
+			Q =\= Q1 - D,
+			D1 is D + 1,
+			no_attack(Q, Qs, D1).
+	`)
+	sols, err := e.Query("queens(6, Qs)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 4 { // 6-queens has exactly 4 solutions
+		t.Fatalf("6-queens solutions = %d, want 4", len(sols))
+	}
+	// Verify one solution shape.
+	elems, ok := ListSlice(sols[0]["Qs"])
+	if !ok || len(elems) != 6 {
+		t.Fatalf("solution = %v", sols[0]["Qs"])
+	}
+	seen := map[Int]bool{}
+	for _, q := range elems {
+		n, ok := deref(q).(Int)
+		if !ok || n < 1 || n > 6 || seen[n] {
+			t.Fatalf("bad queen placement %v in %v", q, sols[0]["Qs"])
+		}
+		seen[n] = true
+	}
+}
+
+// TestAckermannDepth drives deep recursion through `is` arithmetic (small
+// arguments; the point is stack behaviour, not speed).
+func TestAckermannDepth(t *testing.T) {
+	e := mustEngine(t, `
+		ack(0, N, R) <- R is N + 1.
+		ack(M, 0, R) <- M > 0, M1 is M - 1, ack(M1, 1, R).
+		ack(M, N, R) <- M > 0, N > 0, M1 is M - 1, N1 is N - 1,
+		                ack(M, N1, R1), ack(M1, R1, R).
+	`)
+	sols, err := e.Query("ack(2, 3, R)", 1)
+	if err != nil || len(sols) != 1 || sols[0]["R"].String() != "9" {
+		t.Fatalf("ack(2,3) = %v, %v; want 9", sols, err)
+	}
+	sols, err = e.Query("ack(3, 3, R)", 1)
+	if err != nil || len(sols) != 1 || sols[0]["R"].String() != "61" {
+		t.Fatalf("ack(3,3) = %v, %v; want 61", sols, err)
+	}
+}
+
+// TestLargeFactBase checks retrieval over many facts (linear scan per call,
+// but correctness first) and findall volume.
+func TestLargeFactBase(t *testing.T) {
+	e := New()
+	e.Declare("n", 1)
+	for i := 0; i < 2000; i++ {
+		if err := e.Add(Clause{Head: &Compound{Functor: "n", Args: []Term{Int(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sols, err := e.Query("findall(X, n(X), L), length(L, N)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["N"].String() != "2000" {
+		t.Fatalf("findall over 2000 facts = %v, %v", sols, err)
+	}
+	// Point lookup.
+	if !proves(t, e, "n(1234)") || proves(t, e, "n(99999)") {
+		t.Error("fact lookup wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package datalog
+
+// Bindings is the trail of variable bindings made during resolution, so the
+// engine can backtrack by undoing to a mark.
+type Bindings struct {
+	trail []*Var
+}
+
+// Mark returns a position to Undo to.
+func (b *Bindings) Mark() int { return len(b.trail) }
+
+// Undo unbinds every variable bound since the mark.
+func (b *Bindings) Undo(mark int) {
+	for i := len(b.trail) - 1; i >= mark; i-- {
+		b.trail[i].Ref = nil
+	}
+	b.trail = b.trail[:mark]
+}
+
+func (b *Bindings) bind(v *Var, t Term) {
+	v.Ref = t
+	b.trail = append(b.trail, v)
+}
+
+// Unify attempts to unify a and b, recording bindings on bs. On failure the
+// caller must Undo to its mark (Unify may have made partial bindings).
+//
+// As in most Prolog systems there is no occurs check.
+func Unify(a, b Term, bs *Bindings) bool {
+	a, b = deref(a), deref(b)
+	if a == b {
+		return true
+	}
+	if v, ok := a.(*Var); ok {
+		bs.bind(v, b)
+		return true
+	}
+	if v, ok := b.(*Var); ok {
+		bs.bind(v, a)
+		return true
+	}
+	switch x := a.(type) {
+	case Atom:
+		y, ok := b.(Atom)
+		return ok && x == y
+	case Int:
+		y, ok := b.(Int)
+		return ok && x == y
+	case Float:
+		y, ok := b.(Float)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case *Compound:
+		y, ok := b.(*Compound)
+		if !ok || x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Unify(x.Args[i], y.Args[i], bs) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+package labbase
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"labflow/internal/rec"
+	"labflow/internal/storage"
+)
+
+// ClassID identifies a material class; StepClassID a step class; AttrID an
+// attribute; StateID a workflow state; Version a step-class version. All are
+// 1-based; zero means "none".
+type (
+	ClassID     uint32
+	StepClassID uint32
+	AttrID      uint32
+	StateID     uint32
+	Version     uint32
+)
+
+// AttrDef declares an attribute: a name and the kind of values it takes
+// (KindAny for untyped attributes).
+type AttrDef struct {
+	Name string
+	Kind Kind
+}
+
+// MaterialClass describes one material class in the user schema. The EER
+// diagram's is-a links are the Parent field; the two-level diagram of the
+// paper has every lab class under the abstract root "material".
+type MaterialClass struct {
+	ID     ClassID
+	Name   string
+	Parent ClassID // 0 for a root class
+
+	extentHead storage.OID
+}
+
+// StepClass describes one step class. Versions accumulate as the workflow is
+// re-engineered: each distinct attribute set recorded under this class name
+// becomes (or matches) a version, and step instances stay associated with
+// the version that created them forever.
+type StepClass struct {
+	ID       StepClassID
+	Name     string
+	Versions []StepVersion
+
+	extentHead storage.OID
+	byAttrKey  map[string]Version
+}
+
+// StepVersion is one attribute-set version of a step class.
+type StepVersion struct {
+	Ver   Version
+	Attrs []AttrID // sorted
+}
+
+// catalog is the in-memory mirror of the persistent schema catalog.
+type catalog struct {
+	materialClasses []*MaterialClass // index = ID-1
+	byMCName        map[string]*MaterialClass
+	attrs           []AttrDef // index = ID-1
+	byAttrName      map[string]AttrID
+	stepClasses     []*StepClass
+	bySCName        map[string]*StepClass
+	states          []string // index = ID-1
+	byState         map[string]StateID
+	countersOID     storage.OID
+	dirty           bool // needs rewrite at commit
+}
+
+func newCatalog() *catalog {
+	return &catalog{
+		byMCName:   make(map[string]*MaterialClass),
+		byAttrName: make(map[string]AttrID),
+		bySCName:   make(map[string]*StepClass),
+		byState:    make(map[string]StateID),
+	}
+}
+
+// attrKey canonicalizes an attribute set for version identification: the
+// paper's "it identifies versions of objects by their attribute set".
+func attrKey(attrs []AttrID) string {
+	sorted := make([]AttrID, len(attrs))
+	copy(sorted, attrs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	for i, a := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(a), 10))
+	}
+	return b.String()
+}
+
+func (c *catalog) encode() []byte {
+	e := rec.NewEncoder(1024)
+	e.Byte(1) // catalog format version
+	e.Uint(uint64(c.countersOID))
+
+	e.Uint(uint64(len(c.materialClasses)))
+	for _, mc := range c.materialClasses {
+		e.String(mc.Name)
+		e.Uint(uint64(mc.Parent))
+		e.Uint(uint64(mc.extentHead))
+	}
+
+	e.Uint(uint64(len(c.attrs)))
+	for _, a := range c.attrs {
+		e.String(a.Name)
+		e.Byte(byte(a.Kind))
+	}
+
+	e.Uint(uint64(len(c.stepClasses)))
+	for _, sc := range c.stepClasses {
+		e.String(sc.Name)
+		e.Uint(uint64(sc.extentHead))
+		e.Uint(uint64(len(sc.Versions)))
+		for _, v := range sc.Versions {
+			e.Uint(uint64(len(v.Attrs)))
+			for _, a := range v.Attrs {
+				e.Uint(uint64(a))
+			}
+		}
+	}
+
+	e.Uint(uint64(len(c.states)))
+	for _, s := range c.states {
+		e.String(s)
+	}
+	return e.Bytes()
+}
+
+func decodeCatalog(data []byte) (*catalog, error) {
+	c := newCatalog()
+	d := rec.NewDecoder(data)
+	if v := d.Byte(); v != 1 {
+		return nil, fmt.Errorf("labbase: unsupported catalog version %d", v)
+	}
+	c.countersOID = storage.OID(d.Uint())
+
+	nmc := d.Count(1 << 20)
+	for i := 0; i < nmc; i++ {
+		mc := &MaterialClass{
+			ID:     ClassID(i + 1),
+			Name:   d.String(),
+			Parent: ClassID(d.Uint()),
+		}
+		mc.extentHead = storage.OID(d.Uint())
+		c.materialClasses = append(c.materialClasses, mc)
+		c.byMCName[mc.Name] = mc
+	}
+
+	na := d.Count(1 << 20)
+	for i := 0; i < na; i++ {
+		a := AttrDef{Name: d.String(), Kind: Kind(d.Byte())}
+		c.attrs = append(c.attrs, a)
+		c.byAttrName[a.Name] = AttrID(i + 1)
+	}
+
+	nsc := d.Count(1 << 20)
+	for i := 0; i < nsc; i++ {
+		sc := &StepClass{
+			ID:        StepClassID(i + 1),
+			Name:      d.String(),
+			byAttrKey: make(map[string]Version),
+		}
+		sc.extentHead = storage.OID(d.Uint())
+		nv := d.Count(1 << 20)
+		for v := 0; v < nv; v++ {
+			sv := StepVersion{Ver: Version(v + 1)}
+			nattr := d.Count(1 << 20)
+			for a := 0; a < nattr; a++ {
+				sv.Attrs = append(sv.Attrs, AttrID(d.Uint()))
+			}
+			sc.Versions = append(sc.Versions, sv)
+			sc.byAttrKey[attrKey(sv.Attrs)] = sv.Ver
+		}
+		c.stepClasses = append(c.stepClasses, sc)
+		c.bySCName[sc.Name] = sc
+	}
+
+	nst := d.Count(1 << 20)
+	for i := 0; i < nst; i++ {
+		name := d.String()
+		c.states = append(c.states, name)
+		c.byState[name] = StateID(i + 1)
+	}
+
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("labbase: catalog: %w", err)
+	}
+	return c, nil
+}
+
+func (c *catalog) materialClass(id ClassID) (*MaterialClass, error) {
+	if id == 0 || int(id) > len(c.materialClasses) {
+		return nil, fmt.Errorf("labbase: %w: material class %d", ErrUnknownClass, id)
+	}
+	return c.materialClasses[id-1], nil
+}
+
+func (c *catalog) stepClass(id StepClassID) (*StepClass, error) {
+	if id == 0 || int(id) > len(c.stepClasses) {
+		return nil, fmt.Errorf("labbase: %w: step class %d", ErrUnknownClass, id)
+	}
+	return c.stepClasses[id-1], nil
+}
+
+func (c *catalog) attr(id AttrID) (AttrDef, error) {
+	if id == 0 || int(id) > len(c.attrs) {
+		return AttrDef{}, fmt.Errorf("labbase: %w: attribute %d", ErrUnknownAttr, id)
+	}
+	return c.attrs[id-1], nil
+}
+
+func (c *catalog) stateName(id StateID) (string, error) {
+	if id == 0 || int(id) > len(c.states) {
+		return "", fmt.Errorf("labbase: %w: state %d", ErrUnknownState, id)
+	}
+	return c.states[id-1], nil
+}
+
+// isSubclass reports whether class sub equals or descends from super.
+func (c *catalog) isSubclass(sub, super ClassID) bool {
+	for sub != 0 {
+		if sub == super {
+			return true
+		}
+		mc, err := c.materialClass(sub)
+		if err != nil {
+			return false
+		}
+		sub = mc.Parent
+	}
+	return false
+}

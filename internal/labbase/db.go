@@ -1,0 +1,423 @@
+// Package labbase implements the workflow wrapper DBMS of the LabFlow-1
+// paper's Architecture (C): a specialized layer that provides event
+// histories, most-recent-value access structures, workflow states, material
+// sets, and dynamic schema evolution on top of an object storage manager
+// that supports none of those directly.
+//
+// The storage schema is the paper's Table 1 — exactly three storage classes:
+//
+//	sm_step      one record per workflow event, immutable once written
+//	sm_material  one record per lab material, holding its state and the
+//	             involves pointer to its history list
+//	material_set write-once sets of materials for batched steps
+//
+// plus the access structures (history chunks, most-recent indexes, class
+// extents, counters) that LabBase keeps "for rapid access into history
+// lists". Records are placed across the four storage segments defined in
+// package storage: catalog, material and index (small, hot) and history
+// (large, cold).
+//
+// Schema evolution follows the paper exactly: a step class evolves by
+// recording steps with a new attribute set; each attribute set is a version;
+// instances stay bound to their creating version forever, so schema changes
+// never reorganize old data.
+package labbase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"labflow/internal/storage"
+)
+
+// Errors returned by the database layer.
+var (
+	ErrUnknownClass  = errors.New("labbase: unknown class")
+	ErrUnknownAttr   = errors.New("labbase: unknown attribute")
+	ErrUnknownState  = errors.New("labbase: unknown state")
+	ErrKindMismatch  = errors.New("labbase: value kind does not match attribute")
+	ErrNotMaterial   = errors.New("labbase: object is not a material")
+	ErrNoSuchVersion = errors.New("labbase: no step-class version matches the attribute set")
+	ErrNoTransaction = errors.New("labbase: no transaction in progress")
+	ErrDuplicateName = errors.New("labbase: material name already in use")
+)
+
+// Options tunes an open database.
+type Options struct {
+	// ImplicitVersions lets RecordStep create a new step-class version when
+	// it sees an unknown attribute set (the paper's evolution-by-use).
+	// Default true.
+	ImplicitVersions bool
+	// ImplicitAttrs lets RecordStep define unknown attributes on the fly
+	// (with KindAny). Default true.
+	ImplicitAttrs bool
+}
+
+// DefaultOptions returns the defaults described on Options.
+func DefaultOptions() Options {
+	return Options{ImplicitVersions: true, ImplicitAttrs: true}
+}
+
+// DB is a LabBase database over a storage manager. Mutating calls must be
+// bracketed by Begin/Commit; reads may run at any time. A DB is not safe for
+// concurrent use — like the original server, callers (the benchmark driver
+// or the network server) serialize requests.
+type DB struct {
+	sm   storage.Manager
+	cat  *catalog
+	cnt  counters
+	opts Options
+
+	stateIdx map[StateID]map[storage.OID]struct{}
+	nameIdx  map[string]storage.OID // material name -> OID (names are keys)
+
+	inTxn    bool
+	cntDirty bool
+	seq      int64 // logical transaction-time counter
+}
+
+// Open opens the LabBase database stored in sm, formatting a fresh one if
+// the store has no root.
+func Open(sm storage.Manager, opts Options) (*DB, error) {
+	db := &DB{
+		sm:       sm,
+		opts:     opts,
+		stateIdx: make(map[StateID]map[storage.OID]struct{}),
+		nameIdx:  make(map[string]storage.OID),
+	}
+	root, err := sm.Root()
+	if err != nil {
+		return nil, err
+	}
+	if root.IsNil() {
+		if err := db.format(); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	data, err := sm.Read(root)
+	if err != nil {
+		return nil, fmt.Errorf("labbase: read catalog: %w", err)
+	}
+	db.cat, err = decodeCatalog(data)
+	if err != nil {
+		return nil, err
+	}
+	cdata, err := sm.Read(db.cat.countersOID)
+	if err != nil {
+		return nil, fmt.Errorf("labbase: read counters: %w", err)
+	}
+	db.cnt, err = decodeCounters(cdata)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.rebuildStateIndex(); err != nil {
+		return nil, err
+	}
+	db.seq = int64(db.cnt.totalSteps() + db.cnt.totalMaterials())
+	return db, nil
+}
+
+func (db *DB) format() error {
+	db.cat = newCatalog()
+	if err := db.sm.Begin(); err != nil {
+		return err
+	}
+	coid, err := db.sm.Allocate(storage.SegIndex, db.cnt.encode())
+	if err != nil {
+		return fmt.Errorf("labbase: format counters: %w", err)
+	}
+	db.cat.countersOID = coid
+	root, err := db.sm.Allocate(storage.SegCatalog, db.cat.encode())
+	if err != nil {
+		return fmt.Errorf("labbase: format catalog: %w", err)
+	}
+	if err := db.sm.SetRoot(root); err != nil {
+		return err
+	}
+	return db.sm.Commit()
+}
+
+// rebuildStateIndex reconstructs the in-memory state and name indexes —
+// LabBase keeps its volatile access structures in memory and rebuilds them
+// at server start.
+func (db *DB) rebuildStateIndex() error {
+	for _, mc := range db.cat.materialClasses {
+		err := db.scanExtent(mc.extentHead, func(oid storage.OID) error {
+			m, err := db.readMaterial(oid)
+			if err != nil {
+				return err
+			}
+			if m.stateID != 0 {
+				db.stateIdxAdd(m.stateID, oid)
+			}
+			if m.name != "" {
+				db.nameIdx[m.name] = oid
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) stateIdxAdd(s StateID, oid storage.OID) {
+	set, ok := db.stateIdx[s]
+	if !ok {
+		set = make(map[storage.OID]struct{})
+		db.stateIdx[s] = set
+	}
+	set[oid] = struct{}{}
+}
+
+func (db *DB) stateIdxRemove(s StateID, oid storage.OID) {
+	if set, ok := db.stateIdx[s]; ok {
+		delete(set, oid)
+	}
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() error {
+	if err := db.sm.Begin(); err != nil {
+		return err
+	}
+	db.inTxn = true
+	return nil
+}
+
+// Commit writes back the catalog and counters if they changed and commits
+// the storage transaction.
+func (db *DB) Commit() error {
+	if !db.inTxn {
+		return ErrNoTransaction
+	}
+	if db.cat.dirty {
+		root, err := db.sm.Root()
+		if err != nil {
+			return err
+		}
+		if err := db.sm.Write(root, db.cat.encode()); err != nil {
+			return fmt.Errorf("labbase: write catalog: %w", err)
+		}
+		db.cat.dirty = false
+	}
+	if db.cntDirty {
+		if err := db.sm.Write(db.cat.countersOID, db.cnt.encode()); err != nil {
+			return fmt.Errorf("labbase: write counters: %w", err)
+		}
+		db.cntDirty = false
+	}
+	db.inTxn = false
+	return db.sm.Commit()
+}
+
+func (db *DB) requireTxn() error {
+	if !db.inTxn {
+		return ErrNoTransaction
+	}
+	return nil
+}
+
+// InTxn reports whether a transaction is open.
+func (db *DB) InTxn() bool { return db.inTxn }
+
+// Close closes the database (the storage manager with it).
+func (db *DB) Close() error { return db.sm.Close() }
+
+// Manager exposes the underlying storage manager (for stats collection).
+func (db *DB) Manager() storage.Manager { return db.sm }
+
+// nextTxnTime issues the logical transaction timestamp for a new record.
+// Valid time, by contrast, is supplied by the caller: the paper is explicit
+// that "most recent" is based on valid time, not transaction time.
+func (db *DB) nextTxnTime() int64 {
+	db.seq++
+	return db.seq
+}
+
+// --- Schema definition -----------------------------------------------------
+
+// DefineMaterialClass registers a material class under an optional parent
+// (is-a link). Re-defining an existing class with the same parent is a
+// no-op; with a different parent it is an error.
+func (db *DB) DefineMaterialClass(name, parent string) (ClassID, error) {
+	if err := db.requireTxn(); err != nil {
+		return 0, err
+	}
+	if name == "" {
+		return 0, fmt.Errorf("labbase: empty material class name")
+	}
+	var parentID ClassID
+	if parent != "" {
+		pc, ok := db.cat.byMCName[parent]
+		if !ok {
+			return 0, fmt.Errorf("%w: parent %q", ErrUnknownClass, parent)
+		}
+		parentID = pc.ID
+	}
+	if mc, ok := db.cat.byMCName[name]; ok {
+		if mc.Parent != parentID {
+			return 0, fmt.Errorf("labbase: class %q already defined with a different parent", name)
+		}
+		return mc.ID, nil
+	}
+	mc := &MaterialClass{ID: ClassID(len(db.cat.materialClasses) + 1), Name: name, Parent: parentID}
+	db.cat.materialClasses = append(db.cat.materialClasses, mc)
+	db.cat.byMCName[name] = mc
+	db.cat.dirty = true
+	db.cnt.growTo(len(db.cat.materialClasses), len(db.cat.stepClasses), len(db.cat.states))
+	db.cntDirty = true
+	return mc.ID, nil
+}
+
+// DefineAttr registers an attribute. Redefinition with a conflicting kind is
+// an error; with the same kind it is a no-op.
+func (db *DB) DefineAttr(name string, kind Kind) (AttrID, error) {
+	if err := db.requireTxn(); err != nil {
+		return 0, err
+	}
+	return db.defineAttrLocked(name, kind)
+}
+
+func (db *DB) defineAttrLocked(name string, kind Kind) (AttrID, error) {
+	if name == "" {
+		return 0, fmt.Errorf("labbase: empty attribute name")
+	}
+	if id, ok := db.cat.byAttrName[name]; ok {
+		existing := db.cat.attrs[id-1]
+		if existing.Kind != kind && kind != KindAny && existing.Kind != KindAny {
+			return 0, fmt.Errorf("%w: attribute %q is %v, redefined as %v", ErrKindMismatch, name, existing.Kind, kind)
+		}
+		return id, nil
+	}
+	db.cat.attrs = append(db.cat.attrs, AttrDef{Name: name, Kind: kind})
+	id := AttrID(len(db.cat.attrs))
+	db.cat.byAttrName[name] = id
+	db.cat.dirty = true
+	return id, nil
+}
+
+// DefineStepClass registers a step class version for the given attribute
+// set, creating the class and any unknown attributes as needed. It returns
+// the class and the version matching the attribute set — an existing version
+// if one matches, a fresh one otherwise. This is the paper's schema
+// evolution: "as a step evolves, new versions of the step are created" and
+// "each step object is associated forever with the same version".
+func (db *DB) DefineStepClass(name string, attrs []AttrDef) (StepClassID, Version, error) {
+	if err := db.requireTxn(); err != nil {
+		return 0, 0, err
+	}
+	if name == "" {
+		return 0, 0, fmt.Errorf("labbase: empty step class name")
+	}
+	ids := make([]AttrID, 0, len(attrs))
+	for _, a := range attrs {
+		id, err := db.defineAttrLocked(a.Name, a.Kind)
+		if err != nil {
+			return 0, 0, err
+		}
+		ids = append(ids, id)
+	}
+	sc, ok := db.cat.bySCName[name]
+	if !ok {
+		sc = &StepClass{
+			ID:        StepClassID(len(db.cat.stepClasses) + 1),
+			Name:      name,
+			byAttrKey: make(map[string]Version),
+		}
+		db.cat.stepClasses = append(db.cat.stepClasses, sc)
+		db.cat.bySCName[name] = sc
+		db.cat.dirty = true
+		db.cnt.growTo(len(db.cat.materialClasses), len(db.cat.stepClasses), len(db.cat.states))
+		db.cntDirty = true
+	}
+	ver, err := db.stepVersionLocked(sc, ids)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sc.ID, ver, nil
+}
+
+func (db *DB) stepVersionLocked(sc *StepClass, ids []AttrID) (Version, error) {
+	key := attrKey(ids)
+	if v, ok := sc.byAttrKey[key]; ok {
+		return v, nil
+	}
+	sorted := make([]AttrID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	v := Version(len(sc.Versions) + 1)
+	sc.Versions = append(sc.Versions, StepVersion{Ver: v, Attrs: sorted})
+	sc.byAttrKey[key] = v
+	db.cat.dirty = true
+	return v, nil
+}
+
+// DefineState registers a workflow state name.
+func (db *DB) DefineState(name string) (StateID, error) {
+	if err := db.requireTxn(); err != nil {
+		return 0, err
+	}
+	if name == "" {
+		return 0, fmt.Errorf("labbase: empty state name")
+	}
+	if id, ok := db.cat.byState[name]; ok {
+		return id, nil
+	}
+	db.cat.states = append(db.cat.states, name)
+	id := StateID(len(db.cat.states))
+	db.cat.byState[name] = id
+	db.cat.dirty = true
+	db.cnt.growTo(len(db.cat.materialClasses), len(db.cat.stepClasses), len(db.cat.states))
+	db.cntDirty = true
+	return id, nil
+}
+
+// MaterialClasses returns the defined material class names in definition
+// order.
+func (db *DB) MaterialClasses() []string {
+	out := make([]string, len(db.cat.materialClasses))
+	for i, mc := range db.cat.materialClasses {
+		out[i] = mc.Name
+	}
+	return out
+}
+
+// StepClasses returns the defined step class names in definition order.
+func (db *DB) StepClasses() []string {
+	out := make([]string, len(db.cat.stepClasses))
+	for i, sc := range db.cat.stepClasses {
+		out[i] = sc.Name
+	}
+	return out
+}
+
+// StepClassVersions returns the versions of a step class with attribute
+// names resolved.
+func (db *DB) StepClassVersions(name string) ([][]string, error) {
+	sc, ok := db.cat.bySCName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: step class %q", ErrUnknownClass, name)
+	}
+	out := make([][]string, len(sc.Versions))
+	for i, v := range sc.Versions {
+		names := make([]string, len(v.Attrs))
+		for j, a := range v.Attrs {
+			def, err := db.cat.attr(a)
+			if err != nil {
+				return nil, err
+			}
+			names[j] = def.Name
+		}
+		out[i] = names
+	}
+	return out, nil
+}
+
+// States returns the defined state names in definition order.
+func (db *DB) States() []string {
+	return append([]string(nil), db.cat.states...)
+}

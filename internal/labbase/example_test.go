@@ -1,0 +1,97 @@
+package labbase_test
+
+import (
+	"fmt"
+	"log"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+)
+
+// Example shows the core LabBase workflow-tracking loop: define a schema,
+// create a material, record steps, and query most-recent values.
+func Example() {
+	db, err := labbase.Open(memstore.Open("example"), labbase.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.DefineMaterialClass("clone", ""); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.DefineState("active"); err != nil {
+		log.Fatal(err)
+	}
+	clone, err := db.CreateMaterial("clone", "c1", "active", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.RecordStep(labbase.StepSpec{
+		Class: "measure", ValidTime: 10,
+		Materials: []storage.OID{clone},
+		Attrs:     []labbase.AttrValue{{Name: "weight", Value: labbase.Float64(1.5)}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	v, _, ok, err := db.MostRecent(clone, "weight")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ok, v)
+	// Output: true 1.5
+}
+
+// ExampleDB_MostRecent demonstrates valid-time semantics: a late-arriving
+// step with an older valid time does not displace the current value.
+func ExampleDB_MostRecent() {
+	db, _ := labbase.Open(memstore.Open("ex"), labbase.DefaultOptions())
+	defer db.Close()
+	db.Begin()
+	db.DefineMaterialClass("clone", "")
+	m, _ := db.CreateMaterial("clone", "c", "", 0)
+	record := func(vt int64, seq string) {
+		db.RecordStep(labbase.StepSpec{
+			Class: "sequence", ValidTime: vt, Materials: []storage.OID{m},
+			Attrs: []labbase.AttrValue{{Name: "seq", Value: labbase.String(seq)}},
+		})
+	}
+	record(10, "OLD")
+	record(30, "CURRENT")
+	record(20, "LATE-ARRIVAL") // inserted last, but valid time 20 < 30
+	db.Commit()
+
+	v, _, _, _ := db.MostRecent(m, "seq")
+	asOf25, _, _, _ := db.MostRecentAsOf(m, "seq", 25)
+	fmt.Println(v.Str, "/", asOf25.Str)
+	// Output: CURRENT / LATE-ARRIVAL
+}
+
+// ExampleDB_DefineStepClass shows schema evolution by attribute set: a new
+// attribute set under an existing class name becomes a new version.
+func ExampleDB_DefineStepClass() {
+	db, _ := labbase.Open(memstore.Open("ex"), labbase.DefaultOptions())
+	defer db.Close()
+	db.Begin()
+	_, v1, _ := db.DefineStepClass("assay", []labbase.AttrDef{
+		{Name: "result", Kind: labbase.KindFloat},
+	})
+	_, v2, _ := db.DefineStepClass("assay", []labbase.AttrDef{
+		{Name: "result", Kind: labbase.KindFloat},
+		{Name: "instrument", Kind: labbase.KindString},
+	})
+	_, again, _ := db.DefineStepClass("assay", []labbase.AttrDef{
+		{Name: "result", Kind: labbase.KindFloat},
+	})
+	db.Commit()
+	fmt.Println(v1, v2, again)
+	// Output: 1 2 1
+}

@@ -1,0 +1,270 @@
+package labbase
+
+import (
+	"fmt"
+	"sort"
+
+	"labflow/internal/storage"
+)
+
+// Material is the public view of an sm_material record.
+type Material struct {
+	OID        storage.OID
+	Class      string
+	Name       string
+	State      string // "" when the material has no workflow state
+	CreatedAt  int64  // valid time of creation
+	HistoryLen int    // number of steps that have processed this material
+}
+
+// CreateMaterial inserts a new material of the given class. state may be ""
+// (no workflow state) or a defined state name; validTime is the lab time the
+// material came into existence. A non-empty name is the material's key and
+// must be unique across the database.
+func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storage.OID, error) {
+	if err := db.requireTxn(); err != nil {
+		return storage.NilOID, err
+	}
+	mc, ok := db.cat.byMCName[class]
+	if !ok {
+		return storage.NilOID, fmt.Errorf("%w: material class %q", ErrUnknownClass, class)
+	}
+	if name != "" {
+		if _, dup := db.nameIdx[name]; dup {
+			return storage.NilOID, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+		}
+	}
+	var stateID StateID
+	if state != "" {
+		stateID, ok = db.cat.byState[state]
+		if !ok {
+			return storage.NilOID, fmt.Errorf("%w: %q", ErrUnknownState, state)
+		}
+	}
+	m := &materialRec{
+		classID:   mc.ID,
+		stateID:   stateID,
+		createdAt: validTime,
+		name:      name,
+	}
+	oid, err := db.sm.Allocate(storage.SegMaterial, m.encode())
+	if err != nil {
+		return storage.NilOID, fmt.Errorf("labbase: create material: %w", err)
+	}
+	changed, err := db.appendToExtent(&mc.extentHead, oid)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	if changed {
+		db.cat.dirty = true
+	}
+	db.cnt.matsByClass[mc.ID-1]++
+	if stateID != 0 {
+		db.cnt.matsByState[stateID-1]++
+		db.stateIdxAdd(stateID, oid)
+	}
+	if name != "" {
+		db.nameIdx[name] = oid
+	}
+	db.cntDirty = true
+	return oid, nil
+}
+
+// LookupMaterial resolves a material by its name (the lab's natural key) —
+// the LabFlow analog of TPC's "look up an account record given its key".
+func (db *DB) LookupMaterial(name string) (storage.OID, bool) {
+	oid, ok := db.nameIdx[name]
+	return oid, ok
+}
+
+// GetMaterial returns the public view of a material.
+func (db *DB) GetMaterial(oid storage.OID) (*Material, error) {
+	m, err := db.readMaterial(oid)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := db.cat.materialClass(m.classID)
+	if err != nil {
+		return nil, err
+	}
+	out := &Material{
+		OID:        oid,
+		Class:      mc.Name,
+		Name:       m.name,
+		CreatedAt:  m.createdAt,
+		HistoryLen: int(m.historyCount),
+	}
+	if m.stateID != 0 {
+		out.State, err = db.cat.stateName(m.stateID)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// State returns a material's workflow state ("" if none).
+func (db *DB) State(oid storage.OID) (string, error) {
+	m, err := db.readMaterial(oid)
+	if err != nil {
+		return "", err
+	}
+	if m.stateID == 0 {
+		return "", nil
+	}
+	return db.cat.stateName(m.stateID)
+}
+
+// SetState moves a material to a new workflow state — the retract/assert
+// pair of the paper's workflow-tracking updates. state may be "" to clear.
+func (db *DB) SetState(oid storage.OID, state string) error {
+	if err := db.requireTxn(); err != nil {
+		return err
+	}
+	var stateID StateID
+	if state != "" {
+		var ok bool
+		stateID, ok = db.cat.byState[state]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownState, state)
+		}
+	}
+	m, err := db.readMaterial(oid)
+	if err != nil {
+		return err
+	}
+	if m.stateID == stateID {
+		return nil
+	}
+	if m.stateID != 0 {
+		db.cnt.matsByState[m.stateID-1]--
+		db.stateIdxRemove(m.stateID, oid)
+	}
+	m.stateID = stateID
+	if stateID != 0 {
+		db.cnt.matsByState[stateID-1]++
+		db.stateIdxAdd(stateID, oid)
+	}
+	db.cntDirty = true
+	return db.sm.Write(oid, m.encode())
+}
+
+// MaterialsInState returns the materials currently in the named state,
+// sorted by OID for determinism.
+func (db *DB) MaterialsInState(state string) ([]storage.OID, error) {
+	id, ok := db.cat.byState[state]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownState, state)
+	}
+	set := db.stateIdx[id]
+	out := make([]storage.OID, 0, len(set))
+	for oid := range set {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// CountInState returns the number of materials in the named state.
+func (db *DB) CountInState(state string) (uint64, error) {
+	id, ok := db.cat.byState[state]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownState, state)
+	}
+	return db.cnt.matsByState[id-1], nil
+}
+
+// CountMaterials counts the instances of a material class, including
+// subclasses (is-a semantics).
+func (db *DB) CountMaterials(class string) (uint64, error) {
+	mc, ok := db.cat.byMCName[class]
+	if !ok {
+		return 0, fmt.Errorf("%w: material class %q", ErrUnknownClass, class)
+	}
+	var total uint64
+	for _, c := range db.cat.materialClasses {
+		if db.cat.isSubclass(c.ID, mc.ID) {
+			total += db.cnt.matsByClass[c.ID-1]
+		}
+	}
+	return total, nil
+}
+
+// CountSteps counts the instances of a step class across all its versions.
+func (db *DB) CountSteps(class string) (uint64, error) {
+	sc, ok := db.cat.bySCName[class]
+	if !ok {
+		return 0, fmt.Errorf("%w: step class %q", ErrUnknownClass, class)
+	}
+	return db.cnt.stepsByClass[sc.ID-1], nil
+}
+
+// ScanMaterials calls fn for each material of the class (subclasses
+// included), in insertion order per class.
+func (db *DB) ScanMaterials(class string, fn func(*Material) error) error {
+	mc, ok := db.cat.byMCName[class]
+	if !ok {
+		return fmt.Errorf("%w: material class %q", ErrUnknownClass, class)
+	}
+	for _, c := range db.cat.materialClasses {
+		if !db.cat.isSubclass(c.ID, mc.ID) {
+			continue
+		}
+		err := db.scanExtent(c.extentHead, func(oid storage.OID) error {
+			m, err := db.GetMaterial(oid)
+			if err != nil {
+				return err
+			}
+			return fn(m)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanAllMaterials calls fn once for every material in the database,
+// walking each concrete class's extent (no subclass double-counting).
+func (db *DB) ScanAllMaterials(fn func(*Material) error) error {
+	for _, c := range db.cat.materialClasses {
+		err := db.scanExtent(c.extentHead, func(oid storage.OID) error {
+			m, err := db.GetMaterial(oid)
+			if err != nil {
+				return err
+			}
+			return fn(m)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateMaterialSet stores a write-once material_set over the given members
+// (each must be a live material) and returns its OID.
+func (db *DB) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
+	if err := db.requireTxn(); err != nil {
+		return storage.NilOID, err
+	}
+	for _, m := range members {
+		if _, err := db.readMaterial(m); err != nil {
+			return storage.NilOID, fmt.Errorf("labbase: set member %v: %w", m, err)
+		}
+	}
+	oid, err := db.sm.Allocate(storage.SegHistory, encodeSetRec(members))
+	if err != nil {
+		return storage.NilOID, fmt.Errorf("labbase: create set: %w", err)
+	}
+	return oid, nil
+}
+
+// SetMembers returns the members of a material_set.
+func (db *DB) SetMembers(oid storage.OID) ([]storage.OID, error) {
+	data, err := db.sm.Read(oid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSetRec(data)
+}

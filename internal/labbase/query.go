@@ -1,0 +1,226 @@
+package labbase
+
+import (
+	"fmt"
+	"sort"
+
+	"labflow/internal/storage"
+)
+
+// HistoryEntry is one event in a material's audit trail.
+type HistoryEntry struct {
+	Step      storage.OID
+	ValidTime int64
+}
+
+// History returns the material's event history in insertion (transaction
+// time) order, oldest first. Valid-time order may differ when steps were
+// recorded out of order; see MostRecent.
+func (db *DB) History(oid storage.OID) ([]HistoryEntry, error) {
+	m, err := db.readMaterial(oid)
+	if err != nil {
+		return nil, err
+	}
+	var chunks [][]byte
+	for c := m.historyHead; !c.IsNil(); {
+		data, err := db.sm.Read(c)
+		if err != nil {
+			return nil, fmt.Errorf("labbase: read history chunk: %w", err)
+		}
+		if err := checkHistoryChunk(data); err != nil {
+			return nil, err
+		}
+		chunks = append(chunks, data)
+		c = historyChunkNext(data)
+	}
+	out := make([]HistoryEntry, 0, int(m.historyCount))
+	for i := len(chunks) - 1; i >= 0; i-- {
+		data := chunks[i]
+		n := historyChunkCount(data)
+		for j := 0; j < n; j++ {
+			e := historyChunkEntry(data, j)
+			out = append(out, HistoryEntry{Step: e.step, ValidTime: e.validTime})
+		}
+	}
+	return out, nil
+}
+
+// MostRecent answers the benchmark's signature query: the value of attr on
+// the most recent (by valid time) step that assigned it to the material.
+// It uses the most-recent index — O(1) in history length — and returns the
+// value, the step that produced it, and whether any step assigned the
+// attribute at all.
+func (db *DB) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool, error) {
+	id, ok := db.cat.byAttrName[attr]
+	if !ok {
+		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+	}
+	m, err := db.readMaterial(oid)
+	if err != nil {
+		return Nil(), storage.NilOID, false, err
+	}
+	if m.mrIndex.IsNil() {
+		return Nil(), storage.NilOID, false, nil
+	}
+	data, err := db.sm.Read(m.mrIndex)
+	if err != nil {
+		return Nil(), storage.NilOID, false, fmt.Errorf("labbase: read most-recent index: %w", err)
+	}
+	if err := checkMRIndex(data); err != nil {
+		return Nil(), storage.NilOID, false, err
+	}
+	i := mrFind(data, id)
+	if i < 0 {
+		return Nil(), storage.NilOID, false, nil
+	}
+	e := mrGet(data, i)
+	step, err := db.readStep(e.step)
+	if err != nil {
+		return Nil(), storage.NilOID, false, fmt.Errorf("labbase: most-recent step: %w", err)
+	}
+	v, ok := step.attrValue(id)
+	if !ok {
+		return Nil(), storage.NilOID, false, fmt.Errorf("labbase: most-recent index names step %v without attribute %q", e.step, attr)
+	}
+	return v, e.step, true, nil
+}
+
+// MostRecentScan answers the same query by scanning the full history — the
+// correctness oracle for the index, and the cost the index saves. Among
+// steps with equal valid time, the latest-inserted wins, matching the
+// index's tie-break.
+func (db *DB) MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, bool, error) {
+	id, ok := db.cat.byAttrName[attr]
+	if !ok {
+		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+	}
+	hist, err := db.History(oid)
+	if err != nil {
+		return Nil(), storage.NilOID, false, err
+	}
+	// Stable sort by valid time keeps insertion order among ties; walking
+	// from the back then prefers the latest-inserted of the newest steps.
+	sort.SliceStable(hist, func(i, j int) bool { return hist[i].ValidTime < hist[j].ValidTime })
+	for i := len(hist) - 1; i >= 0; i-- {
+		step, err := db.readStep(hist[i].Step)
+		if err != nil {
+			return Nil(), storage.NilOID, false, err
+		}
+		if v, ok := step.attrValue(id); ok {
+			return v, hist[i].Step, true, nil
+		}
+	}
+	return Nil(), storage.NilOID, false, nil
+}
+
+// MostRecentAsOf answers the historical form of the signature query: the
+// value attr had *as of* valid time t — from the most recent step with
+// ValidTime <= t that assigned it. Ties in valid time resolve to the
+// latest-inserted step, consistent with MostRecent.
+func (db *DB) MostRecentAsOf(oid storage.OID, attr string, t int64) (Value, storage.OID, bool, error) {
+	id, ok := db.cat.byAttrName[attr]
+	if !ok {
+		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+	}
+	hist, err := db.History(oid)
+	if err != nil {
+		return Nil(), storage.NilOID, false, err
+	}
+	sort.SliceStable(hist, func(i, j int) bool { return hist[i].ValidTime < hist[j].ValidTime })
+	for i := len(hist) - 1; i >= 0; i-- {
+		if hist[i].ValidTime > t {
+			continue
+		}
+		step, err := db.readStep(hist[i].Step)
+		if err != nil {
+			return Nil(), storage.NilOID, false, err
+		}
+		if v, ok := step.attrValue(id); ok {
+			return v, hist[i].Step, true, nil
+		}
+	}
+	return Nil(), storage.NilOID, false, nil
+}
+
+// TimelineEntry is one assignment of an attribute over a material's history.
+type TimelineEntry struct {
+	ValidTime int64
+	Step      storage.OID
+	Value     Value
+}
+
+// AttrTimeline returns every assignment of attr to the material, in valid
+// time order (insertion order among equal valid times) — the event-calculus
+// style view of the audit trail.
+func (db *DB) AttrTimeline(oid storage.OID, attr string) ([]TimelineEntry, error) {
+	id, ok := db.cat.byAttrName[attr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+	}
+	hist, err := db.History(oid)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(hist, func(i, j int) bool { return hist[i].ValidTime < hist[j].ValidTime })
+	var out []TimelineEntry
+	for _, h := range hist {
+		step, err := db.readStep(h.Step)
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := step.attrValue(id); ok {
+			out = append(out, TimelineEntry{ValidTime: h.ValidTime, Step: h.Step, Value: v})
+		}
+	}
+	return out, nil
+}
+
+// DumpStats summarizes a full database scan.
+type DumpStats struct {
+	Materials   uint64
+	Steps       uint64 // history entries visited (batch steps count once per material)
+	AttrValues  uint64
+	HistoryRead uint64 // total history entries including duplicates
+}
+
+// Dump walks every material and its entire event history — the benchmark's
+// archival scan. It touches each material record, each history chunk and
+// each referenced step record, and returns volume statistics.
+func (db *DB) Dump() (DumpStats, error) {
+	var st DumpStats
+	seen := make(map[storage.OID]struct{})
+	for _, mc := range db.cat.materialClasses {
+		err := db.scanExtent(mc.extentHead, func(moid storage.OID) error {
+			st.Materials++
+			hist, err := db.History(moid)
+			if err != nil {
+				return err
+			}
+			for _, h := range hist {
+				st.HistoryRead++
+				if _, dup := seen[h.Step]; dup {
+					continue
+				}
+				seen[h.Step] = struct{}{}
+				step, err := db.readStep(h.Step)
+				if err != nil {
+					return err
+				}
+				st.Steps++
+				st.AttrValues += uint64(len(step.attrIDs))
+			}
+			return nil
+		})
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// StorageSchema returns the names of the fixed storage-schema classes, as in
+// the paper's Table 1. The user schema evolves freely; the storage schema
+// never changes.
+func StorageSchema() []string {
+	return []string{"sm_step", "sm_material", "material_set"}
+}

@@ -1,0 +1,531 @@
+package labbase
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"labflow/internal/rec"
+	"labflow/internal/storage"
+)
+
+// This file holds the on-disk codecs for the storage schema (sm_material,
+// sm_step, material_set) and LabBase's access structures (history chunks,
+// most-recent indexes, class extents, counters).
+//
+// Access structures that are appended to in place use fixed-width layouts
+// pre-sized to their full capacity, so the common append is a same-size
+// object write that never relocates the record. Immutable records (steps,
+// sets) and rarely-rewritten ones (materials, catalog) use the compact
+// varint encoding from package rec.
+
+// --- sm_material -------------------------------------------------------------
+
+type materialRec struct {
+	classID      ClassID
+	stateID      StateID
+	createdAt    int64 // valid time of creation
+	name         string
+	historyHead  storage.OID // newest history chunk ("involves" list)
+	historyCount uint64
+	mrIndex      storage.OID // most-recent index record
+}
+
+func (m *materialRec) encode() []byte {
+	e := rec.NewEncoder(32 + len(m.name))
+	e.Byte(1)
+	e.Uint(uint64(m.classID))
+	e.Uint(uint64(m.stateID))
+	e.Int(m.createdAt)
+	e.String(m.name)
+	e.Uint(uint64(m.historyHead))
+	e.Uint(m.historyCount)
+	e.Uint(uint64(m.mrIndex))
+	return e.Bytes()
+}
+
+func decodeMaterialRec(data []byte) (*materialRec, error) {
+	d := rec.NewDecoder(data)
+	if v := d.Byte(); v != 1 {
+		return nil, fmt.Errorf("labbase: unsupported material record version %d", v)
+	}
+	m := &materialRec{
+		classID:   ClassID(d.Uint()),
+		stateID:   StateID(d.Uint()),
+		createdAt: d.Int(),
+		name:      d.String(),
+	}
+	m.historyHead = storage.OID(d.Uint())
+	m.historyCount = d.Uint()
+	m.mrIndex = storage.OID(d.Uint())
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("labbase: material record: %w", err)
+	}
+	return m, nil
+}
+
+func (db *DB) readMaterial(oid storage.OID) (*materialRec, error) {
+	if oid.Segment() != storage.SegMaterial {
+		return nil, fmt.Errorf("%w: %v", ErrNotMaterial, oid)
+	}
+	data, err := db.sm.Read(oid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeMaterialRec(data)
+}
+
+// --- sm_step -----------------------------------------------------------------
+
+type stepRec struct {
+	classID   StepClassID
+	version   Version
+	validTime int64
+	txnTime   int64
+	materials []storage.OID
+	set       storage.OID // optional material_set processed by this step
+	attrIDs   []AttrID
+	attrVals  []Value
+}
+
+func (s *stepRec) encode() []byte {
+	e := rec.NewEncoder(64)
+	e.Byte(1)
+	e.Uint(uint64(s.classID))
+	e.Uint(uint64(s.version))
+	e.Int(s.validTime)
+	e.Int(s.txnTime)
+	e.Uint(uint64(len(s.materials)))
+	for _, m := range s.materials {
+		e.Uint(uint64(m))
+	}
+	e.Uint(uint64(s.set))
+	e.Uint(uint64(len(s.attrIDs)))
+	for i, a := range s.attrIDs {
+		e.Uint(uint64(a))
+		s.attrVals[i].encode(e)
+	}
+	return e.Bytes()
+}
+
+func decodeStepRec(data []byte) (*stepRec, error) {
+	d := rec.NewDecoder(data)
+	if v := d.Byte(); v != 1 {
+		return nil, fmt.Errorf("labbase: unsupported step record version %d", v)
+	}
+	s := &stepRec{
+		classID:   StepClassID(d.Uint()),
+		version:   Version(d.Uint()),
+		validTime: d.Int(),
+		txnTime:   d.Int(),
+	}
+	nm := d.Count(1 << 24)
+	if d.Err() == nil {
+		s.materials = make([]storage.OID, nm)
+		for i := range s.materials {
+			s.materials[i] = storage.OID(d.Uint())
+		}
+	}
+	s.set = storage.OID(d.Uint())
+	na := d.Count(1 << 24)
+	if d.Err() == nil {
+		s.attrIDs = make([]AttrID, na)
+		s.attrVals = make([]Value, na)
+		for i := range s.attrIDs {
+			s.attrIDs[i] = AttrID(d.Uint())
+			s.attrVals[i] = decodeValue(d)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("labbase: step record: %w", err)
+	}
+	return s, nil
+}
+
+func (s *stepRec) attrValue(id AttrID) (Value, bool) {
+	for i, a := range s.attrIDs {
+		if a == id {
+			return s.attrVals[i], true
+		}
+	}
+	return Nil(), false
+}
+
+func (db *DB) readStep(oid storage.OID) (*stepRec, error) {
+	data, err := db.sm.Read(oid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeStepRec(data)
+}
+
+// --- material_set ------------------------------------------------------------
+
+func encodeSetRec(members []storage.OID) []byte {
+	e := rec.NewEncoder(8 + 9*len(members))
+	e.Byte(1)
+	e.Uint(uint64(len(members)))
+	for _, m := range members {
+		e.Uint(uint64(m))
+	}
+	return e.Bytes()
+}
+
+func decodeSetRec(data []byte) ([]storage.OID, error) {
+	d := rec.NewDecoder(data)
+	if v := d.Byte(); v != 1 {
+		return nil, fmt.Errorf("labbase: unsupported set record version %d", v)
+	}
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("labbase: corrupt set record")
+	}
+	members := make([]storage.OID, n)
+	for i := range members {
+		members[i] = storage.OID(d.Uint())
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("labbase: set record: %w", err)
+	}
+	return members, nil
+}
+
+// --- history chunks ----------------------------------------------------------
+
+// History lists are chains of fixed-capacity chunks, newest chunk first.
+// Within a chunk, entries are in insertion (transaction) order. Layout:
+//
+//	[0]    version
+//	[1]    count
+//	[2]    capacity
+//	[3:11] next chunk OID (older; 0 = none)
+//	[11+i*16 : ] entry i: step OID u64, valid time u64 (int64 bits)
+const (
+	historyChunkCap  = 64
+	historyChunkSize = 11 + historyChunkCap*16
+)
+
+type historyEntry struct {
+	step      storage.OID
+	validTime int64
+}
+
+func newHistoryChunk(next storage.OID) []byte {
+	b := make([]byte, historyChunkSize)
+	b[0] = 1
+	b[2] = historyChunkCap
+	binary.LittleEndian.PutUint64(b[3:11], uint64(next))
+	return b
+}
+
+func historyChunkCount(b []byte) int { return int(b[1]) }
+func historyChunkNext(b []byte) storage.OID {
+	return storage.OID(binary.LittleEndian.Uint64(b[3:11]))
+}
+
+func historyChunkEntry(b []byte, i int) historyEntry {
+	base := 11 + i*16
+	return historyEntry{
+		step:      storage.OID(binary.LittleEndian.Uint64(b[base:])),
+		validTime: int64(binary.LittleEndian.Uint64(b[base+8:])),
+	}
+}
+
+// historyChunkAppend adds an entry in place, reporting false when full.
+func historyChunkAppend(b []byte, e historyEntry) bool {
+	n := historyChunkCount(b)
+	if n >= int(b[2]) {
+		return false
+	}
+	base := 11 + n*16
+	binary.LittleEndian.PutUint64(b[base:], uint64(e.step))
+	binary.LittleEndian.PutUint64(b[base+8:], uint64(e.validTime))
+	b[1] = byte(n + 1)
+	return true
+}
+
+func checkHistoryChunk(b []byte) error {
+	if len(b) != historyChunkSize || b[0] != 1 {
+		return fmt.Errorf("labbase: corrupt history chunk (%d bytes)", len(b))
+	}
+	return nil
+}
+
+// --- most-recent index -------------------------------------------------------
+
+// The most-recent index is the paper's "special access structure" for
+// most-recent values: per material, a compact table attr -> (valid time,
+// step). Layout:
+//
+//	[0]   version
+//	[1:3] count u16
+//	[3:5] capacity u16
+//	[5+i*20 : ] entry i: attr u32, valid time u64 (int64 bits), step OID u64
+const (
+	mrEntrySize  = 20
+	mrInitialCap = 8
+	mrHeaderSize = 5
+)
+
+type mrEntry struct {
+	attr      AttrID
+	validTime int64
+	step      storage.OID
+}
+
+func newMRIndex(capacity int) []byte {
+	b := make([]byte, mrHeaderSize+capacity*mrEntrySize)
+	b[0] = 1
+	binary.LittleEndian.PutUint16(b[3:5], uint16(capacity))
+	return b
+}
+
+func mrCount(b []byte) int { return int(binary.LittleEndian.Uint16(b[1:3])) }
+func mrCap(b []byte) int   { return int(binary.LittleEndian.Uint16(b[3:5])) }
+
+func mrGet(b []byte, i int) mrEntry {
+	base := mrHeaderSize + i*mrEntrySize
+	return mrEntry{
+		attr:      AttrID(binary.LittleEndian.Uint32(b[base:])),
+		validTime: int64(binary.LittleEndian.Uint64(b[base+4:])),
+		step:      storage.OID(binary.LittleEndian.Uint64(b[base+12:])),
+	}
+}
+
+func mrPut(b []byte, i int, e mrEntry) {
+	base := mrHeaderSize + i*mrEntrySize
+	binary.LittleEndian.PutUint32(b[base:], uint32(e.attr))
+	binary.LittleEndian.PutUint64(b[base+4:], uint64(e.validTime))
+	binary.LittleEndian.PutUint64(b[base+12:], uint64(e.step))
+}
+
+// mrFind returns the entry index for attr, or -1.
+func mrFind(b []byte, attr AttrID) int {
+	n := mrCount(b)
+	for i := 0; i < n; i++ {
+		if AttrID(binary.LittleEndian.Uint32(b[mrHeaderSize+i*mrEntrySize:])) == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// mrUpsert installs e if it is newer in valid time than the current entry
+// for its attribute (ties go to the newcomer: among equal valid times the
+// latest-entered step wins). It returns the possibly-reallocated buffer and
+// whether it changed.
+func mrUpsert(b []byte, e mrEntry) ([]byte, bool) {
+	if i := mrFind(b, e.attr); i >= 0 {
+		cur := mrGet(b, i)
+		if e.validTime >= cur.validTime {
+			mrPut(b, i, e)
+			return b, true
+		}
+		return b, false
+	}
+	n := mrCount(b)
+	if n >= mrCap(b) {
+		nb := newMRIndex(mrCap(b) * 2)
+		copy(nb[mrHeaderSize:], b[mrHeaderSize:mrHeaderSize+n*mrEntrySize])
+		binary.LittleEndian.PutUint16(nb[1:3], uint16(n))
+		b = nb
+	}
+	mrPut(b, n, e)
+	binary.LittleEndian.PutUint16(b[1:3], uint16(n+1))
+	return b, true
+}
+
+func checkMRIndex(b []byte) error {
+	if len(b) < mrHeaderSize || b[0] != 1 || len(b) != mrHeaderSize+mrCap(b)*mrEntrySize {
+		return fmt.Errorf("labbase: corrupt most-recent index (%d bytes)", len(b))
+	}
+	return nil
+}
+
+// --- class extents -----------------------------------------------------------
+
+// Extents enumerate the instances of a class for counting and scans: chains
+// of fixed-capacity chunks of OIDs, newest chunk first. Layout:
+//
+//	[0]    version
+//	[1:3]  count u16
+//	[3:5]  capacity u16
+//	[5:13] next chunk OID
+//	[13+i*8 : ] entry i: OID u64
+const (
+	extentChunkCap  = 256
+	extentChunkSize = 13 + extentChunkCap*8
+)
+
+func newExtentChunk(next storage.OID) []byte {
+	b := make([]byte, extentChunkSize)
+	b[0] = 1
+	binary.LittleEndian.PutUint16(b[3:5], extentChunkCap)
+	binary.LittleEndian.PutUint64(b[5:13], uint64(next))
+	return b
+}
+
+func extentCount(b []byte) int { return int(binary.LittleEndian.Uint16(b[1:3])) }
+func extentNext(b []byte) storage.OID {
+	return storage.OID(binary.LittleEndian.Uint64(b[5:13]))
+}
+func extentGet(b []byte, i int) storage.OID {
+	return storage.OID(binary.LittleEndian.Uint64(b[13+i*8:]))
+}
+
+func extentAppend(b []byte, oid storage.OID) bool {
+	n := extentCount(b)
+	if n >= int(binary.LittleEndian.Uint16(b[3:5])) {
+		return false
+	}
+	binary.LittleEndian.PutUint64(b[13+n*8:], uint64(oid))
+	binary.LittleEndian.PutUint16(b[1:3], uint16(n+1))
+	return true
+}
+
+func checkExtentChunk(b []byte) error {
+	if len(b) != extentChunkSize || b[0] != 1 {
+		return fmt.Errorf("labbase: corrupt extent chunk (%d bytes)", len(b))
+	}
+	return nil
+}
+
+// appendToExtent appends oid to the extent whose head is *head, allocating a
+// new head chunk when the current one is full, and reports whether the head
+// changed (so the caller can mark the catalog dirty).
+func (db *DB) appendToExtent(head *storage.OID, oid storage.OID) (bool, error) {
+	if head.IsNil() {
+		data := newExtentChunk(storage.NilOID)
+		extentAppend(data, oid)
+		chunk, err := db.sm.Allocate(storage.SegIndex, data)
+		if err != nil {
+			return false, fmt.Errorf("labbase: extent chunk: %w", err)
+		}
+		*head = chunk
+		return true, nil
+	}
+	data, err := db.sm.Read(*head)
+	if err != nil {
+		return false, fmt.Errorf("labbase: read extent head: %w", err)
+	}
+	if err := checkExtentChunk(data); err != nil {
+		return false, err
+	}
+	if extentAppend(data, oid) {
+		return false, db.sm.Write(*head, data)
+	}
+	ndata := newExtentChunk(*head)
+	extentAppend(ndata, oid)
+	chunk, err := db.sm.AllocateNear(*head, ndata)
+	if err != nil {
+		return false, fmt.Errorf("labbase: extent chunk: %w", err)
+	}
+	*head = chunk
+	return true, nil
+}
+
+// scanExtent calls fn for every OID in the extent chain, oldest chunk last
+// is reversed so callers see insertion order (oldest first).
+func (db *DB) scanExtent(head storage.OID, fn func(storage.OID) error) error {
+	var chunks [][]byte
+	for oid := head; !oid.IsNil(); {
+		data, err := db.sm.Read(oid)
+		if err != nil {
+			return fmt.Errorf("labbase: read extent chunk: %w", err)
+		}
+		if err := checkExtentChunk(data); err != nil {
+			return err
+		}
+		chunks = append(chunks, data)
+		oid = extentNext(data)
+	}
+	for i := len(chunks) - 1; i >= 0; i-- {
+		data := chunks[i]
+		n := extentCount(data)
+		for j := 0; j < n; j++ {
+			if err := fn(extentGet(data, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- counters ----------------------------------------------------------------
+
+// counters mirrors the hot per-class and per-state instance counts, persisted
+// as one fixed-width record so the common bump is an in-place page write.
+type counters struct {
+	matsByClass  []uint64
+	stepsByClass []uint64
+	matsByState  []uint64
+}
+
+func (c *counters) growTo(nmc, nsc, nst int) {
+	for len(c.matsByClass) < nmc {
+		c.matsByClass = append(c.matsByClass, 0)
+	}
+	for len(c.stepsByClass) < nsc {
+		c.stepsByClass = append(c.stepsByClass, 0)
+	}
+	for len(c.matsByState) < nst {
+		c.matsByState = append(c.matsByState, 0)
+	}
+}
+
+func (c *counters) totalMaterials() uint64 {
+	var t uint64
+	for _, v := range c.matsByClass {
+		t += v
+	}
+	return t
+}
+
+func (c *counters) totalSteps() uint64 {
+	var t uint64
+	for _, v := range c.stepsByClass {
+		t += v
+	}
+	return t
+}
+
+func (c *counters) encode() []byte {
+	b := make([]byte, 7+8*(len(c.matsByClass)+len(c.stepsByClass)+len(c.matsByState)))
+	b[0] = 1
+	binary.LittleEndian.PutUint16(b[1:3], uint16(len(c.matsByClass)))
+	binary.LittleEndian.PutUint16(b[3:5], uint16(len(c.stepsByClass)))
+	binary.LittleEndian.PutUint16(b[5:7], uint16(len(c.matsByState)))
+	off := 7
+	for _, group := range [][]uint64{c.matsByClass, c.stepsByClass, c.matsByState} {
+		for _, v := range group {
+			binary.LittleEndian.PutUint64(b[off:], v)
+			off += 8
+		}
+	}
+	return b
+}
+
+func decodeCounters(b []byte) (counters, error) {
+	var c counters
+	if len(b) < 7 || b[0] != 1 {
+		return c, fmt.Errorf("labbase: corrupt counters record")
+	}
+	nmc := int(binary.LittleEndian.Uint16(b[1:3]))
+	nsc := int(binary.LittleEndian.Uint16(b[3:5]))
+	nst := int(binary.LittleEndian.Uint16(b[5:7]))
+	if len(b) != 7+8*(nmc+nsc+nst) {
+		return c, fmt.Errorf("labbase: counters record size mismatch")
+	}
+	off := 7
+	read := func(n int) []uint64 {
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(b[off:])
+			off += 8
+		}
+		return out
+	}
+	c.matsByClass = read(nmc)
+	c.stepsByClass = read(nsc)
+	c.matsByState = read(nst)
+	return c, nil
+}

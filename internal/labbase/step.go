@@ -1,0 +1,318 @@
+package labbase
+
+import (
+	"fmt"
+
+	"labflow/internal/storage"
+)
+
+// AttrValue is one named attribute value on a step.
+type AttrValue struct {
+	Name  string
+	Value Value
+}
+
+// StepSpec describes a workflow step to record. The step's result attributes
+// determine (and, under Options.ImplicitVersions, may create) the step-class
+// version the instance is bound to.
+type StepSpec struct {
+	// Class is the step class name (must be defined, or definable through
+	// DefineStepClass beforehand).
+	Class string
+	// ValidTime is the lab time the step happened. Steps may be recorded
+	// out of order; most-recent semantics follow this field, not insertion
+	// order.
+	ValidTime int64
+	// Materials are the individual materials the step processed.
+	Materials []storage.OID
+	// Set optionally names a material_set; its members are processed too
+	// (batched steps such as gel runs).
+	Set storage.OID
+	// Attrs are the step's result attributes, in recording order.
+	Attrs []AttrValue
+}
+
+// Step is the public view of an sm_step record.
+type Step struct {
+	OID       storage.OID
+	Class     string
+	Version   Version
+	ValidTime int64
+	TxnTime   int64
+	Materials []storage.OID
+	Set       storage.OID
+	Attrs     []AttrValue
+}
+
+// RecordStep inserts a workflow event: the core update of the benchmark's
+// workflow tracking. It appends the step to the event history of every
+// material it involves and maintains their most-recent indexes.
+//
+// Placement mirrors the LabBase clustering policy: the step record and the
+// history chunks that point at it are allocated near the involved material's
+// existing history, so one material's audit trail stays physically together
+// when the storage manager honours clustering (Texas+TC, OStore).
+func (db *DB) RecordStep(spec StepSpec) (storage.OID, error) {
+	if err := db.requireTxn(); err != nil {
+		return storage.NilOID, err
+	}
+	sc, ok := db.cat.bySCName[spec.Class]
+	if !ok {
+		// Under implicit evolution, recording a step of an unseen class
+		// defines the class (its first version comes from the attribute
+		// set below) — schema evolution by use.
+		if !db.opts.ImplicitVersions {
+			return storage.NilOID, fmt.Errorf("%w: step class %q", ErrUnknownClass, spec.Class)
+		}
+		if spec.Class == "" {
+			return storage.NilOID, fmt.Errorf("labbase: empty step class name")
+		}
+		sc = &StepClass{
+			ID:        StepClassID(len(db.cat.stepClasses) + 1),
+			Name:      spec.Class,
+			byAttrKey: make(map[string]Version),
+		}
+		db.cat.stepClasses = append(db.cat.stepClasses, sc)
+		db.cat.bySCName[spec.Class] = sc
+		db.cat.dirty = true
+		db.cnt.growTo(len(db.cat.materialClasses), len(db.cat.stepClasses), len(db.cat.states))
+		db.cntDirty = true
+	}
+
+	// Resolve attributes, defining unknown ones when allowed.
+	attrIDs := make([]AttrID, len(spec.Attrs))
+	attrVals := make([]Value, len(spec.Attrs))
+	for i, av := range spec.Attrs {
+		id, ok := db.cat.byAttrName[av.Name]
+		if !ok {
+			if !db.opts.ImplicitAttrs {
+				return storage.NilOID, fmt.Errorf("%w: %q", ErrUnknownAttr, av.Name)
+			}
+			var err error
+			id, err = db.defineAttrLocked(av.Name, KindAny)
+			if err != nil {
+				return storage.NilOID, err
+			}
+		}
+		def := db.cat.attrs[id-1]
+		if !av.Value.matches(def.Kind) {
+			return storage.NilOID, fmt.Errorf("%w: attribute %q takes %v, got %v",
+				ErrKindMismatch, av.Name, def.Kind, av.Value.Kind)
+		}
+		attrIDs[i] = id
+		attrVals[i] = av.Value
+	}
+
+	// Resolve the step-class version by attribute set (schema evolution).
+	key := attrKey(attrIDs)
+	ver, ok := sc.byAttrKey[key]
+	if !ok {
+		if !db.opts.ImplicitVersions {
+			return storage.NilOID, fmt.Errorf("%w: class %q, attrs %v", ErrNoSuchVersion, spec.Class, key)
+		}
+		var err error
+		ver, err = db.stepVersionLocked(sc, attrIDs)
+		if err != nil {
+			return storage.NilOID, err
+		}
+	}
+
+	// Collect the involved materials: explicit ones plus set members.
+	targets := make([]storage.OID, 0, len(spec.Materials))
+	targets = append(targets, spec.Materials...)
+	if !spec.Set.IsNil() {
+		members, err := db.SetMembers(spec.Set)
+		if err != nil {
+			return storage.NilOID, fmt.Errorf("labbase: step set: %w", err)
+		}
+		targets = append(targets, members...)
+	}
+	if len(targets) == 0 {
+		return storage.NilOID, fmt.Errorf("labbase: step %q involves no materials", spec.Class)
+	}
+	mats := make([]*materialRec, len(targets))
+	for i, m := range targets {
+		mr, err := db.readMaterial(m)
+		if err != nil {
+			return storage.NilOID, fmt.Errorf("labbase: step material %v: %w", m, err)
+		}
+		mats[i] = mr
+	}
+
+	// Store the step record near the first material's existing history.
+	s := &stepRec{
+		classID:   sc.ID,
+		version:   ver,
+		validTime: spec.ValidTime,
+		txnTime:   db.nextTxnTime(),
+		materials: spec.Materials,
+		set:       spec.Set,
+		attrIDs:   attrIDs,
+		attrVals:  attrVals,
+	}
+	var stepOID storage.OID
+	var err error
+	if anchor := mats[0].historyHead; !anchor.IsNil() {
+		stepOID, err = db.sm.AllocateNear(anchor, s.encode())
+	} else {
+		// A history-less first material starts a fresh physical cluster;
+		// the whole family's audit trail (its spawned materials anchor
+		// their first chunks here too) then funnels into it.
+		stepOID, err = db.sm.AllocateCluster(storage.SegHistory, s.encode())
+	}
+	if err != nil {
+		return storage.NilOID, fmt.Errorf("labbase: store step: %w", err)
+	}
+
+	// Thread the step into each material's history and most-recent index.
+	entry := historyEntry{step: stepOID, validTime: spec.ValidTime}
+	for i, moid := range targets {
+		if err := db.appendHistory(moid, mats[i], entry); err != nil {
+			return storage.NilOID, err
+		}
+		if err := db.updateMostRecent(moid, mats[i], attrIDs, entry); err != nil {
+			return storage.NilOID, err
+		}
+		mats[i].historyCount++
+		if err := db.sm.Write(moid, mats[i].encode()); err != nil {
+			return storage.NilOID, fmt.Errorf("labbase: update material %v: %w", moid, err)
+		}
+	}
+
+	changed, err := db.appendToExtent(&sc.extentHead, stepOID)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	if changed {
+		db.cat.dirty = true
+	}
+	db.cnt.stepsByClass[sc.ID-1]++
+	db.cntDirty = true
+	return stepOID, nil
+}
+
+// appendHistory adds an entry to the material's history chain, growing it by
+// a chunk clustered next to the previous head when the head fills up.
+func (db *DB) appendHistory(moid storage.OID, m *materialRec, e historyEntry) error {
+	if m.historyHead.IsNil() {
+		data := newHistoryChunk(storage.NilOID)
+		historyChunkAppend(data, e)
+		// The first chunk is clustered with the step record it references,
+		// seeding this material's neighbourhood in the history segment.
+		chunk, err := db.sm.AllocateNear(e.step, data)
+		if err != nil {
+			return fmt.Errorf("labbase: history chunk: %w", err)
+		}
+		m.historyHead = chunk
+		return nil
+	}
+	data, err := db.sm.Read(m.historyHead)
+	if err != nil {
+		return fmt.Errorf("labbase: read history head: %w", err)
+	}
+	if err := checkHistoryChunk(data); err != nil {
+		return err
+	}
+	if historyChunkAppend(data, e) {
+		return db.sm.Write(m.historyHead, data)
+	}
+	ndata := newHistoryChunk(m.historyHead)
+	historyChunkAppend(ndata, e)
+	chunk, err := db.sm.AllocateNear(m.historyHead, ndata)
+	if err != nil {
+		return fmt.Errorf("labbase: history chunk: %w", err)
+	}
+	m.historyHead = chunk
+	return nil
+}
+
+// updateMostRecent folds the step's attributes into the material's
+// most-recent index, honouring valid-time order for out-of-order arrivals.
+func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID, e historyEntry) error {
+	if len(attrs) == 0 && !m.mrIndex.IsNil() {
+		return nil
+	}
+	var data []byte
+	var err error
+	if m.mrIndex.IsNil() {
+		data = newMRIndex(mrInitialCap)
+		oid, err := db.sm.Allocate(storage.SegIndex, data)
+		if err != nil {
+			return fmt.Errorf("labbase: most-recent index: %w", err)
+		}
+		m.mrIndex = oid
+	} else {
+		data, err = db.sm.Read(m.mrIndex)
+		if err != nil {
+			return fmt.Errorf("labbase: read most-recent index: %w", err)
+		}
+		if err := checkMRIndex(data); err != nil {
+			return err
+		}
+	}
+	changed := false
+	for _, a := range attrs {
+		var c bool
+		data, c = mrUpsert(data, mrEntry{attr: a, validTime: e.validTime, step: e.step})
+		changed = changed || c
+	}
+	if !changed {
+		return nil
+	}
+	return db.sm.Write(m.mrIndex, data)
+}
+
+// GetStep returns the public view of a step instance.
+func (db *DB) GetStep(oid storage.OID) (*Step, error) {
+	s, err := db.readStep(oid)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := db.cat.stepClass(s.classID)
+	if err != nil {
+		return nil, err
+	}
+	out := &Step{
+		OID:       oid,
+		Class:     sc.Name,
+		Version:   s.version,
+		ValidTime: s.validTime,
+		TxnTime:   s.txnTime,
+		Materials: s.materials,
+		Set:       s.set,
+	}
+	out.Attrs = make([]AttrValue, len(s.attrIDs))
+	for i, a := range s.attrIDs {
+		def, err := db.cat.attr(a)
+		if err != nil {
+			return nil, err
+		}
+		out.Attrs[i] = AttrValue{Name: def.Name, Value: s.attrVals[i]}
+	}
+	return out, nil
+}
+
+// Attr returns the named attribute's value from a step view.
+func (s *Step) Attr(name string) (Value, bool) {
+	for _, av := range s.Attrs {
+		if av.Name == name {
+			return av.Value, true
+		}
+	}
+	return Nil(), false
+}
+
+// ScanSteps calls fn for each instance of a step class, in insertion order.
+func (db *DB) ScanSteps(class string, fn func(*Step) error) error {
+	sc, ok := db.cat.bySCName[class]
+	if !ok {
+		return fmt.Errorf("%w: step class %q", ErrUnknownClass, class)
+	}
+	return db.scanExtent(sc.extentHead, func(oid storage.OID) error {
+		s, err := db.GetStep(oid)
+		if err != nil {
+			return err
+		}
+		return fn(s)
+	})
+}

@@ -1,0 +1,154 @@
+package labbase
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"labflow/internal/storage"
+)
+
+// seedTemporal records steps with the given valid times, in the given
+// (arrival) order, each carrying value fmt.Sprint(arrival index).
+func seedTemporal(t *testing.T, validTimes []int64) (*DB, storage.OID, []storage.OID) {
+	t.Helper()
+	db := openMem(t)
+	defineBasics(t, db)
+	begin(t, db)
+	m, err := db.CreateMaterial("clone", "c", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := make([]storage.OID, len(validTimes))
+	for i, vt := range validTimes {
+		steps[i], err = db.RecordStep(StepSpec{
+			Class: "determine_sequence", ValidTime: vt,
+			Materials: []storage.OID{m},
+			Attrs:     []AttrValue{{Name: "sequence", Value: String(fmt.Sprint(i))}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(t, db)
+	return db, m, steps
+}
+
+func TestMostRecentAsOf(t *testing.T) {
+	// Arrival order deliberately scrambles valid time: 10, 30, 20.
+	db, m, steps := seedTemporal(t, []int64{10, 30, 20})
+
+	cases := []struct {
+		asOf     int64
+		wantVal  string
+		wantStep int // index into steps; -1 = not found
+	}{
+		{5, "", -1},
+		{10, "0", 0},
+		{15, "0", 0},
+		{20, "2", 2}, // the late arrival with valid time 20
+		{25, "2", 2},
+		{30, "1", 1},
+		{1000, "1", 1},
+	}
+	for _, c := range cases {
+		v, src, found, err := db.MostRecentAsOf(m, "sequence", c.asOf)
+		if err != nil {
+			t.Fatalf("AsOf(%d): %v", c.asOf, err)
+		}
+		if c.wantStep < 0 {
+			if found {
+				t.Errorf("AsOf(%d) found %v, want nothing", c.asOf, v)
+			}
+			continue
+		}
+		if !found || v.Str != c.wantVal || src != steps[c.wantStep] {
+			t.Errorf("AsOf(%d) = %v from %v, want %q from step %d", c.asOf, v, src, c.wantVal, c.wantStep)
+		}
+	}
+	// AsOf at the horizon equals MostRecent.
+	vNow, sNow, _, _ := db.MostRecent(m, "sequence")
+	vAs, sAs, _, _ := db.MostRecentAsOf(m, "sequence", 1<<60)
+	if !vNow.Equal(vAs) || sNow != sAs {
+		t.Errorf("AsOf(inf) = (%v, %v), MostRecent = (%v, %v)", vAs, sAs, vNow, sNow)
+	}
+	if _, _, _, err := db.MostRecentAsOf(m, "nosuch", 10); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestMostRecentAsOfEqualTimes(t *testing.T) {
+	// Two assignments at the same valid time: the later-inserted wins, as
+	// in the live index.
+	db, m, steps := seedTemporal(t, []int64{10, 10})
+	v, src, found, err := db.MostRecentAsOf(m, "sequence", 10)
+	if err != nil || !found || v.Str != "1" || src != steps[1] {
+		t.Fatalf("AsOf tie = %v from %v (%v), want 1 from second step", v, src, err)
+	}
+}
+
+func TestAttrTimeline(t *testing.T) {
+	db, m, steps := seedTemporal(t, []int64{10, 30, 20})
+	tl, err := db.AttrTimeline(m, "sequence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 3 {
+		t.Fatalf("timeline len = %d", len(tl))
+	}
+	wantOrder := []struct {
+		vt   int64
+		step int
+	}{{10, 0}, {20, 2}, {30, 1}}
+	for i, w := range wantOrder {
+		if tl[i].ValidTime != w.vt || tl[i].Step != steps[w.step] {
+			t.Errorf("timeline[%d] = t%d step %v, want t%d step %d", i, tl[i].ValidTime, tl[i].Step, w.vt, w.step)
+		}
+	}
+	// An attribute never assigned yields an empty timeline.
+	begin(t, db)
+	if _, err := db.DefineAttr("ghost", KindInt); err != nil {
+		t.Fatal(err)
+	}
+	commit(t, db)
+	tl, err = db.AttrTimeline(m, "ghost")
+	if err != nil || len(tl) != 0 {
+		t.Errorf("ghost timeline = %v, %v", tl, err)
+	}
+}
+
+// TestAsOfAgainstBruteForce cross-checks MostRecentAsOf against a direct
+// recomputation for random valid-time patterns.
+func TestAsOfAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vts := make([]int64, 60)
+	for i := range vts {
+		vts[i] = int64(rng.Intn(40)) // heavy collisions
+	}
+	db, m, steps := seedTemporal(t, vts)
+	for asOf := int64(-1); asOf <= 41; asOf++ {
+		// Brute force: latest arrival among max valid time <= asOf.
+		best := -1
+		for i, vt := range vts {
+			if vt > asOf {
+				continue
+			}
+			if best < 0 || vt > vts[best] || (vt == vts[best] && i > best) {
+				best = i
+			}
+		}
+		v, src, found, err := db.MostRecentAsOf(m, "sequence", asOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 {
+			if found {
+				t.Fatalf("asOf %d: found %v, want none", asOf, v)
+			}
+			continue
+		}
+		if !found || v.Str != fmt.Sprint(best) || src != steps[best] {
+			t.Fatalf("asOf %d: got %v from %v, want %d", asOf, v, src, best)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lbq
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestExternModeErrors pins the error messages for predicates called with
+// insufficiently instantiated arguments.
+func TestExternModeErrors(t *testing.T) {
+	_, b, c1, _ := seed(t)
+	cases := []string{
+		"most_recent(M, sequence, V)",                   // unbound material
+		fmt.Sprintf("most_recent(%d, A, V)", int64(c1)), // unbound attribute
+		"most_recent_at(M, sequence, 1, V)",
+		fmt.Sprintf("most_recent_at(%d, sequence, T, V)", int64(c1)),
+		"timeline(M, sequence, T)",
+		"history(M, H)",
+		"step(S, C, T)",
+		"step_version(S, V)",
+		"step_attr(S, A, V)",
+		"set_member(S, M)",
+		"count_materials(C, N)",
+		"count_steps(C, N)",
+		"count_in_state(S, N)",
+		"create_material(C, \"n\", s, 1, M)",            // unbound class
+		"record_step(C, 1, [], [], S)",                  // unbound class
+		"record_step(determine_sequence, T, [], [], S)", // unbound time
+		"assert_state(M, s)",
+		"retract_state(M, s)",
+	}
+	for _, q := range cases {
+		if _, err := b.Query(q, 1); err == nil {
+			t.Errorf("%s should report an instantiation error", q)
+		}
+	}
+}
+
+// TestExternGracefulMisses pins the cases that fail (no solutions) rather
+// than error: references to objects that do not exist.
+func TestExternGracefulMisses(t *testing.T) {
+	_, b, _, _ := seed(t)
+	misses := []string{
+		"material(999999, C)",
+		"most_recent(999999, sequence, V)",
+		"history(999999, H)",
+		"step(999999, C, T)",
+		"set_member(999999, M)",
+		"count_materials(nosuchclass, N)",
+		"count_in_state(nosuchstate, N)",
+		"state(999999, S)",
+	}
+	for _, q := range misses {
+		ok, err := b.Prove(q)
+		if err != nil {
+			t.Errorf("%s errored (%v); want graceful failure", q, err)
+		}
+		if ok {
+			t.Errorf("%s succeeded; want no solutions", q)
+		}
+	}
+}
+
+// TestBadAttrListErrors: record_step rejects malformed attribute lists.
+func TestBadAttrListErrors(t *testing.T) {
+	_, b, c1, _ := seed(t)
+	bad := []string{
+		fmt.Sprintf("record_step(x, 1, [%d], [notapair], S)", int64(c1)),
+		fmt.Sprintf("record_step(x, 1, [%d], [1 = 2], S)", int64(c1)),
+		fmt.Sprintf("record_step(x, 1, [%d], notalist, S)", int64(c1)),
+		fmt.Sprintf("record_step(x, 1, [foo], [a = 1], S)"),
+	}
+	for _, q := range bad {
+		if _, err := b.Query(q, 1); err == nil {
+			t.Errorf("%s should fail", q)
+		}
+	}
+}
+
+// TestStoringUnboundValueFails: record_step with an unbound attribute value.
+func TestStoringUnboundValueFails(t *testing.T) {
+	_, b, c1, _ := seed(t)
+	q := fmt.Sprintf("record_step(x, 1, [%d], [a = V], S)", int64(c1))
+	_, err := b.Query(q, 1)
+	if err == nil || !strings.Contains(err.Error(), "cannot store") {
+		t.Errorf("unbound value error = %v", err)
+	}
+}

@@ -1,0 +1,581 @@
+// Package lbq bridges the deductive query language (package datalog) to the
+// LabBase database (package labbase), giving the benchmark the paper's
+// Section 6-8 query interface: database facts appear as external predicates
+// that resolution can call, and workflow-tracking updates are available as
+// goals.
+//
+// Database predicates (OIDs appear as integers):
+//
+//	material(M, Class)         enumerate or check materials and classes
+//	material_name(M, Name)     a material's name
+//	state(M, S)                workflow state; enumerable by state
+//	most_recent(M, Attr, V)    the benchmark's signature query
+//	history(M, Steps)          the material's audit trail (step OID list)
+//	step(S, Class, ValidTime)  a step instance's class and valid time
+//	step_version(S, V)         the step-class version an instance is bound to
+//	step_attr(S, Attr, V)      a step's recorded results
+//	set_member(Set, M)         material_set membership
+//	count_materials(Class, N)  instance counts (is-a inclusive)
+//	count_steps(Class, N)
+//	count_in_state(State, N)
+//
+// Update predicates (each runs in its own transaction unless one is open):
+//
+//	create_material(Class, Name, State, ValidTime, M)
+//	record_step(Class, ValidTime, Materials, [Attr = Value, ...], S)
+//	assert_state(M, S) / retract_state(M, S)  the paper's state updates
+package lbq
+
+import (
+	"fmt"
+
+	"labflow/internal/datalog"
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+)
+
+// Bridge couples one engine to one database.
+type Bridge struct {
+	db *labbase.DB
+	e  *datalog.Engine
+}
+
+// New builds an engine wired to db.
+func New(db *labbase.DB) *Bridge {
+	b := &Bridge{db: db, e: datalog.New()}
+	b.register()
+	return b
+}
+
+// Engine returns the underlying engine (for Consult of site rules).
+func (b *Bridge) Engine() *datalog.Engine { return b.e }
+
+// Query runs a goal against the database (max <= 0 returns all solutions).
+func (b *Bridge) Query(q string, max int) ([]datalog.Solution, error) {
+	return b.e.Query(q, max)
+}
+
+// Prove reports whether the goal has a solution.
+func (b *Bridge) Prove(q string) (bool, error) { return b.e.Prove(q) }
+
+// OIDTerm converts an OID for use in queries.
+func OIDTerm(oid storage.OID) datalog.Term { return datalog.Int(int64(oid)) }
+
+// TermOID converts back, reporting whether the term is an OID-shaped int.
+func TermOID(t datalog.Term) (storage.OID, bool) {
+	i, ok := t.(datalog.Int)
+	if !ok || i < 0 {
+		return storage.NilOID, false
+	}
+	return storage.OID(uint64(i)), true
+}
+
+// ValueTerm converts a LabBase value to a term.
+func ValueTerm(v labbase.Value) datalog.Term {
+	switch v.Kind {
+	case labbase.KindInt:
+		return datalog.Int(v.Int)
+	case labbase.KindFloat:
+		return datalog.Float(v.Float)
+	case labbase.KindString:
+		return datalog.Str(v.Str)
+	case labbase.KindBool:
+		if v.Int != 0 {
+			return datalog.Atom("true")
+		}
+		return datalog.Atom("false")
+	case labbase.KindOID:
+		return OIDTerm(v.OID)
+	case labbase.KindList:
+		elems := make([]datalog.Term, len(v.List))
+		for i, e := range v.List {
+			elems[i] = ValueTerm(e)
+		}
+		return datalog.MkList(elems...)
+	default:
+		return datalog.Atom("nil")
+	}
+}
+
+// TermValue converts a ground term to a LabBase value.
+func TermValue(t datalog.Term) (labbase.Value, error) {
+	switch x := datalog.Resolve(t).(type) {
+	case datalog.Int:
+		return labbase.Int64(int64(x)), nil
+	case datalog.Float:
+		return labbase.Float64(float64(x)), nil
+	case datalog.Str:
+		return labbase.String(string(x)), nil
+	case datalog.Atom:
+		switch x {
+		case "true":
+			return labbase.Bool(true), nil
+		case "false":
+			return labbase.Bool(false), nil
+		case "nil":
+			return labbase.Nil(), nil
+		}
+		return labbase.String(string(x)), nil
+	case *datalog.Compound:
+		elems, ok := datalog.ListSlice(x)
+		if !ok {
+			return labbase.Nil(), fmt.Errorf("lbq: cannot store term %s", x)
+		}
+		vs := make([]labbase.Value, len(elems))
+		for i, e := range elems {
+			var err error
+			vs[i], err = TermValue(e)
+			if err != nil {
+				return labbase.Nil(), err
+			}
+		}
+		return labbase.ListOf(vs...), nil
+	default:
+		return labbase.Nil(), fmt.Errorf("lbq: cannot store term %s", t)
+	}
+}
+
+// yield unifies arg/value pairs and calls the continuation, undoing on
+// failure; it is the standard extern body.
+func yield(bs *datalog.Bindings, k datalog.Cont, pairs ...[2]datalog.Term) (bool, error) {
+	mark := bs.Mark()
+	for _, p := range pairs {
+		if !datalog.Unify(p[0], p[1], bs) {
+			bs.Undo(mark)
+			return false, nil
+		}
+	}
+	done, err := k()
+	if err != nil || done {
+		return done, err
+	}
+	bs.Undo(mark)
+	return false, nil
+}
+
+// withTxn runs fn inside the current transaction, or a fresh one.
+func (b *Bridge) withTxn(fn func() error) error {
+	if b.db.InTxn() {
+		return fn()
+	}
+	if err := b.db.Begin(); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	return b.db.Commit()
+}
+
+func (b *Bridge) register() {
+	e, db := b.e, b.db
+
+	e.RegisterExtern("material", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		if oid, ok := TermOID(datalog.Resolve(args[0])); ok {
+			m, err := db.GetMaterial(oid)
+			if err != nil {
+				return false, nil // not a material: no solutions
+			}
+			return yield(bs, k, [2]datalog.Term{args[1], datalog.Atom(m.Class)})
+		}
+		done := false
+		err := db.ScanAllMaterials(func(m *labbase.Material) error {
+			d, err := yield(bs, k,
+				[2]datalog.Term{args[0], OIDTerm(m.OID)},
+				[2]datalog.Term{args[1], datalog.Atom(m.Class)})
+			if err != nil {
+				return err
+			}
+			if d {
+				done = true
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && err != errStop {
+			return false, err
+		}
+		return done, nil
+	})
+
+	e.RegisterExtern("material_name", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		// Keyed mode: a bound name resolves directly through the name index.
+		switch n := datalog.Resolve(args[1]).(type) {
+		case datalog.Str:
+			if oid, ok := db.LookupMaterial(string(n)); ok {
+				return yield(bs, k, [2]datalog.Term{args[0], OIDTerm(oid)})
+			}
+			return false, nil
+		case datalog.Atom:
+			if oid, ok := db.LookupMaterial(string(n)); ok {
+				return yield(bs, k, [2]datalog.Term{args[0], OIDTerm(oid)})
+			}
+			return false, nil
+		}
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: material_name/2 needs a bound material or name")
+		}
+		m, err := db.GetMaterial(oid)
+		if err != nil {
+			return false, nil
+		}
+		return yield(bs, k, [2]datalog.Term{args[1], datalog.Str(m.Name)})
+	})
+
+	e.RegisterExtern("state", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		if oid, ok := TermOID(datalog.Resolve(args[0])); ok {
+			st, err := db.State(oid)
+			if err != nil || st == "" {
+				return false, nil
+			}
+			return yield(bs, k, [2]datalog.Term{args[1], datalog.Atom(st)})
+		}
+		// Enumerate by state (bound or over all states).
+		states := db.States()
+		if s, ok := datalog.Resolve(args[1]).(datalog.Atom); ok {
+			states = []string{string(s)}
+		}
+		for _, st := range states {
+			mats, err := db.MaterialsInState(st)
+			if err != nil {
+				continue
+			}
+			for _, m := range mats {
+				done, err := yield(bs, k,
+					[2]datalog.Term{args[0], OIDTerm(m)},
+					[2]datalog.Term{args[1], datalog.Atom(st)})
+				if err != nil || done {
+					return done, err
+				}
+			}
+		}
+		return false, nil
+	})
+
+	e.RegisterExtern("most_recent", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: most_recent/3 needs a bound material")
+		}
+		attr, ok := datalog.Resolve(args[1]).(datalog.Atom)
+		if !ok {
+			return false, fmt.Errorf("lbq: most_recent/3 needs a bound attribute atom")
+		}
+		v, _, found, err := db.MostRecent(oid, string(attr))
+		if err != nil || !found {
+			return false, nil
+		}
+		return yield(bs, k, [2]datalog.Term{args[2], ValueTerm(v)})
+	})
+
+	// Schema queries (paper Section 8.1): the catalog through the language.
+	e.RegisterExtern("material_class", 1, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		for _, name := range db.MaterialClasses() {
+			done, err := yield(bs, k, [2]datalog.Term{args[0], datalog.Atom(name)})
+			if err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	})
+	e.RegisterExtern("step_class", 1, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		for _, name := range db.StepClasses() {
+			done, err := yield(bs, k, [2]datalog.Term{args[0], datalog.Atom(name)})
+			if err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	})
+	e.RegisterExtern("workflow_state", 1, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		for _, name := range db.States() {
+			done, err := yield(bs, k, [2]datalog.Term{args[0], datalog.Atom(name)})
+			if err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	})
+	// step_class_version(Class, Version, Attrs): enumerate a step class's
+	// versions with their attribute sets — how re-engineering is audited.
+	e.RegisterExtern("step_class_version", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		classes := db.StepClasses()
+		if c, ok := datalog.Resolve(args[0]).(datalog.Atom); ok {
+			classes = []string{string(c)}
+		}
+		for _, class := range classes {
+			vers, err := db.StepClassVersions(class)
+			if err != nil {
+				continue
+			}
+			for i, attrs := range vers {
+				attrTerms := make([]datalog.Term, len(attrs))
+				for j, a := range attrs {
+					attrTerms[j] = datalog.Atom(a)
+				}
+				done, err := yield(bs, k,
+					[2]datalog.Term{args[0], datalog.Atom(class)},
+					[2]datalog.Term{args[1], datalog.Int(int64(i + 1))},
+					[2]datalog.Term{args[2], datalog.MkList(attrTerms...)})
+				if err != nil || done {
+					return done, err
+				}
+			}
+		}
+		return false, nil
+	})
+
+	e.RegisterExtern("most_recent_at", 4, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: most_recent_at/4 needs a bound material")
+		}
+		attr, ok := datalog.Resolve(args[1]).(datalog.Atom)
+		if !ok {
+			return false, fmt.Errorf("lbq: most_recent_at/4 needs a bound attribute atom")
+		}
+		t, ok := datalog.Resolve(args[2]).(datalog.Int)
+		if !ok {
+			return false, fmt.Errorf("lbq: most_recent_at/4 needs an integer valid time")
+		}
+		v, _, found, err := db.MostRecentAsOf(oid, string(attr), int64(t))
+		if err != nil || !found {
+			return false, nil
+		}
+		return yield(bs, k, [2]datalog.Term{args[3], ValueTerm(v)})
+	})
+
+	e.RegisterExtern("timeline", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: timeline/3 needs a bound material")
+		}
+		attr, ok := datalog.Resolve(args[1]).(datalog.Atom)
+		if !ok {
+			return false, fmt.Errorf("lbq: timeline/3 needs a bound attribute atom")
+		}
+		entries, err := db.AttrTimeline(oid, string(attr))
+		if err != nil {
+			return false, nil
+		}
+		items := make([]datalog.Term, len(entries))
+		for i, te := range entries {
+			items[i] = datalog.MkList(datalog.Int(te.ValidTime), ValueTerm(te.Value))
+		}
+		return yield(bs, k, [2]datalog.Term{args[2], datalog.MkList(items...)})
+	})
+
+	e.RegisterExtern("history", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: history/2 needs a bound material")
+		}
+		hist, err := db.History(oid)
+		if err != nil {
+			return false, nil
+		}
+		steps := make([]datalog.Term, len(hist))
+		for i, h := range hist {
+			steps[i] = OIDTerm(h.Step)
+		}
+		return yield(bs, k, [2]datalog.Term{args[1], datalog.MkList(steps...)})
+	})
+
+	e.RegisterExtern("step", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: step/3 needs a bound step")
+		}
+		s, err := db.GetStep(oid)
+		if err != nil {
+			return false, nil
+		}
+		return yield(bs, k,
+			[2]datalog.Term{args[1], datalog.Atom(s.Class)},
+			[2]datalog.Term{args[2], datalog.Int(s.ValidTime)})
+	})
+
+	e.RegisterExtern("step_version", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: step_version/2 needs a bound step")
+		}
+		s, err := db.GetStep(oid)
+		if err != nil {
+			return false, nil
+		}
+		return yield(bs, k, [2]datalog.Term{args[1], datalog.Int(int64(s.Version))})
+	})
+
+	e.RegisterExtern("step_attr", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: step_attr/3 needs a bound step")
+		}
+		s, err := db.GetStep(oid)
+		if err != nil {
+			return false, nil
+		}
+		for _, av := range s.Attrs {
+			done, err := yield(bs, k,
+				[2]datalog.Term{args[1], datalog.Atom(av.Name)},
+				[2]datalog.Term{args[2], ValueTerm(av.Value)})
+			if err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	})
+
+	e.RegisterExtern("set_member", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: set_member/2 needs a bound set")
+		}
+		members, err := db.SetMembers(oid)
+		if err != nil {
+			return false, nil
+		}
+		for _, m := range members {
+			done, err := yield(bs, k, [2]datalog.Term{args[1], OIDTerm(m)})
+			if err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	})
+
+	counter := func(name string, count func(string) (uint64, error)) datalog.Extern {
+		return func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+			c, ok := datalog.Resolve(args[0]).(datalog.Atom)
+			if !ok {
+				return false, fmt.Errorf("lbq: %s/2 needs a bound name", name)
+			}
+			n, err := count(string(c))
+			if err != nil {
+				return false, nil
+			}
+			return yield(bs, k, [2]datalog.Term{args[1], datalog.Int(int64(n))})
+		}
+	}
+	e.RegisterExtern("count_materials", 2, counter("count_materials", db.CountMaterials))
+	e.RegisterExtern("count_steps", 2, counter("count_steps", db.CountSteps))
+	e.RegisterExtern("count_in_state", 2, counter("count_in_state", db.CountInState))
+
+	e.RegisterExtern("create_material", 5, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		class, ok1 := datalog.Resolve(args[0]).(datalog.Atom)
+		var name string
+		switch n := datalog.Resolve(args[1]).(type) {
+		case datalog.Str:
+			name = string(n)
+		case datalog.Atom:
+			name = string(n)
+		default:
+			return false, fmt.Errorf("lbq: create_material/5 needs a name")
+		}
+		state, ok2 := datalog.Resolve(args[2]).(datalog.Atom)
+		vt, ok3 := datalog.Resolve(args[3]).(datalog.Int)
+		if !ok1 || !ok2 || !ok3 {
+			return false, fmt.Errorf("lbq: create_material(Class, Name, State, ValidTime, M) needs ground inputs")
+		}
+		var oid storage.OID
+		err := b.withTxn(func() error {
+			var err error
+			oid, err = db.CreateMaterial(string(class), name, string(state), int64(vt))
+			return err
+		})
+		if err != nil {
+			return false, err
+		}
+		return yield(bs, k, [2]datalog.Term{args[4], OIDTerm(oid)})
+	})
+
+	e.RegisterExtern("record_step", 5, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		class, ok := datalog.Resolve(args[0]).(datalog.Atom)
+		if !ok {
+			return false, fmt.Errorf("lbq: record_step/5 needs a class atom")
+		}
+		vt, ok := datalog.Resolve(args[1]).(datalog.Int)
+		if !ok {
+			return false, fmt.Errorf("lbq: record_step/5 needs an integer valid time")
+		}
+		matTerms, ok := datalog.ListSlice(args[2])
+		if !ok {
+			return false, fmt.Errorf("lbq: record_step/5 needs a material list")
+		}
+		mats := make([]storage.OID, len(matTerms))
+		for i, mt := range matTerms {
+			oid, ok := TermOID(datalog.Resolve(mt))
+			if !ok {
+				return false, fmt.Errorf("lbq: record_step/5: bad material %s", mt)
+			}
+			mats[i] = oid
+		}
+		attrTerms, ok := datalog.ListSlice(args[3])
+		if !ok {
+			return false, fmt.Errorf("lbq: record_step/5 needs an attribute list")
+		}
+		attrs := make([]labbase.AttrValue, 0, len(attrTerms))
+		for _, at := range attrTerms {
+			c, ok := datalog.Resolve(at).(*datalog.Compound)
+			if !ok || c.Functor != "=" || len(c.Args) != 2 {
+				return false, fmt.Errorf("lbq: record_step/5: attribute %s is not Name = Value", at)
+			}
+			name, ok := datalog.Resolve(c.Args[0]).(datalog.Atom)
+			if !ok {
+				return false, fmt.Errorf("lbq: record_step/5: attribute name %s is not an atom", c.Args[0])
+			}
+			v, err := TermValue(c.Args[1])
+			if err != nil {
+				return false, err
+			}
+			attrs = append(attrs, labbase.AttrValue{Name: string(name), Value: v})
+		}
+		var step storage.OID
+		err := b.withTxn(func() error {
+			var err error
+			step, err = db.RecordStep(labbase.StepSpec{
+				Class: string(class), ValidTime: int64(vt), Materials: mats, Attrs: attrs,
+			})
+			return err
+		})
+		if err != nil {
+			return false, err
+		}
+		return yield(bs, k, [2]datalog.Term{args[4], OIDTerm(step)})
+	})
+
+	setStateExt := func(requireCurrent bool) datalog.Extern {
+		return func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+			oid, ok := TermOID(datalog.Resolve(args[0]))
+			if !ok {
+				return false, fmt.Errorf("lbq: state update needs a bound material")
+			}
+			st, ok := datalog.Resolve(args[1]).(datalog.Atom)
+			if !ok {
+				return false, fmt.Errorf("lbq: state update needs a state atom")
+			}
+			if requireCurrent {
+				// retract_state(M, S): true only if M is currently in S.
+				cur, err := db.State(oid)
+				if err != nil || cur != string(st) {
+					return false, nil
+				}
+				if err := b.withTxn(func() error { return db.SetState(oid, "") }); err != nil {
+					return false, err
+				}
+				return k()
+			}
+			if err := b.withTxn(func() error { return db.SetState(oid, string(st)) }); err != nil {
+				return false, err
+			}
+			return k()
+		}
+	}
+	e.RegisterExtern("assert_state", 2, setStateExt(false))
+	e.RegisterExtern("retract_state", 2, setStateExt(true))
+}
+
+// errStop aborts a scan once the continuation asks to stop.
+var errStop = fmt.Errorf("lbq: stop scan")

@@ -1,0 +1,352 @@
+package lbq
+
+import (
+	"fmt"
+	"testing"
+
+	"labflow/internal/datalog"
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+)
+
+// seed builds a small lab database: two clones, one with sequencing history.
+func seed(t *testing.T) (*labbase.DB, *Bridge, storage.OID, storage.OID) {
+	t.Helper()
+	db, err := labbase.Open(memstore.Open("lbq-mm"), labbase.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineMaterialClass("clone", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineMaterialClass("tclone", "clone"); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"waiting_for_sequencing", "waiting_for_incorporation", "done"} {
+		if _, err := db.DefineState(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, err := db.CreateMaterial("clone", "c1", "waiting_for_sequencing", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := db.CreateMaterial("tclone", "t1", "waiting_for_sequencing", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RecordStep(labbase.StepSpec{
+		Class: "determine_sequence", ValidTime: 10,
+		Materials: []storage.OID{c1},
+		Attrs: []labbase.AttrValue{
+			{Name: "sequence", Value: labbase.String("ACGT")},
+			{Name: "quality", Value: labbase.Float64(0.9)},
+			{Name: "ok", Value: labbase.Bool(true)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db, New(db), c1, c2
+}
+
+func TestMaterialAndStatePredicates(t *testing.T) {
+	_, b, c1, c2 := seed(t)
+	sols, err := b.Query("material(M, clone)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact-class semantics at the predicate level: only c1 is class clone.
+	if len(sols) != 1 || sols[0]["M"].String() != fmt.Sprint(int64(c1)) {
+		t.Errorf("material(M, clone) = %v", sols)
+	}
+	sols, err = b.Query("material(M, C)", 0)
+	if err != nil || len(sols) != 2 {
+		t.Fatalf("material(M, C) = %v, %v", sols, err)
+	}
+	// Checking mode.
+	if ok, _ := b.Prove(fmt.Sprintf("material(%d, tclone)", int64(c2))); !ok {
+		t.Error("material(c2, tclone) should hold")
+	}
+	if ok, _ := b.Prove(fmt.Sprintf("material(%d, clone)", int64(c2))); ok {
+		t.Error("material(c2, clone) should fail (exact class)")
+	}
+	// State enumeration.
+	sols, err = b.Query("state(M, waiting_for_sequencing)", 0)
+	if err != nil || len(sols) != 2 {
+		t.Fatalf("state enumeration = %v, %v", sols, err)
+	}
+	// Joined with negation: materials with no sequence yet.
+	sols, err = b.Query("state(M, waiting_for_sequencing), \\+ most_recent(M, sequence, _)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["M"].String() != fmt.Sprint(int64(c2)) {
+		t.Fatalf("unsequenced = %v, %v", sols, err)
+	}
+}
+
+func TestMostRecentAndHistory(t *testing.T) {
+	db, b, c1, _ := seed(t)
+	q := fmt.Sprintf("most_recent(%d, sequence, S), most_recent(%d, quality, Q)", int64(c1), int64(c1))
+	sols, err := b.Query(q, 0)
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("most_recent = %v, %v", sols, err)
+	}
+	if sols[0]["S"].String() != `"ACGT"` || sols[0]["Q"].String() != "0.9" {
+		t.Errorf("values = %v", sols[0])
+	}
+	// Booleans become atoms.
+	if ok, _ := b.Prove(fmt.Sprintf("most_recent(%d, ok, true)", int64(c1))); !ok {
+		t.Error("ok attribute should be atom true")
+	}
+	// History joined with step/3 and step_attr/3.
+	sols, err = b.Query(fmt.Sprintf("history(%d, [St]), step(St, C, VT), step_attr(St, sequence, V)", int64(c1)), 0)
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("history join = %v, %v", sols, err)
+	}
+	if sols[0]["C"].String() != "determine_sequence" || sols[0]["VT"].String() != "10" {
+		t.Errorf("step meta = %v", sols[0])
+	}
+	// step_version.
+	if ok, _ := b.Prove(fmt.Sprintf("history(%d, [St]), step_version(St, 1)", int64(c1))); !ok {
+		t.Error("step_version should be 1")
+	}
+	_ = db
+}
+
+func TestCountsViaSetofAndExterns(t *testing.T) {
+	_, b, _, _ := seed(t)
+	// The benchmark's counting idiom in the language itself.
+	sols, err := b.Query("setof(M, clone_material(M), L), length(L, N)", 0)
+	if err == nil {
+		t.Log(sols)
+	}
+	// clone_material is not defined; define the view rule and retry — this
+	// is how the paper layers views over the event history.
+	if err := b.Engine().Consult(`clone_material(M) <- material(M, clone).`); err != nil {
+		t.Fatal(err)
+	}
+	sols, err = b.Query("setof(M, clone_material(M), L), length(L, N)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["N"].String() != "1" {
+		t.Fatalf("setof count = %v, %v", sols, err)
+	}
+	// Direct counting externs (is-a inclusive).
+	sols, err = b.Query("count_materials(clone, N)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["N"].String() != "2" {
+		t.Fatalf("count_materials = %v, %v", sols, err)
+	}
+	sols, err = b.Query("count_steps(determine_sequence, N)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["N"].String() != "1" {
+		t.Fatalf("count_steps = %v, %v", sols, err)
+	}
+	sols, err = b.Query("count_in_state(waiting_for_sequencing, N)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["N"].String() != "2" {
+		t.Fatalf("count_in_state = %v, %v", sols, err)
+	}
+}
+
+func TestWorkflowTrackingUpdates(t *testing.T) {
+	db, b, _, c2 := seed(t)
+	// The paper's advance rule, using the database-backed state predicates.
+	err := b.Engine().Consult(`
+		test_sequencing_ok(M) <- most_recent(M, ok, true).
+		advance(M) <- state(M, waiting_for_sequencing),
+		              test_sequencing_ok(M),
+		              retract_state(M, waiting_for_sequencing),
+		              assert_state(M, waiting_for_incorporation).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c2 has no sequencing result: recording one via record_step/5, then
+	// advancing, exercises the full update path through the language.
+	q := fmt.Sprintf(
+		"record_step(determine_sequence, 20, [%d], [sequence = \"GGTT\", quality = 0.7, ok = true], S)", int64(c2))
+	sols, err := b.Query(q, 0)
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("record_step = %v, %v", sols, err)
+	}
+	if ok, err := b.Prove(fmt.Sprintf("advance(%d)", int64(c2))); err != nil || !ok {
+		t.Fatalf("advance = %v, %v", ok, err)
+	}
+	st, err := db.State(c2)
+	if err != nil || st != "waiting_for_incorporation" {
+		t.Fatalf("state after advance = %q, %v", st, err)
+	}
+	// The history now has the new step.
+	hist, err := db.History(c2)
+	if err != nil || len(hist) != 1 {
+		t.Fatalf("history = %v, %v", hist, err)
+	}
+	// retract_state of a state the material is not in fails.
+	if ok, _ := b.Prove(fmt.Sprintf("retract_state(%d, done)", int64(c2))); ok {
+		t.Error("retract_state of wrong state should fail")
+	}
+}
+
+func TestCreateMaterialViaQuery(t *testing.T) {
+	db, b, _, _ := seed(t)
+	sols, err := b.Query(`create_material(clone, "c-new", done, 99, M)`, 0)
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("create_material = %v, %v", sols, err)
+	}
+	oid, ok := TermOID(sols[0]["M"])
+	if !ok {
+		t.Fatalf("M = %v", sols[0]["M"])
+	}
+	m, err := db.GetMaterial(oid)
+	if err != nil || m.Name != "c-new" || m.State != "done" || m.CreatedAt != 99 {
+		t.Fatalf("created = %+v, %v", m, err)
+	}
+	if ok, _ := b.Prove(`material_name(` + sols[0]["M"].String() + `, "c-new")`); !ok {
+		t.Error("material_name should match")
+	}
+	// Keyed mode: resolve by name alone.
+	sols, err = b.Query(`material_name(M, "c-new"), state(M, done)`, 0)
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("keyed material_name = %v, %v", sols, err)
+	}
+	if got, _ := TermOID(sols[0]["M"]); got != oid {
+		t.Errorf("keyed lookup M = %v, want %v", sols[0]["M"], oid)
+	}
+	if ok, _ := b.Prove(`material_name(_, "no-such-name")`); ok {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestValueTermRoundTrip(t *testing.T) {
+	vals := []labbase.Value{
+		labbase.Int64(-5),
+		labbase.Float64(2.5),
+		labbase.String("ACGT"),
+		labbase.Bool(true),
+		labbase.Bool(false),
+		labbase.ListOf(labbase.Int64(1), labbase.String("x"), labbase.ListOf(labbase.Float64(0.5))),
+	}
+	for _, v := range vals {
+		got, err := TermValue(ValueTerm(v))
+		if err != nil {
+			t.Fatalf("TermValue(%v): %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	// OIDs survive as integer-backed refs.
+	oid := storage.MakeOID(storage.SegMaterial, 42)
+	got, err := TermValue(ValueTerm(labbase.Ref(oid)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != labbase.KindInt || got.Int != int64(oid) {
+		t.Errorf("OID round trip = %v", got)
+	}
+	// Unbound variables cannot be stored.
+	if _, err := TermValue(&datalog.Var{Name: "X"}); err == nil {
+		t.Error("storing an unbound variable should fail")
+	}
+}
+
+func TestSchemaQueries(t *testing.T) {
+	db, b, c1, _ := seed(t)
+	// Enumerate classes and states.
+	sols, err := b.Query("setof(C, material_class(C), L)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["L"].String() != "[clone, tclone]" {
+		t.Fatalf("material classes = %v, %v", sols, err)
+	}
+	sols, err = b.Query("setof(S, workflow_state(S), L), length(L, N)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["N"].String() != "3" {
+		t.Fatalf("states = %v, %v", sols, err)
+	}
+	if ok, _ := b.Prove("step_class(determine_sequence)"); !ok {
+		t.Error("step_class(determine_sequence) should hold")
+	}
+	// Versions with attribute sets; evolve and watch version 2 appear.
+	sols, err = b.Query("step_class_version(determine_sequence, V, Attrs)", 0)
+	if err != nil || len(sols) != 1 || sols[0]["V"].String() != "1" {
+		t.Fatalf("versions = %v, %v", sols, err)
+	}
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RecordStep(labbase.StepSpec{
+		Class: "determine_sequence", ValidTime: 99,
+		Materials: []storage.OID{c1},
+		Attrs: []labbase.AttrValue{
+			{Name: "sequence", Value: labbase.String("A")},
+			{Name: "chemistry", Value: labbase.String("dye")},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	sols, err = b.Query("step_class_version(determine_sequence, 2, Attrs)", 0)
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("version 2 = %v, %v", sols, err)
+	}
+	// Attribute sets list in attribute-definition order.
+	if got := sols[0]["Attrs"].String(); got != "[sequence, chemistry]" {
+		t.Errorf("version 2 attrs = %s", got)
+	}
+}
+
+func TestTemporalPredicates(t *testing.T) {
+	db, b, _, c2 := seed(t)
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i, vt := range []int64{10, 30, 20} {
+		if _, err := db.RecordStep(labbase.StepSpec{
+			Class: "determine_sequence", ValidTime: vt,
+			Materials: []storage.OID{c2},
+			Attrs:     []labbase.AttrValue{{Name: "quality", Value: labbase.Float64(float64(i))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// As of t=25 the late arrival (valid time 20, value 2) governs.
+	sols, err := b.Query(fmt.Sprintf("most_recent_at(%d, quality, 25, V)", int64(c2)), 0)
+	if err != nil || len(sols) != 1 || sols[0]["V"].String() != "2" {
+		t.Fatalf("most_recent_at = %v, %v", sols, err)
+	}
+	// Before any assignment: no solution.
+	if ok, _ := b.Prove(fmt.Sprintf("most_recent_at(%d, quality, 5, _)", int64(c2))); ok {
+		t.Error("most_recent_at before first assignment should fail")
+	}
+	// The timeline is in valid-time order.
+	sols, err = b.Query(fmt.Sprintf("timeline(%d, quality, T)", int64(c2)), 0)
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("timeline = %v, %v", sols, err)
+	}
+	if got := sols[0]["T"].String(); got != "[[10, 0], [20, 2], [30, 1]]" {
+		t.Errorf("timeline = %s", got)
+	}
+}
+
+func TestSetMember(t *testing.T) {
+	db, b, c1, c2 := seed(t)
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := db.CreateMaterialSet([]storage.OID{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	sols, err := b.Query(fmt.Sprintf("set_member(%d, M)", int64(set)), 0)
+	if err != nil || len(sols) != 2 {
+		t.Fatalf("set_member = %v, %v", sols, err)
+	}
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars in plain text — the repository's
+// "figure" output format. Bars across all groups share one scale, so group
+// against group comparisons read directly.
+type BarChart struct {
+	title string
+	unit  string
+	rows  []barRow
+	width int
+}
+
+type barRow struct {
+	group string // printed once per group
+	label string
+	value float64
+}
+
+// NewBarChart returns a chart titled title; values carry the given unit.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{title: title, unit: unit, width: 44}
+}
+
+// Add appends one bar. Group labels repeat in data order; consecutive equal
+// groups print the group name once.
+func (c *BarChart) Add(group, label string, value float64) {
+	c.rows = append(c.rows, barRow{group: group, label: label, value: value})
+}
+
+// Write renders the chart.
+func (c *BarChart) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", c.title); err != nil {
+		return err
+	}
+	var maxVal float64
+	groupW, labelW := 0, 0
+	for _, r := range c.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if len(r.group) > groupW {
+			groupW = len(r.group)
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	prevGroup := ""
+	for _, r := range c.rows {
+		group := r.group
+		if group == prevGroup {
+			group = ""
+		} else {
+			prevGroup = r.group
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(r.value / maxVal * float64(c.width))
+		}
+		if r.value > 0 && n == 0 {
+			n = 1
+		}
+		bar := strings.Repeat("#", n)
+		if _, err := fmt.Fprintf(w, "  %-*s  %-*s  %-*s %.1f %s\n",
+			groupW, group, labelW, r.label, c.width, bar, r.value, c.unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

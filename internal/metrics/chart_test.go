@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("faults by version", "faults")
+	c.Add("0.5X", "OStore", 10)
+	c.Add("0.5X", "Texas", 40)
+	c.Add("1.0X", "OStore", 20)
+	c.Add("1.0X", "Texas", 80)
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "faults by version" {
+		t.Errorf("title = %q", lines[0])
+	}
+	// The largest value gets the longest bar; half the value, half the bar.
+	barLen := func(line string) int { return strings.Count(line, "#") }
+	if barLen(lines[4]) != 44 {
+		t.Errorf("max bar = %d, want 44:\n%s", barLen(lines[4]), out)
+	}
+	if got := barLen(lines[2]); got < 20 || got > 24 {
+		t.Errorf("half-scale bar = %d, want ~22", got)
+	}
+	// Group labels print once per group.
+	if !strings.Contains(lines[1], "0.5X") || strings.Contains(lines[2], "0.5X") {
+		t.Errorf("group labelling wrong:\n%s", out)
+	}
+	// Small nonzero values still show one mark.
+	c2 := NewBarChart("t", "u")
+	c2.Add("g", "tiny", 0.001)
+	c2.Add("g", "huge", 1000)
+	b.Reset()
+	if err := c2.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Split(b.String(), "\n")[1], "#") {
+		t.Error("tiny value lost its bar")
+	}
+	// All-zero charts render without dividing by zero.
+	c3 := NewBarChart("z", "u")
+	c3.Add("g", "zero", 0)
+	b.Reset()
+	if err := c3.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+//go:build linux
+
+package metrics
+
+import (
+	"syscall"
+	"time"
+)
+
+// rusageSelf reads CPU time and major faults from the kernel.
+func rusageSelf() Usage {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return Usage{}
+	}
+	return Usage{
+		UserCPU: time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond,
+		SysCPU:  time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond,
+		MajFlt:  uint64(ru.Majflt),
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package metrics
+
+// rusageSelf is a stub on platforms without getrusage; CPU columns read 0.
+func rusageSelf() Usage { return Usage{} }

@@ -1,0 +1,212 @@
+package rec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint(0)
+	e.Uint(math.MaxUint64)
+	e.Int(-1)
+	e.Int(1 << 40)
+	e.Byte(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float(3.14159)
+	e.PutBytes([]byte{1, 2, 3})
+	e.String("labflow")
+	e.String("")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint(); got != 0 {
+		t.Errorf("Uint = %d, want 0", got)
+	}
+	if got := d.Uint(); got != math.MaxUint64 {
+		t.Errorf("Uint = %d, want MaxUint64", got)
+	}
+	if got := d.Int(); got != -1 {
+		t.Errorf("Int = %d, want -1", got)
+	}
+	if got := d.Int(); got != 1<<40 {
+		t.Errorf("Int = %d, want 1<<40", got)
+	}
+	if got := d.Byte(); got != 0xAB {
+		t.Errorf("Byte = %x, want ab", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.Float(); got != 3.14159 {
+		t.Errorf("Float = %v, want 3.14159", got)
+	}
+	if got := d.Bytes(); len(got) != 3 || got[0] != 1 {
+		t.Errorf("Bytes = %v, want [1 2 3]", got)
+	}
+	if got := d.String(); got != "labflow" {
+		t.Errorf("String = %q, want labflow", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	e := NewEncoder(16)
+	e.String("hello world")
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_ = d.String()
+		if cut < len(full) && d.Err() == nil {
+			t.Fatalf("cut=%d: expected error on truncated input", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	d := NewDecoder(nil)
+	_ = d.Uint()
+	if d.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// Subsequent reads stay zero and do not panic.
+	if d.Uint() != 0 || d.Int() != 0 || d.Byte() != 0 || d.Bool() || d.Float() != 0 {
+		t.Error("reads after error should return zero values")
+	}
+	if d.Bytes() != nil || d.String() != "" {
+		t.Error("byte reads after error should be empty")
+	}
+}
+
+func TestFinishTrailing(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint(7)
+	e.Uint(9)
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint(); got != 7 {
+		t.Fatalf("Uint = %d, want 7", got)
+	}
+	if err := d.Finish(); err == nil {
+		t.Fatal("Finish should report trailing bytes")
+	}
+}
+
+func TestCount(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uint(3)
+	e.Byte(1)
+	e.Byte(2)
+	e.Byte(3)
+	d := NewDecoder(e.Bytes())
+	if got := d.Count(10); got != 3 || d.Err() != nil {
+		t.Fatalf("Count = %d, %v", got, d.Err())
+	}
+	// Count beyond max is corrupt.
+	e2 := NewEncoder(8)
+	e2.Uint(100)
+	e2.Raw(make([]byte, 200))
+	d2 := NewDecoder(e2.Bytes())
+	if got := d2.Count(50); got != 0 || d2.Err() == nil {
+		t.Errorf("over-max Count = %d, err=%v", got, d2.Err())
+	}
+	// Count beyond remaining input is corrupt.
+	e3 := NewEncoder(8)
+	e3.Uint(100)
+	d3 := NewDecoder(e3.Bytes())
+	if got := d3.Count(1000); got != 0 || d3.Err() == nil {
+		t.Errorf("over-remaining Count = %d, err=%v", got, d3.Err())
+	}
+	// A huge value that would overflow int is rejected, not wrapped.
+	e4 := NewEncoder(16)
+	e4.Uint(1 << 63)
+	e4.Raw(make([]byte, 64))
+	d4 := NewDecoder(e4.Bytes())
+	if got := d4.Count(1 << 30); got != 0 || d4.Err() == nil {
+		t.Errorf("overflow Count = %d, err=%v", got, d4.Err())
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3})
+	if d.Err() != nil {
+		t.Fatal("fresh decoder should have no error")
+	}
+	d.Corrupt("bad tag")
+	if d.Err() == nil {
+		t.Fatal("Corrupt should set the error")
+	}
+	first := d.Err()
+	d.Corrupt("second complaint")
+	if d.Err() != first {
+		t.Error("first error must stick")
+	}
+}
+
+func TestEncoderHelpers(t *testing.T) {
+	e := NewEncoder(8)
+	e.Raw([]byte{1, 2})
+	if e.Len() != 2 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Errorf("Len after Reset = %d", e.Len())
+	}
+	e.Uint(5)
+	d := NewDecoder(e.Bytes())
+	if d.Remaining() != 1 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+	_ = d.Uint()
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining after read = %d", d.Remaining())
+	}
+}
+
+func TestQuickUintInt(t *testing.T) {
+	f := func(u uint64, i int64, s string, fl float64, b bool) bool {
+		e := NewEncoder(32)
+		e.Uint(u)
+		e.Int(i)
+		e.String(s)
+		e.Float(fl)
+		e.Bool(b)
+		d := NewDecoder(e.Bytes())
+		gu, gi, gs, gf, gb := d.Uint(), d.Int(), d.String(), d.Float(), d.Bool()
+		if d.Finish() != nil {
+			return false
+		}
+		if gu != u || gi != i || gs != s || gb != b {
+			return false
+		}
+		// NaN compares unequal to itself; compare bit patterns instead.
+		return math.Float64bits(gf) == math.Float64bits(fl)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBytes(t *testing.T) {
+	f := func(a, b []byte) bool {
+		e := NewEncoder(len(a) + len(b) + 8)
+		e.PutBytes(a)
+		e.PutBytes(b)
+		d := NewDecoder(e.Bytes())
+		ga := append([]byte(nil), d.Bytes()...)
+		gb := append([]byte(nil), d.Bytes()...)
+		if d.Finish() != nil {
+			return false
+		}
+		return string(ga) == string(a) && string(gb) == string(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

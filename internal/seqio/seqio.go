@@ -1,0 +1,288 @@
+// Package seqio is the synthetic genome substrate: deterministic DNA
+// sequence generation, simulated sequencing reads with base-call errors and
+// quality values, consensus assembly, and a homology-search oracle standing
+// in for BLAST over GenBank/EMBL.
+//
+// The LabFlow-1 workload needs a source of step results with realistic
+// shapes — variable-length sequence strings, per-read qualities, assembly
+// coverage, and scored homology hit lists (the paper's "set and list
+// generation" requirement). Real instruments and the public databases are
+// unavailable here, so everything is synthesized from a seed; the same seed
+// always produces the same laboratory.
+package seqio
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+var bases = [4]byte{'A', 'C', 'G', 'T'}
+
+// Gen deterministically generates sequences and reads.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen returns a generator seeded with seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sequence returns a random DNA sequence of length n.
+func (g *Gen) Sequence(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[g.rng.Intn(4)]
+	}
+	return string(b)
+}
+
+// Mutate returns a copy of seq with each base substituted independently with
+// probability rate — used to synthesize homologous families.
+func (g *Gen) Mutate(seq string, rate float64) string {
+	b := []byte(seq)
+	for i := range b {
+		if g.rng.Float64() < rate {
+			b[i] = bases[g.rng.Intn(4)]
+		}
+	}
+	return string(b)
+}
+
+// Read is a simulated sequencing read: a (possibly erroneous) substring of a
+// template with a known start position and a mean base quality.
+type Read struct {
+	Seq     string
+	Start   int
+	Quality float64 // mean per-base accuracy estimate in [0, 1]
+}
+
+// ReadAt simulates sequencing n bases of template starting at start, with
+// independent base-call errors at errRate. Reads off the end are truncated.
+func (g *Gen) ReadAt(template string, start, n int, errRate float64) Read {
+	if start < 0 {
+		start = 0
+	}
+	if start > len(template) {
+		start = len(template)
+	}
+	end := min(start+n, len(template))
+	b := []byte(template[start:end])
+	errs := 0
+	for i := range b {
+		if g.rng.Float64() < errRate {
+			b[i] = bases[g.rng.Intn(4)]
+			errs++
+		}
+	}
+	q := 1.0
+	if len(b) > 0 {
+		// The instrument's quality estimate is noisy around the truth.
+		q = 1 - float64(errs)/float64(len(b))
+		q += (g.rng.Float64() - 0.5) * 0.02
+		q = max(0, min(1, q))
+	}
+	return Read{Seq: string(b), Start: start, Quality: q}
+}
+
+// Assembly is the result of assembling reads against a common coordinate
+// system.
+type Assembly struct {
+	Consensus string
+	// Coverage is the mean number of reads covering each consensus base.
+	Coverage float64
+	// Holes is the number of positions no read covered (consensus 'N').
+	Holes int
+}
+
+// Assemble builds a majority-vote consensus from reads with known start
+// positions (the simulator knows where each read came from, standing in for
+// an alignment step).
+func Assemble(reads []Read) Assembly {
+	length := 0
+	for _, r := range reads {
+		if end := r.Start + len(r.Seq); end > length {
+			length = end
+		}
+	}
+	if length == 0 {
+		return Assembly{}
+	}
+	counts := make([][4]int, length)
+	for _, r := range reads {
+		for i := 0; i < len(r.Seq); i++ {
+			if bi := baseIndex(r.Seq[i]); bi >= 0 {
+				counts[r.Start+i][bi]++
+			}
+		}
+	}
+	cons := make([]byte, length)
+	covered := 0
+	totalCover := 0
+	holes := 0
+	for i, c := range counts {
+		best, bestN, tot := -1, 0, 0
+		for bi, n := range c {
+			tot += n
+			if n > bestN {
+				best, bestN = bi, n
+			}
+		}
+		if best < 0 {
+			cons[i] = 'N'
+			holes++
+			continue
+		}
+		cons[i] = bases[best]
+		covered++
+		totalCover += tot
+	}
+	asm := Assembly{Consensus: string(cons), Holes: holes}
+	if covered > 0 {
+		asm.Coverage = float64(totalCover) / float64(covered)
+	}
+	return asm
+}
+
+func baseIndex(b byte) int {
+	switch b {
+	case 'A':
+		return 0
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	case 'T':
+		return 3
+	}
+	return -1
+}
+
+// Identity returns the fraction of positions where a and b agree (over the
+// shorter length); 0 if either is empty.
+func Identity(a, b string) float64 {
+	n := min(len(a), len(b))
+	if n == 0 {
+		return 0
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(n)
+}
+
+// Hit is one homology-search result.
+type Hit struct {
+	Accession string
+	Score     float64 // k-mer Jaccard similarity in [0, 1]
+}
+
+// HomologyDB is the BLAST/GenBank stand-in: a k-mer-sketch index over the
+// sequences published so far, searched by Jaccard similarity.
+type HomologyDB struct {
+	k       int
+	entries []dbEntry
+	byAcc   map[string]int
+}
+
+type dbEntry struct {
+	accession string
+	kmers     map[uint64]struct{}
+}
+
+// NewHomologyDB returns an empty database with k-mer size k (k in [4, 16];
+// 8 is a good default).
+func NewHomologyDB(k int) (*HomologyDB, error) {
+	if k < 4 || k > 16 {
+		return nil, fmt.Errorf("seqio: k-mer size %d out of range [4, 16]", k)
+	}
+	return &HomologyDB{k: k, byAcc: make(map[string]int)}, nil
+}
+
+// Len returns the number of database entries.
+func (db *HomologyDB) Len() int { return len(db.entries) }
+
+// Add publishes a sequence under an accession; re-adding an accession
+// replaces its sequence.
+func (db *HomologyDB) Add(accession, seq string) {
+	e := dbEntry{accession: accession, kmers: db.kmerSet(seq)}
+	if i, ok := db.byAcc[accession]; ok {
+		db.entries[i] = e
+		return
+	}
+	db.byAcc[accession] = len(db.entries)
+	db.entries = append(db.entries, e)
+}
+
+func (db *HomologyDB) kmerSet(seq string) map[uint64]struct{} {
+	out := make(map[uint64]struct{})
+	if len(seq) < db.k {
+		return out
+	}
+	var h uint64
+	mask := uint64(1)<<(2*uint(db.k)) - 1
+	valid := 0
+	for i := 0; i < len(seq); i++ {
+		bi := baseIndex(seq[i])
+		if bi < 0 {
+			h, valid = 0, 0
+			continue
+		}
+		h = (h<<2 | uint64(bi)) & mask
+		valid++
+		if valid >= db.k {
+			out[h] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Search returns up to maxHits entries with similarity >= minScore, best
+// first; ties break by accession so results are deterministic.
+func (db *HomologyDB) Search(seq string, maxHits int, minScore float64) []Hit {
+	q := db.kmerSet(seq)
+	if len(q) == 0 {
+		return nil
+	}
+	var hits []Hit
+	for _, e := range db.entries {
+		inter := 0
+		for k := range q {
+			if _, ok := e.kmers[k]; ok {
+				inter++
+			}
+		}
+		if inter == 0 {
+			continue
+		}
+		union := len(q) + len(e.kmers) - inter
+		score := float64(inter) / float64(union)
+		if score >= minScore {
+			hits = append(hits, Hit{Accession: e.accession, Score: score})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Accession < hits[j].Accession
+	})
+	if maxHits > 0 && len(hits) > maxHits {
+		hits = hits[:maxHits]
+	}
+	return hits
+}
+
+// GC returns the G+C fraction of a sequence (a routine lab statistic).
+func GC(seq string) float64 {
+	if len(seq) == 0 {
+		return 0
+	}
+	n := strings.Count(seq, "G") + strings.Count(seq, "C")
+	return float64(n) / float64(len(seq))
+}

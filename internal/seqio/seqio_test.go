@@ -1,0 +1,202 @@
+package seqio
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequenceDeterministic(t *testing.T) {
+	a := NewGen(7).Sequence(500)
+	b := NewGen(7).Sequence(500)
+	if a != b {
+		t.Error("same seed must give same sequence")
+	}
+	c := NewGen(8).Sequence(500)
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+	if len(a) != 500 {
+		t.Errorf("length = %d", len(a))
+	}
+	for _, ch := range a {
+		if !strings.ContainsRune("ACGT", ch) {
+			t.Fatalf("bad base %q", ch)
+		}
+	}
+}
+
+func TestMutateRate(t *testing.T) {
+	g := NewGen(1)
+	seq := g.Sequence(10000)
+	mut := g.Mutate(seq, 0.1)
+	id := Identity(seq, mut)
+	// 10% mutation with 1/4 silent: expect identity around 0.925.
+	if id < 0.9 || id > 0.95 {
+		t.Errorf("identity after 10%% mutation = %v", id)
+	}
+	if got := g.Mutate(seq, 0); got != seq {
+		t.Error("zero-rate mutation changed the sequence")
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	g := NewGen(2)
+	tpl := g.Sequence(1000)
+	r := g.ReadAt(tpl, 100, 300, 0)
+	if r.Start != 100 || len(r.Seq) != 300 {
+		t.Fatalf("read = start %d len %d", r.Start, len(r.Seq))
+	}
+	if r.Seq != tpl[100:400] {
+		t.Error("error-free read must match the template")
+	}
+	if r.Quality < 0.97 {
+		t.Errorf("error-free quality = %v", r.Quality)
+	}
+	// Truncated at the end.
+	r = g.ReadAt(tpl, 900, 300, 0)
+	if len(r.Seq) != 100 {
+		t.Errorf("truncated read len = %d, want 100", len(r.Seq))
+	}
+	// Clamped start.
+	r = g.ReadAt(tpl, -5, 10, 0)
+	if r.Start != 0 {
+		t.Errorf("clamped start = %d", r.Start)
+	}
+	// With errors, identity drops roughly by the error rate.
+	r = g.ReadAt(tpl, 0, 1000, 0.1)
+	id := Identity(r.Seq, tpl)
+	if id < 0.88 || id > 0.96 {
+		t.Errorf("identity with 10%% errors = %v", id)
+	}
+}
+
+func TestAssemble(t *testing.T) {
+	g := NewGen(3)
+	tpl := g.Sequence(1200)
+	var reads []Read
+	for start := 0; start < 1200; start += 150 {
+		// 3x coverage with modest errors.
+		for i := 0; i < 3; i++ {
+			reads = append(reads, g.ReadAt(tpl, start, 400, 0.02))
+		}
+	}
+	asm := Assemble(reads)
+	if len(asm.Consensus) != 1200 {
+		t.Fatalf("consensus length = %d", len(asm.Consensus))
+	}
+	if id := Identity(asm.Consensus, tpl); id < 0.99 {
+		t.Errorf("consensus identity = %v, want > 0.99 (majority vote should fix errors)", id)
+	}
+	if asm.Coverage < 2 {
+		t.Errorf("coverage = %v", asm.Coverage)
+	}
+	if asm.Holes != 0 {
+		t.Errorf("holes = %d", asm.Holes)
+	}
+	// A gap in coverage yields N holes.
+	gappy := Assemble([]Read{{Seq: "ACGT", Start: 0}, {Seq: "ACGT", Start: 8}})
+	if gappy.Holes != 4 || gappy.Consensus[4:8] != "NNNN" {
+		t.Errorf("gappy = %+v", gappy)
+	}
+	if a := Assemble(nil); a.Consensus != "" || a.Coverage != 0 {
+		t.Errorf("empty assembly = %+v", a)
+	}
+}
+
+func TestHomologySearch(t *testing.T) {
+	g := NewGen(4)
+	db, err := NewHomologyDB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.Sequence(800)
+	db.Add("ACC0001", base)
+	db.Add("ACC0002", g.Mutate(base, 0.05)) // close homolog
+	db.Add("ACC0003", g.Sequence(800))      // unrelated
+
+	hits := db.Search(g.Mutate(base, 0.02), 10, 0.05)
+	if len(hits) < 2 {
+		t.Fatalf("hits = %v, want the two homologs", hits)
+	}
+	if hits[0].Accession != "ACC0001" {
+		t.Errorf("best hit = %v, want ACC0001", hits[0])
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Error("hits not sorted by score")
+		}
+	}
+	for _, h := range hits {
+		if h.Accession == "ACC0003" && h.Score > 0.1 {
+			t.Errorf("unrelated sequence scored %v", h.Score)
+		}
+	}
+	// maxHits cap.
+	if got := db.Search(base, 1, 0); len(got) != 1 {
+		t.Errorf("maxHits=1 returned %d", len(got))
+	}
+	// Replacing an accession.
+	db.Add("ACC0003", base)
+	hits = db.Search(base, 10, 0.5)
+	found := false
+	for _, h := range hits {
+		if h.Accession == "ACC0003" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("replaced accession should now be a strong hit")
+	}
+	if db.Len() != 3 {
+		t.Errorf("Len = %d, want 3", db.Len())
+	}
+	if _, err := NewHomologyDB(2); err == nil {
+		t.Error("k=2 should be rejected")
+	}
+}
+
+func TestGC(t *testing.T) {
+	if got := GC("GGCC"); got != 1 {
+		t.Errorf("GC = %v", got)
+	}
+	if got := GC("AATT"); got != 0 {
+		t.Errorf("GC = %v", got)
+	}
+	if got := GC("ACGT"); got != 0.5 {
+		t.Errorf("GC = %v", got)
+	}
+	if got := GC(""); got != 0 {
+		t.Errorf("GC empty = %v", got)
+	}
+}
+
+// TestQuickSelfSimilarity: any sequence is its own best homolog with score 1.
+func TestQuickSelfSimilarity(t *testing.T) {
+	g := NewGen(99)
+	db, _ := NewHomologyDB(8)
+	f := func(n uint8) bool {
+		length := 50 + int(n)%400
+		seq := g.Sequence(length)
+		db.Add("self", seq)
+		hits := db.Search(seq, 1, 0)
+		return len(hits) == 1 && hits[0].Score == 1 && hits[0].Accession == "self"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIdentityBounds: Identity is within [0,1] and 1 on self.
+func TestQuickIdentityBounds(t *testing.T) {
+	g := NewGen(123)
+	f := func(a, b uint8) bool {
+		s1 := g.Sequence(10 + int(a)%100)
+		s2 := g.Sequence(10 + int(b)%100)
+		id := Identity(s1, s2)
+		return id >= 0 && id <= 1 && Identity(s1, s1) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

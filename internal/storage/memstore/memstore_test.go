@@ -1,0 +1,41 @@
+package memstore
+
+import (
+	"testing"
+
+	"labflow/internal/storage"
+	"labflow/internal/storage/storagetest"
+)
+
+func TestConformance(t *testing.T) {
+	storagetest.Conformance(t, func(t *testing.T) storage.Manager {
+		m := Open("Test-mm")
+		t.Cleanup(func() { m.Close() })
+		return m
+	})
+}
+
+func TestNameAndSize(t *testing.T) {
+	m := Open("OStore-mm")
+	defer m.Close()
+	if m.Name() != "OStore-mm" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocate(storage.SegHistory, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Main-memory versions report no persistent footprint, matching the
+	// blank size entries in the paper's table.
+	if got := m.Stats().SizeBytes; got != 0 {
+		t.Errorf("SizeBytes = %d, want 0", got)
+	}
+	if got := m.Stats().Faults; got != 0 {
+		t.Errorf("Faults = %d, want 0", got)
+	}
+}

@@ -1,0 +1,318 @@
+package ostore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"labflow/internal/storage"
+	"labflow/internal/storage/pagefile"
+	"labflow/internal/storage/storagetest"
+)
+
+func openTemp(t *testing.T, opts Options) storage.Manager {
+	t.Helper()
+	if opts.Path == "" {
+		opts.Path = filepath.Join(t.TempDir(), "ostore.db")
+	}
+	m, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestConformanceFile(t *testing.T) {
+	storagetest.Conformance(t, func(t *testing.T) storage.Manager {
+		return openTemp(t, Options{})
+	})
+}
+
+func TestConformanceSmallPool(t *testing.T) {
+	storagetest.Conformance(t, func(t *testing.T) storage.Manager {
+		return openTemp(t, Options{PoolPages: 20})
+	})
+}
+
+func TestConformanceMemBacking(t *testing.T) {
+	storagetest.Conformance(t, func(t *testing.T) storage.Manager {
+		m, err := Open(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		return m
+	})
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ostore.db")
+	m, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	var oids []storage.OID
+	for i := 0; i < 300; i++ {
+		oid, err := m.Allocate(storage.SegMaterial, []byte(fmt.Sprintf("m-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := m.SetRoot(oids[42]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	for i, oid := range oids {
+		got, err := m2.Read(oid)
+		if err != nil || string(got) != fmt.Sprintf("m-%d", i) {
+			t.Fatalf("Read %v = %q, %v", oid, got, err)
+		}
+	}
+	if root, _ := m2.Root(); root != oids[42] {
+		t.Fatalf("Root = %v, want %v", root, oids[42])
+	}
+}
+
+// TestRecovery simulates a crash after the redo log is written but before
+// the database pages are updated: the data must reappear on reopen.
+func TestRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ostore.db")
+	logPath := path + ".log"
+
+	// Build a committed baseline database.
+	m, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := m.Allocate(storage.SegMaterial, []byte("before crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetRoot(oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge a complete redo record that rewrites the object's page with a
+	// recognisable image, simulating a crash between log force and page
+	// write-back. We find the page by scanning the db file for the record.
+	db, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageOf := -1
+	for p := 0; p*pagefile.PageSize < len(db); p++ {
+		page := db[p*pagefile.PageSize : (p+1)*pagefile.PageSize]
+		if idx := indexOf(page, []byte("before crash")); idx >= 0 {
+			pageOf = p
+			break
+		}
+	}
+	if pageOf < 0 {
+		t.Fatal("did not find record page in database file")
+	}
+	img := make([]byte, pagefile.PageSize)
+	copy(img, db[pageOf*pagefile.PageSize:(pageOf+1)*pagefile.PageSize])
+	copy(img[indexOf(img, []byte("before crash")):], []byte("after replay"))
+
+	var log []byte
+	log = binary.LittleEndian.AppendUint32(log, 1)
+	log = binary.LittleEndian.AppendUint32(log, uint32(pageOf))
+	log = append(log, img...)
+	log = binary.LittleEndian.AppendUint64(log, commitMagic)
+	if err := os.WriteFile(logPath, log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen with log: %v", err)
+	}
+	defer m2.Close()
+	got, err := m2.Read(oid)
+	if err != nil || string(got) != "after replay" {
+		t.Fatalf("after recovery Read = %q, %v; want %q", got, err, "after replay")
+	}
+	// The log must have been truncated.
+	if info, err := os.Stat(logPath); err != nil || info.Size() != 0 {
+		t.Fatalf("log not truncated after recovery: %v, %v", info, err)
+	}
+}
+
+// TestIncompleteLogIgnored checks that a torn (incomplete) redo record is
+// discarded rather than applied.
+func TestIncompleteLogIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ostore.db")
+	m, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := m.Allocate(storage.SegMaterial, []byte("stable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A record claiming one page but cut off before the commit marker.
+	var log []byte
+	log = binary.LittleEndian.AppendUint32(log, 1)
+	log = binary.LittleEndian.AppendUint32(log, 1)
+	log = append(log, make([]byte, pagefile.PageSize/2)...) // torn
+	if err := os.WriteFile(path+".log", log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	got, err := m2.Read(oid)
+	if err != nil || string(got) != "stable" {
+		t.Fatalf("Read = %q, %v; want stable", got, err)
+	}
+}
+
+// TestBoundedPoolFaults: with a pool smaller than the working set, a scan
+// larger than the pool must fault on re-scan; with a large pool it must not.
+func TestBoundedPoolFaults(t *testing.T) {
+	build := func(pool int) (storage.Manager, []storage.OID) {
+		path := filepath.Join(t.TempDir(), "db")
+		m, err := Open(Options{Path: path, PoolPages: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		var oids []storage.OID
+		payload := make([]byte, 2000) // 4 records per page -> 100 pages
+		for i := 0; i < 400; i++ {
+			oid, err := m.Allocate(storage.SegHistory, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oids = append(oids, oid)
+		}
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return m, oids
+	}
+
+	scanTwice := func(m storage.Manager, oids []storage.OID) (first, second uint64) {
+		base := m.Stats().Faults
+		for _, oid := range oids {
+			if _, err := m.Read(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mid := m.Stats().Faults
+		for _, oid := range oids {
+			if _, err := m.Read(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return mid - base, m.Stats().Faults - mid
+	}
+
+	mSmall, oidsSmall := build(32)
+	_, secondSmall := scanTwice(mSmall, oidsSmall)
+	if secondSmall == 0 {
+		t.Error("small pool: second scan should fault (working set exceeds pool)")
+	}
+
+	mBig, oidsBig := build(4096)
+	_, secondBig := scanTwice(mBig, oidsBig)
+	if secondBig != 0 {
+		t.Errorf("large pool: second scan faulted %d times, want 0", secondBig)
+	}
+}
+
+// TestAbandonedProcessKeepsCommits simulates a process that dies without
+// Close: every committed transaction must be readable on reopen (commit
+// writes pages to the database file before returning).
+func TestAbandonedProcessKeepsCommits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "abandoned.db")
+	m, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oids []storage.OID
+	for txn := 0; txn < 5; txn++ {
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			oid, err := m.Allocate(storage.SegHistory, []byte(fmt.Sprintf("txn%d-rec%d", txn, i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			oids = append(oids, oid)
+		}
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the "process" is gone. (The open file handle is dropped.)
+	m = nil
+
+	m2, err := Open(Options{Path: path, LogPath: path + ".log2"})
+	if err != nil {
+		t.Fatalf("reopen after abandonment: %v", err)
+	}
+	defer m2.Close()
+	for i, oid := range oids {
+		want := fmt.Sprintf("txn%d-rec%d", i/20, i%20)
+		got, err := m2.Read(oid)
+		if err != nil || string(got) != want {
+			t.Fatalf("record %d = %q, %v; want %q", i, got, err, want)
+		}
+	}
+}
+
+func indexOf(hay, needle []byte) int {
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		if string(hay[i:i+len(needle)]) == string(needle) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,182 @@
+package ostore
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"labflow/internal/storage"
+	"labflow/internal/storage/pagefile"
+)
+
+// TestNoStealAndTrim verifies the pool policy: during a transaction dirty
+// pages may push the pool past capacity (no-steal), and commit trims it back.
+func TestNoStealAndTrim(t *testing.T) {
+	m, err := Open(Options{Path: filepath.Join(t.TempDir(), "db"), PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty far more pages than the pool holds inside one transaction.
+	payload := bytes.Repeat([]byte("x"), 4000) // 2 records per page
+	for i := 0; i < 200; i++ {
+		if _, err := m.Allocate(storage.SegHistory, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	// All dirty pages were written exactly once at commit.
+	if st.PageWrites < 100 {
+		t.Errorf("PageWrites = %d, want >= 100 (about one per data page)", st.PageWrites)
+	}
+	// Fresh pages never fault; at most the clean superblock page can be
+	// evicted mid-transaction and faulted back at commit.
+	if st.Faults > 2 {
+		t.Errorf("Faults during build = %d, want <= 2 (all data pages were fresh)", st.Faults)
+	}
+}
+
+// TestLockTableLifecycle checks strict 2PL bookkeeping: locks accumulate
+// during a transaction and are all released at commit.
+func TestLockTableLifecycle(t *testing.T) {
+	mgr, err := Open(Options{Path: filepath.Join(t.TempDir(), "db")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	// Reach inside: the manager is a *pagefile.Store over our pager; we
+	// re-open the internals through the exported API only, so instead we
+	// check observable behaviour: reads outside transactions do not retain
+	// locks that would block later writes.
+	if err := mgr.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := mgr.Allocate(storage.SegMaterial, []byte("locked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := mgr.Read(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Write(oid, []byte("relocked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mgr.Read(oid)
+	if err != nil || string(got) != "relocked" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+}
+
+// TestSyncLogOption exercises the fsync-at-commit path.
+func TestSyncLogOption(t *testing.T) {
+	m, err := Open(Options{Path: filepath.Join(t.TempDir(), "db"), SyncLog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocate(storage.SegCatalog, []byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatalf("commit with SyncLog: %v", err)
+	}
+}
+
+// TestEvictionAccounting fills the pool with clean pages and confirms CLOCK
+// evictions happen (and are counted) once capacity is exceeded.
+func TestEvictionAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db")
+	m, err := Open(Options{Path: path, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("e"), 4000)
+	var oids []storage.OID
+	for i := 0; i < 100; i++ {
+		oid, err := m.Allocate(storage.SegHistory, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Options{Path: path, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	// Scan everything twice: with 50+ data pages and a 16-page pool the
+	// second pass must fault again (pages were evicted in between).
+	for pass := 0; pass < 2; pass++ {
+		for _, oid := range oids {
+			if _, err := m2.Read(oid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := m2.Stats()
+	if st.Faults < 60 {
+		t.Errorf("Faults = %d, want >= 60 across two passes with a tiny pool", st.Faults)
+	}
+}
+
+// TestPagefileStoreSlackless confirms ostore reserves no allocation slack:
+// identical records consume about their own size (plus slot overhead).
+func TestPagefileStoreSlackless(t *testing.T) {
+	m, err := Open(Options{Path: filepath.Join(t.TempDir(), "db")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// 530-byte records: exact-fit packing admits 15 per page
+	// (15 * (530+6) = 8040 <= 8184); a power-of-two heap would round each
+	// to 1024 and fit only 7.
+	payload := make([]byte, 530)
+	for i := 0; i < 150; i++ {
+		if _, err := m.Allocate(storage.SegHistory, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	// 150 records at exact fit: about 10 data pages (+ tables and
+	// superblock). Allow generous overhead but rule out heap rounding.
+	maxPages := uint64(18)
+	if st.SizeBytes > maxPages*pagefile.PageSize {
+		t.Errorf("size = %d bytes (> %d pages); exact-fit packing expected", st.SizeBytes, maxPages)
+	}
+}

@@ -1,0 +1,103 @@
+package pagefile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileBackingRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	b, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.NumPages() != 0 {
+		t.Fatalf("fresh backing pages = %d", b.NumPages())
+	}
+	id0, err := b.Grow()
+	if err != nil || id0 != 0 {
+		t.Fatalf("Grow = %d, %v", id0, err)
+	}
+	id1, _ := b.Grow()
+	if id1 != 1 || b.NumPages() != 2 || b.SizeBytes() != 2*PageSize {
+		t.Fatalf("after grows: %d pages, %d bytes", b.NumPages(), b.SizeBytes())
+	}
+
+	// Grown-but-unwritten pages read as zeros.
+	buf := make([]byte, PageSize)
+	buf[0] = 0xEE
+	if err := b.ReadPage(id1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("unwritten page should read zero-filled")
+	}
+
+	want := bytes.Repeat([]byte{0xAB}, PageSize)
+	if err := b.WritePage(id1, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := b.ReadPage(id1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("page contents corrupted")
+	}
+	// Page 0 written after page 1: sparse region still reads as zeros.
+	if err := b.ReadPage(id0, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range got {
+		if c != 0 {
+			t.Fatal("page 0 should still be zeros")
+		}
+	}
+
+	// Out-of-range access is an error.
+	if err := b.ReadPage(99, got); err == nil {
+		t.Error("read beyond end should fail")
+	}
+	if err := b.WritePage(99, got); err == nil {
+		t.Error("write beyond end should fail")
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFileRejectsTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.db")
+	if err := os.WriteFile(path, make([]byte, PageSize+100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("a file that is not a whole number of pages should be rejected")
+	}
+}
+
+func TestMemBackingBounds(t *testing.T) {
+	b := NewMem()
+	buf := make([]byte, PageSize)
+	if err := b.ReadPage(0, buf); err == nil {
+		t.Error("read of empty backing should fail")
+	}
+	if err := b.WritePage(0, buf); err == nil {
+		t.Error("write of empty backing should fail")
+	}
+	id, err := b.Grow()
+	if err != nil || id != 0 {
+		t.Fatal(err)
+	}
+	// Unwritten grown page reads zeros.
+	buf[7] = 9
+	if err := b.ReadPage(0, buf); err != nil || buf[7] != 0 {
+		t.Fatalf("unwritten mem page: %v, byte=%d", err, buf[7])
+	}
+	if b.Sync() != nil || b.Close() != nil {
+		t.Error("mem backing sync/close should be no-ops")
+	}
+}

@@ -1,0 +1,922 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"labflow/internal/rec"
+	"labflow/internal/storage"
+)
+
+// Superblock layout (page 0).
+//
+//	0:8     magic "LFSB0001"
+//	8:12    page size
+//	12:20   root OID
+//	20:24   free-page chain head (0 = none)
+//	24:88   per segment (4 x 16): dirPage u32, fillPage u32, nextIndex u64
+//	88:96   live objects
+//	96:104  live bytes
+const (
+	superMagic   = "LFSB0001"
+	dirEntries   = PageSize / 4 // table pages per segment directory
+	tableEntries = PageSize / 8 // object-table entries per table page
+
+	entryOverflow  = uint64(1) << 63
+	entryTombstone = math.MaxUint64
+)
+
+type segMeta struct {
+	dirPage   PageID // directory of object-table pages (0 = not yet allocated)
+	fillPage  PageID // current allocation target (0 = none)
+	nextIndex uint64 // last issued object index
+}
+
+type superblock struct {
+	root     storage.OID
+	freePage PageID
+	segs     [storage.NumSegments]segMeta
+	liveObj  uint64
+	liveByte uint64
+}
+
+// Store implements storage.Manager over a Pager: stable logical OIDs through
+// per-segment object tables, slotted-page records, overflow chains for large
+// records, and a free-page list.
+//
+// Store serializes object-level operations with a single mutex; concurrency
+// control below the object layer (page locks) is the pager's business. This
+// matches the benchmark's single-writer workload while keeping multi-client
+// page traffic well-formed.
+type Store struct {
+	mu     sync.Mutex
+	name   string
+	pager  Pager
+	super  superblock
+	inTxn  bool
+	closed bool
+
+	// slack maps a record size to the heap capacity reserved for it; nil
+	// reserves exactly the record size. The texas manager installs its
+	// heap allocator's size classes here, which is why its database files
+	// are larger than ostore's for identical data — as in the paper.
+	slack func(int) int
+
+	// succ chains cluster pages: when a cluster's page fills, the overflow
+	// page is recorded as its successor, and every AllocateNear anchored
+	// anywhere in the cluster funnels down the chain. Pages therefore fill
+	// completely before a cluster grows. Placement hints only (in-memory);
+	// after a reopen, extensions simply start new chains.
+	succ map[PageID]PageID
+
+	reads  uint64
+	writes uint64
+	allocs uint64
+}
+
+// maxClusterHops bounds the successor-chain walk.
+const maxClusterHops = 64
+
+// New opens (or formats) a store named name over the pager. A fresh backing
+// store is formatted with an empty superblock. slack, if non-nil, maps a
+// record size to the reserved heap capacity (allocator size classes).
+func New(name string, pager Pager, slack func(int) int) (*Store, error) {
+	s := &Store{name: name, pager: pager, slack: slack, succ: make(map[PageID]PageID)}
+	if err := pager.Begin(); err != nil {
+		return nil, fmt.Errorf("pagefile: format begin: %w", err)
+	}
+	if pager.SizeBytes() == 0 {
+		f, err := pager.AllocPage()
+		if err != nil {
+			return nil, fmt.Errorf("pagefile: allocate superblock: %w", err)
+		}
+		if f.ID != 0 {
+			return nil, fmt.Errorf("pagefile: superblock landed on page %d, want 0", f.ID)
+		}
+		s.writeSuper(f.Data)
+		pager.Unpin(f, true)
+	} else {
+		f, err := pager.Pin(0, ModeRead)
+		if err != nil {
+			return nil, fmt.Errorf("pagefile: read superblock: %w", err)
+		}
+		err = s.readSuper(f.Data)
+		pager.Unpin(f, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := pager.Commit(); err != nil {
+		return nil, fmt.Errorf("pagefile: format commit: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Store) writeSuper(p []byte) {
+	clear(p[:PageSize])
+	copy(p[0:8], superMagic)
+	binary.LittleEndian.PutUint32(p[8:12], PageSize)
+	binary.LittleEndian.PutUint64(p[12:20], uint64(s.super.root))
+	binary.LittleEndian.PutUint32(p[20:24], uint32(s.super.freePage))
+	for i := range s.super.segs {
+		base := 24 + i*16
+		binary.LittleEndian.PutUint32(p[base:], uint32(s.super.segs[i].dirPage))
+		binary.LittleEndian.PutUint32(p[base+4:], uint32(s.super.segs[i].fillPage))
+		binary.LittleEndian.PutUint64(p[base+8:], s.super.segs[i].nextIndex)
+	}
+	binary.LittleEndian.PutUint64(p[88:96], s.super.liveObj)
+	binary.LittleEndian.PutUint64(p[96:104], s.super.liveByte)
+}
+
+func (s *Store) readSuper(p []byte) error {
+	if string(p[0:8]) != superMagic {
+		return fmt.Errorf("pagefile: bad superblock magic %q", p[0:8])
+	}
+	if ps := binary.LittleEndian.Uint32(p[8:12]); ps != PageSize {
+		return fmt.Errorf("pagefile: page size mismatch: file %d, build %d", ps, PageSize)
+	}
+	s.super.root = storage.OID(binary.LittleEndian.Uint64(p[12:20]))
+	s.super.freePage = PageID(binary.LittleEndian.Uint32(p[20:24]))
+	for i := range s.super.segs {
+		base := 24 + i*16
+		s.super.segs[i].dirPage = PageID(binary.LittleEndian.Uint32(p[base:]))
+		s.super.segs[i].fillPage = PageID(binary.LittleEndian.Uint32(p[base+4:]))
+		s.super.segs[i].nextIndex = binary.LittleEndian.Uint64(p[base+8:])
+	}
+	s.super.liveObj = binary.LittleEndian.Uint64(p[88:96])
+	s.super.liveByte = binary.LittleEndian.Uint64(p[96:104])
+	return nil
+}
+
+func (s *Store) flushSuper() error {
+	f, err := s.pager.Pin(0, ModeWrite)
+	if err != nil {
+		return fmt.Errorf("pagefile: pin superblock: %w", err)
+	}
+	s.writeSuper(f.Data)
+	s.pager.Unpin(f, true)
+	return nil
+}
+
+// Name implements storage.Manager.
+func (s *Store) Name() string { return s.name }
+
+// allocPageRaw takes a page from the free chain or grows the backing store.
+// The page is returned pinned for write with undefined contents.
+func (s *Store) allocPageRaw() (*Frame, error) {
+	if s.super.freePage != 0 {
+		id := s.super.freePage
+		f, err := s.pager.Pin(id, ModeWrite)
+		if err != nil {
+			return nil, fmt.Errorf("pagefile: pin free page %d: %w", id, err)
+		}
+		s.super.freePage = PageID(binary.LittleEndian.Uint32(f.Data[0:4]))
+		return f, nil
+	}
+	return s.pager.AllocPage()
+}
+
+// releasePage puts a page on the free chain.
+func (s *Store) releasePage(id PageID) error {
+	f, err := s.pager.Pin(id, ModeWrite)
+	if err != nil {
+		return fmt.Errorf("pagefile: pin page %d for release: %w", id, err)
+	}
+	clear(f.Data[:PageSize])
+	binary.LittleEndian.PutUint32(f.Data[0:4], uint32(s.super.freePage))
+	s.pager.Unpin(f, true)
+	s.super.freePage = id
+	return nil
+}
+
+// entryLoc resolves an object index to its table-page location, allocating
+// directory and table pages on demand when alloc is true.
+func (s *Store) entryLoc(seg storage.SegmentID, index uint64, alloc bool) (PageID, int, error) {
+	if index == 0 {
+		return 0, 0, storage.ErrNoSuchObject
+	}
+	idx := index - 1
+	dirSlot := int(idx / tableEntries)
+	tblSlot := int(idx % tableEntries)
+	if dirSlot >= dirEntries {
+		return 0, 0, storage.ErrSegmentFull
+	}
+	sm := &s.super.segs[seg]
+	if sm.dirPage == 0 {
+		if !alloc {
+			return 0, 0, storage.ErrNoSuchObject
+		}
+		f, err := s.allocPageRaw()
+		if err != nil {
+			return 0, 0, err
+		}
+		clear(f.Data[:PageSize])
+		sm.dirPage = f.ID
+		s.pager.Unpin(f, true)
+	}
+	df, err := s.pager.Pin(sm.dirPage, ModeRead)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pagefile: pin directory page: %w", err)
+	}
+	tbl := PageID(binary.LittleEndian.Uint32(df.Data[dirSlot*4:]))
+	s.pager.Unpin(df, false)
+	if tbl == 0 {
+		if !alloc {
+			return 0, 0, storage.ErrNoSuchObject
+		}
+		tf, err := s.allocPageRaw()
+		if err != nil {
+			return 0, 0, err
+		}
+		clear(tf.Data[:PageSize])
+		tbl = tf.ID
+		s.pager.Unpin(tf, true)
+		df, err = s.pager.Pin(sm.dirPage, ModeWrite)
+		if err != nil {
+			return 0, 0, fmt.Errorf("pagefile: pin directory page: %w", err)
+		}
+		binary.LittleEndian.PutUint32(df.Data[dirSlot*4:], uint32(tbl))
+		s.pager.Unpin(df, true)
+	}
+	return tbl, tblSlot, nil
+}
+
+func (s *Store) loadEntry(oid storage.OID) (uint64, error) {
+	if oid.IsNil() || oid.Segment() >= storage.NumSegments {
+		return 0, storage.ErrNoSuchObject
+	}
+	tbl, slot, err := s.entryLoc(oid.Segment(), oid.Index(), false)
+	if err != nil {
+		return 0, err
+	}
+	f, err := s.pager.Pin(tbl, ModeRead)
+	if err != nil {
+		return 0, fmt.Errorf("pagefile: pin table page: %w", err)
+	}
+	e := binary.LittleEndian.Uint64(f.Data[slot*8:])
+	s.pager.Unpin(f, false)
+	if e == 0 || e == entryTombstone {
+		return 0, storage.ErrNoSuchObject
+	}
+	return e, nil
+}
+
+func (s *Store) storeEntry(oid storage.OID, e uint64) error {
+	tbl, slot, err := s.entryLoc(oid.Segment(), oid.Index(), true)
+	if err != nil {
+		return err
+	}
+	f, err := s.pager.Pin(tbl, ModeWrite)
+	if err != nil {
+		return fmt.Errorf("pagefile: pin table page: %w", err)
+	}
+	binary.LittleEndian.PutUint64(f.Data[slot*8:], e)
+	s.pager.Unpin(f, true)
+	return nil
+}
+
+func makeEntry(page PageID, slot int, overflow bool) uint64 {
+	e := uint64(page)<<16 | uint64(slot)
+	if overflow {
+		e |= entryOverflow
+	}
+	return e
+}
+
+func entryPage(e uint64) PageID { return PageID((e &^ entryOverflow) >> 16) }
+func entrySlot(e uint64) int    { return int(e & 0xFFFF) }
+func entryIsOverflow(e uint64) bool {
+	return e&entryOverflow != 0
+}
+
+// capacityFor applies the allocator's size classes to a record size.
+func (s *Store) capacityFor(n int) int {
+	if s.slack == nil {
+		return n
+	}
+	if c := s.slack(n); c > n {
+		return c
+	}
+	return n
+}
+
+// placeInline stores an inline-sized record in seg, preferring the segment's
+// fill page, and returns its location.
+func (s *Store) placeInline(seg storage.SegmentID, data []byte) (PageID, int, error) {
+	capacity := s.capacityFor(len(data))
+	sm := &s.super.segs[seg]
+	if sm.fillPage != 0 {
+		f, err := s.pager.Pin(sm.fillPage, ModeWrite)
+		if err != nil {
+			return 0, 0, fmt.Errorf("pagefile: pin fill page: %w", err)
+		}
+		if slot, ok := pageInsert(f.Data, data, capacity); ok {
+			id := f.ID
+			s.pager.Unpin(f, true)
+			return id, slot, nil
+		}
+		s.pager.Unpin(f, false)
+	}
+	f, err := s.allocPageRaw()
+	if err != nil {
+		return 0, 0, err
+	}
+	initPage(f.Data, uint8(seg), 0)
+	slot, ok := pageInsert(f.Data, data, capacity)
+	if !ok {
+		s.pager.Unpin(f, false)
+		return 0, 0, fmt.Errorf("pagefile: record of %d bytes does not fit a fresh page", len(data))
+	}
+	sm.fillPage = f.ID
+	id := f.ID
+	s.pager.Unpin(f, true)
+	return id, slot, nil
+}
+
+// placeOverflow stores a large record across extent pages plus a stub.
+func (s *Store) placeOverflow(seg storage.SegmentID, data []byte) (PageID, int, error) {
+	pages, err := s.writeExtents(seg, data, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	stub := encodeStub(len(data), pages)
+	return s.placeInline(seg, stub)
+}
+
+// writeExtents writes data across overflow pages, reusing the given pages
+// first and allocating or releasing pages to match the required count.
+func (s *Store) writeExtents(seg storage.SegmentID, data []byte, reuse []PageID) ([]PageID, error) {
+	need := (len(data) + overflowCap - 1) / overflowCap
+	if need == 0 {
+		need = 1
+	}
+	pages := make([]PageID, 0, need)
+	for i := 0; i < need; i++ {
+		var f *Frame
+		var err error
+		if i < len(reuse) {
+			f, err = s.pager.Pin(reuse[i], ModeWrite)
+		} else {
+			f, err = s.allocPageRaw()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pagefile: overflow extent: %w", err)
+		}
+		initPage(f.Data, uint8(seg), flagOverflow)
+		lo := i * overflowCap
+		hi := min(lo+overflowCap, len(data))
+		copy(f.Data[pageHdrSize:], data[lo:hi])
+		pages = append(pages, f.ID)
+		s.pager.Unpin(f, true)
+	}
+	for _, id := range reuse[min(need, len(reuse)):] {
+		if err := s.releasePage(id); err != nil {
+			return nil, err
+		}
+	}
+	return pages, nil
+}
+
+func encodeStub(total int, pages []PageID) []byte {
+	e := rec.NewEncoder(8 + 5*len(pages))
+	e.Uint(uint64(total))
+	e.Uint(uint64(len(pages)))
+	for _, p := range pages {
+		e.Uint(uint64(p))
+	}
+	return e.Bytes()
+}
+
+func decodeStub(b []byte) (total int, pages []PageID, err error) {
+	d := rec.NewDecoder(b)
+	total = int(d.Uint())
+	n := int(d.Uint())
+	if d.Err() != nil || n < 0 || n > dirEntries*tableEntries {
+		return 0, nil, fmt.Errorf("pagefile: corrupt overflow stub")
+	}
+	pages = make([]PageID, n)
+	for i := range pages {
+		pages[i] = PageID(d.Uint())
+	}
+	if err := d.Finish(); err != nil {
+		return 0, nil, fmt.Errorf("pagefile: corrupt overflow stub: %w", err)
+	}
+	return total, pages, nil
+}
+
+func (s *Store) readOverflow(stub []byte) ([]byte, error) {
+	total, pages, err := decodeStub(stub)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, total)
+	for _, id := range pages {
+		f, err := s.pager.Pin(id, ModeRead)
+		if err != nil {
+			return nil, fmt.Errorf("pagefile: read overflow extent %d: %w", id, err)
+		}
+		remain := total - len(out)
+		out = append(out, f.Data[pageHdrSize:pageHdrSize+min(remain, overflowCap)]...)
+		s.pager.Unpin(f, false)
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("pagefile: overflow record truncated: have %d of %d bytes", len(out), total)
+	}
+	return out, nil
+}
+
+func (s *Store) requireTxn() error {
+	if s.closed {
+		return storage.ErrClosed
+	}
+	if !s.inTxn {
+		return storage.ErrNoTransaction
+	}
+	return nil
+}
+
+// Allocate implements storage.Manager.
+func (s *Store) Allocate(seg storage.SegmentID, data []byte) (storage.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocateLocked(seg, data)
+}
+
+func (s *Store) allocateLocked(seg storage.SegmentID, data []byte) (storage.OID, error) {
+	if err := s.requireTxn(); err != nil {
+		return storage.NilOID, err
+	}
+	if seg >= storage.NumSegments {
+		return storage.NilOID, fmt.Errorf("pagefile: bad segment %d", seg)
+	}
+	var page PageID
+	var slot int
+	var err error
+	overflow := len(data) > MaxInline
+	if overflow {
+		page, slot, err = s.placeOverflow(seg, data)
+	} else {
+		page, slot, err = s.placeInline(seg, data)
+	}
+	if err != nil {
+		return storage.NilOID, err
+	}
+	sm := &s.super.segs[seg]
+	sm.nextIndex++
+	oid := storage.MakeOID(seg, sm.nextIndex)
+	if err := s.storeEntry(oid, makeEntry(page, slot, overflow)); err != nil {
+		return storage.NilOID, err
+	}
+	s.super.liveObj++
+	s.super.liveByte += uint64(len(data))
+	s.allocs++
+	return oid, nil
+}
+
+// AllocateNear implements storage.Manager: it tries to co-locate the new
+// record on the same page as near before falling back to the segment fill
+// page. This is the clustering hook used by the Texas+TC configuration.
+func (s *Store) AllocateNear(near storage.OID, data []byte) (storage.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.requireTxn(); err != nil {
+		return storage.NilOID, err
+	}
+	e, err := s.loadEntry(near)
+	if err != nil {
+		return storage.NilOID, fmt.Errorf("pagefile: AllocateNear %v: %w", near, err)
+	}
+	seg := near.Segment()
+	if len(data) > MaxInline {
+		return s.allocateLocked(seg, data)
+	}
+	// Client-directed placement packs records exactly (no allocator slack):
+	// the clustering client manages this space itself.
+	capacity := len(data)
+
+	// Walk the cluster: the anchor's page, then its successor chain. All
+	// records anchored anywhere in a cluster funnel into the same chain, so
+	// cluster pages fill completely before the cluster claims a new page.
+	tryPage := func(id PageID) (int, bool, error) {
+		f, err := s.pager.Pin(id, ModeWrite)
+		if err != nil {
+			return 0, false, err
+		}
+		slot, ok := pageInsert(f.Data, data, capacity)
+		s.pager.Unpin(f, ok)
+		return slot, ok, nil
+	}
+
+	page := entryPage(e)
+	slot, ok, err := tryPage(page)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	for hops := 0; !ok && hops < maxClusterHops; hops++ {
+		next, exists := s.succ[page]
+		if !exists {
+			break
+		}
+		page = next
+		slot, ok, err = tryPage(page)
+		if err != nil {
+			return storage.NilOID, err
+		}
+	}
+	if !ok {
+		f, err := s.allocPageRaw()
+		if err != nil {
+			return storage.NilOID, err
+		}
+		initPage(f.Data, uint8(seg), 0)
+		slot, ok = pageInsert(f.Data, data, capacity)
+		if !ok {
+			s.pager.Unpin(f, false)
+			return storage.NilOID, fmt.Errorf("pagefile: record of %d bytes does not fit a fresh page", len(data))
+		}
+		s.succ[page] = f.ID
+		page = f.ID
+		s.pager.Unpin(f, true)
+	}
+
+	return s.finishAlloc(seg, page, slot, len(data))
+}
+
+// AllocateCluster implements storage.Manager: the record starts a fresh
+// cluster page that chained AllocateNear calls then extend.
+func (s *Store) AllocateCluster(seg storage.SegmentID, data []byte) (storage.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.requireTxn(); err != nil {
+		return storage.NilOID, err
+	}
+	if seg >= storage.NumSegments {
+		return storage.NilOID, fmt.Errorf("pagefile: bad segment %d", seg)
+	}
+	if len(data) > MaxInline {
+		return s.allocateLocked(seg, data)
+	}
+	f, err := s.allocPageRaw()
+	if err != nil {
+		return storage.NilOID, err
+	}
+	initPage(f.Data, uint8(seg), 0)
+	slot, ok := pageInsert(f.Data, data, len(data))
+	if !ok {
+		s.pager.Unpin(f, false)
+		return storage.NilOID, fmt.Errorf("pagefile: record of %d bytes does not fit a fresh page", len(data))
+	}
+	page := f.ID
+	s.pager.Unpin(f, true)
+	return s.finishAlloc(seg, page, slot, len(data))
+}
+
+// finishAlloc issues the OID and object-table entry for a placed record.
+func (s *Store) finishAlloc(seg storage.SegmentID, page PageID, slot int, size int) (storage.OID, error) {
+	sm := &s.super.segs[seg]
+	sm.nextIndex++
+	oid := storage.MakeOID(seg, sm.nextIndex)
+	if err := s.storeEntry(oid, makeEntry(page, slot, false)); err != nil {
+		return storage.NilOID, err
+	}
+	s.super.liveObj++
+	s.super.liveByte += uint64(size)
+	s.allocs++
+	return oid, nil
+}
+
+// Read implements storage.Manager.
+func (s *Store) Read(oid storage.OID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, storage.ErrClosed
+	}
+	e, err := s.loadEntry(oid)
+	if err != nil {
+		return nil, fmt.Errorf("pagefile: read %v: %w", oid, err)
+	}
+	f, err := s.pager.Pin(entryPage(e), ModeRead)
+	if err != nil {
+		return nil, fmt.Errorf("pagefile: read %v: %w", oid, err)
+	}
+	raw, err := pageRead(f.Data, entrySlot(e))
+	if err != nil {
+		s.pager.Unpin(f, false)
+		return nil, fmt.Errorf("pagefile: read %v: %w", oid, err)
+	}
+	data := append([]byte(nil), raw...)
+	s.pager.Unpin(f, false)
+	s.reads++
+	if entryIsOverflow(e) {
+		return s.readOverflow(data)
+	}
+	return data, nil
+}
+
+// Write implements storage.Manager. Records may grow or shrink; the store
+// relocates them (including across the inline/overflow boundary) while the
+// OID stays stable.
+func (s *Store) Write(oid storage.OID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.requireTxn(); err != nil {
+		return err
+	}
+	e, err := s.loadEntry(oid)
+	if err != nil {
+		return fmt.Errorf("pagefile: write %v: %w", oid, err)
+	}
+	oldLen, err := s.liveLenLocked(e)
+	if err != nil {
+		return fmt.Errorf("pagefile: write %v: %w", oid, err)
+	}
+	seg := oid.Segment()
+	newOverflow := len(data) > MaxInline
+
+	switch {
+	case !entryIsOverflow(e) && !newOverflow:
+		f, err := s.pager.Pin(entryPage(e), ModeWrite)
+		if err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		ok, err := pageUpdate(f.Data, entrySlot(e), data)
+		if err != nil {
+			s.pager.Unpin(f, false)
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		if ok {
+			s.pager.Unpin(f, true)
+		} else {
+			// Record grew past its reserved capacity: relocate.
+			if err := pageFreeSlot(f.Data, entrySlot(e)); err != nil {
+				s.pager.Unpin(f, false)
+				return fmt.Errorf("pagefile: write %v: %w", oid, err)
+			}
+			s.pager.Unpin(f, true)
+			page, slot, err := s.placeInline(seg, data)
+			if err != nil {
+				return fmt.Errorf("pagefile: write %v: %w", oid, err)
+			}
+			if err := s.storeEntry(oid, makeEntry(page, slot, false)); err != nil {
+				return err
+			}
+		}
+
+	case entryIsOverflow(e) && newOverflow:
+		stub, err := s.readSlotLocked(e)
+		if err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		_, oldPages, err := decodeStub(stub)
+		if err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		pages, err := s.writeExtents(seg, data, oldPages)
+		if err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		if err := s.rewriteStub(oid, e, seg, encodeStub(len(data), pages)); err != nil {
+			return err
+		}
+
+	case !entryIsOverflow(e) && newOverflow:
+		if err := s.freeSlotAt(e); err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		page, slot, err := s.placeOverflow(seg, data)
+		if err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		if err := s.storeEntry(oid, makeEntry(page, slot, true)); err != nil {
+			return err
+		}
+
+	default: // overflow -> inline
+		stub, err := s.readSlotLocked(e)
+		if err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		_, oldPages, err := decodeStub(stub)
+		if err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		for _, id := range oldPages {
+			if err := s.releasePage(id); err != nil {
+				return err
+			}
+		}
+		if err := s.freeSlotAt(e); err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		page, slot, err := s.placeInline(seg, data)
+		if err != nil {
+			return fmt.Errorf("pagefile: write %v: %w", oid, err)
+		}
+		if err := s.storeEntry(oid, makeEntry(page, slot, false)); err != nil {
+			return err
+		}
+	}
+
+	s.super.liveByte += uint64(len(data)) - uint64(oldLen)
+	s.writes++
+	return nil
+}
+
+// rewriteStub replaces an overflow stub record in place or by relocation.
+func (s *Store) rewriteStub(oid storage.OID, e uint64, seg storage.SegmentID, stub []byte) error {
+	f, err := s.pager.Pin(entryPage(e), ModeWrite)
+	if err != nil {
+		return err
+	}
+	ok, err := pageUpdate(f.Data, entrySlot(e), stub)
+	if err != nil {
+		s.pager.Unpin(f, false)
+		return err
+	}
+	if ok {
+		s.pager.Unpin(f, true)
+		return nil
+	}
+	if err := pageFreeSlot(f.Data, entrySlot(e)); err != nil {
+		s.pager.Unpin(f, false)
+		return err
+	}
+	s.pager.Unpin(f, true)
+	page, slot, err := s.placeInline(seg, stub)
+	if err != nil {
+		return err
+	}
+	return s.storeEntry(oid, makeEntry(page, slot, true))
+}
+
+// readSlotLocked returns a copy of the raw slot contents for entry e.
+func (s *Store) readSlotLocked(e uint64) ([]byte, error) {
+	f, err := s.pager.Pin(entryPage(e), ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := pageRead(f.Data, entrySlot(e))
+	if err != nil {
+		s.pager.Unpin(f, false)
+		return nil, err
+	}
+	out := append([]byte(nil), raw...)
+	s.pager.Unpin(f, false)
+	return out, nil
+}
+
+// liveLenLocked returns the logical length of the record behind entry e.
+func (s *Store) liveLenLocked(e uint64) (int, error) {
+	raw, err := s.readSlotLocked(e)
+	if err != nil {
+		return 0, err
+	}
+	if !entryIsOverflow(e) {
+		return len(raw), nil
+	}
+	total, _, err := decodeStub(raw)
+	return total, err
+}
+
+func (s *Store) freeSlotAt(e uint64) error {
+	f, err := s.pager.Pin(entryPage(e), ModeWrite)
+	if err != nil {
+		return err
+	}
+	err = pageFreeSlot(f.Data, entrySlot(e))
+	s.pager.Unpin(f, err == nil)
+	return err
+}
+
+// Free implements storage.Manager.
+func (s *Store) Free(oid storage.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.requireTxn(); err != nil {
+		return err
+	}
+	e, err := s.loadEntry(oid)
+	if err != nil {
+		return fmt.Errorf("pagefile: free %v: %w", oid, err)
+	}
+	length, err := s.liveLenLocked(e)
+	if err != nil {
+		return fmt.Errorf("pagefile: free %v: %w", oid, err)
+	}
+	if entryIsOverflow(e) {
+		stub, err := s.readSlotLocked(e)
+		if err != nil {
+			return fmt.Errorf("pagefile: free %v: %w", oid, err)
+		}
+		_, pages, err := decodeStub(stub)
+		if err != nil {
+			return fmt.Errorf("pagefile: free %v: %w", oid, err)
+		}
+		for _, id := range pages {
+			if err := s.releasePage(id); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.freeSlotAt(e); err != nil {
+		return fmt.Errorf("pagefile: free %v: %w", oid, err)
+	}
+	if err := s.storeEntry(oid, entryTombstone); err != nil {
+		return err
+	}
+	s.super.liveObj--
+	s.super.liveByte -= uint64(length)
+	return nil
+}
+
+// Root implements storage.Manager.
+func (s *Store) Root() (storage.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return storage.NilOID, storage.ErrClosed
+	}
+	return s.super.root, nil
+}
+
+// SetRoot implements storage.Manager.
+func (s *Store) SetRoot(oid storage.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.requireTxn(); err != nil {
+		return err
+	}
+	s.super.root = oid
+	return nil
+}
+
+// Begin implements storage.Manager.
+func (s *Store) Begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return storage.ErrClosed
+	}
+	if s.inTxn {
+		return fmt.Errorf("pagefile: nested transaction")
+	}
+	if err := s.pager.Begin(); err != nil {
+		return err
+	}
+	s.inTxn = true
+	return nil
+}
+
+// Commit implements storage.Manager.
+func (s *Store) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return storage.ErrClosed
+	}
+	if !s.inTxn {
+		return storage.ErrNoTransaction
+	}
+	if err := s.flushSuper(); err != nil {
+		return err
+	}
+	s.inTxn = false
+	return s.pager.Commit()
+}
+
+// Stats implements storage.Manager.
+func (s *Store) Stats() storage.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := s.pager.Stats()
+	return storage.Stats{
+		Faults:      ps.Faults,
+		PageWrites:  ps.PageWrites,
+		LockWaits:   ps.LockWaits,
+		Reads:       s.reads,
+		Writes:      s.writes,
+		Allocs:      s.allocs,
+		SizeBytes:   s.pager.SizeBytes(),
+		LiveObjects: s.super.liveObj,
+		LiveBytes:   s.super.liveByte,
+	}
+}
+
+// Close implements storage.Manager.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if s.inTxn {
+		return fmt.Errorf("pagefile: close with open transaction")
+	}
+	s.closed = true
+	return s.pager.Close()
+}
+
+var _ storage.Manager = (*Store)(nil)

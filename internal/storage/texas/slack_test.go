@@ -1,0 +1,84 @@
+package texas
+
+import (
+	"path/filepath"
+	"testing"
+
+	"labflow/internal/storage"
+	"labflow/internal/storage/pagefile"
+)
+
+func TestHeapSlackClasses(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{1, 16},    // 1+8 -> 16
+		{8, 16},    // 8+8 -> 16
+		{9, 32},    // 17 -> 32
+		{24, 32},   // 32 -> 32
+		{25, 64},   // 33 -> 64
+		{120, 128}, // 128 -> 128
+		{121, 256}, // 129 -> 256
+		{500, 512}, // 508 -> 512
+		{1000, 1024},
+		{1035, 2048}, // history chunk size lands in the 2 KiB class
+		{4088, 4096},
+		{4089, 4608}, // past 4 KiB: 512-byte boundaries (4097 -> 4608)
+		{5000, 5120},
+	}
+	for _, c := range cases {
+		if got := heapSlack(c.n); got != c.want {
+			t.Errorf("heapSlack(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Slack never shrinks a record.
+	for n := 0; n < 9000; n += 7 {
+		if got := heapSlack(n); got < n {
+			t.Fatalf("heapSlack(%d) = %d < n", n, got)
+		}
+	}
+}
+
+// TestHeapOverheadVsClustered confirms the size relationship the Section-10
+// table depends on: for the same records, the plain heap store's file is
+// substantially larger than the clustered store's exact-fit packing.
+func TestHeapOverheadVsClustered(t *testing.T) {
+	build := func(clustering bool) uint64 {
+		m, err := Open(Options{Path: filepath.Join(t.TempDir(), "db"), Clustering: clustering})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 530) // rounds to 1024 in the heap
+		anchor, err := m.AllocateCluster(storage.SegHistory, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := anchor
+		for i := 0; i < 300; i++ {
+			oid, err := m.AllocateNear(prev, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev = oid
+		}
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats().SizeBytes
+	}
+	plain := build(false)
+	clustered := build(true)
+	if clustered >= plain {
+		t.Errorf("clustered size %d not below plain heap size %d", clustered, plain)
+	}
+	// The gap should be on the order of the rounding factor (~1.8x here).
+	if plain < clustered*3/2 {
+		t.Errorf("heap overhead too small: plain %d vs clustered %d", plain, clustered)
+	}
+	_ = pagefile.PageSize
+}

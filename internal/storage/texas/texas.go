@@ -1,0 +1,288 @@
+// Package texas implements the Texas-style storage manager: a persistent
+// heap in which pages become resident the first time they are touched (the
+// analog of Texas's pointer swizzling at page-fault time [Singhal, Kakkad,
+// Wilson 1992]), with dirty pages written back at commit, no concurrency
+// control, and direct access to the database file.
+//
+// Two of the paper's five server versions come from this package:
+//
+//   - "Texas":    allocation-order placement (AllocateNear degrades to a
+//     plain Allocate, as with a storage manager that gives the client no
+//     placement control);
+//   - "Texas+TC": the same manager with client-directed object clustering
+//     enabled, the paper's "additional object clustering implemented in
+//     client code".
+//
+// The original Texas relied on operating-system virtual memory for
+// residency. MaxResidentPages simulates that memory budget: beyond it, pages
+// are evicted with a CLOCK policy (dirty pages are written back first), so a
+// workload with poor locality of reference pays repeated faults — the effect
+// the paper's later intervals expose.
+package texas
+
+import (
+	"fmt"
+	"sync"
+
+	"labflow/internal/storage"
+	"labflow/internal/storage/pagefile"
+)
+
+// Options configures Open.
+type Options struct {
+	// Path is the database file. Empty means a volatile in-memory backing
+	// (used by tests; distinct from the "-mm" managers, which bypass pages
+	// entirely).
+	Path string
+	// MaxResidentPages bounds residency; 0 means unbounded, as with the
+	// original Texas running entirely inside real memory.
+	MaxResidentPages int
+	// Clustering enables client-directed placement (the +TC version).
+	Clustering bool
+	// Name overrides the report name ("Texas" or "Texas+TC" by default).
+	Name string
+}
+
+// Open opens or creates a Texas-style store.
+func Open(opts Options) (storage.Manager, error) {
+	var backing pagefile.Backing
+	if opts.Path == "" {
+		backing = pagefile.NewMem()
+	} else {
+		fb, err := pagefile.OpenFile(opts.Path)
+		if err != nil {
+			return nil, fmt.Errorf("texas: %w", err)
+		}
+		backing = fb
+	}
+	name := opts.Name
+	if name == "" {
+		if opts.Clustering {
+			name = "Texas+TC"
+		} else {
+			name = "Texas"
+		}
+	}
+	pager := &pager{
+		backing:  backing,
+		resident: make(map[pagefile.PageID]*frame),
+		maxPages: opts.MaxResidentPages,
+	}
+	store, err := pagefile.New(name, pager, heapSlack)
+	if err != nil {
+		backing.Close()
+		return nil, fmt.Errorf("texas: %w", err)
+	}
+	return &manager{Store: store, clustering: opts.Clustering}, nil
+}
+
+// heapSlack models the persistent heap's allocator: a per-object header plus
+// power-of-two size classes. This is why the Texas databases in the paper's
+// table are roughly 1.5x the size of the ObjectStore database for the same
+// data — ObjectStore packs records into pages, a heap rounds them up.
+func heapSlack(n int) int {
+	n += 8 // allocation header
+	if n <= 16 {
+		return 16
+	}
+	c := 16
+	for c < n && c < 4096 {
+		c <<= 1
+	}
+	if c >= n {
+		return c
+	}
+	// Past 4 KiB, round to 512-byte boundaries.
+	return (n + 511) &^ 511
+}
+
+// manager wires the clustering switch in front of pagefile.Store.
+type manager struct {
+	*pagefile.Store
+	clustering bool
+}
+
+// AllocateCluster starts a physical cluster only in the +TC configuration;
+// plain Texas has no placement control.
+func (m *manager) AllocateCluster(seg storage.SegmentID, data []byte) (storage.OID, error) {
+	if !m.clustering {
+		return m.Store.Allocate(seg, data)
+	}
+	return m.Store.AllocateCluster(seg, data)
+}
+
+// AllocateNear honours the clustering hint only in the +TC configuration;
+// plain Texas places records in allocation order exactly like Allocate.
+func (m *manager) AllocateNear(near storage.OID, data []byte) (storage.OID, error) {
+	if !m.clustering {
+		// Validate the anchor even though its placement is ignored, so the
+		// two configurations fail identically on bad references.
+		if _, err := m.Store.Read(near); err != nil {
+			return storage.NilOID, err
+		}
+		return m.Store.Allocate(near.Segment(), data)
+	}
+	return m.Store.AllocateNear(near, data)
+}
+
+type frame struct {
+	pf    pagefile.Frame
+	pins  int
+	dirty bool
+	ref   bool
+}
+
+// pager implements pagefile.Pager with fault-on-first-touch residency.
+type pager struct {
+	mu       sync.Mutex
+	backing  pagefile.Backing
+	resident map[pagefile.PageID]*frame
+	ring     []*frame // CLOCK ring over resident frames
+	hand     int
+	maxPages int
+	stats    pagefile.PagerStats
+	closed   bool
+}
+
+func (p *pager) Pin(id pagefile.PageID, mode pagefile.Mode) (*pagefile.Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, pagefile.ErrPagerClosed
+	}
+	if fr, ok := p.resident[id]; ok {
+		fr.pins++
+		fr.ref = true
+		return &fr.pf, nil
+	}
+	if err := p.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, pagefile.PageSize)
+	if err := p.backing.ReadPage(id, buf); err != nil {
+		return nil, fmt.Errorf("texas: fault page %d: %w", id, err)
+	}
+	p.stats.Faults++
+	fr := &frame{pf: pagefile.Frame{ID: id, Data: buf}, pins: 1, ref: true}
+	fr.pf.Priv = fr
+	p.resident[id] = fr
+	p.ring = append(p.ring, fr)
+	return &fr.pf, nil
+}
+
+// makeRoomLocked evicts one page if residency is at its limit. Dirty victims
+// are written back before being dropped, simulating OS page-out.
+func (p *pager) makeRoomLocked() error {
+	if p.maxPages <= 0 || len(p.resident) < p.maxPages {
+		return nil
+	}
+	for sweep := 0; sweep < 2*len(p.ring); sweep++ {
+		if len(p.ring) == 0 {
+			return nil
+		}
+		p.hand %= len(p.ring)
+		fr := p.ring[p.hand]
+		if fr.pins > 0 {
+			p.hand++
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			p.hand++
+			continue
+		}
+		if fr.dirty {
+			if err := p.backing.WritePage(fr.pf.ID, fr.pf.Data); err != nil {
+				return fmt.Errorf("texas: evict write-back page %d: %w", fr.pf.ID, err)
+			}
+			p.stats.PageWrites++
+			fr.dirty = false
+		}
+		delete(p.resident, fr.pf.ID)
+		p.ring[p.hand] = p.ring[len(p.ring)-1]
+		p.ring = p.ring[:len(p.ring)-1]
+		p.stats.Evictions++
+		return nil
+	}
+	// Everything pinned: allow temporary overshoot.
+	return nil
+}
+
+func (p *pager) Unpin(f *pagefile.Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr := f.Priv.(*frame)
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+func (p *pager) AllocPage() (*pagefile.Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, pagefile.ErrPagerClosed
+	}
+	if err := p.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	id, err := p.backing.Grow()
+	if err != nil {
+		return nil, fmt.Errorf("texas: grow: %w", err)
+	}
+	fr := &frame{pf: pagefile.Frame{ID: id, Data: make([]byte, pagefile.PageSize)}, pins: 1, dirty: true, ref: true}
+	fr.pf.Priv = fr
+	p.resident[id] = fr
+	p.ring = append(p.ring, fr)
+	return &fr.pf, nil
+}
+
+func (p *pager) Begin() error { return nil }
+
+// Commit writes every dirty resident page back to the database file. Like
+// the original Texas, there is no log: a crash mid-commit is not recoverable,
+// which is one of the usability observations the paper makes.
+func (p *pager) Commit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *pager) flushLocked() error {
+	for _, fr := range p.ring {
+		if !fr.dirty {
+			continue
+		}
+		if err := p.backing.WritePage(fr.pf.ID, fr.pf.Data); err != nil {
+			return fmt.Errorf("texas: commit write page %d: %w", fr.pf.ID, err)
+		}
+		p.stats.PageWrites++
+		fr.dirty = false
+	}
+	return nil
+}
+
+func (p *pager) Stats() pagefile.PagerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *pager) SizeBytes() uint64 { return p.backing.SizeBytes() }
+
+func (p *pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	if err := p.flushLocked(); err != nil {
+		return err
+	}
+	p.closed = true
+	if err := p.backing.Sync(); err != nil {
+		return err
+	}
+	return p.backing.Close()
+}

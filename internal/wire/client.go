@@ -1,0 +1,412 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"labflow/internal/labbase"
+	"labflow/internal/rec"
+	"labflow/internal/storage"
+)
+
+// Client is a LabBase data-server connection. It is safe for use from one
+// goroutine at a time (requests are synchronous).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a LabBase server and performs the hello exchange.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (for tests, net.Pipe works).
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	e := rec.NewEncoder(4)
+	e.Uint(protocolVersion)
+	d, err := c.roundTrip(OpHello, e.Bytes())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if v := d.Uint(); v != protocolVersion {
+		conn.Close()
+		return nil, fmt.Errorf("wire: server speaks version %d", v)
+	}
+	_ = d.String() // server banner
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ErrRemote wraps errors reported by the server.
+var ErrRemote = errors.New("wire: remote error")
+
+func (c *Client) roundTrip(op uint8, payload []byte) (*rec.Decoder, error) {
+	if err := writeFrame(c.w, op, payload); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	status, body, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	d := rec.NewDecoder(body)
+	if status == statusErr {
+		msg := d.String()
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	return d, nil
+}
+
+// DefineMaterialClass mirrors labbase.DB.DefineMaterialClass.
+func (c *Client) DefineMaterialClass(name, parent string) (labbase.ClassID, error) {
+	e := rec.NewEncoder(32)
+	e.String(name)
+	e.String(parent)
+	d, err := c.roundTrip(OpDefineMaterialClass, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return labbase.ClassID(d.Uint()), d.Err()
+}
+
+// DefineState mirrors labbase.DB.DefineState.
+func (c *Client) DefineState(name string) (labbase.StateID, error) {
+	e := rec.NewEncoder(32)
+	e.String(name)
+	d, err := c.roundTrip(OpDefineState, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return labbase.StateID(d.Uint()), d.Err()
+}
+
+// DefineStepClass mirrors labbase.DB.DefineStepClass.
+func (c *Client) DefineStepClass(name string, attrs []labbase.AttrDef) (labbase.StepClassID, labbase.Version, error) {
+	e := rec.NewEncoder(64)
+	e.String(name)
+	e.Uint(uint64(len(attrs)))
+	for _, a := range attrs {
+		e.String(a.Name)
+		e.Byte(byte(a.Kind))
+	}
+	d, err := c.roundTrip(OpDefineStepClass, e.Bytes())
+	if err != nil {
+		return 0, 0, err
+	}
+	return labbase.StepClassID(d.Uint()), labbase.Version(d.Uint()), d.Err()
+}
+
+// CreateMaterial mirrors labbase.DB.CreateMaterial (one server transaction).
+func (c *Client) CreateMaterial(class, name, state string, validTime int64) (storage.OID, error) {
+	e := rec.NewEncoder(64)
+	e.String(class)
+	e.String(name)
+	e.String(state)
+	e.Int(validTime)
+	d, err := c.roundTrip(OpCreateMaterial, e.Bytes())
+	if err != nil {
+		return storage.NilOID, err
+	}
+	return storage.OID(d.Uint()), d.Err()
+}
+
+// CreateMaterialSet mirrors labbase.DB.CreateMaterialSet.
+func (c *Client) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
+	e := rec.NewEncoder(16 + 9*len(members))
+	e.Uint(uint64(len(members)))
+	for _, m := range members {
+		e.Uint(uint64(m))
+	}
+	d, err := c.roundTrip(OpCreateSet, e.Bytes())
+	if err != nil {
+		return storage.NilOID, err
+	}
+	return storage.OID(d.Uint()), d.Err()
+}
+
+// RecordStep mirrors labbase.DB.RecordStep (one server transaction).
+func (c *Client) RecordStep(spec labbase.StepSpec) (storage.OID, error) {
+	e := rec.NewEncoder(128)
+	e.String(spec.Class)
+	e.Int(spec.ValidTime)
+	e.Uint(uint64(len(spec.Materials)))
+	for _, m := range spec.Materials {
+		e.Uint(uint64(m))
+	}
+	e.Uint(uint64(spec.Set))
+	e.Uint(uint64(len(spec.Attrs)))
+	for _, av := range spec.Attrs {
+		e.String(av.Name)
+		labbase.EncodeValue(e, av.Value)
+	}
+	d, err := c.roundTrip(OpRecordStep, e.Bytes())
+	if err != nil {
+		return storage.NilOID, err
+	}
+	return storage.OID(d.Uint()), d.Err()
+}
+
+// SetState mirrors labbase.DB.SetState.
+func (c *Client) SetState(oid storage.OID, state string) error {
+	e := rec.NewEncoder(32)
+	e.Uint(uint64(oid))
+	e.String(state)
+	_, err := c.roundTrip(OpSetState, e.Bytes())
+	return err
+}
+
+// State mirrors labbase.DB.State.
+func (c *Client) State(oid storage.OID) (string, error) {
+	e := rec.NewEncoder(16)
+	e.Uint(uint64(oid))
+	d, err := c.roundTrip(OpState, e.Bytes())
+	if err != nil {
+		return "", err
+	}
+	return d.String(), d.Err()
+}
+
+// MostRecent mirrors labbase.DB.MostRecent.
+func (c *Client) MostRecent(oid storage.OID, attr string) (labbase.Value, storage.OID, bool, error) {
+	e := rec.NewEncoder(32)
+	e.Uint(uint64(oid))
+	e.String(attr)
+	d, err := c.roundTrip(OpMostRecent, e.Bytes())
+	if err != nil {
+		return labbase.Nil(), storage.NilOID, false, err
+	}
+	found := d.Bool()
+	src := storage.OID(d.Uint())
+	v := labbase.DecodeValue(d)
+	return v, src, found, d.Err()
+}
+
+// History mirrors labbase.DB.History.
+func (c *Client) History(oid storage.OID) ([]labbase.HistoryEntry, error) {
+	e := rec.NewEncoder(16)
+	e.Uint(uint64(oid))
+	d, err := c.roundTrip(OpHistory, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad history reply")
+	}
+	out := make([]labbase.HistoryEntry, n)
+	for i := range out {
+		out[i].Step = storage.OID(d.Uint())
+		out[i].ValidTime = d.Int()
+	}
+	return out, d.Err()
+}
+
+// GetMaterial mirrors labbase.DB.GetMaterial.
+func (c *Client) GetMaterial(oid storage.OID) (*labbase.Material, error) {
+	e := rec.NewEncoder(16)
+	e.Uint(uint64(oid))
+	d, err := c.roundTrip(OpGetMaterial, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	m := &labbase.Material{
+		OID:       storage.OID(d.Uint()),
+		Class:     d.String(),
+		Name:      d.String(),
+		State:     d.String(),
+		CreatedAt: d.Int(),
+	}
+	m.HistoryLen = int(d.Uint())
+	return m, d.Err()
+}
+
+// GetStep mirrors labbase.DB.GetStep.
+func (c *Client) GetStep(oid storage.OID) (*labbase.Step, error) {
+	e := rec.NewEncoder(16)
+	e.Uint(uint64(oid))
+	d, err := c.roundTrip(OpGetStep, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	st := &labbase.Step{
+		OID:       storage.OID(d.Uint()),
+		Class:     d.String(),
+		Version:   labbase.Version(d.Uint()),
+		ValidTime: d.Int(),
+		TxnTime:   d.Int(),
+	}
+	nm := d.Count(1 << 20)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad step reply")
+	}
+	st.Materials = make([]storage.OID, nm)
+	for i := range st.Materials {
+		st.Materials[i] = storage.OID(d.Uint())
+	}
+	st.Set = storage.OID(d.Uint())
+	na := d.Count(1 << 16)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad step attrs reply")
+	}
+	st.Attrs = make([]labbase.AttrValue, na)
+	for i := range st.Attrs {
+		st.Attrs[i].Name = d.String()
+		st.Attrs[i].Value = labbase.DecodeValue(d)
+	}
+	return st, d.Err()
+}
+
+func (c *Client) count(op uint8, name string) (uint64, error) {
+	e := rec.NewEncoder(32)
+	e.String(name)
+	d, err := c.roundTrip(op, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return d.Uint(), d.Err()
+}
+
+// CountMaterials mirrors labbase.DB.CountMaterials.
+func (c *Client) CountMaterials(class string) (uint64, error) {
+	return c.count(OpCountMaterials, class)
+}
+
+// CountSteps mirrors labbase.DB.CountSteps.
+func (c *Client) CountSteps(class string) (uint64, error) {
+	return c.count(OpCountSteps, class)
+}
+
+// CountInState mirrors labbase.DB.CountInState.
+func (c *Client) CountInState(state string) (uint64, error) {
+	return c.count(OpCountInState, state)
+}
+
+// MaterialsInState mirrors labbase.DB.MaterialsInState.
+func (c *Client) MaterialsInState(state string) ([]storage.OID, error) {
+	e := rec.NewEncoder(32)
+	e.String(state)
+	d, err := c.roundTrip(OpMaterialsInState, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad state reply")
+	}
+	out := make([]storage.OID, n)
+	for i := range out {
+		out[i] = storage.OID(d.Uint())
+	}
+	return out, d.Err()
+}
+
+// SetMembers mirrors labbase.DB.SetMembers.
+func (c *Client) SetMembers(oid storage.OID) ([]storage.OID, error) {
+	e := rec.NewEncoder(16)
+	e.Uint(uint64(oid))
+	d, err := c.roundTrip(OpSetMembers, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad set reply")
+	}
+	out := make([]storage.OID, n)
+	for i := range out {
+		out[i] = storage.OID(d.Uint())
+	}
+	return out, d.Err()
+}
+
+// LookupMaterial resolves a material by its unique name.
+func (c *Client) LookupMaterial(name string) (storage.OID, bool, error) {
+	e := rec.NewEncoder(32)
+	e.String(name)
+	d, err := c.roundTrip(OpLookupMaterial, e.Bytes())
+	if err != nil {
+		return storage.NilOID, false, err
+	}
+	found := d.Bool()
+	oid := storage.OID(d.Uint())
+	return oid, found, d.Err()
+}
+
+// Query runs a deductive query on the server, returning each solution as a
+// variable-to-term-text map.
+func (c *Client) Query(q string, max int) ([]map[string]string, error) {
+	e := rec.NewEncoder(len(q) + 16)
+	e.String(q)
+	e.Uint(uint64(max))
+	d, err := c.roundTrip(OpQuery, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad query reply")
+	}
+	out := make([]map[string]string, n)
+	for i := range out {
+		nv := d.Count(1 << 16)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("wire: bad query reply")
+		}
+		sol := make(map[string]string, nv)
+		for j := 0; j < nv; j++ {
+			name := d.String()
+			sol[name] = d.String()
+		}
+		out[i] = sol
+	}
+	return out, d.Err()
+}
+
+// Dump mirrors labbase.DB.Dump.
+func (c *Client) Dump() (labbase.DumpStats, error) {
+	d, err := c.roundTrip(OpDump, nil)
+	if err != nil {
+		return labbase.DumpStats{}, err
+	}
+	st := labbase.DumpStats{
+		Materials:   d.Uint(),
+		Steps:       d.Uint(),
+		AttrValues:  d.Uint(),
+		HistoryRead: d.Uint(),
+	}
+	return st, d.Err()
+}
+
+// Stats returns the server's storage-manager name and counters.
+func (c *Client) Stats() (string, storage.Stats, error) {
+	d, err := c.roundTrip(OpStats, nil)
+	if err != nil {
+		return "", storage.Stats{}, err
+	}
+	name := d.String()
+	st := storage.Stats{
+		Faults:      d.Uint(),
+		PageWrites:  d.Uint(),
+		Reads:       d.Uint(),
+		Writes:      d.Uint(),
+		Allocs:      d.Uint(),
+		SizeBytes:   d.Uint(),
+		LiveObjects: d.Uint(),
+		LiveBytes:   d.Uint(),
+	}
+	return name, st, d.Err()
+}

@@ -1,0 +1,97 @@
+// Package wire implements the LabBase data-server protocol: a length-prefixed
+// binary request/response protocol over TCP through which clients track
+// workflow activity and query the event history.
+//
+// The paper's LabBase server is, in Carey et al.'s terminology, a
+// "client-level server": one process owning the storage manager, with lab
+// applications connecting as clients. This package provides that process
+// (Server) and its Go client (Client). The server executes every update in
+// its own transaction, serializing requests across connections, as the
+// operational server did.
+//
+// Frame format (both directions):
+//
+//	u32 little-endian payload length (including the opcode byte)
+//	u8  opcode (request) or status (response; 0 = ok, 1 = error)
+//	... payload, encoded with internal/rec
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol opcodes.
+const (
+	OpHello uint8 = iota + 1
+	OpDefineMaterialClass
+	OpDefineState
+	OpDefineStepClass
+	OpCreateMaterial
+	OpCreateSet
+	OpRecordStep
+	OpSetState
+	OpState
+	OpMostRecent
+	OpHistory
+	OpGetMaterial
+	OpGetStep
+	OpCountMaterials
+	OpCountSteps
+	OpCountInState
+	OpMaterialsInState
+	OpSetMembers
+	OpQuery
+	OpDump
+	OpStats
+	OpLookupMaterial
+)
+
+const (
+	statusOK  uint8 = 0
+	statusErr uint8 = 1
+)
+
+// MaxFrame bounds a single frame (16 MiB) to keep a bad peer from forcing
+// huge allocations.
+const MaxFrame = 16 << 20
+
+// writeFrame sends one frame: tag (opcode or status) plus payload.
+func writeFrame(w io.Writer, tag uint8, payload []byte) error {
+	var hdr [5]byte
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload)+1)
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
+	hdr[4] = tag
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, returning the tag and payload.
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// protocolVersion is checked in the hello exchange.
+const protocolVersion = 1

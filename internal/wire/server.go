@@ -1,0 +1,489 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"labflow/internal/labbase"
+	"labflow/internal/lbq"
+	"labflow/internal/rec"
+	"labflow/internal/storage"
+)
+
+// Server exposes one LabBase database to network clients.
+type Server struct {
+	db     *labbase.DB
+	bridge *lbq.Bridge
+	mu     sync.Mutex // serializes all database work across connections
+	logf   func(format string, args ...any)
+
+	wg     sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer wraps an open database. Site rules may be loaded onto the
+// deductive engine via Bridge before serving.
+func NewServer(db *labbase.DB) *Server {
+	return &Server{
+		db:     db,
+		bridge: lbq.New(db),
+		logf:   log.Printf,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Bridge returns the server's deductive-engine bridge (for consulting site
+// rules before Serve).
+func (s *Server) Bridge() *lbq.Bridge { return s.bridge }
+
+// SetLogf redirects server logging (nil silences it).
+func (s *Server) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Shutdown closes every active connection (the caller closes the listener).
+func (s *Server) Shutdown() {
+	s.connMu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, payload, err := readFrame(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: read: %v", err)
+			}
+			return
+		}
+		resp, err := s.handle(op, payload)
+		if err != nil {
+			e := rec.NewEncoder(len(err.Error()) + 4)
+			e.String(err.Error())
+			if werr := writeFrame(w, statusErr, e.Bytes()); werr != nil {
+				return
+			}
+		} else {
+			if werr := writeFrame(w, statusOK, resp); werr != nil {
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// inTxn runs fn inside one transaction under the server lock. LabBase
+// operations validate their inputs before mutating anything, so on failure
+// the (write-free) transaction is simply closed and the error reported.
+func (s *Server) inTxn(fn func() error) error {
+	if err := s.db.Begin(); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		if cerr := s.db.Commit(); cerr != nil {
+			return fmt.Errorf("%v (and closing the transaction: %w)", err, cerr)
+		}
+		return err
+	}
+	return s.db.Commit()
+}
+
+func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := rec.NewDecoder(payload)
+	e := rec.NewEncoder(64)
+	switch op {
+	case OpHello:
+		v := d.Uint()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		if v != protocolVersion {
+			return nil, fmt.Errorf("wire: protocol version %d not supported", v)
+		}
+		e.Uint(protocolVersion)
+		e.String("labflow")
+
+	case OpDefineMaterialClass:
+		name, parent := d.String(), d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var id labbase.ClassID
+		if err := s.inTxn(func() (err error) {
+			id, err = s.db.DefineMaterialClass(name, parent)
+			return
+		}); err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(id))
+
+	case OpDefineState:
+		name := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var id labbase.StateID
+		if err := s.inTxn(func() (err error) {
+			id, err = s.db.DefineState(name)
+			return
+		}); err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(id))
+
+	case OpDefineStepClass:
+		name := d.String()
+		n := d.Count(1 << 16)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("wire: bad attribute count")
+		}
+		attrs := make([]labbase.AttrDef, 0, n)
+		for i := 0; i < n; i++ {
+			attrs = append(attrs, labbase.AttrDef{Name: d.String(), Kind: labbase.Kind(d.Byte())})
+		}
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var id labbase.StepClassID
+		var ver labbase.Version
+		if err := s.inTxn(func() (err error) {
+			id, ver, err = s.db.DefineStepClass(name, attrs)
+			return
+		}); err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(id))
+		e.Uint(uint64(ver))
+
+	case OpCreateMaterial:
+		class, name, state := d.String(), d.String(), d.String()
+		vt := d.Int()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var oid storage.OID
+		if err := s.inTxn(func() (err error) {
+			oid, err = s.db.CreateMaterial(class, name, state, vt)
+			return
+		}); err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(oid))
+
+	case OpCreateSet:
+		n := d.Count(1 << 20)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("wire: bad member count")
+		}
+		members := make([]storage.OID, n)
+		for i := range members {
+			members[i] = storage.OID(d.Uint())
+		}
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var oid storage.OID
+		if err := s.inTxn(func() (err error) {
+			oid, err = s.db.CreateMaterialSet(members)
+			return
+		}); err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(oid))
+
+	case OpRecordStep:
+		spec, err := decodeStepSpec(d)
+		if err != nil {
+			return nil, err
+		}
+		var oid storage.OID
+		if err := s.inTxn(func() (err error) {
+			oid, err = s.db.RecordStep(spec)
+			return
+		}); err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(oid))
+
+	case OpSetState:
+		oid := storage.OID(d.Uint())
+		state := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		if err := s.inTxn(func() error { return s.db.SetState(oid, state) }); err != nil {
+			return nil, err
+		}
+
+	case OpState:
+		oid := storage.OID(d.Uint())
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		st, err := s.db.State(oid)
+		if err != nil {
+			return nil, err
+		}
+		e.String(st)
+
+	case OpMostRecent:
+		oid := storage.OID(d.Uint())
+		attr := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		v, src, found, err := s.db.MostRecent(oid, attr)
+		if err != nil {
+			return nil, err
+		}
+		e.Bool(found)
+		e.Uint(uint64(src))
+		labbase.EncodeValue(e, v)
+
+	case OpHistory:
+		oid := storage.OID(d.Uint())
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		hist, err := s.db.History(oid)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(hist)))
+		for _, h := range hist {
+			e.Uint(uint64(h.Step))
+			e.Int(h.ValidTime)
+		}
+
+	case OpGetMaterial:
+		oid := storage.OID(d.Uint())
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		m, err := s.db.GetMaterial(oid)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(m.OID))
+		e.String(m.Class)
+		e.String(m.Name)
+		e.String(m.State)
+		e.Int(m.CreatedAt)
+		e.Uint(uint64(m.HistoryLen))
+
+	case OpGetStep:
+		oid := storage.OID(d.Uint())
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		st, err := s.db.GetStep(oid)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(st.OID))
+		e.String(st.Class)
+		e.Uint(uint64(st.Version))
+		e.Int(st.ValidTime)
+		e.Int(st.TxnTime)
+		e.Uint(uint64(len(st.Materials)))
+		for _, m := range st.Materials {
+			e.Uint(uint64(m))
+		}
+		e.Uint(uint64(st.Set))
+		e.Uint(uint64(len(st.Attrs)))
+		for _, av := range st.Attrs {
+			e.String(av.Name)
+			labbase.EncodeValue(e, av.Value)
+		}
+
+	case OpCountMaterials, OpCountSteps, OpCountInState:
+		name := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var n uint64
+		var err error
+		switch op {
+		case OpCountMaterials:
+			n, err = s.db.CountMaterials(name)
+		case OpCountSteps:
+			n, err = s.db.CountSteps(name)
+		default:
+			n, err = s.db.CountInState(name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(n)
+
+	case OpMaterialsInState:
+		state := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		mats, err := s.db.MaterialsInState(state)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(mats)))
+		for _, m := range mats {
+			e.Uint(uint64(m))
+		}
+
+	case OpSetMembers:
+		oid := storage.OID(d.Uint())
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		members, err := s.db.SetMembers(oid)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(members)))
+		for _, m := range members {
+			e.Uint(uint64(m))
+		}
+
+	case OpQuery:
+		q := d.String()
+		max := int(d.Uint())
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		sols, err := s.bridge.Query(q, max)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(sols)))
+		for _, sol := range sols {
+			e.Uint(uint64(len(sol)))
+			for name, term := range sol {
+				e.String(name)
+				e.String(term.String())
+			}
+		}
+
+	case OpDump:
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		st, err := s.db.Dump()
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(st.Materials)
+		e.Uint(st.Steps)
+		e.Uint(st.AttrValues)
+		e.Uint(st.HistoryRead)
+
+	case OpStats:
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		st := s.db.Manager().Stats()
+		e.String(s.db.Manager().Name())
+		e.Uint(st.Faults)
+		e.Uint(st.PageWrites)
+		e.Uint(st.Reads)
+		e.Uint(st.Writes)
+		e.Uint(st.Allocs)
+		e.Uint(st.SizeBytes)
+		e.Uint(st.LiveObjects)
+		e.Uint(st.LiveBytes)
+
+	case OpLookupMaterial:
+		name := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		oid, found := s.db.LookupMaterial(name)
+		e.Bool(found)
+		e.Uint(uint64(oid))
+
+	default:
+		return nil, fmt.Errorf("wire: unknown opcode %d", op)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+func decodeStepSpec(d *rec.Decoder) (labbase.StepSpec, error) {
+	var spec labbase.StepSpec
+	spec.Class = d.String()
+	spec.ValidTime = d.Int()
+	nm := d.Count(1 << 20)
+	if d.Err() != nil {
+		return spec, fmt.Errorf("wire: bad step spec")
+	}
+	spec.Materials = make([]storage.OID, nm)
+	for i := range spec.Materials {
+		spec.Materials[i] = storage.OID(d.Uint())
+	}
+	spec.Set = storage.OID(d.Uint())
+	na := d.Count(1 << 16)
+	if d.Err() != nil {
+		return spec, fmt.Errorf("wire: bad step spec attrs")
+	}
+	spec.Attrs = make([]labbase.AttrValue, na)
+	for i := range spec.Attrs {
+		spec.Attrs[i].Name = d.String()
+		spec.Attrs[i].Value = labbase.DecodeValue(d)
+	}
+	return spec, d.Finish()
+}

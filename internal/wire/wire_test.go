@@ -1,0 +1,309 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+)
+
+// startServer brings up a server on a loopback listener and returns a
+// connected client.
+func startServer(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	db, err := labbase.Open(memstore.Open("server-mm"), labbase.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	srv.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Shutdown()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		db.Close()
+	})
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, srv
+}
+
+func TestEndToEnd(t *testing.T) {
+	c, _ := startServer(t)
+
+	if _, err := c.DefineMaterialClass("clone", ""); err != nil {
+		t.Fatalf("DefineMaterialClass: %v", err)
+	}
+	if _, err := c.DefineMaterialClass("tclone", "clone"); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"waiting", "done"} {
+		if _, err := c.DefineState(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.DefineStepClass("determine_sequence", []labbase.AttrDef{
+		{Name: "sequence", Kind: labbase.KindString},
+		{Name: "ok", Kind: labbase.KindBool},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := c.CreateMaterial("clone", "c1", "waiting", 5)
+	if err != nil {
+		t.Fatalf("CreateMaterial: %v", err)
+	}
+	got, err := c.GetMaterial(m)
+	if err != nil || got.Name != "c1" || got.Class != "clone" || got.State != "waiting" || got.CreatedAt != 5 {
+		t.Fatalf("GetMaterial = %+v, %v", got, err)
+	}
+
+	step, err := c.RecordStep(labbase.StepSpec{
+		Class: "determine_sequence", ValidTime: 10,
+		Materials: []storage.OID{m},
+		Attrs: []labbase.AttrValue{
+			{Name: "sequence", Value: labbase.String("ACGT")},
+			{Name: "ok", Value: labbase.Bool(true)},
+		},
+	})
+	if err != nil {
+		t.Fatalf("RecordStep: %v", err)
+	}
+
+	v, src, found, err := c.MostRecent(m, "sequence")
+	if err != nil || !found || v.Str != "ACGT" || src != step {
+		t.Fatalf("MostRecent = %v %v %v %v", v, src, found, err)
+	}
+
+	hist, err := c.History(m)
+	if err != nil || len(hist) != 1 || hist[0].Step != step || hist[0].ValidTime != 10 {
+		t.Fatalf("History = %v, %v", hist, err)
+	}
+
+	st, err := c.GetStep(step)
+	if err != nil || st.Class != "determine_sequence" || st.Version != 1 || len(st.Attrs) != 2 {
+		t.Fatalf("GetStep = %+v, %v", st, err)
+	}
+
+	if err := c.SetState(m, "done"); err != nil {
+		t.Fatal(err)
+	}
+	if state, err := c.State(m); err != nil || state != "done" {
+		t.Fatalf("State = %q, %v", state, err)
+	}
+	mats, err := c.MaterialsInState("done")
+	if err != nil || len(mats) != 1 || mats[0] != m {
+		t.Fatalf("MaterialsInState = %v, %v", mats, err)
+	}
+
+	if n, err := c.CountMaterials("clone"); err != nil || n != 1 {
+		t.Fatalf("CountMaterials = %d, %v", n, err)
+	}
+	if n, err := c.CountSteps("determine_sequence"); err != nil || n != 1 {
+		t.Fatalf("CountSteps = %d, %v", n, err)
+	}
+	if n, err := c.CountInState("done"); err != nil || n != 1 {
+		t.Fatalf("CountInState = %d, %v", n, err)
+	}
+
+	// Material sets over the wire.
+	m2, err := c.CreateMaterial("tclone", "t1", "waiting", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := c.CreateMaterialSet([]storage.OID{m, m2})
+	if err != nil {
+		t.Fatalf("CreateMaterialSet: %v", err)
+	}
+	members, err := c.SetMembers(set)
+	if err != nil || len(members) != 2 {
+		t.Fatalf("SetMembers = %v, %v", members, err)
+	}
+
+	// Deductive queries through the server.
+	sols, err := c.Query("state(M, done)", 0)
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("Query = %v, %v", sols, err)
+	}
+	if sols[0]["M"] != fmt.Sprint(int64(m)) {
+		t.Errorf("solution M = %v", sols[0])
+	}
+
+	dump, err := c.Dump()
+	if err != nil || dump.Materials != 2 || dump.Steps != 1 {
+		t.Fatalf("Dump = %+v, %v", dump, err)
+	}
+
+	// Keyed lookup over the wire.
+	oid, found, err := c.LookupMaterial("c1")
+	if err != nil || !found || oid != m {
+		t.Fatalf("LookupMaterial = %v, %v, %v", oid, found, err)
+	}
+	if _, found, err := c.LookupMaterial("missing"); err != nil || found {
+		t.Fatalf("LookupMaterial(missing) = %v, %v", found, err)
+	}
+
+	name, stats, err := c.Stats()
+	if err != nil || name != "server-mm" || stats.LiveObjects == 0 {
+		t.Fatalf("Stats = %q, %+v, %v", name, stats, err)
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	c, _ := startServer(t)
+	if _, err := c.CreateMaterial("nosuch", "x", "", 0); !errors.Is(err, ErrRemote) {
+		t.Errorf("remote error = %v, want ErrRemote", err)
+	}
+	// The connection survives an error and keeps working.
+	if _, err := c.DefineMaterialClass("clone", ""); err != nil {
+		t.Fatalf("after error: %v", err)
+	}
+	if _, err := c.Query("syntax error ((", 0); !errors.Is(err, ErrRemote) {
+		t.Errorf("query error = %v", err)
+	}
+	if _, err := c.GetMaterial(storage.MakeOID(storage.SegMaterial, 999)); !errors.Is(err, ErrRemote) {
+		t.Errorf("missing material = %v", err)
+	}
+}
+
+// TestConcurrentClients hammers the server from several connections; the
+// server serializes transactions so all updates must land.
+func TestConcurrentClients(t *testing.T) {
+	c0, _ := startServer(t)
+	if _, err := c0.DefineMaterialClass("clone", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.DefineState("new"); err != nil {
+		t.Fatal(err)
+	}
+	addr := c0.conn.RemoteAddr().String()
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perWorker; i++ {
+				m, err := cl.CreateMaterial("clone", fmt.Sprintf("w%d-%d", w, i), "new", int64(i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.RecordStep(labbase.StepSpec{
+					Class: "touch", ValidTime: int64(i),
+					Materials: []storage.OID{m},
+					Attrs:     []labbase.AttrValue{{Name: "n", Value: labbase.Int64(int64(i))}},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n, err := c0.CountMaterials("clone"); err != nil || n != workers*perWorker {
+		t.Fatalf("CountMaterials = %d, %v; want %d", n, err, workers*perWorker)
+	}
+	if n, err := c0.CountSteps("touch"); err != nil || n != workers*perWorker {
+		t.Fatalf("CountSteps = %d, %v", n, err)
+	}
+}
+
+// TestGarbagePayloads throws random bytes at every opcode; the server must
+// return errors, never panic, and the connection must stay usable.
+func TestGarbagePayloads(t *testing.T) {
+	c, _ := startServer(t)
+	rng := newRand()
+	ops := []uint8{
+		OpHello, OpDefineMaterialClass, OpDefineState, OpDefineStepClass,
+		OpCreateMaterial, OpCreateSet, OpRecordStep, OpSetState, OpState,
+		OpMostRecent, OpHistory, OpGetMaterial, OpGetStep, OpCountMaterials,
+		OpCountSteps, OpCountInState, OpMaterialsInState, OpSetMembers,
+		OpQuery, OpDump, OpStats, 200, // and one unknown opcode
+	}
+	for round := 0; round < 50; round++ {
+		op := ops[rng.Intn(len(ops))]
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		// Use the client's internals to send a raw frame.
+		if err := writeFrame(c.w, op, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := readFrame(c.r); err != nil {
+			t.Fatalf("round %d op %d: connection broke: %v", round, op, err)
+		}
+	}
+	// Still alive and functional.
+	if _, err := c.DefineMaterialClass("clone", ""); err != nil {
+		t.Fatalf("after garbage: %v", err)
+	}
+}
+
+func newRand() *garbageRand { return &garbageRand{state: 0x9E3779B97F4A7C15} }
+
+// garbageRand is a tiny deterministic generator so the garbage test does not
+// pull in math/rand's global state.
+type garbageRand struct{ state uint64 }
+
+func (g *garbageRand) next() uint64 {
+	g.state ^= g.state << 13
+	g.state ^= g.state >> 7
+	g.state ^= g.state << 17
+	return g.state
+}
+
+func (g *garbageRand) Intn(n int) int { return int(g.next() % uint64(n)) }
+
+func (g *garbageRand) Read(b []byte) {
+	for i := range b {
+		b[i] = byte(g.next())
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var sb strings.Builder
+	if err := writeFrame(&sb, 1, make([]byte, MaxFrame)); err == nil {
+		t.Error("oversized frame should be rejected")
+	}
+	r := strings.NewReader("\x00\x00\x00\x00")
+	if _, _, err := readFrame(r); err == nil {
+		t.Error("zero-length frame should be rejected")
+	}
+	r = strings.NewReader("\xff\xff\xff\x7f")
+	if _, _, err := readFrame(r); err == nil {
+		t.Error("huge frame should be rejected")
+	}
+}
