@@ -1,0 +1,21 @@
+# Convenience targets; `make check` is the gate scripts/ci.sh implements.
+
+.PHONY: check test race bench table10 clean
+
+check:
+	./scripts/ci.sh
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+table10:
+	go run ./cmd/labflow -experiment table10
+
+clean:
+	go clean ./...

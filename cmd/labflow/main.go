@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	labflow -experiment table10 [-stores OStore,Texas+TC,...] [-scale N]
+//	labflow -experiment table10 [-stores OStore,Texas+TC,...] [-scale N] [-parallel=false]
 //	labflow -experiment ops     [-store Texas+TC]
 //	labflow -experiment clustering
 //	labflow -experiment evolution [-store Texas+TC]
 //	labflow -experiment sweep   [-pools 64,192,512,4096]
 //	labflow -experiment all
+//
+// The table10 sweep runs its five server versions concurrently by default
+// (the workload and all simulated counters are deterministic either way);
+// pass -parallel=false for sequential runs with per-version-accurate CPU
+// columns. -cpuprofile / -memprofile write pprof profiles of the run.
 //
 // The working data lives under -dir (a temporary directory by default) and
 // is removed afterwards unless -keep is given.
@@ -18,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -26,76 +33,124 @@ import (
 	"labflow/internal/storage"
 )
 
+// options carries the command-line configuration through the experiments.
+type options struct {
+	experiment string
+	stores     string
+	store      string
+	dir        string
+	keep       bool
+	scale      int
+	intervals  int
+	seed       int64
+	pools      string
+	shape      bool
+	jsonOut    string
+	parallel   bool
+}
+
 func main() {
-	var (
-		experiment = flag.String("experiment", "table10", "schema | table10 | ops | clustering | evolution | sweep | all")
-		stores     = flag.String("stores", "", "comma-separated server versions for table10 (default: all five)")
-		store      = flag.String("store", "Texas+TC", "server version for ops/evolution")
-		dir        = flag.String("dir", "", "working directory (default: a temp dir)")
-		keep       = flag.Bool("keep", false, "keep the working directory")
-		scale      = flag.Int("scale", 0, "override BaseClones (the 1X unit)")
-		intervals  = flag.Int("intervals", 0, "override the number of 0.5X intervals")
-		seed       = flag.Int64("seed", 0, "override the workload seed")
-		pools      = flag.String("pools", "64,192,512,4096", "pool sizes (pages) for the sweep")
-		shape      = flag.Bool("check-shape", true, "verify the paper-shape expectations after table10")
-		jsonOut    = flag.String("json", "", "also write table10 results to this JSON file")
-	)
+	var o options
+	flag.StringVar(&o.experiment, "experiment", "table10", "schema | table10 | ops | clustering | evolution | sweep | all")
+	flag.StringVar(&o.stores, "stores", "", "comma-separated server versions for table10 (default: all five)")
+	flag.StringVar(&o.store, "store", "Texas+TC", "server version for ops/evolution")
+	flag.StringVar(&o.dir, "dir", "", "working directory (default: a temp dir)")
+	flag.BoolVar(&o.keep, "keep", false, "keep the working directory")
+	flag.IntVar(&o.scale, "scale", 0, "override BaseClones (the 1X unit)")
+	flag.IntVar(&o.intervals, "intervals", 0, "override the number of 0.5X intervals")
+	flag.Int64Var(&o.seed, "seed", 0, "override the workload seed")
+	flag.StringVar(&o.pools, "pools", "64,192,512,4096", "pool sizes (pages) for the sweep")
+	flag.BoolVar(&o.shape, "check-shape", true, "verify the paper-shape expectations after table10")
+	flag.StringVar(&o.jsonOut, "json", "", "also write table10 results to this JSON file")
+	flag.BoolVar(&o.parallel, "parallel", true, "run the table10 versions concurrently (per-version CPU columns become process-wide)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
-	if err := run(*experiment, *stores, *store, *dir, *keep, *scale, *intervals, *seed, *pools, *shape, *jsonOut); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "labflow: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "labflow: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(o)
+
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "labflow: memprofile:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows live + cumulative allocs
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "labflow: memprofile:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "labflow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, stores, store, dir string, keep bool, scale, intervals int, seed int64, pools string, shape bool, jsonOut string) error {
+func run(o options) error {
 	p := core.DefaultParams()
-	if scale > 0 {
+	if o.scale > 0 {
 		// Keep the cache-to-database ratio of the default configuration:
 		// the benchmark studies locality under proportional memory
 		// pressure, not an ever-shrinking cache.
-		ratio := float64(scale) / float64(p.BaseClones)
-		p.BaseClones = scale
+		ratio := float64(o.scale) / float64(p.BaseClones)
+		p.BaseClones = o.scale
 		p.PoolPages = int(float64(p.PoolPages)*ratio + 0.5)
 		p.ResidentPages = int(float64(p.ResidentPages)*ratio + 0.5)
 	}
-	if intervals > 0 {
-		p.Intervals = intervals
+	if o.intervals > 0 {
+		p.Intervals = o.intervals
 	}
-	if seed != 0 {
-		p.Seed = seed
+	if o.seed != 0 {
+		p.Seed = o.seed
 	}
 
-	if dir == "" {
+	if o.dir == "" {
 		tmp, err := os.MkdirTemp("", "labflow-*")
 		if err != nil {
 			return err
 		}
-		dir = tmp
-		if !keep {
+		o.dir = tmp
+		if !o.keep {
 			defer os.RemoveAll(tmp)
 		}
 	}
-	if keep {
-		fmt.Fprintf(os.Stderr, "working directory: %s\n", dir)
+	if o.keep {
+		fmt.Fprintf(os.Stderr, "working directory: %s\n", o.dir)
 	}
 
-	experiments := []string{experiment}
-	if experiment == "all" {
+	experiments := []string{o.experiment}
+	if o.experiment == "all" {
 		experiments = []string{"schema", "table10", "ops", "clustering", "evolution", "sweep"}
 	}
 	for i, exp := range experiments {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := runOne(exp, stores, store, dir, p, pools, shape, jsonOut); err != nil {
+		if err := runOne(exp, o, p); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runOne(experiment, stores, store, dir string, p core.Params, pools string, shape bool, jsonOut string) error {
+func runOne(experiment string, o options, p core.Params) error {
 	switch experiment {
 	case "schema":
 		// Paper Table 1: the fixed storage schema, independent of the
@@ -115,9 +170,9 @@ func runOne(experiment, stores, store, dir string, p core.Params, pools string, 
 
 	case "table10":
 		kinds := core.AllStoreKinds
-		if stores != "" {
+		if o.stores != "" {
 			kinds = nil
-			for _, name := range strings.Split(stores, ",") {
+			for _, name := range strings.Split(o.stores, ",") {
 				k, err := core.ParseStoreKind(strings.TrimSpace(name))
 				if err != nil {
 					return err
@@ -125,20 +180,24 @@ func runOne(experiment, stores, store, dir string, p core.Params, pools string, 
 				kinds = append(kinds, k)
 			}
 		}
-		results, err := core.RunAll(kinds, dir+"/table10", p)
+		sweep := core.RunAll
+		if o.parallel {
+			sweep = core.RunAllParallel
+		}
+		results, err := sweep(kinds, o.dir+"/table10", p)
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.FormatTable10(results))
 		fmt.Println()
 		fmt.Print(core.FormatSeries(results))
-		if jsonOut != "" {
-			if err := core.WriteJSON(jsonOut, results); err != nil {
+		if o.jsonOut != "" {
+			if err := core.WriteJSON(o.jsonOut, results); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "results written to %s\n", jsonOut)
+			fmt.Fprintf(os.Stderr, "results written to %s\n", o.jsonOut)
 		}
-		if shape {
+		if o.shape {
 			if problems := core.CheckShape(results); len(problems) > 0 {
 				for _, prob := range problems {
 					fmt.Fprintln(os.Stderr, "shape violation:", prob)
@@ -149,29 +208,29 @@ func runOne(experiment, stores, store, dir string, p core.Params, pools string, 
 		}
 
 	case "ops":
-		kind, err := core.ParseStoreKind(store)
+		kind, err := core.ParseStoreKind(o.store)
 		if err != nil {
 			return err
 		}
-		res, err := core.RunOps(kind, dir+"/ops", p)
+		res, err := core.RunOps(kind, o.dir+"/ops", p)
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.FormatOps(res))
 
 	case "clustering":
-		res, err := core.RunClustering(dir+"/clustering", p)
+		res, err := core.RunClustering(o.dir+"/clustering", p)
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.FormatClustering(res))
 
 	case "evolution":
-		kind, err := core.ParseStoreKind(store)
+		kind, err := core.ParseStoreKind(o.store)
 		if err != nil {
 			return err
 		}
-		res, err := core.RunEvolution(kind, dir+"/evolution", p)
+		res, err := core.RunEvolution(kind, o.dir+"/evolution", p)
 		if err != nil {
 			return err
 		}
@@ -179,14 +238,14 @@ func runOne(experiment, stores, store, dir string, p core.Params, pools string, 
 
 	case "sweep":
 		var sizes []int
-		for _, s := range strings.Split(pools, ",") {
+		for _, s := range strings.Split(o.pools, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n <= 0 {
 				return fmt.Errorf("bad pool size %q", s)
 			}
 			sizes = append(sizes, n)
 		}
-		res, err := core.RunBufferSweep(dir+"/sweep", p, sizes)
+		res, err := core.RunBufferSweep(o.dir+"/sweep", p, sizes)
 		if err != nil {
 			return err
 		}

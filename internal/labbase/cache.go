@@ -1,0 +1,130 @@
+package labbase
+
+import "labflow/internal/storage"
+
+// oidCache is a small bounded LRU keyed by OID, used to keep decoded hot
+// records (materials, most-recent indexes) in memory so the tracking and
+// query inner loops stop re-reading and re-decoding the same bytes.
+//
+// Eviction is strict LRU over an intrusive doubly-linked list — fully
+// deterministic. That matters: cache hits skip storage-manager reads and
+// therefore change the simulated fault counters, so a nondeterministic
+// eviction policy (e.g. map-iteration order) would make benchmark runs
+// irreproducible across processes.
+//
+// A nil *oidCache is a valid, permanently-empty cache (caching disabled).
+type oidCache[V any] struct {
+	capacity int
+	m        map[storage.OID]*cacheNode[V]
+	head     *cacheNode[V] // most recently used
+	tail     *cacheNode[V] // least recently used
+}
+
+type cacheNode[V any] struct {
+	key        storage.OID
+	val        V
+	prev, next *cacheNode[V]
+}
+
+// newOIDCache returns a cache bounded to capacity entries, or nil (disabled)
+// when capacity <= 0.
+func newOIDCache[V any](capacity int) *oidCache[V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &oidCache[V]{
+		capacity: capacity,
+		m:        make(map[storage.OID]*cacheNode[V], capacity),
+	}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *oidCache[V]) get(oid storage.OID) (V, bool) {
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	n, ok := c.m[oid]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(n)
+	return n.val, true
+}
+
+// put inserts or refreshes an entry, evicting the least recently used entry
+// when the cache is full.
+func (c *oidCache[V]) put(oid storage.OID, v V) {
+	if c == nil {
+		return
+	}
+	if n, ok := c.m[oid]; ok {
+		n.val = v
+		c.moveToFront(n)
+		return
+	}
+	if len(c.m) >= c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+	}
+	n := &cacheNode[V]{key: oid, val: v}
+	c.m[oid] = n
+	c.pushFront(n)
+}
+
+// invalidate drops an entry (no-op when absent). Every write to a cached
+// record must invalidate or refresh its entry — see DESIGN.md's cache
+// invalidation rules.
+func (c *oidCache[V]) invalidate(oid storage.OID) {
+	if c == nil {
+		return
+	}
+	if n, ok := c.m[oid]; ok {
+		c.unlink(n)
+		delete(c.m, oid)
+	}
+}
+
+// len reports the current number of cached entries.
+func (c *oidCache[V]) len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.m)
+}
+
+func (c *oidCache[V]) pushFront(n *cacheNode[V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *oidCache[V]) unlink(n *cacheNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *oidCache[V]) moveToFront(n *cacheNode[V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -99,6 +99,11 @@ func attrKey(attrs []AttrID) string {
 
 func (c *catalog) encode() []byte {
 	e := rec.NewEncoder(1024)
+	c.encodeTo(e)
+	return e.Bytes()
+}
+
+func (c *catalog) encodeTo(e *rec.Encoder) {
 	e.Byte(1) // catalog format version
 	e.Uint(uint64(c.countersOID))
 
@@ -132,7 +137,6 @@ func (c *catalog) encode() []byte {
 	for _, s := range c.states {
 		e.String(s)
 	}
-	return e.Bytes()
 }
 
 func decodeCatalog(data []byte) (*catalog, error) {

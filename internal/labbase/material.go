@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"labflow/internal/rec"
 	"labflow/internal/storage"
 )
 
@@ -47,7 +48,7 @@ func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storag
 		createdAt: validTime,
 		name:      name,
 	}
-	oid, err := db.sm.Allocate(storage.SegMaterial, m.encode())
+	oid, err := db.allocMaterial(m)
 	if err != nil {
 		return storage.NilOID, fmt.Errorf("labbase: create material: %w", err)
 	}
@@ -146,7 +147,7 @@ func (db *DB) SetState(oid storage.OID, state string) error {
 		db.stateIdxAdd(stateID, oid)
 	}
 	db.cntDirty = true
-	return db.sm.Write(oid, m.encode())
+	return db.writeMaterial(oid, m)
 }
 
 // MaterialsInState returns the materials currently in the named state,
@@ -253,7 +254,10 @@ func (db *DB) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
 			return storage.NilOID, fmt.Errorf("labbase: set member %v: %w", m, err)
 		}
 	}
-	oid, err := db.sm.Allocate(storage.SegHistory, encodeSetRec(members))
+	e := rec.GetEncoder()
+	encodeSetTo(e, members)
+	oid, err := db.sm.Allocate(storage.SegHistory, e.Bytes())
+	rec.PutEncoder(e)
 	if err != nil {
 		return storage.NilOID, fmt.Errorf("labbase: create set: %w", err)
 	}

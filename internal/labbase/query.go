@@ -62,12 +62,16 @@ func (db *DB) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool
 	if m.mrIndex.IsNil() {
 		return Nil(), storage.NilOID, false, nil
 	}
-	data, err := db.sm.Read(m.mrIndex)
-	if err != nil {
-		return Nil(), storage.NilOID, false, fmt.Errorf("labbase: read most-recent index: %w", err)
-	}
-	if err := checkMRIndex(data); err != nil {
-		return Nil(), storage.NilOID, false, err
+	data, cached := db.mrCache.get(m.mrIndex)
+	if !cached {
+		data, err = db.sm.Read(m.mrIndex)
+		if err != nil {
+			return Nil(), storage.NilOID, false, fmt.Errorf("labbase: read most-recent index: %w", err)
+		}
+		if err := checkMRIndex(data); err != nil {
+			return Nil(), storage.NilOID, false, err
+		}
+		db.mrCache.put(m.mrIndex, data)
 	}
 	i := mrFind(data, id)
 	if i < 0 {

@@ -30,8 +30,8 @@ type materialRec struct {
 	mrIndex      storage.OID // most-recent index record
 }
 
-func (m *materialRec) encode() []byte {
-	e := rec.NewEncoder(32 + len(m.name))
+func (m *materialRec) encodeTo(e *rec.Encoder) {
+	e.Grow(32 + len(m.name))
 	e.Byte(1)
 	e.Uint(uint64(m.classID))
 	e.Uint(uint64(m.stateID))
@@ -40,6 +40,11 @@ func (m *materialRec) encode() []byte {
 	e.Uint(uint64(m.historyHead))
 	e.Uint(m.historyCount)
 	e.Uint(uint64(m.mrIndex))
+}
+
+func (m *materialRec) encode() []byte {
+	e := rec.NewEncoder(32 + len(m.name))
+	m.encodeTo(e)
 	return e.Bytes()
 }
 
@@ -63,15 +68,55 @@ func decodeMaterialRec(data []byte) (*materialRec, error) {
 	return m, nil
 }
 
+// readMaterial returns a material record, served from the decode cache when
+// possible. The caller receives a private copy and may mutate it freely; the
+// cache entry is only refreshed through writeMaterial/allocMaterial.
 func (db *DB) readMaterial(oid storage.OID) (*materialRec, error) {
 	if oid.Segment() != storage.SegMaterial {
 		return nil, fmt.Errorf("%w: %v", ErrNotMaterial, oid)
+	}
+	if m, ok := db.matCache.get(oid); ok {
+		return &m, nil
 	}
 	data, err := db.sm.Read(oid)
 	if err != nil {
 		return nil, err
 	}
-	return decodeMaterialRec(data)
+	m, err := decodeMaterialRec(data)
+	if err != nil {
+		return nil, err
+	}
+	db.matCache.put(oid, *m)
+	return m, nil
+}
+
+// writeMaterial re-encodes a material record in place (through a pooled
+// encoder; storage managers copy the bytes before returning) and refreshes
+// the decode cache, or invalidates it when the write fails.
+func (db *DB) writeMaterial(oid storage.OID, m *materialRec) error {
+	e := rec.GetEncoder()
+	m.encodeTo(e)
+	err := db.sm.Write(oid, e.Bytes())
+	rec.PutEncoder(e)
+	if err != nil {
+		db.matCache.invalidate(oid)
+		return err
+	}
+	db.matCache.put(oid, *m)
+	return nil
+}
+
+// allocMaterial stores a fresh material record and seeds the decode cache.
+func (db *DB) allocMaterial(m *materialRec) (storage.OID, error) {
+	e := rec.GetEncoder()
+	m.encodeTo(e)
+	oid, err := db.sm.Allocate(storage.SegMaterial, e.Bytes())
+	rec.PutEncoder(e)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	db.matCache.put(oid, *m)
+	return oid, nil
 }
 
 // --- sm_step -----------------------------------------------------------------
@@ -87,8 +132,11 @@ type stepRec struct {
 	attrVals  []Value
 }
 
-func (s *stepRec) encode() []byte {
-	e := rec.NewEncoder(64)
+func (s *stepRec) encodeTo(e *rec.Encoder) {
+	// Pre-size for the fixed fields, the OID lists and the attribute tags;
+	// value payloads (strings, hit lists) grow the buffer as needed and the
+	// pooled buffer keeps that capacity for the next step.
+	e.Grow(32 + 10*len(s.materials) + 16*len(s.attrIDs))
 	e.Byte(1)
 	e.Uint(uint64(s.classID))
 	e.Uint(uint64(s.version))
@@ -104,6 +152,11 @@ func (s *stepRec) encode() []byte {
 		e.Uint(uint64(a))
 		s.attrVals[i].encode(e)
 	}
+}
+
+func (s *stepRec) encode() []byte {
+	e := rec.NewEncoder(64)
+	s.encodeTo(e)
 	return e.Bytes()
 }
 
@@ -160,13 +213,18 @@ func (db *DB) readStep(oid storage.OID) (*stepRec, error) {
 
 // --- material_set ------------------------------------------------------------
 
-func encodeSetRec(members []storage.OID) []byte {
-	e := rec.NewEncoder(8 + 9*len(members))
+func encodeSetTo(e *rec.Encoder, members []storage.OID) {
+	e.Grow(8 + 9*len(members))
 	e.Byte(1)
 	e.Uint(uint64(len(members)))
 	for _, m := range members {
 		e.Uint(uint64(m))
 	}
+}
+
+func encodeSetRec(members []storage.OID) []byte {
+	e := rec.NewEncoder(8 + 9*len(members))
+	encodeSetTo(e, members)
 	return e.Bytes()
 }
 
@@ -488,8 +546,19 @@ func (c *counters) totalSteps() uint64 {
 	return t
 }
 
-func (c *counters) encode() []byte {
-	b := make([]byte, 7+8*(len(c.matsByClass)+len(c.stepsByClass)+len(c.matsByState)))
+// appendTo encodes the counters onto buf (normally a reused scratch slice;
+// storage managers copy the bytes, so the same scratch serves every commit).
+func (c *counters) appendTo(buf []byte) []byte {
+	n := 7 + 8*(len(c.matsByClass)+len(c.stepsByClass)+len(c.matsByState))
+	var b []byte
+	if cap(buf) >= n {
+		b = buf[:n]
+		for i := range b {
+			b[i] = 0
+		}
+	} else {
+		b = make([]byte, n)
+	}
 	b[0] = 1
 	binary.LittleEndian.PutUint16(b[1:3], uint16(len(c.matsByClass)))
 	binary.LittleEndian.PutUint16(b[3:5], uint16(len(c.stepsByClass)))
@@ -503,6 +572,8 @@ func (c *counters) encode() []byte {
 	}
 	return b
 }
+
+func (c *counters) encode() []byte { return c.appendTo(nil) }
 
 func decodeCounters(b []byte) (counters, error) {
 	var c counters

@@ -3,6 +3,7 @@ package labbase
 import (
 	"fmt"
 
+	"labflow/internal/rec"
 	"labflow/internal/storage"
 )
 
@@ -150,16 +151,19 @@ func (db *DB) RecordStep(spec StepSpec) (storage.OID, error) {
 		attrIDs:   attrIDs,
 		attrVals:  attrVals,
 	}
+	enc := rec.GetEncoder()
+	s.encodeTo(enc)
 	var stepOID storage.OID
 	var err error
 	if anchor := mats[0].historyHead; !anchor.IsNil() {
-		stepOID, err = db.sm.AllocateNear(anchor, s.encode())
+		stepOID, err = db.sm.AllocateNear(anchor, enc.Bytes())
 	} else {
 		// A history-less first material starts a fresh physical cluster;
 		// the whole family's audit trail (its spawned materials anchor
 		// their first chunks here too) then funnels into it.
-		stepOID, err = db.sm.AllocateCluster(storage.SegHistory, s.encode())
+		stepOID, err = db.sm.AllocateCluster(storage.SegHistory, enc.Bytes())
 	}
+	rec.PutEncoder(enc)
 	if err != nil {
 		return storage.NilOID, fmt.Errorf("labbase: store step: %w", err)
 	}
@@ -174,7 +178,7 @@ func (db *DB) RecordStep(spec StepSpec) (storage.OID, error) {
 			return storage.NilOID, err
 		}
 		mats[i].historyCount++
-		if err := db.sm.Write(moid, mats[i].encode()); err != nil {
+		if err := db.writeMaterial(moid, mats[i]); err != nil {
 			return storage.NilOID, fmt.Errorf("labbase: update material %v: %w", moid, err)
 		}
 	}
@@ -228,6 +232,9 @@ func (db *DB) appendHistory(moid storage.OID, m *materialRec, e historyEntry) er
 
 // updateMostRecent folds the step's attributes into the material's
 // most-recent index, honouring valid-time order for out-of-order arrivals.
+// The index bytes are served from the decode cache when present; the entry
+// is dropped before the in-place mutation and re-installed only after the
+// write succeeds, so the cache never holds unpersisted bytes.
 func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID, e historyEntry) error {
 	if len(attrs) == 0 && !m.mrIndex.IsNil() {
 		return nil
@@ -241,6 +248,8 @@ func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID,
 			return fmt.Errorf("labbase: most-recent index: %w", err)
 		}
 		m.mrIndex = oid
+	} else if cached, ok := db.mrCache.get(m.mrIndex); ok {
+		data = cached
 	} else {
 		data, err = db.sm.Read(m.mrIndex)
 		if err != nil {
@@ -250,6 +259,7 @@ func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID,
 			return err
 		}
 	}
+	db.mrCache.invalidate(m.mrIndex)
 	changed := false
 	for _, a := range attrs {
 		var c bool
@@ -257,9 +267,14 @@ func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID,
 		changed = changed || c
 	}
 	if !changed {
+		db.mrCache.put(m.mrIndex, data)
 		return nil
 	}
-	return db.sm.Write(m.mrIndex, data)
+	if err := db.sm.Write(m.mrIndex, data); err != nil {
+		return err
+	}
+	db.mrCache.put(m.mrIndex, data)
+	return nil
 }
 
 // GetStep returns the public view of a step instance.

@@ -11,6 +11,13 @@ import (
 )
 
 // Usage is a snapshot (or difference) of resource consumption.
+//
+// Wall is per-caller: sampled from the monotonic clock, so differences are
+// exact elapsed time for whichever goroutine took the two samples. UserCPU,
+// SysCPU and MajFlt come from getrusage and are process-wide: when several
+// benchmark runs execute concurrently, each run's CPU delta includes cycles
+// spent by the others. Reports must flag CPU columns accordingly (see
+// core.RunResult.SharedCPU).
 type Usage struct {
 	Wall    time.Duration
 	UserCPU time.Duration
@@ -22,10 +29,15 @@ type Usage struct {
 	MajFlt uint64
 }
 
+// baseTime anchors Wall samples. time.Since carries Go's monotonic reading,
+// so Usage.Sub differences are immune to wall-clock steps (NTP, suspend) —
+// a requirement for trustworthy per-goroutine timings under RunAllParallel.
+var baseTime = time.Now()
+
 // Sample returns the current cumulative usage of this process.
 func Sample() Usage {
 	u := rusageSelf()
-	u.Wall = time.Duration(time.Now().UnixNano())
+	u.Wall = time.Since(baseTime)
 	return u
 }
 

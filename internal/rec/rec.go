@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrCorrupt is returned (wrapped) when a record cannot be decoded.
@@ -26,6 +27,41 @@ type Encoder struct {
 // NewEncoder returns an encoder with capacity for n bytes.
 func NewEncoder(n int) *Encoder {
 	return &Encoder{b: make([]byte, 0, n)}
+}
+
+// encoderPool recycles encoder buffers across hot encode paths. Buffers keep
+// whatever capacity they grew to, so steady-state encodes stop allocating.
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{b: make([]byte, 0, 256)} },
+}
+
+// GetEncoder returns an empty pooled encoder. Callers must hand it back with
+// PutEncoder once the encoded bytes have been consumed (every storage manager
+// copies the data passed to Allocate/Write, so release immediately after the
+// call). The bytes returned by Bytes are invalid after PutEncoder.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns a pooled encoder for reuse. Oversized buffers (from a
+// rare huge record) are dropped rather than pinned in the pool.
+func PutEncoder(e *Encoder) {
+	if cap(e.b) > 1<<16 {
+		return
+	}
+	encoderPool.Put(e)
+}
+
+// Grow ensures capacity for at least n more bytes, so a sequence of appends
+// encodes into one allocation at most.
+func (e *Encoder) Grow(n int) {
+	if free := cap(e.b) - len(e.b); free < n {
+		nb := make([]byte, len(e.b), len(e.b)+n)
+		copy(nb, e.b)
+		e.b = nb
+	}
 }
 
 // Bytes returns the encoded record. The slice is owned by the encoder and is

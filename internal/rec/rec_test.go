@@ -210,3 +210,49 @@ func TestQuickBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEncoderPool(t *testing.T) {
+	e := GetEncoder()
+	if e.Len() != 0 {
+		t.Fatalf("pooled encoder not empty: %d bytes", e.Len())
+	}
+	e.String("pooled")
+	e.Uint(42)
+	got := append([]byte(nil), e.Bytes()...)
+	PutEncoder(e)
+
+	// A fresh pooled encoder starts empty even when it reuses the buffer.
+	e2 := GetEncoder()
+	if e2.Len() != 0 {
+		t.Fatalf("reused encoder not reset: %d bytes", e2.Len())
+	}
+	e2.String("pooled")
+	e2.Uint(42)
+	if string(e2.Bytes()) != string(got) {
+		t.Errorf("reused encoder produced %q, want %q", e2.Bytes(), got)
+	}
+	PutEncoder(e2)
+
+	// Oversized buffers are dropped, not pooled.
+	big := GetEncoder()
+	big.Raw(make([]byte, 1<<17))
+	PutEncoder(big) // must not panic or pin the huge buffer
+}
+
+func TestEncoderGrow(t *testing.T) {
+	e := NewEncoder(0)
+	e.Grow(100)
+	if cap(e.b)-len(e.b) < 100 {
+		t.Fatalf("Grow(100) left only %d free bytes", cap(e.b)-len(e.b))
+	}
+	e.String("abc")
+	before := &e.b[0]
+	e.Grow(50) // already have room: must not reallocate
+	if &e.b[0] != before {
+		t.Error("Grow reallocated despite sufficient capacity")
+	}
+	d := NewDecoder(e.Bytes())
+	if d.String() != "abc" {
+		t.Error("Grow corrupted contents")
+	}
+}

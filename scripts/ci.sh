@@ -1,0 +1,21 @@
+#!/bin/sh
+# ci.sh — the repository's check pipeline, also run locally via `make check`.
+# Keeps the tier-1 gate honest: vet, build, the full test suite under the
+# race detector, and a one-iteration smoke pass of the five Section-10
+# benchmark targets so the benchmark harness itself cannot silently rot.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== benchmark smoke (BenchmarkTable10_*, 1 iteration each)"
+go test -bench 'BenchmarkTable10_' -benchtime=1x -run '^$' .
+
+echo "ci: all checks passed"
