@@ -1,12 +1,15 @@
 # Convenience targets; `make check` is the gate scripts/ci.sh implements.
 
-.PHONY: check test race bench table10 clean
+.PHONY: check test race bench table10 lint clean
 
 check:
 	./scripts/ci.sh
 
 test:
 	go test ./...
+
+lint:
+	go run ./cmd/labflowvet ./...
 
 race:
 	go test -race ./...

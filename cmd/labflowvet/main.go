@@ -1,0 +1,71 @@
+// Command labflowvet runs the repository's determinism and hygiene
+// analyzers (see internal/lint) over one or more package patterns:
+//
+//	go run ./cmd/labflowvet ./...
+//	go run ./cmd/labflowvet -json ./internal/...
+//
+// It exits 0 when the tree is clean, 1 when diagnostics were reported, and
+// 2 when the packages could not be loaded. Findings are suppressed, with a
+// mandatory reason, by a "//lint:allow <analyzer> <reason>" comment on the
+// offending line or the line above it.
+//
+// The tool is built entirely on the standard library (go/parser, go/types,
+// go/build, and the source importer), so the lint gate needs no network
+// access and no dependencies beyond the Go toolchain.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"labflow/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("labflowvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: labflowvet [-json] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	diags, err := lint.Run(lint.Options{Patterns: fs.Args()})
+	if err != nil {
+		fmt.Fprintf(stderr, "labflowvet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "labflowvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "labflowvet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"labflow/internal/lint"
+)
+
+// chdir switches into dir for the duration of the test.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSyntheticModule runs the full loader + analyzer suite over the
+// synthetic module in testdata/srcmod and asserts the exact diagnostics:
+// analyzer, file, line, column, and message, including that the two
+// //lint:allow'd wallclock sites are suppressed and that test files are
+// linted.
+func TestSyntheticModule(t *testing.T) {
+	diags, err := lint.Run(lint.Options{Dir: "testdata/srcmod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	want := []string{
+		"emit/emit.go:17:2: mapiter: map iteration order is random but the body writes to an output sink (strings.Builder.WriteString); iterate sorted keys for deterministic output",
+		"emit/emit.go:24:32: errwrap: error value formatted with %v; use %w so errors.Is/errors.As still see the cause",
+		"gen/gen.go:8:9: detrand: rand.Intn uses the process-global generator; draw from a seeded rand.New(rand.NewSource(seed)) stream instead",
+		"gen/gen_test.go:11:5: wallclock: time.Now reads the wall clock, which breaks run reproducibility; use the logical clock, or add //lint:allow wallclock <reason> if this is sanctioned measurement",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestExitCodes drives the CLI entry point: findings exit 1, a clean
+// package exits 0, and a bad pattern exits 2.
+func TestExitCodes(t *testing.T) {
+	chdir(t, "testdata/srcmod")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "gen/gen.go:8:9: detrand") {
+		t.Errorf("text output missing detrand finding:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"./nonexistent"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad pattern: exit %d, want 2", code)
+	}
+}
+
+// TestCleanRepoPattern asserts the linted repository itself stays clean: the
+// suite over the parent module's internal/lint package reports nothing.
+func TestCleanRepoPattern(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no output, got:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks the -json encoding of diagnostics.
+func TestJSONOutput(t *testing.T) {
+	chdir(t, "testdata/srcmod")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./gen"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d JSON diagnostics, want 2: %s", len(diags), out.String())
+	}
+	d := diags[0]
+	if d.Analyzer != "detrand" || d.File != "gen/gen.go" || d.Line != 8 || d.Col != 9 {
+		t.Errorf("unexpected first diagnostic: %+v", d)
+	}
+}

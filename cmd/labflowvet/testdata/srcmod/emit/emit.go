@@ -1,0 +1,31 @@
+// Package emit is a synthetic fixture for the labflowvet integration test:
+// it violates mapiter and errwrap, suppresses two wallclock findings with a
+// justified //lint:allow, and imports a sibling package so the module-local
+// loader's dependency-order resolution is exercised.
+package emit
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"synthetic/gen"
+)
+
+// Render writes map entries in iteration order; mapiter flags the range.
+func Render(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		b.WriteString(fmt.Sprintf("%s=%d (%d)\n", k, v, gen.Jitter(8)))
+	}
+}
+
+// Wrap flattens the cause; errwrap flags the %v.
+func Wrap(err error) error {
+	return fmt.Errorf("emit: %v", err)
+}
+
+// Stamp is sanctioned measurement, suppressed with a reason.
+func Stamp() time.Duration {
+	start := time.Now()      //lint:allow wallclock integration-test sanctioned site
+	return time.Since(start) //lint:allow wallclock integration-test sanctioned site
+}

@@ -1,0 +1,14 @@
+// Package gen is a synthetic fixture for the labflowvet integration test.
+package gen
+
+import "math/rand"
+
+// Jitter draws from the process-global generator; detrand flags it.
+func Jitter(n int) int {
+	return rand.Intn(n)
+}
+
+// Seeded draws from an explicit stream and is clean.
+func Seeded(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}

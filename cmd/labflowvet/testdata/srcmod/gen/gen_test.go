@@ -1,0 +1,17 @@
+package gen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitter exists to prove test files are linted too: wallclock flags the
+// time.Now below.
+func TestJitter(t *testing.T) {
+	if time.Now().IsZero() {
+		t.Fatal("clock is broken")
+	}
+	if got := Seeded(1, 10); got < 0 || got >= 10 {
+		t.Fatalf("Seeded out of range: %d", got)
+	}
+}

@@ -116,13 +116,13 @@ func Build(kind StoreKind, dir string, p Params, scaleX int) (*BuiltDB, error) {
 func (b *BuiltDB) Close() error { return b.DB.Close() }
 
 func timeOp(name string, n int, fn func(i int) error) (OpsRow, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock table-9 per-op latency measurement
 	for i := 0; i < n; i++ {
 		if err := fn(i); err != nil {
 			return OpsRow{}, fmt.Errorf("core: %s[%d]: %w", name, i, err)
 		}
 	}
-	total := time.Since(start)
+	total := time.Since(start) //lint:allow wallclock table-9 per-op latency measurement
 	row := OpsRow{Op: name, N: n, Total: total}
 	if n > 0 {
 		row.PerOp = total / time.Duration(n)

@@ -90,7 +90,7 @@ type DB struct {
 
 	inTxn    bool
 	cntDirty bool
-	seq      int64 // logical transaction-time counter
+	seq      int64  // logical transaction-time counter
 	cntBuf   []byte // scratch buffer for counter encodes, reused per commit
 }
 

@@ -1,0 +1,46 @@
+package labbase
+
+import (
+	"errors"
+	"testing"
+
+	"labflow/internal/storage"
+)
+
+// TestSentinelUnwrapping pins the wrapper-layer error contract: LabBase
+// decorates its sentinels with context ("%w: material class %q", ...) and
+// wraps storage-layer failures, so errors.Is must work both within the
+// labbase layer and across the storage boundary.
+func TestSentinelUnwrapping(t *testing.T) {
+	db := openMem(t)
+	defineBasics(t, db)
+
+	begin(t, db)
+	if _, err := db.CreateMaterial("no-such-class", "m1", "done", 1); !errors.Is(err, ErrUnknownClass) {
+		t.Errorf("CreateMaterial(unknown class) = %v; want chain containing ErrUnknownClass", err)
+	}
+	if _, err := db.DefineMaterialClass("orphan", "no-such-parent"); !errors.Is(err, ErrUnknownClass) {
+		t.Errorf("DefineMaterialClass(unknown parent) = %v; want chain containing ErrUnknownClass", err)
+	}
+	commit(t, db)
+
+	if _, err := db.CreateMaterial("clone", "m2", "done", 2); !errors.Is(err, ErrNoTransaction) {
+		t.Errorf("CreateMaterial outside txn = %v; want chain containing ErrNoTransaction", err)
+	}
+
+	if _, err := db.StepClassVersions("no-such-step"); !errors.Is(err, ErrUnknownClass) {
+		t.Errorf("StepClassVersions(unknown) = %v; want chain containing ErrUnknownClass", err)
+	}
+}
+
+// TestStorageErrorsCrossTheWrapperBoundary checks that a failure raised by
+// the storage manager is still matchable after LabBase's own wrapping.
+func TestStorageErrorsCrossTheWrapperBoundary(t *testing.T) {
+	db := openMem(t)
+	defineBasics(t, db)
+
+	bogus := storage.MakeOID(storage.SegMaterial, 987654)
+	if _, err := db.GetMaterial(bogus); !errors.Is(err, storage.ErrNoSuchObject) {
+		t.Errorf("GetMaterial(bogus) = %v; want chain containing storage.ErrNoSuchObject", err)
+	}
+}

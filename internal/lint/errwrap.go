@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// Errwrap enforces error-chain hygiene: a fmt.Errorf call that interpolates
+// a value of type error must use the %w verb, so callers can still match the
+// cause with errors.Is / errors.As. Formatting an error with %v or %s
+// flattens it to text and silently severs the chain — the storage managers'
+// sentinel errors (storage.ErrNoSuchObject, rec.ErrCorrupt, ...) only work
+// because every layer above them wraps.
+var Errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "require %w when fmt.Errorf interpolates an error value",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if !pkgFunc(p.Info, call, "fmt", "Errorf") {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // non-constant format; nothing reliable to say
+			}
+			format := constant.StringVal(tv.Value)
+			verbs, ok := parseVerbs(format)
+			if !ok {
+				return true // explicit argument indexes; too clever to check
+			}
+			args := call.Args[1:]
+			for i, verb := range verbs {
+				if i >= len(args) || verb == 'w' {
+					continue
+				}
+				arg := args[i]
+				tv, ok := p.Info.Types[arg]
+				if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+					continue
+				}
+				p.Reportf(arg.Pos(), "error value formatted with %%%c; use %%w so errors.Is/errors.As still see the cause", verb)
+			}
+			return true
+		})
+	}
+}
+
+// parseVerbs returns, in order, the verb rune for each format argument a
+// Printf-style format string consumes ('*' width/precision arguments are
+// returned as '*'). It reports ok=false for formats using explicit argument
+// indexes ("%[1]v"), which this checker does not model.
+func parseVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // past '%'
+		// flags
+		for i < len(format) && strings.ContainsRune("#0+- ", rune(format[i])) {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			i++
+		case '[':
+			return nil, false
+		default:
+			verbs = append(verbs, rune(format[i]))
+			i++
+		}
+	}
+	return verbs, true
+}

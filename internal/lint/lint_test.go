@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []rune
+		ok     bool
+	}{
+		{"plain", nil, true},
+		{"%v", []rune{'v'}, true},
+		{"%w", []rune{'w'}, true},
+		{"a %d b %s c %w", []rune{'d', 's', 'w'}, true},
+		{"100%% done: %v", []rune{'v'}, true},
+		{"%+v %#v %-8s", []rune{'v', 'v', 's'}, true},
+		{"%8.3f", []rune{'f'}, true},
+		{"%*d", []rune{'*', 'd'}, true},
+		{"%.*f", []rune{'*', 'f'}, true},
+		{"%[1]v", nil, false},
+		{"trailing %", nil, true},
+	}
+	for _, c := range cases {
+		got, ok := parseVerbs(c.format)
+		if ok != c.ok || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseVerbs(%q) = %q, %v; want %q, %v", c.format, string(got), ok, string(c.want), c.ok)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if ByName("nosuchpass") != nil {
+		t.Error("ByName of an unknown analyzer should be nil")
+	}
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mapiter guards the determinism of everything the system emits: Go map
+// iteration order is randomized, so a `range` over a map whose body writes
+// to an output sink — a rec.Encoder (wire responses, persistent records), an
+// io.Writer (reports, logs), or fmt printing — produces byte-different
+// output on every run. Such loops must collect the keys, sort them, and
+// iterate the sorted slice.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid ranging over a map while writing to an encoder, report, or wire response; iterate sorted keys",
+	Run:  runMapiter,
+}
+
+func runMapiter(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(p.Info, rs.Body); sink != "" {
+				p.Reportf(rs.Pos(), "map iteration order is random but the body writes to an output sink (%s); iterate sorted keys for deterministic output", sink)
+			}
+			return true
+		})
+	}
+}
+
+// findSink returns a description of the first output-sink call in body, or
+// "" if there is none. Sinks are: any method on a type named Encoder, any
+// method whose name starts with Write, and fmt's printing functions.
+func findSink(info *types.Info, body ast.Node) string {
+	var found string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// fmt.Fprintf and friends.
+		if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			if strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint") {
+				found = "fmt." + obj.Name()
+				return false
+			}
+		}
+		// Method calls: x.Write*, or any method on an Encoder.
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recv := deref(s.Recv())
+			if _, name := namedPath(recv); name == "Encoder" {
+				found = name + "." + sel.Sel.Name
+				return false
+			}
+			if strings.HasPrefix(sel.Sel.Name, "Write") {
+				found = types.TypeString(recv, func(p *types.Package) string { return p.Name() }) + "." + sel.Sel.Name
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

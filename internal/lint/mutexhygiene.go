@@ -1,0 +1,382 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexHygiene enforces two lock-discipline rules the storage managers
+// depend on:
+//
+//  1. no sync.Mutex / sync.RWMutex (or value containing one) is ever copied
+//     by value — through a parameter, receiver, result, assignment, or range
+//     variable — since a copied lock silently stops excluding anything; and
+//  2. every path from an x.Lock()/x.RLock() to a return statement in the
+//     same function releases the lock, either by a defer or by an explicit
+//     unlock on that path.
+//
+// The path analysis is intraprocedural and branch-sensitive but
+// deliberately conservative: a lock is only reported at a return if it is
+// held on *every* control-flow path reaching it, so conditional-unlock
+// idioms do not produce false positives.
+var MutexHygiene = &Analyzer{
+	Name: "mutexhygiene",
+	Doc:  "forbid by-value mutex copies and lock acquisitions without an unlock on every return path",
+	Run:  runMutexHygiene,
+}
+
+func runMutexHygiene(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockCopiesInSignature(p, n.Recv, n.Type)
+				if n.Body != nil {
+					checkLockPaths(p, n.Body)
+				}
+			case *ast.FuncLit:
+				checkLockCopiesInSignature(p, nil, n.Type)
+				checkLockPaths(p, n.Body)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && !isBlank(n.Lhs[i]) && isLockCopySource(p, rhs) {
+						p.Reportf(rhs.Pos(), "assignment copies a value containing a sync mutex; use a pointer")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if tv, ok := p.Info.Types[n.Value]; ok && tv.Type != nil && containsLock(tv.Type) {
+						p.Reportf(n.Value.Pos(), "range value copies a value containing a sync mutex; range over indices or pointers")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- copy detection ---
+
+// containsLock reports whether a value of type t embeds a sync.Mutex or
+// sync.RWMutex by value (directly, in a struct field, or in an array).
+func containsLock(t types.Type) bool {
+	if path, name := namedPath(t); path == "sync" && (name == "Mutex" || name == "RWMutex") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem())
+	}
+	return false
+}
+
+func checkLockCopiesInSignature(p *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if containsLock(tv.Type) {
+				p.Reportf(field.Type.Pos(), "%s passes a value containing a sync mutex by value; use a pointer", what)
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// isBlank reports whether e is the blank identifier; discarding a value does
+// not duplicate live lock state.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isLockCopySource reports whether evaluating rhs copies an existing value
+// that contains a mutex. Composite literals and function calls construct
+// fresh values and are fine; reading a variable, field, element, or
+// dereference duplicates live lock state.
+func isLockCopySource(p *Pass, rhs ast.Expr) bool {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := p.Info.Types[rhs]
+	return ok && tv.Type != nil && containsLock(tv.Type)
+}
+
+// --- lock/unlock path analysis ---
+
+// lockSet is the set of mutex expressions definitely held at a program
+// point, keyed by the receiver expression's source text ("s.mu", with an
+// "/r" suffix for read locks).
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only locks held in both sets: a lock survives a merge
+// point only if every incoming path still holds it.
+func intersect(a, b lockSet) lockSet {
+	out := lockSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// lockCall classifies call as a mutex (un)lock and returns the state key.
+func lockCall(p *Pass, call *ast.CallExpr) (key string, isLock, isUnlock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	var read bool
+	switch name {
+	case "Lock", "Unlock":
+	case "RLock", "RUnlock":
+		read = true
+	default:
+		return "", false, false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false, false
+	}
+	if path, tname := namedPath(deref(s.Recv())); path != "sync" || (tname != "Mutex" && tname != "RWMutex") {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X)
+	if read {
+		key += "/r"
+	}
+	return key, name == "Lock" || name == "RLock", name == "Unlock" || name == "RUnlock"
+}
+
+func checkLockPaths(p *Pass, body *ast.BlockStmt) {
+	w := &lockWalker{pass: p}
+	w.stmts(body.List, lockSet{})
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// stmts walks a statement list with the set of locks held on entry and
+// returns the set held on fallthrough exit, plus whether the list always
+// terminates (returns, panics, or branches away) before falling through.
+func (w *lockWalker) stmts(list []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, stmt := range list {
+		var terminated bool
+		held, terminated = w.stmt(stmt, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) stmt(stmt ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, isLock, isUnlock := lockCall(w.pass, call); isLock {
+				held = held.clone()
+				held[key] = true
+			} else if isUnlock {
+				held = held.clone()
+				delete(held, key)
+			} else if isTerminalCall(w.pass, call) {
+				return held, true
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock releases the lock on every exit from here on,
+		// including a deferred closure that unlocks.
+		held = held.clone()
+		if key, _, isUnlock := lockCall(w.pass, s.Call); isUnlock {
+			delete(held, key)
+		} else if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, key := range unlocksIn(w.pass, lit.Body) {
+				delete(held, key)
+			}
+		}
+	case *ast.ReturnStmt:
+		for key := range held {
+			expr, mode := key, "Lock"
+			if len(key) > 2 && key[len(key)-2:] == "/r" {
+				expr, mode = key[:len(key)-2], "RLock"
+			}
+			w.pass.Reportf(s.Pos(), "return while %s.%s() is still held: no unlock on this path", expr, mode)
+		}
+		return held, true
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.BranchStmt:
+		return held, true // break/continue/goto leave this list
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		thenOut, thenTerm := w.stmts(s.Body.List, held.clone())
+		elseOut, elseTerm := held.clone(), false
+		if s.Else != nil {
+			elseOut, elseTerm = w.stmt(s.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return intersect(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		bodyOut, _ := w.stmts(s.Body.List, held.clone())
+		if s.Cond == nil {
+			// `for { ... }` only exits via break/return inside the body.
+			return intersect(held, bodyOut), false
+		}
+		return intersect(held, bodyOut), false
+	case *ast.RangeStmt:
+		bodyOut, _ := w.stmts(s.Body.List, held.clone())
+		return intersect(held, bodyOut), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branching(stmt, held)
+	}
+	return held, false
+}
+
+// branching merges the arms of a switch/type-switch/select.
+func (w *lockWalker) branching(stmt ast.Stmt, held lockSet) (lockSet, bool) {
+	var bodies [][]ast.Stmt
+	exhaustive := false // has a default (or is a select, which always runs an arm)
+	collect := func(body *ast.BlockStmt) {
+		for _, clause := range body.List {
+			switch c := clause.(type) {
+			case *ast.CaseClause:
+				if c.List == nil {
+					exhaustive = true
+				}
+				bodies = append(bodies, c.Body)
+			case *ast.CommClause:
+				exhaustive = true
+				bodies = append(bodies, c.Body)
+			}
+		}
+	}
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		collect(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		collect(s.Body)
+	case *ast.SelectStmt:
+		collect(s.Body)
+	}
+	out := lockSet(nil)
+	allTerm := len(bodies) > 0
+	for _, body := range bodies {
+		o, term := w.stmts(body, held.clone())
+		if term {
+			continue
+		}
+		allTerm = false
+		if out == nil {
+			out = o
+		} else {
+			out = intersect(out, o)
+		}
+	}
+	if allTerm && exhaustive {
+		return held, true
+	}
+	if out == nil || !exhaustive {
+		if out == nil {
+			out = held.clone()
+		} else {
+			out = intersect(out, held)
+		}
+	}
+	return out, false
+}
+
+// unlocksIn lists the lock keys unlocked anywhere inside a deferred closure.
+func unlocksIn(p *Pass, body *ast.BlockStmt) []string {
+	var keys []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, _, isUnlock := lockCall(p, call); isUnlock {
+				keys = append(keys, key)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit, and testing's t.Fatal/t.Fatalf/t.FailNow/
+// t.Skip variants (which stop the goroutine via Goexit).
+func isTerminalCall(p *Pass, call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := objectOf(p.Info, id); obj != nil && obj.Pkg() == nil && obj.Name() == "panic" {
+			return true
+		}
+		return false
+	}
+	for pkg, names := range map[string][]string{
+		"os":      {"Exit"},
+		"log":     {"Fatal", "Fatalf", "Fatalln"},
+		"runtime": {"Goexit"},
+	} {
+		for _, name := range names {
+			if pkgFunc(p.Info, call, pkg, name) {
+				return true
+			}
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				if path, _ := namedPath(deref(s.Recv())); path == "testing" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

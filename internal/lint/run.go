@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Options configures one labflowvet run.
+type Options struct {
+	Dir       string      // working directory; "" means "."
+	Patterns  []string    // package patterns; empty means ./...
+	Analyzers []*Analyzer // nil means All
+}
+
+// Run loads the requested packages and applies the analyzer suite, returning
+// every surviving diagnostic sorted by position. File names are reported
+// relative to Dir when possible.
+func Run(opts Options) ([]Diagnostic, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All
+	}
+
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.Expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	units, err := loader.Load(dirs)
+	if err != nil {
+		return nil, err
+	}
+
+	absDir, _ := filepath.Abs(dir)
+	var diags []Diagnostic
+	for _, u := range units {
+		for _, d := range RunAnalyzers(u.Fset, u.Files, u.Pkg, u.Info, analyzers) {
+			if rel, err := filepath.Rel(absDir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+				d.File = filepath.ToSlash(rel)
+			}
+			diags = append(diags, d)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises the detrand analyzer: package-global math/rand
+// state is flagged; explicit seeded streams and constructors are not.
+package fixture
+
+import "math/rand"
+
+func globalDraws(n int) int {
+	rand.Seed(42)
+	x := rand.Intn(n)
+	f := rand.Float64()
+	p := rand.Perm(3)
+	return x + int(f) + p[0]
+}
+
+func seededStream(n int) int {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Intn(n) + int(rng.Float64())
+}
+
+func typeNamesAreFine(rng *rand.Rand, src rand.Source) *rand.Zipf {
+	return rand.NewZipf(rng, 1.1, 1, 100)
+}
+
+func suppressed(n int) int {
+	return rand.Intn(n) //lint:allow detrand fixture demonstrating suppression
+}

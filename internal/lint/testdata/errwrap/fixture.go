@@ -1,0 +1,38 @@
+// Package fixture exercises the errwrap analyzer: fmt.Errorf interpolating
+// an error value must use %w.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func flattensWithV(err error) error { return fmt.Errorf("open: %v", err) }
+
+func flattensWithS(err error) error { return fmt.Errorf("op %d failed: %s", 3, err) }
+
+func wraps(err error) error { return fmt.Errorf("open: %w", err) }
+
+func stringArgIsFine(name string) error { return fmt.Errorf("no such file: %s", name) }
+
+func errorStringIsInvisible(err error) error {
+	// err.Error() is a plain string; the chain is already severed upstream
+	// of the format call, so errwrap stays quiet.
+	return fmt.Errorf("note: %s", err.Error())
+}
+
+func explicitIndexesAreSkipped(err error) error { return fmt.Errorf("%[1]v", err) }
+
+func mixedWrapAndFlatten(err error) error {
+	return fmt.Errorf("%w and also %v", errBase, err)
+}
+
+func starWidth(err error, w int) error {
+	return fmt.Errorf("%*d: %v", w, 7, err)
+}
+
+func suppressed(err error) error {
+	return fmt.Errorf("display only: %v", err) //lint:allow errwrap user-facing text, chain preserved elsewhere
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises the mapiter analyzer: ranging over a map while
+// writing to an output sink is flagged; collecting and sorting keys is the
+// sanctioned shape.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Encoder mimics the repository's rec.Encoder by name: any method call on a
+// type named Encoder counts as an output sink.
+type Encoder struct{ b []byte }
+
+func (e *Encoder) String(s string) { e.b = append(e.b, s...) }
+
+func encoderInBody(m map[string]int, e *Encoder) {
+	for k := range m {
+		e.String(k)
+	}
+}
+
+func fprintfInBody(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v)
+	}
+}
+
+func writeStringInBody(m map[string]bool, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k)
+	}
+}
+
+func collectThenSort(m map[string]int, e *Encoder) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.String(k)
+	}
+}
+
+func sliceRangeIsFine(xs []string, e *Encoder) {
+	for _, x := range xs {
+		e.String(x)
+	}
+}
+
+func pureAccumulationIsFine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func suppressed(m map[string]int, buf *bytes.Buffer) {
+	//lint:allow mapiter scratch debug dump, order does not matter
+	for k := range m {
+		buf.WriteString(k)
+	}
+}

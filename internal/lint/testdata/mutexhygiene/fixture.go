@@ -1,0 +1,125 @@
+// Package fixture exercises the mutexhygiene analyzer: by-value lock copies
+// and lock acquisitions that can reach a return without an unlock.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func paramByValue(c counter) int {
+	return c.n
+}
+
+func (c counter) valueReceiver() int {
+	return c.n
+}
+
+func resultByValue() counter {
+	return counter{}
+}
+
+func assignCopies(c *counter) {
+	d := *c
+	_ = d
+}
+
+func rangeValueCopies(cs []counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}
+
+func pointersAreFine(c *counter, cs []*counter) int {
+	total := c.n
+	for _, p := range cs {
+		total += p.n
+	}
+	return total
+}
+
+func returnWhileLocked(c *counter) int {
+	c.mu.Lock()
+	if c.n > 0 {
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func deferredUnlock(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func deferredClosureUnlock(c *counter) int {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+func unlockOnEveryPath(c *counter) int {
+	c.mu.Lock()
+	if c.n > 0 {
+		c.mu.Unlock()
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func readLockHeld(mu *sync.RWMutex, v *int) int {
+	mu.RLock()
+	return *v
+}
+
+func readLockReleased(mu *sync.RWMutex, v *int) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return *v
+}
+
+func conditionalLockPairsAreFine(c *counter, b bool) int {
+	if b {
+		c.mu.Lock()
+	}
+	x := c.n
+	if b {
+		c.mu.Unlock()
+	}
+	return x
+}
+
+func switchPaths(c *counter, k int) int {
+	c.mu.Lock()
+	switch k {
+	case 0:
+		c.mu.Unlock()
+		return 0
+	default:
+		return c.n
+	}
+}
+
+func panicIsTerminal(c *counter) int {
+	c.mu.Lock()
+	if c.n < 0 {
+		panic("negative")
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func suppressed(c *counter) int {
+	c.mu.Lock()
+	//lint:allow mutexhygiene handed off to caller which unlocks
+	return c.n
+}

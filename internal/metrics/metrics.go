@@ -32,12 +32,12 @@ type Usage struct {
 // baseTime anchors Wall samples. time.Since carries Go's monotonic reading,
 // so Usage.Sub differences are immune to wall-clock steps (NTP, suspend) —
 // a requirement for trustworthy per-goroutine timings under RunAllParallel.
-var baseTime = time.Now()
+var baseTime = time.Now() //lint:allow wallclock monotonic anchor for benchmark wall-time measurement
 
 // Sample returns the current cumulative usage of this process.
 func Sample() Usage {
 	u := rusageSelf()
-	u.Wall = time.Since(baseTime)
+	u.Wall = time.Since(baseTime) //lint:allow wallclock benchmark wall-time measurement, never persisted
 	return u
 }
 

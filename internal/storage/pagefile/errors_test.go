@@ -1,0 +1,65 @@
+package pagefile
+
+import (
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"labflow/internal/storage"
+)
+
+// TestSentinelUnwrapping pins the error-chain contract at the object layer:
+// Store wraps lookup failures as "pagefile: <op> <oid>: %w", and errors.Is
+// must still reach the shared sentinels through that prefix.
+func TestSentinelUnwrapping(t *testing.T) {
+	s, err := New("errs", newMemPager(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bogus := storage.MakeOID(storage.SegIndex, 4242)
+
+	_, err = s.Read(bogus)
+	if !errors.Is(err, storage.ErrNoSuchObject) {
+		t.Errorf("Read(bogus) = %v; want chain containing storage.ErrNoSuchObject", err)
+	}
+	if !strings.Contains(err.Error(), bogus.String()) {
+		t.Errorf("Read(bogus) error %q does not name the OID %s", err, bogus)
+	}
+
+	if err := s.Write(bogus, []byte("x")); !errors.Is(err, storage.ErrNoTransaction) {
+		t.Errorf("Write outside txn = %v; want chain containing storage.ErrNoTransaction", err)
+	}
+
+	if err := s.Begin(); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := s.Free(bogus); !errors.Is(err, storage.ErrNoSuchObject) {
+		t.Errorf("Free(bogus) = %v; want chain containing storage.ErrNoSuchObject", err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Read(bogus); !errors.Is(err, storage.ErrClosed) {
+		t.Errorf("Read after Close = %v; want chain containing storage.ErrClosed", err)
+	}
+}
+
+// TestOpenFileErrorExposesPathError checks errors.As on the backing layer:
+// OpenFile on an uncreatable path surfaces the *fs.PathError itself.
+func TestOpenFileErrorExposesPathError(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing-dir", "backing.db")
+	_, err := OpenFile(bad)
+	if err == nil {
+		t.Fatal("OpenFile with an uncreatable path succeeded")
+	}
+	var pathErr *fs.PathError
+	if !errors.As(err, &pathErr) {
+		t.Fatalf("OpenFile error %v; want chain containing *fs.PathError", err)
+	}
+}

@@ -2,6 +2,7 @@ package pagefile
 
 import (
 	"bytes"
+	"sort"
 	"testing"
 
 	"labflow/internal/storage"
@@ -70,8 +71,13 @@ func (p *memPager) AllocPage() (*Frame, error) {
 func (p *memPager) Begin() error { return nil }
 
 func (p *memPager) Commit() error {
-	for id, f := range p.resident {
-		if err := p.backing.WritePage(id, f.Data); err != nil {
+	ids := make([]PageID, 0, len(p.resident))
+	for id := range p.resident {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := p.backing.WritePage(id, p.resident[id].Data); err != nil {
 			return err
 		}
 		p.writes++

@@ -1,0 +1,53 @@
+package texas
+
+import (
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"testing"
+
+	"labflow/internal/storage"
+)
+
+// TestSentinelUnwrapping pins the error-chain contract enforced by the
+// errwrap analyzer: the Texas manager's "texas:" / "pagefile:" wrapping
+// must keep the shared storage sentinels reachable via errors.Is.
+func TestSentinelUnwrapping(t *testing.T) {
+	m, err := Open(Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	if _, err := m.Read(storage.MakeOID(storage.SegHistory, 9999)); !errors.Is(err, storage.ErrNoSuchObject) {
+		t.Errorf("Read(bogus) = %v; want chain containing storage.ErrNoSuchObject", err)
+	}
+
+	if err := m.Write(storage.MakeOID(storage.SegMaterial, 3), []byte("x")); !errors.Is(err, storage.ErrNoTransaction) {
+		t.Errorf("Write outside txn = %v; want chain containing storage.ErrNoTransaction", err)
+	}
+
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := m.Read(storage.MakeOID(storage.SegMaterial, 1)); !errors.Is(err, storage.ErrClosed) {
+		t.Errorf("Read after Close = %v; want chain containing storage.ErrClosed", err)
+	}
+}
+
+// TestOpenErrorExposesPathError checks errors.As through Open: a backing
+// file under a missing directory surfaces the underlying *fs.PathError
+// through the "texas:" wrapping.
+func TestOpenErrorExposesPathError(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing-dir", "texas.db")
+	_, err := Open(Options{Path: bad})
+	if err == nil {
+		t.Fatal("Open with an uncreatable path succeeded")
+	}
+	var pathErr *fs.PathError
+	if !errors.As(err, &pathErr) {
+		t.Fatalf("Open error %v; want chain containing *fs.PathError", err)
+	}
+	if pathErr.Path != bad {
+		t.Errorf("PathError.Path = %q, want %q", pathErr.Path, bad)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"sort"
 	"sync"
 
 	"labflow/internal/labbase"
@@ -133,7 +134,7 @@ func (s *Server) inTxn(fn func() error) error {
 	}
 	if err := fn(); err != nil {
 		if cerr := s.db.Commit(); cerr != nil {
-			return fmt.Errorf("%v (and closing the transaction: %w)", err, cerr)
+			return fmt.Errorf("%w (and closing the transaction: %w)", err, cerr)
 		}
 		return err
 	}
@@ -411,9 +412,14 @@ func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
 		e.Uint(uint64(len(sols)))
 		for _, sol := range sols {
 			e.Uint(uint64(len(sol)))
-			for name, term := range sol {
+			names := make([]string, 0, len(sol))
+			for name := range sol {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
 				e.String(name)
-				e.String(term.String())
+				e.String(sol[name].String())
 			}
 		}
 

@@ -1,16 +1,28 @@
 #!/bin/sh
 # ci.sh — the repository's check pipeline, also run locally via `make check`.
-# Keeps the tier-1 gate honest: vet, build, the full test suite under the
-# race detector, and a one-iteration smoke pass of the five Section-10
-# benchmark targets so the benchmark harness itself cannot silently rot.
+# Keeps the tier-1 gate honest: vet, gofmt, build, the labflowvet determinism
+# and hygiene analyzers, the full test suite under the race detector, and a
+# one-iteration smoke pass of the five Section-10 benchmark targets so the
+# benchmark harness itself cannot silently rot.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "== go vet ./..."
 go vet ./...
 
+echo "== gofmt -l ."
+fmt_drift=$(gofmt -l .)
+if [ -n "$fmt_drift" ]; then
+	echo "gofmt drift in:" >&2
+	echo "$fmt_drift" >&2
+	exit 1
+fi
+
 echo "== go build ./..."
 go build ./...
+
+echo "== labflowvet ./... (make lint)"
+make lint
 
 echo "== go test -race ./..."
 go test -race ./...
