@@ -1,0 +1,364 @@
+// Command lfload is a closed-loop load generator for the LabBase data
+// server: a fixed fleet of workers, each holding one connection, each
+// issuing its next request only after the previous one completes. Closed
+// loops measure the server's concurrency honestly — throughput rises with
+// workers only if the server actually overlaps their requests.
+//
+// Each worker mixes most-recent reads and step-recording writes per
+// -readmix, drawn from a per-worker deterministic generator
+// (rand.NewSource(seed + workerID)), so two runs with the same flags issue
+// the identical operation sequence. Reads are pipelined -pipeline deep;
+// writes in a flight are batched into one OpPutSteps frame. Latency is
+// recorded per round trip (one flush of a flight) in a fixed-bucket
+// histogram (internal/metrics.Hist) and merged across workers at the end.
+//
+// With no -addr, lfload starts an in-process memstore server on loopback
+// and tears it down afterwards; -serial additionally forces that server to
+// serialize read operations (the pre-concurrency behaviour), which is the
+// baseline that BENCH_2.json compares against.
+//
+// Usage:
+//
+//	lfload -workers 4 -readmix 0.95 -ops 20000            # in-process
+//	lfload -addr lab42:7047 -workers 16 -pipeline 8 -json # remote server
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"labflow/internal/labbase"
+	"labflow/internal/metrics"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+	"labflow/internal/wire"
+)
+
+type config struct {
+	addr      string
+	workers   int
+	readMix   float64
+	materials int
+	ops       int
+	seed      int64
+	pipeline  int
+	serial    bool
+	jsonOut   bool
+}
+
+// The preloaded schema: every material gets one "measure" step so that
+// most-recent lookups during the run always find a value.
+const (
+	matClass  = "sample"
+	stepClass = "measure"
+	attrName  = "reading"
+	initState = "received"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "server address (empty = in-process memstore server)")
+	flag.IntVar(&cfg.workers, "workers", 4, "concurrent closed-loop workers")
+	flag.Float64Var(&cfg.readMix, "readmix", 0.9, "fraction of operations that are reads (0..1)")
+	flag.IntVar(&cfg.materials, "materials", 1000, "materials to preload")
+	flag.IntVar(&cfg.ops, "ops", 20000, "total operations across all workers")
+	flag.Int64Var(&cfg.seed, "seed", 1, "base RNG seed (worker i uses seed+i)")
+	flag.IntVar(&cfg.pipeline, "pipeline", 1, "requests in flight per worker round trip")
+	flag.BoolVar(&cfg.serial, "serial", false, "serialize reads on the in-process server (baseline)")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON")
+	flag.Parse()
+
+	if cfg.workers < 1 || cfg.materials < 1 || cfg.ops < 1 || cfg.pipeline < 1 ||
+		cfg.readMix < 0 || cfg.readMix > 1 {
+		log.Fatal("lfload: invalid flags")
+	}
+	if cfg.serial && cfg.addr != "" {
+		log.Fatal("lfload: -serial only applies to the in-process server")
+	}
+	if err := run(cfg); err != nil {
+		log.Fatalf("lfload: %v", err)
+	}
+}
+
+func run(cfg config) error {
+	addr := cfg.addr
+	var stop func()
+	if addr == "" {
+		var err error
+		addr, stop, err = startInProcess(cfg.serial)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
+	oids, err := preload(addr, cfg)
+	if err != nil {
+		return fmt.Errorf("preload: %w", err)
+	}
+
+	clients := make([]*wire.Client, cfg.workers)
+	for i := range clients {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("dial worker %d: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	type workerResult struct {
+		hist   metrics.Hist
+		reads  int
+		writes int
+		err    error
+	}
+	results := make([]workerResult, cfg.workers)
+	perWorker := cfg.ops / cfg.workers
+	extra := cfg.ops % cfg.workers
+
+	before := metrics.Sample()
+	done := make(chan int, cfg.workers)
+	for i := 0; i < cfg.workers; i++ {
+		ops := perWorker
+		if i < extra {
+			ops++
+		}
+		go func(id, ops int) {
+			r := &results[id]
+			r.reads, r.writes, r.err = worker(id, clients[id], oids, ops, cfg, &r.hist)
+			done <- id
+		}(i, ops)
+	}
+	for i := 0; i < cfg.workers; i++ {
+		<-done
+	}
+	wall := metrics.Sample().Sub(before).Wall
+
+	var hist metrics.Hist
+	reads, writes := 0, 0
+	for i := range results {
+		if results[i].err != nil {
+			return fmt.Errorf("worker %d: %w", i, results[i].err)
+		}
+		hist.Merge(&results[i].hist)
+		reads += results[i].reads
+		writes += results[i].writes
+	}
+
+	if reads+writes != cfg.ops {
+		return fmt.Errorf("self-check: %d ops completed, want %d", reads+writes, cfg.ops)
+	}
+	if wall <= 0 {
+		return fmt.Errorf("self-check: zero wall time")
+	}
+	throughput := float64(cfg.ops) / wall.Seconds()
+	if throughput <= 0 {
+		return fmt.Errorf("self-check: zero throughput")
+	}
+	return report(os.Stdout, cfg, wall, throughput, reads, writes, &hist)
+}
+
+// startInProcess spins up a memstore-backed server on loopback.
+func startInProcess(serial bool) (addr string, stop func(), err error) {
+	db, err := labbase.Open(memstore.Open("OStore-mm"), labbase.DefaultOptions())
+	if err != nil {
+		return "", nil, err
+	}
+	srv := wire.NewServer(db)
+	srv.SetSerial(serial)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("lfload: serve: %v", err)
+		}
+	}()
+	stop = func() {
+		ln.Close()
+		srv.Shutdown()
+		<-serveDone
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// preload defines the schema and creates the material population, giving
+// each material one initial step so reads always hit.
+func preload(addr string, cfg config) ([]storage.OID, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if _, err := c.DefineMaterialClass(matClass, ""); err != nil {
+		return nil, err
+	}
+	if _, err := c.DefineState(initState); err != nil {
+		return nil, err
+	}
+	if _, _, err := c.DefineStepClass(stepClass, []labbase.AttrDef{{Name: attrName, Kind: labbase.KindInt}}); err != nil {
+		return nil, err
+	}
+	oids := make([]storage.OID, cfg.materials)
+	for i := range oids {
+		oid, err := c.CreateMaterial(matClass, fmt.Sprintf("m-%d", i), initState, int64(i))
+		if err != nil {
+			return nil, err
+		}
+		oids[i] = oid
+	}
+	// Seed one step per material, batched to keep the preload quick.
+	const seedBatch = 256
+	for lo := 0; lo < len(oids); lo += seedBatch {
+		hi := lo + seedBatch
+		if hi > len(oids) {
+			hi = len(oids)
+		}
+		specs := make([]labbase.StepSpec, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			specs = append(specs, labbase.StepSpec{
+				Class:     stepClass,
+				ValidTime: int64(i),
+				Materials: []storage.OID{oids[i]},
+				Attrs:     []labbase.AttrValue{{Name: attrName, Value: labbase.Int64(int64(i))}},
+			})
+		}
+		if _, err := c.PutSteps(specs); err != nil {
+			return nil, err
+		}
+	}
+	return oids, nil
+}
+
+// worker runs one closed loop: build a flight of up to cfg.pipeline
+// operations, issue it (reads pipelined, writes as one OpPutSteps batch),
+// wait for every response, repeat. Latency is recorded once per round trip.
+func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, hist *metrics.Hist) (reads, writes int, err error) {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	p := c.Pipeline()
+	futures := make([]*wire.MostRecentFuture, 0, cfg.pipeline)
+	specs := make([]labbase.StepSpec, 0, cfg.pipeline)
+	validTime := int64(1 << 20) // past all preload times, so writes win most-recent
+	for left := ops; left > 0; {
+		flight := cfg.pipeline
+		if flight > left {
+			flight = left
+		}
+		futures = futures[:0]
+		specs = specs[:0]
+		for i := 0; i < flight; i++ {
+			if rng.Float64() < cfg.readMix {
+				futures = append(futures, p.MostRecent(oids[rng.Intn(len(oids))], attrName))
+			} else {
+				validTime++
+				specs = append(specs, labbase.StepSpec{
+					Class:     stepClass,
+					ValidTime: validTime,
+					Materials: []storage.OID{oids[rng.Intn(len(oids))]},
+					Attrs:     []labbase.AttrValue{{Name: attrName, Value: labbase.Int64(rng.Int63n(1 << 30))}},
+				})
+			}
+		}
+		start := time.Now() //lint:allow wallclock latency measurement, never persisted
+		if len(futures) > 0 {
+			if err := p.Flush(); err != nil {
+				return reads, writes, err
+			}
+		}
+		if len(specs) > 0 {
+			if _, err := c.PutSteps(specs); err != nil {
+				return reads, writes, err
+			}
+		}
+		hist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
+		for _, f := range futures {
+			if f.Err != nil {
+				return reads, writes, f.Err
+			}
+			if !f.Found {
+				return reads, writes, fmt.Errorf("self-check: most-recent miss on preloaded material")
+			}
+		}
+		reads += len(futures)
+		writes += len(specs)
+		left -= flight
+	}
+	return reads, writes, nil
+}
+
+type jsonReport struct {
+	Addr       string  `json:"addr"`
+	Workers    int     `json:"workers"`
+	ReadMix    float64 `json:"read_mix"`
+	Pipeline   int     `json:"pipeline"`
+	Serial     bool    `json:"serial"`
+	Seed       int64   `json:"seed"`
+	Materials  int     `json:"materials"`
+	Ops        int     `json:"ops"`
+	ReadOps    int     `json:"read_ops"`
+	WriteOps   int     `json:"write_ops"`
+	WallSecs   float64 `json:"wall_secs"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	RoundTrips uint64  `json:"round_trips"`
+	LatencyUS  struct {
+		Min  float64 `json:"min"`
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+		Mean float64 `json:"mean"`
+	} `json:"round_trip_latency_us"`
+}
+
+func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes int, hist *metrics.Hist) error {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	if cfg.jsonOut {
+		var r jsonReport
+		r.Addr = cfg.addr
+		r.Workers = cfg.workers
+		r.ReadMix = cfg.readMix
+		r.Pipeline = cfg.pipeline
+		r.Serial = cfg.serial
+		r.Seed = cfg.seed
+		r.Materials = cfg.materials
+		r.Ops = cfg.ops
+		r.ReadOps = reads
+		r.WriteOps = writes
+		r.WallSecs = wall.Seconds()
+		r.OpsPerSec = throughput
+		r.RoundTrips = hist.Count()
+		r.LatencyUS.Min = us(hist.Min())
+		r.LatencyUS.P50 = us(hist.Quantile(0.5))
+		r.LatencyUS.P90 = us(hist.Quantile(0.9))
+		r.LatencyUS.P99 = us(hist.Quantile(0.99))
+		r.LatencyUS.Max = us(hist.Max())
+		r.LatencyUS.Mean = us(hist.Mean())
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&r)
+	}
+	fmt.Fprintf(w, "lfload: %d workers, readmix %.2f, pipeline %d, serial=%v, seed %d\n",
+		cfg.workers, cfg.readMix, cfg.pipeline, cfg.serial, cfg.seed)
+	fmt.Fprintf(w, "  %d ops (%d reads, %d writes) over %d materials in %s\n",
+		cfg.ops, reads, writes, cfg.materials, wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "  throughput: %.0f ops/s\n", throughput)
+	t := metrics.NewTable("round-trip latency", "us")
+	t.Row("min", fmt.Sprintf("%.1f", us(hist.Min())))
+	t.Row("p50", fmt.Sprintf("%.1f", us(hist.Quantile(0.5))))
+	t.Row("p90", fmt.Sprintf("%.1f", us(hist.Quantile(0.9))))
+	t.Row("p99", fmt.Sprintf("%.1f", us(hist.Quantile(0.99))))
+	t.Row("max", fmt.Sprintf("%.1f", us(hist.Max())))
+	t.Row("mean", fmt.Sprintf("%.1f", us(hist.Mean())))
+	return t.Write(w)
+}

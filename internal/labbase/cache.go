@@ -1,29 +1,52 @@
 package labbase
 
-import "labflow/internal/storage"
+import (
+	"sync"
+
+	"labflow/internal/storage"
+)
 
 // oidCache is a small bounded LRU keyed by OID, used to keep decoded hot
 // records (materials, most-recent indexes) in memory so the tracking and
 // query inner loops stop re-reading and re-decoding the same bytes.
 //
 // Eviction is strict LRU over an intrusive doubly-linked list — fully
-// deterministic. That matters: cache hits skip storage-manager reads and
-// therefore change the simulated fault counters, so a nondeterministic
-// eviction policy (e.g. map-iteration order) would make benchmark runs
-// irreproducible across processes.
+// deterministic under sequential use. That matters: cache hits skip
+// storage-manager reads and therefore change the simulated fault counters,
+// so a nondeterministic eviction policy (e.g. map-iteration order) would
+// make benchmark runs irreproducible across processes. Under concurrent
+// readers the recency order depends on goroutine interleaving, which is why
+// byte-identical benchmark runs use the sequential path.
+//
+// The cache is safe for concurrent use: every operation holds c.mu, and a
+// miss routed through getOrFill is single-flight — the first goroutine to
+// miss on an OID performs the storage read while any concurrent readers of
+// the same OID wait for that one fill instead of stampeding the storage
+// manager. c.mu is a leaf lock in the DB lock hierarchy (see DESIGN.md): it
+// is never held across a storage-manager call or while taking DB.mu.
 //
 // A nil *oidCache is a valid, permanently-empty cache (caching disabled).
 type oidCache[V any] struct {
+	mu       sync.Mutex
 	capacity int
 	m        map[storage.OID]*cacheNode[V]
 	head     *cacheNode[V] // most recently used
 	tail     *cacheNode[V] // least recently used
+	fills    map[storage.OID]*cacheFill[V]
 }
 
 type cacheNode[V any] struct {
 	key        storage.OID
 	val        V
 	prev, next *cacheNode[V]
+}
+
+// cacheFill tracks one in-flight load so concurrent misses on the same OID
+// share a single storage read. done is closed once val/err are final.
+type cacheFill[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
 }
 
 // newOIDCache returns a cache bounded to capacity entries, or nil (disabled)
@@ -35,6 +58,7 @@ func newOIDCache[V any](capacity int) *oidCache[V] {
 	return &oidCache[V]{
 		capacity: capacity,
 		m:        make(map[storage.OID]*cacheNode[V], capacity),
+		fills:    make(map[storage.OID]*cacheFill[V]),
 	}
 }
 
@@ -44,6 +68,8 @@ func (c *oidCache[V]) get(oid storage.OID) (V, bool) {
 		var zero V
 		return zero, false
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n, ok := c.m[oid]
 	if !ok {
 		var zero V
@@ -53,12 +79,55 @@ func (c *oidCache[V]) get(oid storage.OID) (V, bool) {
 	return n.val, true
 }
 
+// getOrFill returns the cached value, loading it through load on a miss.
+// Concurrent misses on the same OID share one load (single-flight): the
+// first goroutine runs load without holding c.mu, the rest block until it
+// finishes and share its result. Load errors are not cached — each fresh
+// miss after a failure retries.
+func (c *oidCache[V]) getOrFill(oid storage.OID, load func() (V, error)) (V, error) {
+	if c == nil {
+		return load()
+	}
+	c.mu.Lock()
+	if n, ok := c.m[oid]; ok {
+		c.moveToFront(n)
+		v := n.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.fills[oid]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &cacheFill[V]{done: make(chan struct{})}
+	c.fills[oid] = f
+	c.mu.Unlock()
+
+	f.val, f.err = load()
+
+	c.mu.Lock()
+	delete(c.fills, oid)
+	if f.err == nil {
+		c.putLocked(oid, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
 // put inserts or refreshes an entry, evicting the least recently used entry
 // when the cache is full.
 func (c *oidCache[V]) put(oid storage.OID, v V) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(oid, v)
+}
+
+func (c *oidCache[V]) putLocked(oid storage.OID, v V) {
 	if n, ok := c.m[oid]; ok {
 		n.val = v
 		c.moveToFront(n)
@@ -81,6 +150,8 @@ func (c *oidCache[V]) invalidate(oid storage.OID) {
 	if c == nil {
 		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if n, ok := c.m[oid]; ok {
 		c.unlink(n)
 		delete(c.m, oid)
@@ -92,6 +163,8 @@ func (c *oidCache[V]) len() int {
 	if c == nil {
 		return 0
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
 }
 

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"labflow/internal/rec"
 	"labflow/internal/storage"
@@ -71,10 +72,28 @@ func DefaultOptions() Options {
 }
 
 // DB is a LabBase database over a storage manager. Mutating calls must be
-// bracketed by Begin/Commit; reads may run at any time. A DB is not safe for
-// concurrent use — like the original server, callers (the benchmark driver
-// or the network server) serialize requests.
+// bracketed by Begin/Commit; reads may run at any time.
+//
+// Concurrency contract: a DB is safe for concurrent use with single-writer
+// semantics. Read-only entry points (MostRecent, MostRecentAsOf,
+// MostRecentScan, History, AttrTimeline, GetMaterial, GetStep, State,
+// LookupMaterial, the counts and scans, SetMembers, Dump, and the catalog
+// listings) take mu.RLock and may run in parallel with each other.
+// Mutations (Begin, Commit, the Define* calls, CreateMaterial,
+// CreateMaterialSet, RecordStep, SetState, Close) take mu.Lock and are
+// fully serialized — both against each other and against readers. Callers
+// running several write transactions concurrently must additionally
+// serialize their Begin/Commit brackets (the wire server's write lock does
+// this); DB.mu alone only makes the individual calls atomic. The decode
+// caches are internally synchronized leaf locks below mu — see DESIGN.md
+// for the full lock hierarchy.
 type DB struct {
+	// mu is the reader/writer lock behind the concurrency contract above.
+	// Public read entry points hold it shared and call the unexported
+	// *Locked bodies; mutations hold it exclusively. Internal helpers never
+	// take it, so entry points must not call other public entry points.
+	mu sync.RWMutex
+
 	sm   storage.Manager
 	cat  *catalog
 	cnt  counters
@@ -85,6 +104,8 @@ type DB struct {
 
 	// Decode caches for the hot read paths (see Options.CacheEntries). Both
 	// are invalidated or refreshed on every write to the records they mirror.
+	// Each is internally synchronized and fills are single-flight, so
+	// concurrent readers missing on the same OID share one storage read.
 	matCache *oidCache[materialRec]
 	mrCache  *oidCache[[]byte]
 
@@ -200,6 +221,8 @@ func (db *DB) stateIdxRemove(s StateID, oid storage.OID) {
 
 // Begin starts a transaction.
 func (db *DB) Begin() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.sm.Begin(); err != nil {
 		return err
 	}
@@ -210,6 +233,8 @@ func (db *DB) Begin() error {
 // Commit writes back the catalog and counters if they changed and commits
 // the storage transaction.
 func (db *DB) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if !db.inTxn {
 		return ErrNoTransaction
 	}
@@ -248,10 +273,18 @@ func (db *DB) requireTxn() error {
 }
 
 // InTxn reports whether a transaction is open.
-func (db *DB) InTxn() bool { return db.inTxn }
+func (db *DB) InTxn() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.inTxn
+}
 
 // Close closes the database (the storage manager with it).
-func (db *DB) Close() error { return db.sm.Close() }
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.sm.Close()
+}
 
 // Manager exposes the underlying storage manager (for stats collection).
 func (db *DB) Manager() storage.Manager { return db.sm }
@@ -270,6 +303,8 @@ func (db *DB) nextTxnTime() int64 {
 // (is-a link). Re-defining an existing class with the same parent is a
 // no-op; with a different parent it is an error.
 func (db *DB) DefineMaterialClass(name, parent string) (ClassID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.requireTxn(); err != nil {
 		return 0, err
 	}
@@ -302,6 +337,8 @@ func (db *DB) DefineMaterialClass(name, parent string) (ClassID, error) {
 // DefineAttr registers an attribute. Redefinition with a conflicting kind is
 // an error; with the same kind it is a no-op.
 func (db *DB) DefineAttr(name string, kind Kind) (AttrID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.requireTxn(); err != nil {
 		return 0, err
 	}
@@ -333,6 +370,8 @@ func (db *DB) defineAttrLocked(name string, kind Kind) (AttrID, error) {
 // evolution: "as a step evolves, new versions of the step are created" and
 // "each step object is associated forever with the same version".
 func (db *DB) DefineStepClass(name string, attrs []AttrDef) (StepClassID, Version, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.requireTxn(); err != nil {
 		return 0, 0, err
 	}
@@ -384,6 +423,8 @@ func (db *DB) stepVersionLocked(sc *StepClass, ids []AttrID) (Version, error) {
 
 // DefineState registers a workflow state name.
 func (db *DB) DefineState(name string) (StateID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.requireTxn(); err != nil {
 		return 0, err
 	}
@@ -405,6 +446,8 @@ func (db *DB) DefineState(name string) (StateID, error) {
 // MaterialClasses returns the defined material class names in definition
 // order.
 func (db *DB) MaterialClasses() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, len(db.cat.materialClasses))
 	for i, mc := range db.cat.materialClasses {
 		out[i] = mc.Name
@@ -414,6 +457,8 @@ func (db *DB) MaterialClasses() []string {
 
 // StepClasses returns the defined step class names in definition order.
 func (db *DB) StepClasses() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, len(db.cat.stepClasses))
 	for i, sc := range db.cat.stepClasses {
 		out[i] = sc.Name
@@ -424,6 +469,8 @@ func (db *DB) StepClasses() []string {
 // StepClassVersions returns the versions of a step class with attribute
 // names resolved.
 func (db *DB) StepClassVersions(name string) ([][]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	sc, ok := db.cat.bySCName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: step class %q", ErrUnknownClass, name)
@@ -445,5 +492,7 @@ func (db *DB) StepClassVersions(name string) ([][]string, error) {
 
 // States returns the defined state names in definition order.
 func (db *DB) States() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return append([]string(nil), db.cat.states...)
 }

@@ -23,6 +23,8 @@ type Material struct {
 // material came into existence. A non-empty name is the material's key and
 // must be unique across the database.
 func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storage.OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.requireTxn(); err != nil {
 		return storage.NilOID, err
 	}
@@ -74,12 +76,20 @@ func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storag
 // LookupMaterial resolves a material by its name (the lab's natural key) —
 // the LabFlow analog of TPC's "look up an account record given its key".
 func (db *DB) LookupMaterial(name string) (storage.OID, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	oid, ok := db.nameIdx[name]
 	return oid, ok
 }
 
 // GetMaterial returns the public view of a material.
 func (db *DB) GetMaterial(oid storage.OID) (*Material, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.getMaterialLocked(oid)
+}
+
+func (db *DB) getMaterialLocked(oid storage.OID) (*Material, error) {
 	m, err := db.readMaterial(oid)
 	if err != nil {
 		return nil, err
@@ -106,6 +116,8 @@ func (db *DB) GetMaterial(oid storage.OID) (*Material, error) {
 
 // State returns a material's workflow state ("" if none).
 func (db *DB) State(oid storage.OID) (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	m, err := db.readMaterial(oid)
 	if err != nil {
 		return "", err
@@ -119,6 +131,8 @@ func (db *DB) State(oid storage.OID) (string, error) {
 // SetState moves a material to a new workflow state — the retract/assert
 // pair of the paper's workflow-tracking updates. state may be "" to clear.
 func (db *DB) SetState(oid storage.OID, state string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.requireTxn(); err != nil {
 		return err
 	}
@@ -153,6 +167,8 @@ func (db *DB) SetState(oid storage.OID, state string) error {
 // MaterialsInState returns the materials currently in the named state,
 // sorted by OID for determinism.
 func (db *DB) MaterialsInState(state string) ([]storage.OID, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	id, ok := db.cat.byState[state]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownState, state)
@@ -168,6 +184,8 @@ func (db *DB) MaterialsInState(state string) ([]storage.OID, error) {
 
 // CountInState returns the number of materials in the named state.
 func (db *DB) CountInState(state string) (uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	id, ok := db.cat.byState[state]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownState, state)
@@ -178,6 +196,8 @@ func (db *DB) CountInState(state string) (uint64, error) {
 // CountMaterials counts the instances of a material class, including
 // subclasses (is-a semantics).
 func (db *DB) CountMaterials(class string) (uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	mc, ok := db.cat.byMCName[class]
 	if !ok {
 		return 0, fmt.Errorf("%w: material class %q", ErrUnknownClass, class)
@@ -193,6 +213,8 @@ func (db *DB) CountMaterials(class string) (uint64, error) {
 
 // CountSteps counts the instances of a step class across all its versions.
 func (db *DB) CountSteps(class string) (uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	sc, ok := db.cat.bySCName[class]
 	if !ok {
 		return 0, fmt.Errorf("%w: step class %q", ErrUnknownClass, class)
@@ -203,6 +225,8 @@ func (db *DB) CountSteps(class string) (uint64, error) {
 // ScanMaterials calls fn for each material of the class (subclasses
 // included), in insertion order per class.
 func (db *DB) ScanMaterials(class string, fn func(*Material) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	mc, ok := db.cat.byMCName[class]
 	if !ok {
 		return fmt.Errorf("%w: material class %q", ErrUnknownClass, class)
@@ -212,7 +236,7 @@ func (db *DB) ScanMaterials(class string, fn func(*Material) error) error {
 			continue
 		}
 		err := db.scanExtent(c.extentHead, func(oid storage.OID) error {
-			m, err := db.GetMaterial(oid)
+			m, err := db.getMaterialLocked(oid)
 			if err != nil {
 				return err
 			}
@@ -228,9 +252,11 @@ func (db *DB) ScanMaterials(class string, fn func(*Material) error) error {
 // ScanAllMaterials calls fn once for every material in the database,
 // walking each concrete class's extent (no subclass double-counting).
 func (db *DB) ScanAllMaterials(fn func(*Material) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	for _, c := range db.cat.materialClasses {
 		err := db.scanExtent(c.extentHead, func(oid storage.OID) error {
-			m, err := db.GetMaterial(oid)
+			m, err := db.getMaterialLocked(oid)
 			if err != nil {
 				return err
 			}
@@ -246,6 +272,8 @@ func (db *DB) ScanAllMaterials(fn func(*Material) error) error {
 // CreateMaterialSet stores a write-once material_set over the given members
 // (each must be a live material) and returns its OID.
 func (db *DB) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.requireTxn(); err != nil {
 		return storage.NilOID, err
 	}
@@ -266,6 +294,12 @@ func (db *DB) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
 
 // SetMembers returns the members of a material_set.
 func (db *DB) SetMembers(oid storage.OID) ([]storage.OID, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.setMembersLocked(oid)
+}
+
+func (db *DB) setMembersLocked(oid storage.OID) ([]storage.OID, error) {
 	data, err := db.sm.Read(oid)
 	if err != nil {
 		return nil, err

@@ -17,6 +17,12 @@ type HistoryEntry struct {
 // time) order, oldest first. Valid-time order may differ when steps were
 // recorded out of order; see MostRecent.
 func (db *DB) History(oid storage.OID) ([]HistoryEntry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.historyLocked(oid)
+}
+
+func (db *DB) historyLocked(oid storage.OID) ([]HistoryEntry, error) {
 	m, err := db.readMaterial(oid)
 	if err != nil {
 		return nil, err
@@ -51,6 +57,8 @@ func (db *DB) History(oid storage.OID) ([]HistoryEntry, error) {
 // value, the step that produced it, and whether any step assigned the
 // attribute at all.
 func (db *DB) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	id, ok := db.cat.byAttrName[attr]
 	if !ok {
 		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
@@ -62,16 +70,20 @@ func (db *DB) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool
 	if m.mrIndex.IsNil() {
 		return Nil(), storage.NilOID, false, nil
 	}
-	data, cached := db.mrCache.get(m.mrIndex)
-	if !cached {
-		data, err = db.sm.Read(m.mrIndex)
+	// Single-flight fill: concurrent readers missing on the same index
+	// share one storage read instead of stampeding the manager.
+	data, err := db.mrCache.getOrFill(m.mrIndex, func() ([]byte, error) {
+		data, err := db.sm.Read(m.mrIndex)
 		if err != nil {
-			return Nil(), storage.NilOID, false, fmt.Errorf("labbase: read most-recent index: %w", err)
+			return nil, fmt.Errorf("labbase: read most-recent index: %w", err)
 		}
 		if err := checkMRIndex(data); err != nil {
-			return Nil(), storage.NilOID, false, err
+			return nil, err
 		}
-		db.mrCache.put(m.mrIndex, data)
+		return data, nil
+	})
+	if err != nil {
+		return Nil(), storage.NilOID, false, err
 	}
 	i := mrFind(data, id)
 	if i < 0 {
@@ -94,11 +106,13 @@ func (db *DB) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool
 // steps with equal valid time, the latest-inserted wins, matching the
 // index's tie-break.
 func (db *DB) MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	id, ok := db.cat.byAttrName[attr]
 	if !ok {
 		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
 	}
-	hist, err := db.History(oid)
+	hist, err := db.historyLocked(oid)
 	if err != nil {
 		return Nil(), storage.NilOID, false, err
 	}
@@ -122,11 +136,13 @@ func (db *DB) MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, 
 // ValidTime <= t that assigned it. Ties in valid time resolve to the
 // latest-inserted step, consistent with MostRecent.
 func (db *DB) MostRecentAsOf(oid storage.OID, attr string, t int64) (Value, storage.OID, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	id, ok := db.cat.byAttrName[attr]
 	if !ok {
 		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
 	}
-	hist, err := db.History(oid)
+	hist, err := db.historyLocked(oid)
 	if err != nil {
 		return Nil(), storage.NilOID, false, err
 	}
@@ -157,11 +173,13 @@ type TimelineEntry struct {
 // time order (insertion order among equal valid times) — the event-calculus
 // style view of the audit trail.
 func (db *DB) AttrTimeline(oid storage.OID, attr string) ([]TimelineEntry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	id, ok := db.cat.byAttrName[attr]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
 	}
-	hist, err := db.History(oid)
+	hist, err := db.historyLocked(oid)
 	if err != nil {
 		return nil, err
 	}
@@ -191,12 +209,14 @@ type DumpStats struct {
 // archival scan. It touches each material record, each history chunk and
 // each referenced step record, and returns volume statistics.
 func (db *DB) Dump() (DumpStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var st DumpStats
 	seen := make(map[storage.OID]struct{})
 	for _, mc := range db.cat.materialClasses {
 		err := db.scanExtent(mc.extentHead, func(moid storage.OID) error {
 			st.Materials++
-			hist, err := db.History(moid)
+			hist, err := db.historyLocked(moid)
 			if err != nil {
 				return err
 			}

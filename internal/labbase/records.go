@@ -70,24 +70,28 @@ func decodeMaterialRec(data []byte) (*materialRec, error) {
 
 // readMaterial returns a material record, served from the decode cache when
 // possible. The caller receives a private copy and may mutate it freely; the
-// cache entry is only refreshed through writeMaterial/allocMaterial.
+// cache entry is only refreshed through writeMaterial/allocMaterial. A cache
+// miss is a single-flight fill, so concurrent readers of the same material
+// share one storage read.
 func (db *DB) readMaterial(oid storage.OID) (*materialRec, error) {
 	if oid.Segment() != storage.SegMaterial {
 		return nil, fmt.Errorf("%w: %v", ErrNotMaterial, oid)
 	}
-	if m, ok := db.matCache.get(oid); ok {
-		return &m, nil
-	}
-	data, err := db.sm.Read(oid)
+	m, err := db.matCache.getOrFill(oid, func() (materialRec, error) {
+		data, err := db.sm.Read(oid)
+		if err != nil {
+			return materialRec{}, err
+		}
+		m, err := decodeMaterialRec(data)
+		if err != nil {
+			return materialRec{}, err
+		}
+		return *m, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	m, err := decodeMaterialRec(data)
-	if err != nil {
-		return nil, err
-	}
-	db.matCache.put(oid, *m)
-	return m, nil
+	return &m, nil
 }
 
 // writeMaterial re-encodes a material record in place (through a pooled

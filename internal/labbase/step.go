@@ -54,6 +54,12 @@ type Step struct {
 // existing history, so one material's audit trail stays physically together
 // when the storage manager honours clustering (Texas+TC, OStore).
 func (db *DB) RecordStep(spec StepSpec) (storage.OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.recordStepLocked(spec)
+}
+
+func (db *DB) recordStepLocked(spec StepSpec) (storage.OID, error) {
 	if err := db.requireTxn(); err != nil {
 		return storage.NilOID, err
 	}
@@ -122,7 +128,7 @@ func (db *DB) RecordStep(spec StepSpec) (storage.OID, error) {
 	targets := make([]storage.OID, 0, len(spec.Materials))
 	targets = append(targets, spec.Materials...)
 	if !spec.Set.IsNil() {
-		members, err := db.SetMembers(spec.Set)
+		members, err := db.setMembersLocked(spec.Set)
 		if err != nil {
 			return storage.NilOID, fmt.Errorf("labbase: step set: %w", err)
 		}
@@ -279,6 +285,12 @@ func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID,
 
 // GetStep returns the public view of a step instance.
 func (db *DB) GetStep(oid storage.OID) (*Step, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.getStepLocked(oid)
+}
+
+func (db *DB) getStepLocked(oid storage.OID) (*Step, error) {
 	s, err := db.readStep(oid)
 	if err != nil {
 		return nil, err
@@ -319,12 +331,14 @@ func (s *Step) Attr(name string) (Value, bool) {
 
 // ScanSteps calls fn for each instance of a step class, in insertion order.
 func (db *DB) ScanSteps(class string, fn func(*Step) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	sc, ok := db.cat.bySCName[class]
 	if !ok {
 		return fmt.Errorf("%w: step class %q", ErrUnknownClass, class)
 	}
 	return db.scanExtent(sc.extentHead, func(oid storage.OID) error {
-		s, err := db.GetStep(oid)
+		s, err := db.getStepLocked(oid)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -13,7 +14,11 @@ import (
 //     variable — since a copied lock silently stops excluding anything; and
 //  2. every path from an x.Lock()/x.RLock() to a return statement in the
 //     same function releases the lock, either by a defer or by an explicit
-//     unlock on that path.
+//     unlock on that path; and
+//  3. on RWMutex, the release matches the acquisition's flavor: a lock taken
+//     with RLock() must be dropped with RUnlock() and one taken with Lock()
+//     with Unlock() — crossing them panics ("sync: Unlock of unlocked
+//     RWMutex") or silently downgrades exclusion at runtime.
 //
 // The path analysis is intraprocedural and branch-sensitive but
 // deliberately conservative: a lock is only reported at a return if it is
@@ -178,8 +183,38 @@ func checkLockPaths(p *Pass, body *ast.BlockStmt) {
 	w.stmts(body.List, lockSet{})
 }
 
+// splitLockKey separates a lockSet key into the mutex expression and
+// whether it denotes a read lock (the "/r" suffix).
+func splitLockKey(key string) (expr string, read bool) {
+	if len(key) > 2 && key[len(key)-2:] == "/r" {
+		return key[:len(key)-2], true
+	}
+	return key, false
+}
+
 type lockWalker struct {
 	pass *Pass
+}
+
+// release drops key from held (which the caller has already cloned). When
+// the matching acquisition is absent but the opposite flavor of the same
+// RWMutex is held, the unlock crosses flavors — Unlock after RLock or
+// RUnlock after Lock — which is rule 3's runtime fault, so it is reported
+// and the mismatched hold cleared to avoid a cascading rule-2 report.
+func (w *lockWalker) release(pos token.Pos, held lockSet, key string) {
+	if !held[key] {
+		expr, read := splitLockKey(key)
+		if read {
+			if held[expr] {
+				w.pass.Reportf(pos, "%s.RUnlock() releases a write lock acquired with Lock(); use Unlock()", expr)
+				delete(held, expr)
+			}
+		} else if held[key+"/r"] {
+			w.pass.Reportf(pos, "%s.Unlock() releases a read lock acquired with RLock(); use RUnlock()", key)
+			delete(held, key+"/r")
+		}
+	}
+	delete(held, key)
 }
 
 // stmts walks a statement list with the set of locks held on entry and
@@ -205,7 +240,7 @@ func (w *lockWalker) stmt(stmt ast.Stmt, held lockSet) (lockSet, bool) {
 				held[key] = true
 			} else if isUnlock {
 				held = held.clone()
-				delete(held, key)
+				w.release(call.Pos(), held, key)
 			} else if isTerminalCall(w.pass, call) {
 				return held, true
 			}
@@ -215,17 +250,18 @@ func (w *lockWalker) stmt(stmt ast.Stmt, held lockSet) (lockSet, bool) {
 		// including a deferred closure that unlocks.
 		held = held.clone()
 		if key, _, isUnlock := lockCall(w.pass, s.Call); isUnlock {
-			delete(held, key)
+			w.release(s.Call.Pos(), held, key)
 		} else if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
 			for _, key := range unlocksIn(w.pass, lit.Body) {
-				delete(held, key)
+				w.release(s.Call.Pos(), held, key)
 			}
 		}
 	case *ast.ReturnStmt:
 		for key := range held {
-			expr, mode := key, "Lock"
-			if len(key) > 2 && key[len(key)-2:] == "/r" {
-				expr, mode = key[:len(key)-2], "RLock"
+			expr, read := splitLockKey(key)
+			mode := "Lock"
+			if read {
+				mode = "RLock"
 			}
 			w.pass.Reportf(s.Pos(), "return while %s.%s() is still held: no unlock on this path", expr, mode)
 		}

@@ -123,3 +123,44 @@ func suppressed(c *counter) int {
 	//lint:allow mutexhygiene handed off to caller which unlocks
 	return c.n
 }
+
+func unlockAfterRLock(mu *sync.RWMutex, v *int) int {
+	mu.RLock()
+	x := *v
+	mu.Unlock()
+	return x
+}
+
+func runlockAfterLock(mu *sync.RWMutex, v *int) int {
+	mu.Lock()
+	x := *v
+	mu.RUnlock()
+	return x
+}
+
+func deferredUnlockAfterRLock(mu *sync.RWMutex, v *int) int {
+	mu.RLock()
+	defer mu.Unlock()
+	return *v
+}
+
+func matchedRWFlavorsAreFine(mu *sync.RWMutex, v *int) int {
+	mu.Lock()
+	*v++
+	mu.Unlock()
+	mu.RLock()
+	defer mu.RUnlock()
+	return *v
+}
+
+func upgradeByTurns(mu *sync.RWMutex, v *int) int {
+	// Dropping the read lock before taking the write lock is the correct
+	// idiom and must not trip the mismatch rule.
+	mu.RLock()
+	x := *v
+	mu.RUnlock()
+	mu.Lock()
+	*v = x + 1
+	mu.Unlock()
+	return x
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Hist is a fixed-bucket latency histogram with logarithmic spacing: each
+// power-of-two octave of nanoseconds is split into histSub linear
+// sub-buckets, bounding the relative quantile error at 1/histSub (12.5%)
+// while keeping the whole structure a flat array — no allocation on the
+// record path, O(1) Record, and Merge is element-wise addition. The load
+// generator gives each worker its own Hist and merges them after the run.
+//
+// A Hist is not safe for concurrent use; that is deliberate (a shared
+// atomic histogram would serialize the workers it is trying to measure).
+type Hist struct {
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [histBuckets]uint64
+}
+
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	// histOctaves caps the range at ~2^42 ns (≈ 73 min); beyond that the
+	// sample lands in the last bucket and only Max stays exact.
+	histOctaves = 42 - histSubBits
+	histBuckets = (histOctaves + 1) * histSub
+)
+
+// bucketIndex maps a nanosecond value to its bucket. Values below histSub
+// map to themselves (exact); above, the top histSubBits bits after the
+// leading one select the sub-bucket within the value's octave.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	oct := uint(bits.Len64(v) - 1) // >= histSubBits
+	sub := (v >> (oct - histSubBits)) & (histSub - 1)
+	idx := int(oct-histSubBits+1)*histSub + int(sub)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketHigh returns the largest value mapping to bucket idx, the bound
+// Quantile reports (conservative: reported quantiles never understate).
+func bucketHigh(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	oct := uint(idx/histSub) + histSubBits - 1
+	sub := uint64(idx % histSub)
+	low := uint64(1)<<oct | sub<<(oct-histSubBits)
+	return low + uint64(1)<<(oct-histSubBits) - 1
+}
+
+// Record adds one observation. Negative durations count as zero.
+func (h *Hist) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketIndex(v)]++
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Min returns the smallest observation (0 if empty).
+func (h *Hist) Min() time.Duration { return time.Duration(h.min) }
+
+// Max returns the largest observation (0 if empty).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the exact arithmetic mean (the sum is kept outside the
+// buckets, so Mean has no quantization error).
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1), within
+// 1/histSub of the true value. Quantile(0) is the exact minimum and
+// Quantile(1) the exact maximum.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			hi := bucketHigh(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return time.Duration(hi)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistSmallValuesExact(t *testing.T) {
+	// Values below histSub nanoseconds occupy their own bucket.
+	var h Hist
+	for v := 0; v < histSub; v++ {
+		h.Record(time.Duration(v))
+	}
+	for v := 0; v < histSub; v++ {
+		if got := bucketIndex(uint64(v)); got != v {
+			t.Errorf("bucketIndex(%d) = %d", v, got)
+		}
+		if got := bucketHigh(v); got != uint64(v) {
+			t.Errorf("bucketHigh(%d) = %d", v, got)
+		}
+	}
+	if h.Count() != histSub {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// bucketHigh(bucketIndex(v)) must be >= v and within 12.5% relative
+	// error (the histogram's documented bound).
+	for _, v := range []uint64{1, 7, 8, 9, 100, 1023, 1024, 65537, 1 << 30, 1<<42 - 1} {
+		idx := bucketIndex(v)
+		hi := bucketHigh(idx)
+		if hi < v {
+			t.Errorf("bucketHigh(bucketIndex(%d)) = %d < value", v, hi)
+		}
+		if float64(hi-v) > float64(v)/float64(histSub)+1 {
+			t.Errorf("value %d: bound %d exceeds error budget", v, hi)
+		}
+	}
+}
+
+func TestHistQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	vals := make([]uint64, 10000)
+	for i := range vals {
+		// Span several octaves, like a real latency distribution.
+		v := uint64(rng.Intn(1<<20) + 1)
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := uint64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%v: histogram %d below exact %d", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)*0.125+1 {
+			t.Errorf("q=%v: histogram %d vs exact %d exceeds 12.5%% bound", q, got, exact)
+		}
+	}
+	if h.Quantile(0) != h.Min() {
+		t.Errorf("Quantile(0) = %v, min = %v", h.Quantile(0), h.Min())
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("Quantile(1) = %v, max = %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistMergeEquivalence(t *testing.T) {
+	// Recording into k histograms and merging must equal recording into one.
+	rng := rand.New(rand.NewSource(7))
+	var whole Hist
+	parts := make([]Hist, 4)
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Intn(1 << 24))
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var merged Hist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != whole {
+		t.Errorf("merged histogram differs from whole-run histogram")
+	}
+	merged.Merge(nil) // must be a no-op
+	if merged != whole {
+		t.Errorf("Merge(nil) changed the histogram")
+	}
+}
+
+func TestHistEmptyAndMean(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram must report zeros")
+	}
+	h.Record(10)
+	h.Record(30)
+	if h.Mean() != 20 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	h.Record(-5) // clamps to zero
+	if h.Min() != 0 || h.Count() != 3 {
+		t.Errorf("negative record: min=%v count=%d", h.Min(), h.Count())
+	}
+}

@@ -138,9 +138,9 @@ func (c *Client) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
 	return storage.OID(d.Uint()), d.Err()
 }
 
-// RecordStep mirrors labbase.DB.RecordStep (one server transaction).
-func (c *Client) RecordStep(spec labbase.StepSpec) (storage.OID, error) {
-	e := rec.NewEncoder(128)
+// encodeStepSpec writes one step spec in the wire layout shared by
+// OpRecordStep and OpPutSteps.
+func encodeStepSpec(e *rec.Encoder, spec labbase.StepSpec) {
 	e.String(spec.Class)
 	e.Int(spec.ValidTime)
 	e.Uint(uint64(len(spec.Materials)))
@@ -153,11 +153,42 @@ func (c *Client) RecordStep(spec labbase.StepSpec) (storage.OID, error) {
 		e.String(av.Name)
 		labbase.EncodeValue(e, av.Value)
 	}
+}
+
+// RecordStep mirrors labbase.DB.RecordStep (one server transaction).
+func (c *Client) RecordStep(spec labbase.StepSpec) (storage.OID, error) {
+	e := rec.NewEncoder(128)
+	encodeStepSpec(e, spec)
 	d, err := c.roundTrip(OpRecordStep, e.Bytes())
 	if err != nil {
 		return storage.NilOID, err
 	}
 	return storage.OID(d.Uint()), d.Err()
+}
+
+// PutSteps records a batch of steps in one round trip and one server
+// transaction, amortizing both the network turnaround and the commit across
+// the batch. The batch is not atomic: on error, steps before the failing
+// index remain recorded (the server's error message names the index).
+func (c *Client) PutSteps(specs []labbase.StepSpec) ([]storage.OID, error) {
+	e := rec.NewEncoder(16 + 128*len(specs))
+	e.Uint(uint64(len(specs)))
+	for _, spec := range specs {
+		encodeStepSpec(e, spec)
+	}
+	d, err := c.roundTrip(OpPutSteps, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(maxStepBatch)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad step batch reply")
+	}
+	out := make([]storage.OID, n)
+	for i := range out {
+		out[i] = storage.OID(d.Uint())
+	}
+	return out, d.Err()
 }
 
 // SetState mirrors labbase.DB.SetState.

@@ -6,8 +6,10 @@
 // "client-level server": one process owning the storage manager, with lab
 // applications connecting as clients. This package provides that process
 // (Server) and its Go client (Client). The server executes every update in
-// its own transaction, serializing requests across connections, as the
-// operational server did.
+// its own transaction and serializes all writes across connections, as the
+// operational server did; read-only operations (see readOnlyOp) run in
+// parallel under a shared lock, so a fleet of read-heavy clients is no
+// longer funnelled through one mutex.
 //
 // Frame format (both directions):
 //
@@ -46,7 +48,29 @@ const (
 	OpDump
 	OpStats
 	OpLookupMaterial
+	OpPutSteps
 )
+
+// readOnlyOp classifies each opcode for the server's reader/writer lock:
+// read ops never mutate the database or the deductive engine and may
+// execute in parallel across connections; everything else (including
+// unknown opcodes) is treated as a write and fully serialized.
+//
+//	read:  Hello, State, MostRecent, History, GetMaterial, GetStep,
+//	       CountMaterials, CountSteps, CountInState, MaterialsInState,
+//	       SetMembers, Dump, Stats, LookupMaterial
+//	write: DefineMaterialClass, DefineState, DefineStepClass,
+//	       CreateMaterial, CreateSet, RecordStep, PutSteps, SetState,
+//	       Query (the engine may consult and memoize — kept exclusive)
+func readOnlyOp(op uint8) bool {
+	switch op {
+	case OpHello, OpState, OpMostRecent, OpHistory, OpGetMaterial, OpGetStep,
+		OpCountMaterials, OpCountSteps, OpCountInState, OpMaterialsInState,
+		OpSetMembers, OpDump, OpStats, OpLookupMaterial:
+		return true
+	}
+	return false
+}
 
 const (
 	statusOK  uint8 = 0

@@ -7,8 +7,10 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"labflow/internal/labbase"
 	"labflow/internal/lbq"
@@ -20,7 +22,13 @@ import (
 type Server struct {
 	db     *labbase.DB
 	bridge *lbq.Bridge
-	mu     sync.Mutex // serializes all database work across connections
+	// mu is the server-level reader/writer lock: write opcodes (and their
+	// whole Begin/Commit bracket) hold it exclusively, read opcodes hold it
+	// shared and execute in parallel across connections. It is always
+	// acquired before labbase.DB's internal lock (see DESIGN.md's lock
+	// hierarchy).
+	mu     sync.RWMutex
+	serial bool // force every op exclusive (the pre-concurrency behavior)
 	logf   func(format string, args ...any)
 
 	wg     sync.WaitGroup
@@ -52,6 +60,12 @@ func (s *Server) SetLogf(f func(format string, args ...any)) {
 	s.logf = f
 }
 
+// SetSerial forces every operation — reads included — to take the exclusive
+// lock, restoring the fully serialized execution the server had before the
+// concurrent read path. It exists for baseline measurements (lfload -serial)
+// and must be called before Serve.
+func (s *Server) SetSerial(serial bool) { s.serial = serial }
+
 // Serve accepts connections until the listener is closed.
 func (s *Server) Serve(ln net.Listener) error {
 	for {
@@ -79,12 +93,22 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Shutdown closes every active connection (the caller closes the listener).
+// Shutdown drains the server and returns once every connection goroutine has
+// exited (the caller closes the listener). The drain is deterministic:
+// frames the server has already accepted — read off the socket into a
+// connection's buffer, or mid-execution — complete and their responses are
+// flushed, while blocked or future reads are cut off by an immediate read
+// deadline. No connection is torn down mid-response.
 func (s *Server) Shutdown() {
 	s.connMu.Lock()
 	s.closed = true
 	for c := range s.conns {
-		c.Close()
+		// Cut off only the read side: the next read that actually touches
+		// the socket fails, but responses to in-flight requests still write.
+		// Frames already buffered by the connection's reader are served
+		// without touching the socket, so a pipelined batch the server has
+		// accepted completes before the connection closes.
+		c.SetReadDeadline(time.Now()) //lint:allow wallclock immediate deadline to unblock readers on shutdown, never persisted
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
@@ -102,7 +126,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		op, payload, err := readFrame(r)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			// A deadline error only arises from Shutdown's read cutoff, so it
+			// is a clean drain, not a protocol failure worth logging.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
 				s.logf("wire: read: %v", err)
 			}
 			return
@@ -125,7 +151,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// inTxn runs fn inside one transaction under the server lock. LabBase
+// inTxn runs fn inside one transaction under the server write lock. LabBase
 // operations validate their inputs before mutating anything, so on failure
 // the (write-free) transaction is simply closed and the error reported.
 func (s *Server) inTxn(fn func() error) error {
@@ -141,9 +167,23 @@ func (s *Server) inTxn(fn func() error) error {
 	return s.db.Commit()
 }
 
+// handle executes one request under the lock its opcode class requires:
+// read ops share the lock (parallel across connections), write ops hold it
+// exclusively so their transaction brackets stay atomic.
 func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if readOnlyOp(op) && !s.serial {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	} else {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.dispatch(op, payload)
+}
+
+// dispatch decodes and executes one request; the caller holds the
+// appropriate server lock.
+func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 	d := rec.NewDecoder(payload)
 	e := rec.NewEncoder(64)
 	switch op {
@@ -259,6 +299,45 @@ func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		e.Uint(uint64(oid))
+
+	case OpPutSteps:
+		// Batched RecordStep: all steps run in one transaction, amortizing
+		// the commit (and, under group-commit stores, the log flush) across
+		// the batch. The batch is not atomic: if step i fails, steps 0..i-1
+		// have already been recorded and stay recorded — the error names the
+		// failing index so the client can tell.
+		n := d.Count(maxStepBatch)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("wire: bad step batch count")
+		}
+		specs := make([]labbase.StepSpec, 0, n)
+		for i := 0; i < n; i++ {
+			spec, err := decodeStepSpecNoFinish(d)
+			if err != nil {
+				return nil, fmt.Errorf("wire: step batch entry %d: %w", i, err)
+			}
+			specs = append(specs, spec)
+		}
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		oids := make([]storage.OID, len(specs))
+		if err := s.inTxn(func() error {
+			for i, spec := range specs {
+				oid, err := s.db.RecordStep(spec)
+				if err != nil {
+					return fmt.Errorf("wire: step batch entry %d (earlier entries recorded): %w", i, err)
+				}
+				oids[i] = oid
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(oids)))
+		for _, oid := range oids {
+			e.Uint(uint64(oid))
+		}
 
 	case OpSetState:
 		oid := storage.OID(d.Uint())
@@ -469,7 +548,21 @@ func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
+// maxStepBatch bounds one OpPutSteps batch; MaxFrame already bounds the
+// payload, this guards the count prefix itself.
+const maxStepBatch = 1 << 16
+
 func decodeStepSpec(d *rec.Decoder) (labbase.StepSpec, error) {
+	spec, err := decodeStepSpecNoFinish(d)
+	if err != nil {
+		return spec, err
+	}
+	return spec, d.Finish()
+}
+
+// decodeStepSpecNoFinish decodes one step spec without requiring the decoder
+// to be exhausted, so specs can be concatenated in a batch frame.
+func decodeStepSpecNoFinish(d *rec.Decoder) (labbase.StepSpec, error) {
 	var spec labbase.StepSpec
 	spec.Class = d.String()
 	spec.ValidTime = d.Int()
@@ -491,5 +584,5 @@ func decodeStepSpec(d *rec.Decoder) (labbase.StepSpec, error) {
 		spec.Attrs[i].Name = d.String()
 		spec.Attrs[i].Value = labbase.DecodeValue(d)
 	}
-	return spec, d.Finish()
+	return spec, d.Err()
 }

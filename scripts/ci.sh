@@ -27,6 +27,20 @@ make lint
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== concurrent wire stress (-race, byte-identical + drain)"
+go test -race -count=1 \
+	-run 'TestConcurrentReadsByteIdentical|TestConcurrentReadersWithWriter|TestShutdownDrainsPipelinedBurst' \
+	./internal/wire/
+
+echo "== lfload smoke (closed-loop load generator)"
+lfload_out=$(go run ./cmd/lfload -workers 4 -pipeline 4 -readmix 0.9 -ops 4000 -materials 200 -json)
+# lfload exits nonzero on any worker error or zero throughput; double-check
+# the report actually carries a throughput figure.
+echo "$lfload_out" | grep -q '"ops_per_sec"' || {
+	echo "lfload smoke: no throughput in report" >&2
+	exit 1
+}
+
 echo "== benchmark smoke (BenchmarkTable10_*, 1 iteration each)"
 go test -bench 'BenchmarkTable10_' -benchtime=1x -run '^$' .
 
