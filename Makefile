@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate scripts/ci.sh implements.
 
-.PHONY: check test race bench table10 lint clean
+.PHONY: check test race bench table10 lint crashtest clean
 
 check:
 	./scripts/ci.sh
@@ -19,6 +19,10 @@ bench:
 
 table10:
 	go run ./cmd/labflow -experiment table10
+
+crashtest:
+	go test -race -count=1 -run 'TestCrashSchedule' ./internal/storage/crashtest/
+	go run ./cmd/labflow -experiment crashtest -store all -crashruns 100
 
 clean:
 	go clean ./...

@@ -8,7 +8,13 @@
 //	labflow -experiment clustering
 //	labflow -experiment evolution [-store Texas+TC]
 //	labflow -experiment sweep   [-pools 64,192,512,4096]
+//	labflow -experiment crashtest [-store ostore|texas|all] [-seed N] [-crashruns N]
 //	labflow -experiment all
+//
+// The crashtest experiment runs seeded crash-recovery schedules against the
+// persistent storage managers (see internal/storage/crashtest). Every
+// schedule is derived from its seed alone, so a failure report's seed
+// replays the exact same crash: rerun with -seed N -crashruns 1.
 //
 // The table10 sweep runs its five server versions concurrently by default
 // (the workload and all simulated counters are deterministic either way);
@@ -31,6 +37,7 @@ import (
 	"labflow/internal/core"
 	"labflow/internal/labbase"
 	"labflow/internal/storage"
+	"labflow/internal/storage/crashtest"
 )
 
 // options carries the command-line configuration through the experiments.
@@ -47,6 +54,7 @@ type options struct {
 	shape      bool
 	jsonOut    string
 	parallel   bool
+	crashruns  int
 }
 
 func main() {
@@ -63,6 +71,7 @@ func main() {
 	flag.BoolVar(&o.shape, "check-shape", true, "verify the paper-shape expectations after table10")
 	flag.StringVar(&o.jsonOut, "json", "", "also write table10 results to this JSON file")
 	flag.BoolVar(&o.parallel, "parallel", true, "run the table10 versions concurrently (per-version CPU columns become process-wide)")
+	flag.IntVar(&o.crashruns, "crashruns", 100, "number of consecutive seeds for crashtest (starting at -seed)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -251,8 +260,58 @@ func runOne(experiment string, o options, p core.Params) error {
 		}
 		fmt.Print(core.FormatSweep(res))
 
+	case "crashtest":
+		backends, err := parseCrashBackends(o.store)
+		if err != nil {
+			return err
+		}
+		start := o.seed
+		if start == 0 {
+			start = 1
+		}
+		runs := o.crashruns
+		if runs <= 0 {
+			runs = 1
+		}
+		for _, backend := range backends {
+			outcomes := make(map[string]int)
+			for seed := start; seed < start+int64(runs); seed++ {
+				res, err := crashtest.Run(crashtest.Config{
+					Backend: backend,
+					Seed:    seed,
+					Dir:     o.dir,
+				})
+				if err != nil {
+					return fmt.Errorf("crash-recovery invariant violated (replay: -experiment crashtest -store %s -seed %d -crashruns 1):\n%w",
+						backend, seed, err)
+				}
+				if runs <= 20 {
+					fmt.Println(res)
+				}
+				outcomes[res.Outcome]++
+			}
+			fmt.Printf("%s: %d seeded crash schedules recovered correctly (seeds %d..%d), outcomes %v\n",
+				backend, runs, start, start+int64(runs)-1, outcomes)
+		}
+
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 	return nil
+}
+
+// parseCrashBackends maps -store spellings onto crashtest backends; the
+// table10 names ("OStore", "Texas+TC") are accepted so the flag's default
+// keeps working.
+func parseCrashBackends(name string) ([]crashtest.Backend, error) {
+	switch strings.TrimSuffix(strings.ToLower(name), "+tc") {
+	case "ostore":
+		return []crashtest.Backend{crashtest.BackendOStore}, nil
+	case "texas":
+		return []crashtest.Backend{crashtest.BackendTexas}, nil
+	case "all", "both", "":
+		return []crashtest.Backend{crashtest.BackendOStore, crashtest.BackendTexas}, nil
+	default:
+		return nil, fmt.Errorf("crashtest: unknown store %q (want ostore, texas, or all)", name)
+	}
 }

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"fmt"
+
+	"labflow/internal/storage/pagefile"
+)
+
+// Backing wraps a pagefile.Backing and subjects it to an Injector's plan.
+// Page writes at the crash point are torn at byte grain: the surviving
+// ranges of the new image are merged over the page's previous contents, as
+// a real partial sector transfer would leave them.
+//
+// NumPages and SizeBytes are metadata, not medium I/O; they pass through
+// uncounted and keep working after the crash so a dying manager can still
+// observe its own bookkeeping.
+type Backing struct {
+	inner pagefile.Backing
+	in    *Injector
+}
+
+// WrapBacking subjects inner to the injector's plan.
+func WrapBacking(inner pagefile.Backing, in *Injector) *Backing {
+	return &Backing{inner: inner, in: in}
+}
+
+// ReadPage implements pagefile.Backing.
+func (b *Backing) ReadPage(id pagefile.PageID, buf []byte) error {
+	switch b.in.step() {
+	case actProceed:
+		return b.inner.ReadPage(id, buf)
+	default:
+		return fmt.Errorf("fault: read page %d: %w", id, ErrCrashed)
+	}
+}
+
+// WritePage implements pagefile.Backing. At the crash point the surviving
+// ranges of buf (per the plan's tear mode) are merged over the page's prior
+// image and written; everything after the crash is a no-effect error.
+func (b *Backing) WritePage(id pagefile.PageID, buf []byte) error {
+	switch b.in.step() {
+	case actProceed:
+		if err := b.inner.WritePage(id, buf); err != nil {
+			return err
+		}
+		b.in.noteWrite()
+		return nil
+	case actCrash:
+		keep := b.in.plan.tearBuf(pagefile.PageSize)
+		if len(keep) > 0 {
+			img := make([]byte, pagefile.PageSize)
+			if err := b.inner.ReadPage(id, img); err == nil {
+				for _, r := range keep {
+					copy(img[r[0]:r[1]], buf[r[0]:r[1]])
+				}
+				// Best effort, exactly like the dying process: the torn
+				// image lands if the medium takes it.
+				_ = b.inner.WritePage(id, img)
+				b.in.noteTorn(fmt.Sprintf("WritePage(%d) tear=%s", id, b.in.plan.Tear))
+			}
+		}
+		return fmt.Errorf("fault: write page %d: %w", id, ErrCrashed)
+	default:
+		return fmt.Errorf("fault: write page %d: %w", id, ErrCrashed)
+	}
+}
+
+// NumPages implements pagefile.Backing (uncounted metadata).
+func (b *Backing) NumPages() uint32 { return b.inner.NumPages() }
+
+// Grow implements pagefile.Backing. A crashed medium does not grow.
+func (b *Backing) Grow() (pagefile.PageID, error) {
+	switch b.in.step() {
+	case actProceed:
+		return b.inner.Grow()
+	default:
+		return 0, fmt.Errorf("fault: grow: %w", ErrCrashed)
+	}
+}
+
+// SizeBytes implements pagefile.Backing (uncounted metadata).
+func (b *Backing) SizeBytes() uint64 { return b.inner.SizeBytes() }
+
+// Sync implements pagefile.Backing. At and after the crash the sync is
+// reported failed and nothing is flushed.
+func (b *Backing) Sync() error {
+	switch b.in.step() {
+	case actProceed:
+		return b.inner.Sync()
+	default:
+		return fmt.Errorf("fault: sync: %w", ErrCrashed)
+	}
+}
+
+// Close implements pagefile.Backing. Closing always reaches the inner
+// backing — a dead process's descriptors are closed by the operating system
+// — but performs no flush of its own, so post-crash state is preserved.
+func (b *Backing) Close() error {
+	return b.inner.Close()
+}
+
+var _ pagefile.Backing = (*Backing)(nil)

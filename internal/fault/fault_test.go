@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"labflow/internal/storage/pagefile"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := NewPlan(seed, 1000)
+		b := NewPlan(seed, 1000)
+		if a != b {
+			t.Fatalf("seed %d: plans differ: %+v vs %+v", seed, a, b)
+		}
+		if a.CrashOp < 1 || a.CrashOp > 1000 {
+			t.Fatalf("seed %d: CrashOp %d out of [1,1000]", seed, a.CrashOp)
+		}
+	}
+	if p := NewPlan(7, 0); p.CrashOp != 0 {
+		t.Fatalf("maxOp=0 plan crashes at %d, want never", p.CrashOp)
+	}
+}
+
+func TestTearBufRanges(t *testing.T) {
+	head := Plan{Tear: TearHead, TearFrac24: 1 << 23} // ~half
+	keep := head.tearBuf(1000)
+	if len(keep) != 1 || keep[0][0] != 0 || keep[0][1] < 1 || keep[0][1] > 999 {
+		t.Fatalf("TearHead ranges = %v", keep)
+	}
+
+	mid := Plan{Tear: TearMiddleLost}
+	keep = mid.tearBuf(8192)
+	want := [][2]int{{0, SectorSize}, {8192 - SectorSize, 8192}}
+	if len(keep) != 2 || keep[0] != want[0] || keep[1] != want[1] {
+		t.Fatalf("TearMiddleLost ranges = %v, want %v", keep, want)
+	}
+	// Too small for a lost middle: degrades to a head tear.
+	keep = mid.tearBuf(600)
+	if len(keep) != 1 || keep[0][0] != 0 {
+		t.Fatalf("small TearMiddleLost ranges = %v, want head tear", keep)
+	}
+
+	if keep := (Plan{Tear: TearNone}).tearBuf(8192); keep != nil {
+		t.Fatalf("TearNone ranges = %v, want none", keep)
+	}
+}
+
+// TestBackingCrashPoint drives a wrapped MemBacking to its crash point and
+// checks the before/after contract: ops before proceed, the crash write is
+// torn (new head over old image), everything after fails without effect.
+func TestBackingCrashPoint(t *testing.T) {
+	mem := pagefile.NewMem()
+	in := NewInjector(Plan{Seed: 1, CrashOp: 4, Tear: TearHead, TearFrac24: 1 << 23})
+	b := WrapBacking(mem, in)
+
+	if _, err := b.Grow(); err != nil { // op 1
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{0xAA}, pagefile.PageSize)
+	if err := b.WritePage(0, old); err != nil { // op 2
+		t.Fatal(err)
+	}
+	buf := make([]byte, pagefile.PageSize)
+	if err := b.ReadPage(0, buf); err != nil { // op 3
+		t.Fatal(err)
+	}
+	neu := bytes.Repeat([]byte{0xBB}, pagefile.PageSize)
+	err := b.WritePage(0, neu) // op 4: crash, torn
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point write err = %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not crashed after crash point")
+	}
+	if got := in.Writes(); got != 1 {
+		t.Fatalf("completed writes = %d, want 1", got)
+	}
+	if in.TornOp() == "" {
+		t.Fatal("torn op not recorded")
+	}
+
+	// The torn image: a 0xBB head over a 0xAA tail.
+	if err := mem.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xBB {
+		t.Fatalf("torn page head = %#x, want new image", buf[0])
+	}
+	if buf[pagefile.PageSize-1] != 0xAA {
+		t.Fatalf("torn page tail = %#x, want old image", buf[pagefile.PageSize-1])
+	}
+
+	// Post-crash: everything fails, nothing changes.
+	if err := b.WritePage(0, old); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if err := b.ReadPage(0, buf); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read err = %v", err)
+	}
+	if _, err := b.Grow(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash grow err = %v", err)
+	}
+	if err := b.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v", err)
+	}
+	if err := mem.ReadPage(0, buf); err != nil || buf[pagefile.PageSize-1] != 0xAA {
+		t.Fatalf("post-crash writes reached the medium: %v %#x", err, buf[pagefile.PageSize-1])
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("post-crash close: %v", err)
+	}
+}
+
+// TestFileTornMiddle tears a multi-sector log write so its head and tail
+// land with the middle lost, the sector-reordering shape the redo-log CRC
+// exists for.
+func TestFileTornMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer osf.Close()
+
+	in := NewInjector(Plan{Seed: 2, CrashOp: 1, Tear: TearMiddleLost})
+	f := WrapFile(osf, in)
+
+	payload := bytes.Repeat([]byte{0xEE}, 4096)
+	if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point WriteAt err = %v, want ErrCrashed", err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4096 {
+		t.Fatalf("file size = %d, want 4096 (tail sector landed)", len(got))
+	}
+	for i, want := range map[int]byte{0: 0xEE, SectorSize - 1: 0xEE, SectorSize: 0, 4096 - SectorSize - 1: 0, 4096 - SectorSize: 0xEE, 4095: 0xEE} {
+		if got[i] != want {
+			t.Errorf("byte %d = %#x, want %#x", i, got[i], want)
+		}
+	}
+
+	// Post-crash truncate must not truncate.
+	if err := f.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash truncate err = %v", err)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() != 4096 {
+		t.Fatalf("post-crash truncate took effect: %v %v", info, err)
+	}
+}
+
+// TestFileShortRead checks the torn-read analog: the crash-point ReadAt
+// returns a bare prefix with io.EOF, so callers that ignore the byte count
+// validate fabricated bytes.
+func TestFileShortRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0x55}, 1024), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	osf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer osf.Close()
+
+	in := NewInjector(Plan{Seed: 3, CrashOp: 1, ShortRead: true, TearFrac24: 1 << 23})
+	f := WrapFile(osf, in)
+	buf := make([]byte, 1024)
+	n, err := f.ReadAt(buf, 0)
+	if err != io.EOF {
+		t.Fatalf("short read err = %v, want io.EOF", err)
+	}
+	if n < 1 || n >= 1024 {
+		t.Fatalf("short read n = %d, want a bare prefix", n)
+	}
+	for i := 0; i < n; i++ {
+		if buf[i] != 0x55 {
+			t.Fatalf("prefix byte %d = %#x", i, buf[i])
+		}
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read err = %v", err)
+	}
+}
+
+// TestInjectorReplay re-runs the same plan against the same operation
+// sequence and checks the injected bytes are identical — the replayability
+// contract the crashtest harness reports seeds under.
+func TestInjectorReplay(t *testing.T) {
+	run := func(seed int64) []byte {
+		mem := pagefile.NewMem()
+		b := WrapBacking(mem, NewInjector(NewPlan(seed, 6)))
+		_, _ = b.Grow()
+		img := bytes.Repeat([]byte{0x11}, pagefile.PageSize)
+		for i := 0; i < 6; i++ {
+			img[0] = byte(i)
+			if err := b.WritePage(0, img); err != nil {
+				break
+			}
+		}
+		out := make([]byte, pagefile.PageSize)
+		_ = mem.ReadPage(0, out)
+		return out
+	}
+	for seed := int64(1); seed <= 30; seed++ {
+		if !bytes.Equal(run(seed), run(seed)) {
+			t.Fatalf("seed %d: replay diverged", seed)
+		}
+	}
+}

@@ -93,6 +93,68 @@ func TestHistMergeEquivalence(t *testing.T) {
 	}
 }
 
+// TestHistQuantileEdges pins the contract at the quantile boundaries:
+// out-of-range q clamps, Quantile(0) is the exact minimum, Quantile(1) the
+// exact maximum, and no interior quantile can exceed the maximum.
+func TestHistQuantileEdges(t *testing.T) {
+	var h Hist
+	h.Record(100)
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if got := h.Quantile(q); got != 100 {
+			t.Errorf("single sample: Quantile(%v) = %v, want 100", q, got)
+		}
+	}
+	h.Record(200)
+	if got := h.Quantile(-0.5); got != 100 {
+		t.Errorf("Quantile(-0.5) = %v, want clamped min 100", got)
+	}
+	if got := h.Quantile(0); got != 100 {
+		t.Errorf("Quantile(0) = %v, want exact min 100", got)
+	}
+	if got := h.Quantile(1); got != 200 {
+		t.Errorf("Quantile(1) = %v, want exact max 200", got)
+	}
+	if got := h.Quantile(1.5); got != 200 {
+		t.Errorf("Quantile(1.5) = %v, want clamped max 200", got)
+	}
+	// The bucket upper bound is capped at the observed max, so even a rank
+	// landing in the top bucket cannot report past it.
+	if got := h.Quantile(0.9999); got > 200 {
+		t.Errorf("Quantile(0.9999) = %v exceeds max 200", got)
+	}
+}
+
+// TestHistMergeEmpty covers the merge identities: merging an empty histogram
+// in changes nothing, and merging into an empty histogram copies min/max
+// correctly (the destination's zero min must not survive the merge).
+func TestHistMergeEmpty(t *testing.T) {
+	var empty, src Hist
+	src.Record(5)
+	src.Record(500)
+
+	snapshot := src
+	src.Merge(&empty)
+	if src != snapshot {
+		t.Error("merging an empty histogram changed the destination")
+	}
+
+	var dst Hist
+	dst.Merge(&src)
+	if dst != src {
+		t.Error("merging into an empty histogram did not copy the source")
+	}
+	if dst.Min() != 5 || dst.Max() != 500 || dst.Count() != 2 {
+		t.Errorf("merged-into-empty: min=%v max=%v count=%d, want 5/500/2",
+			dst.Min(), dst.Max(), dst.Count())
+	}
+
+	var e1, e2 Hist
+	e1.Merge(&e2)
+	if e1.Count() != 0 || e1.Min() != 0 || e1.Max() != 0 || e1.Quantile(0.5) != 0 {
+		t.Error("empty-into-empty merge must stay empty")
+	}
+}
+
 func TestHistEmptyAndMean(t *testing.T) {
 	var h Hist
 	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {

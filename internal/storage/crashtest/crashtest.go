@@ -1,0 +1,293 @@
+// Package crashtest is a randomized crash-recovery property harness for the
+// persistent storage managers. One Run is a complete experiment derived
+// from a single seed:
+//
+//  1. Count pass: a seeded workload runs to completion against a fresh
+//     store whose media are wrapped in fault-counting (but never-failing)
+//     injectors. This learns the workload's total I/O operation count and
+//     verifies the clean-shutdown/reopen path against the shadow model.
+//  2. Crash pass: the same workload runs against fresh media with a
+//     fault.Plan drawn from the seed — a crash point uniform over the whole
+//     I/O history, with a seeded tear mode for the interrupted write. The
+//     first failed call is the moment the process "dies": the manager is
+//     abandoned (Close releases descriptors but the fault layer lets
+//     nothing else reach the media), and the store is reopened cold,
+//     exactly as crash recovery would find it.
+//  3. Verdict: the reopened store is diffed against the shadow model. For
+//     ostore the invariant is the redo log's contract — every transaction
+//     whose Commit returned is fully visible, every other transaction is
+//     fully invisible (a crash inside Commit may land on either side, but
+//     never between). For texas, which has no log, the invariant is loud
+//     failure — a reopen may only succeed if nothing ever reached the
+//     backing file, and must otherwise refuse (ErrTornStore) rather than
+//     serve torn data.
+//
+// Every decision flows from the seed, so a failing schedule is reported —
+// and replayed — as its seed alone.
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"labflow/internal/fault"
+	"labflow/internal/storage"
+	"labflow/internal/storage/ostore"
+	"labflow/internal/storage/pagefile"
+	"labflow/internal/storage/texas"
+)
+
+// Backend selects the storage manager under test.
+type Backend uint8
+
+const (
+	// BackendOStore tests the redo-logged page-server manager.
+	BackendOStore Backend = iota
+	// BackendTexas tests the log-less persistent heap.
+	BackendTexas
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendOStore:
+		return "ostore"
+	case BackendTexas:
+		return "texas"
+	default:
+		return fmt.Sprintf("backend(%d)", uint8(b))
+	}
+}
+
+// Config parameterizes one Run.
+type Config struct {
+	// Backend is the manager under test.
+	Backend Backend
+	// Seed derives the workload, the crash point, and the tear mode.
+	Seed int64
+	// Dir is a caller-owned scratch directory for the store files.
+	Dir string
+	// Txns and OpsPerTxn size the workload (defaults 20 and 6).
+	Txns      int
+	OpsPerTxn int
+}
+
+// Result describes what one Run did, for reports and failure messages.
+type Result struct {
+	Backend    Backend
+	Seed       int64
+	TotalOps   uint64 // I/O ops in the fault-free pass
+	CrashOp    uint64 // the op the crash pass died at
+	Tear       fault.TearMode
+	TornOp     string // what the crash tore ("" if a clean cut)
+	FailedCall string // the manager call that observed the death
+	Commits    int    // transactions committed before the crash
+	Outcome    string // recovered-committed | recovered-pending | torn-detected | fresh-empty
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("%s seed=%d crash@%d/%d tear=%s failed=%s commits=%d → %s",
+		r.Backend, r.Seed, r.CrashOp, r.TotalOps, r.Tear, r.FailedCall, r.Commits, r.Outcome)
+}
+
+// Run executes one seeded crash-recovery experiment. A non-nil error is an
+// invariant violation (or a harness I/O problem), phrased so the seed
+// replays it.
+func Run(cfg Config) (Result, error) {
+	if cfg.Txns <= 0 {
+		cfg.Txns = 20
+	}
+	if cfg.OpsPerTxn <= 0 {
+		cfg.OpsPerTxn = 6
+	}
+	res := Result{Backend: cfg.Backend, Seed: cfg.Seed}
+
+	// Pass 1: learn the workload's I/O length and verify the clean path.
+	totalOps, err := countPass(cfg)
+	if err != nil {
+		return res, fmt.Errorf("crashtest %s seed %d (count pass): %w", cfg.Backend, cfg.Seed, err)
+	}
+	res.TotalOps = totalOps
+
+	// Pass 2: same workload, crash drawn from the seed.
+	plan := fault.NewPlan(cfg.Seed, totalOps)
+	res.CrashOp = plan.CrashOp
+	res.Tear = plan.Tear
+	if err := crashPass(cfg, plan, &res); err != nil {
+		return res, fmt.Errorf("crashtest %s seed %d (crash@%d tear=%s torn=%q failed=%s): %w",
+			cfg.Backend, cfg.Seed, plan.CrashOp, plan.Tear, res.TornOp, res.FailedCall, err)
+	}
+	return res, nil
+}
+
+// openInjected opens a fresh store for the backend with its media wrapped
+// in the injector.
+func openInjected(cfg Config, dbPath string, in *fault.Injector) (storage.Manager, error) {
+	fb, err := pagefile.OpenFile(dbPath)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Backend {
+	case BackendOStore:
+		logf, err := os.OpenFile(dbPath+".log", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			fb.Close()
+			return nil, err
+		}
+		// Open owns both media from here: on error it closes them once.
+		return ostore.Open(ostore.Options{
+			Backing:   fault.WrapBacking(fb, in),
+			Log:       fault.WrapFile(logf, in),
+			PoolPages: 48, // small pool: eviction traffic widens the crash surface
+		})
+	default:
+		return texas.Open(texas.Options{
+			Backing:          fault.WrapBacking(fb, in),
+			MaxResidentPages: 48, // small residency: mid-transaction write-backs
+		})
+	}
+}
+
+// openPlain reopens the store cold, without injection — the recovery path a
+// real restart takes.
+func openPlain(cfg Config, dbPath string) (storage.Manager, error) {
+	switch cfg.Backend {
+	case BackendOStore:
+		return ostore.Open(ostore.Options{Path: dbPath, PoolPages: 48})
+	default:
+		return texas.Open(texas.Options{Path: dbPath, MaxResidentPages: 48})
+	}
+}
+
+// countPass runs the workload fault-free, closes cleanly, and checks the
+// reopened store against the final model. It returns the total I/O op count
+// the crash point is drawn from.
+func countPass(cfg Config) (uint64, error) {
+	dbPath := filepath.Join(cfg.Dir, fmt.Sprintf("%s-count-%d.db", cfg.Backend, cfg.Seed))
+	in := fault.NewInjector(fault.Plan{Seed: cfg.Seed}) // CrashOp 0: count only
+	m, err := openInjected(cfg, dbPath, in)
+	if err != nil {
+		return 0, fmt.Errorf("open: %w", err)
+	}
+	w := newWorkload(cfg.Seed)
+	if call, err := w.run(m, cfg.Txns, cfg.OpsPerTxn); err != nil {
+		m.Close()
+		return 0, fmt.Errorf("fault-free workload failed at %s: %w", call, err)
+	}
+	if err := m.Close(); err != nil {
+		return 0, fmt.Errorf("clean close: %w", err)
+	}
+	total := in.Ops()
+
+	m2, err := openPlain(cfg, dbPath)
+	if err != nil {
+		return 0, fmt.Errorf("clean reopen: %w", err)
+	}
+	defer m2.Close()
+	if err := w.committed.diff(m2); err != nil {
+		return 0, fmt.Errorf("clean reopen state: %w", err)
+	}
+	return total, nil
+}
+
+// crashPass runs the workload under the crash plan, reopens cold, and
+// checks the backend's recovery invariant.
+func crashPass(cfg Config, plan fault.Plan, res *Result) error {
+	dbPath := filepath.Join(cfg.Dir, fmt.Sprintf("%s-crash-%d.db", cfg.Backend, cfg.Seed))
+	in := fault.NewInjector(plan)
+
+	w := newWorkload(cfg.Seed)
+	m, err := openInjected(cfg, dbPath, in)
+	switch {
+	case err != nil && errors.Is(err, fault.ErrCrashed):
+		// Died while formatting the store: nothing was ever committed.
+		res.FailedCall = "Open"
+	case err != nil:
+		return fmt.Errorf("open: %w", err)
+	default:
+		call, werr := w.run(m, cfg.Txns, cfg.OpsPerTxn)
+		switch {
+		case werr != nil && errors.Is(werr, fault.ErrCrashed):
+			res.FailedCall = call
+		case werr != nil:
+			m.Close()
+			return fmt.Errorf("workload failed at %s without injected crash: %w", call, werr)
+		default:
+			res.FailedCall = "Close" // the crash op can only be in Close's own I/O
+		}
+		// Abandon the dead process: Close releases descriptors, but the
+		// fault layer stops every flush/truncate from reaching the media,
+		// so the on-disk state stays exactly as the crash left it.
+		_ = m.Close()
+	}
+	if !in.Crashed() {
+		return fmt.Errorf("plan crash@%d never fired (%d ops seen)", plan.CrashOp, in.Ops())
+	}
+	res.TornOp = in.TornOp()
+	res.Commits = w.commits
+
+	m2, err := openPlain(cfg, dbPath)
+	if cfg.Backend == BackendTexas {
+		return verifyTexas(m2, err, in, w, res)
+	}
+	return verifyOStore(m2, err, w, res)
+}
+
+// verifyOStore checks the redo-log contract: reopen always succeeds, and
+// the recovered state is exactly the committed model — or, only when the
+// crash hit inside Commit, exactly the in-flight transaction's state.
+func verifyOStore(m2 storage.Manager, openErr error, w *workload, res *Result) error {
+	if openErr != nil {
+		return fmt.Errorf("reopen after crash: %w", openErr)
+	}
+	defer m2.Close()
+	commErr := w.committed.diff(m2)
+	if commErr == nil {
+		res.Outcome = "recovered-committed"
+		return nil
+	}
+	if res.FailedCall == "Commit" {
+		// The durability point may have passed before the crash: the
+		// in-flight transaction is then fully visible. Anything between
+		// the two states is a torn store.
+		if pendErr := w.pending.diff(m2); pendErr == nil {
+			res.Outcome = "recovered-pending"
+			return nil
+		}
+		return fmt.Errorf("state matches neither committed (%w) nor in-flight transaction", commErr)
+	}
+	return fmt.Errorf("committed state not recovered: %w", commErr)
+}
+
+// verifyTexas checks the log-less contract: a store the crash may have torn
+// must fail to open loudly (ErrTornStore from the dirty marker, or a
+// superblock that no longer validates); a reopen may only succeed when the
+// on-disk state is exactly the committed model — which happens when the
+// crash cut before anything reached the file, or after Close had already
+// flushed and synced everything.
+func verifyTexas(m2 storage.Manager, openErr error, in *fault.Injector, w *workload, res *Result) error {
+	if openErr != nil {
+		// Any refusal is safe; the marker's explicit verdict is the
+		// designed one.
+		if errors.Is(openErr, texas.ErrTornStore) {
+			res.Outcome = "torn-detected"
+		} else {
+			res.Outcome = "torn-detected(superblock)"
+		}
+		return nil
+	}
+	defer m2.Close()
+	if err := w.committed.diff(m2); err != nil {
+		return fmt.Errorf("store reopened silently after crash (%d completed writes, %d commits) with torn state: %w",
+			in.Writes(), w.commits, err)
+	}
+	if w.commits == 0 && in.Writes() == 0 {
+		res.Outcome = "fresh-empty"
+	} else {
+		res.Outcome = "recovered-committed"
+	}
+	return nil
+}

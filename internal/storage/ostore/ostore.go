@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
@@ -33,6 +34,36 @@ import (
 // DefaultPoolPages is the buffer-pool capacity used when Options leaves it 0.
 const DefaultPoolPages = 512
 
+// LogFile is the redo-log medium. Production use wraps an *os.File (Open
+// does this from LogPath); tests and the crashtest harness substitute
+// fault-injecting implementations through Options.Log. All I/O is
+// positioned, so implementations need no seek state.
+type LogFile interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate discards the log; a commit's record is retired this way
+	// once its pages are in place.
+	Truncate(size int64) error
+	// Sync forces the log to stable storage (the SyncLog option).
+	Sync() error
+	// Size returns the current log length in bytes.
+	Size() (int64, error)
+	// Close releases the medium.
+	Close() error
+}
+
+// osLog adapts *os.File to LogFile.
+type osLog struct{ *os.File }
+
+// Size implements LogFile.
+func (l osLog) Size() (int64, error) {
+	info, err := l.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
 // Options configures Open.
 type Options struct {
 	// Path is the database file. Empty means a volatile in-memory backing
@@ -41,6 +72,12 @@ type Options struct {
 	// LogPath is the redo-log file; defaults to Path+".log". Ignored when
 	// Path is empty (no log, no recovery).
 	LogPath string
+	// Backing, if non-nil, is used instead of opening Path — the hook the
+	// fault-injection harness threads its wrapped media through.
+	Backing pagefile.Backing
+	// Log, if non-nil, is used instead of opening LogPath. Recovery runs
+	// whenever a log is present, however it was supplied.
+	Log LogFile
 	// PoolPages bounds the client buffer pool (default DefaultPoolPages).
 	PoolPages int
 	// SyncLog fsyncs the log at each commit. Off by default: the benchmark
@@ -52,7 +89,8 @@ type Options struct {
 }
 
 // Open opens or creates an ObjectStore-style store, replaying the redo log
-// if an interrupted commit is found.
+// if an interrupted commit is found. On error every medium Open acquired
+// (or was handed) is closed exactly once.
 func Open(opts Options) (storage.Manager, error) {
 	name := opts.Name
 	if name == "" {
@@ -66,28 +104,36 @@ func Open(opts Options) (storage.Manager, error) {
 		pool = 16 // room for the handful of simultaneously pinned pages
 	}
 
-	var backing pagefile.Backing
-	var logFile *os.File
-	if opts.Path == "" {
-		backing = pagefile.NewMem()
-	} else {
+	logFile := opts.Log
+	if logFile == nil && opts.Path != "" {
 		logPath := opts.LogPath
 		if logPath == "" {
 			logPath = opts.Path + ".log"
 		}
-		var err error
-		logFile, err = os.OpenFile(logPath, os.O_RDWR|os.O_CREATE, 0o644)
+		f, err := os.OpenFile(logPath, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("ostore: open log: %w", err)
 		}
-		fb, err := pagefile.OpenFile(opts.Path)
-		if err != nil {
-			logFile.Close()
-			return nil, fmt.Errorf("ostore: %w", err)
+		logFile = osLog{f}
+	}
+	backing := opts.Backing
+	if backing == nil {
+		if opts.Path == "" {
+			backing = pagefile.NewMem()
+		} else {
+			fb, err := pagefile.OpenFile(opts.Path)
+			if err != nil {
+				if logFile != nil {
+					logFile.Close()
+				}
+				return nil, fmt.Errorf("ostore: %w", err)
+			}
+			backing = fb
 		}
-		backing = fb
-		if err := recoverLog(logFile, fb); err != nil {
-			fb.Close()
+	}
+	if logFile != nil {
+		if err := recoverLog(logFile, backing); err != nil {
+			backing.Close()
 			logFile.Close()
 			return nil, fmt.Errorf("ostore: recovery: %w", err)
 		}
@@ -119,33 +165,56 @@ func Open(opts Options) (storage.Manager, error) {
 
 const commitMagic = 0xC0111117C0111117
 
+// recordSize is the encoded length of a redo record holding count pages:
+// count header, per-page id+image entries, CRC32, commit magic.
+func recordSize(count uint32) int64 {
+	return 4 + int64(count)*(4+pagefile.PageSize) + 12
+}
+
+// validRecord reports whether data begins with a complete redo record,
+// returning its page count. The trailing magic proves the write reached the
+// record's end; the CRC32 (IEEE) over the count and entries proves the
+// middle arrived too — a torn write can land the first and last sectors
+// while losing everything between, which the magic alone cannot see.
+func validRecord(data []byte) (uint32, bool) {
+	if len(data) < 4 {
+		return 0, false
+	}
+	count := binary.LittleEndian.Uint32(data)
+	need := recordSize(count)
+	if count == 0 || int64(len(data)) < need {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(data[need-8:]) != commitMagic {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(data[need-12:]) != crc32.ChecksumIEEE(data[:need-12]) {
+		return 0, false
+	}
+	return count, true
+}
+
 // recoverLog replays a complete redo record left by an interrupted commit
-// and truncates the log.
-func recoverLog(log *os.File, backing pagefile.Backing) error {
-	info, err := log.Stat()
+// and truncates the log. An incomplete or corrupt record is discarded: its
+// transaction never reached the durability point.
+func recoverLog(log LogFile, backing pagefile.Backing) error {
+	size, err := log.Size()
 	if err != nil {
 		return err
 	}
-	if info.Size() == 0 {
+	if size == 0 {
 		return nil
 	}
-	data := make([]byte, info.Size())
-	if _, err := log.ReadAt(data, 0); err != nil && err != io.EOF {
+	data := make([]byte, size)
+	n, err := log.ReadAt(data, 0)
+	if err != nil && err != io.EOF {
 		return err
 	}
-	ok := func() bool {
-		if len(data) < 4 {
-			return false
-		}
-		count := binary.LittleEndian.Uint32(data)
-		need := 4 + int64(count)*(4+pagefile.PageSize) + 8
-		if int64(len(data)) < need {
-			return false
-		}
-		return binary.LittleEndian.Uint64(data[need-8:]) == commitMagic
-	}()
-	if ok {
-		count := binary.LittleEndian.Uint32(data)
+	// Only the bytes actually delivered may be validated: a short read
+	// returns fewer than Size reported, and the slack beyond n is not log
+	// content.
+	data = data[:n]
+	if count, ok := validRecord(data); ok {
 		off := 4
 		for i := uint32(0); i < count; i++ {
 			id := pagefile.PageID(binary.LittleEndian.Uint32(data[off:]))
@@ -164,11 +233,7 @@ func recoverLog(log *os.File, backing pagefile.Backing) error {
 			return err
 		}
 	}
-	if err := log.Truncate(0); err != nil {
-		return err
-	}
-	_, err = log.Seek(0, io.SeekStart)
-	return err
+	return log.Truncate(0)
 }
 
 type frame struct {
@@ -203,7 +268,7 @@ const commitQueueDepth = 64
 type pager struct {
 	mu       sync.Mutex
 	backing  pagefile.Backing
-	log      *os.File
+	log      LogFile
 	syncLog  bool
 	pool     map[pagefile.PageID]*frame
 	ring     []*frame
@@ -448,12 +513,13 @@ func (p *pager) flushBatches(batches []*commitBatch) error {
 		return nil
 	}
 	if p.log != nil {
-		buf := make([]byte, 0, 4+len(order)*(4+pagefile.PageSize)+8)
+		buf := make([]byte, 0, recordSize(uint32(len(order))))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(order)))
 		for _, fr := range order {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(fr.pf.ID))
 			buf = append(buf, fr.pf.Data...)
 		}
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 		buf = binary.LittleEndian.AppendUint64(buf, commitMagic)
 		if _, err := p.log.WriteAt(buf, 0); err != nil {
 			return fmt.Errorf("ostore: write log: %w", err)
@@ -476,9 +542,6 @@ func (p *pager) flushBatches(batches []*commitBatch) error {
 	if p.log != nil {
 		if err := p.log.Truncate(0); err != nil {
 			return fmt.Errorf("ostore: truncate log: %w", err)
-		}
-		if _, err := p.log.Seek(0, io.SeekStart); err != nil {
-			return fmt.Errorf("ostore: rewind log: %w", err)
 		}
 	}
 	return nil

@@ -1,8 +1,11 @@
 package ostore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -146,6 +149,7 @@ func TestRecovery(t *testing.T) {
 	log = binary.LittleEndian.AppendUint32(log, 1)
 	log = binary.LittleEndian.AppendUint32(log, uint32(pageOf))
 	log = append(log, img...)
+	log = binary.LittleEndian.AppendUint32(log, crc32.ChecksumIEEE(log))
 	log = binary.LittleEndian.AppendUint64(log, commitMagic)
 	if err := os.WriteFile(logPath, log, 0o644); err != nil {
 		t.Fatal(err)
@@ -206,6 +210,175 @@ func TestIncompleteLogIgnored(t *testing.T) {
 	got, err := m2.Read(oid)
 	if err != nil || string(got) != "stable" {
 		t.Fatalf("Read = %q, %v; want stable", got, err)
+	}
+}
+
+// TestTornMiddleLogIgnored is the regression test for the torn-write
+// false-apply (crashtest seed 115): a record whose head sector (count,
+// first page id) and tail sector (commit magic) reached the disk while the
+// middle was lost reads as complete to a magic-only check, but replaying it
+// writes mostly-zero page images over good data. The CRC must reject it.
+func TestTornMiddleLogIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ostore.db")
+	m, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := m.Allocate(storage.SegMaterial, []byte("stable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A well-formed record for page 0 (the superblock), then tear out the
+	// middle: everything between the first and last 512-byte sectors becomes
+	// zeros, exactly what a partially completed multi-sector write leaves.
+	var log []byte
+	log = binary.LittleEndian.AppendUint32(log, 1)
+	log = binary.LittleEndian.AppendUint32(log, 0)
+	log = append(log, bytes.Repeat([]byte{0xEE}, pagefile.PageSize)...)
+	log = binary.LittleEndian.AppendUint32(log, crc32.ChecksumIEEE(log))
+	log = binary.LittleEndian.AppendUint64(log, commitMagic)
+	for i := 512; i < len(log)-512; i++ {
+		log[i] = 0
+	}
+	// Re-stamp bytes that happened to survive in the real tear geometry: the
+	// trailing magic lives in the final sector, so it is intact.
+	binary.LittleEndian.PutUint64(log[len(log)-8:], commitMagic)
+	if err := os.WriteFile(path+".log", log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen with torn log: %v", err)
+	}
+	defer m2.Close()
+	got, err := m2.Read(oid)
+	if err != nil || string(got) != "stable" {
+		t.Fatalf("Read = %q, %v; want stable (torn record must be discarded)", got, err)
+	}
+	if info, err := os.Stat(path + ".log"); err != nil || info.Size() != 0 {
+		t.Fatalf("torn log not truncated: %v, %v", info, err)
+	}
+}
+
+// TestShortReadLogIgnored feeds recovery a log whose medium delivers fewer
+// bytes than Size reports (a short read): only the delivered prefix may be
+// validated, so the truncated record must be discarded, not mis-parsed.
+func TestShortReadLogIgnored(t *testing.T) {
+	backing := pagefile.NewMem()
+	defer backing.Close()
+
+	// A record that would be valid at full length.
+	var rec []byte
+	rec = binary.LittleEndian.AppendUint32(rec, 1)
+	rec = binary.LittleEndian.AppendUint32(rec, 0)
+	rec = append(rec, bytes.Repeat([]byte{0xEE}, pagefile.PageSize)...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+	rec = binary.LittleEndian.AppendUint64(rec, commitMagic)
+
+	log := &shortLog{data: rec, deliver: len(rec) / 2}
+	if err := recoverLog(log, backing); err != nil {
+		t.Fatalf("recoverLog: %v", err)
+	}
+	// Nothing may have been replayed: the store still has only its original
+	// (zero) pages and no grow happened.
+	if n := backing.NumPages(); n != 0 {
+		t.Fatalf("backing grew to %d pages from a short-read log", n)
+	}
+	if !log.truncated {
+		t.Fatal("short-read log was not truncated")
+	}
+
+	// Control: the same record fully delivered must replay.
+	backing2 := pagefile.NewMem()
+	defer backing2.Close()
+	full := &shortLog{data: rec, deliver: len(rec)}
+	if err := recoverLog(full, backing2); err != nil {
+		t.Fatalf("recoverLog (full): %v", err)
+	}
+	if n := backing2.NumPages(); n != 1 {
+		t.Fatalf("backing = %d pages after full replay, want 1", n)
+	}
+}
+
+// shortLog is a LogFile whose ReadAt delivers only the first deliver bytes,
+// the shape recoverLog's n-handling exists for.
+type shortLog struct {
+	data      []byte
+	deliver   int
+	truncated bool
+}
+
+func (s *shortLog) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(s.deliver) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[off:s.deliver])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (s *shortLog) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+func (s *shortLog) Truncate(size int64) error                { s.truncated = true; return nil }
+func (s *shortLog) Sync() error                              { return nil }
+func (s *shortLog) Size() (int64, error)                     { return int64(len(s.data)), nil }
+func (s *shortLog) Close() error                             { return nil }
+
+// countingBacking wraps a Backing and counts Close calls.
+type countingBacking struct {
+	pagefile.Backing
+	closes int
+}
+
+func (b *countingBacking) Close() error {
+	b.closes++
+	return b.Backing.Close()
+}
+
+// brokenLog fails every read, so recovery cannot proceed; Close calls are
+// counted to catch descriptor leaks (and double closes) in Open's error path.
+type brokenLog struct {
+	closes int
+}
+
+func (l *brokenLog) ReadAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("injected log read failure")
+}
+func (l *brokenLog) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+func (l *brokenLog) Truncate(size int64) error                { return nil }
+func (l *brokenLog) Sync() error                              { return nil }
+func (l *brokenLog) Size() (int64, error)                     { return 16, nil }
+func (l *brokenLog) Close() error                             { l.closes++; return nil }
+
+// TestOpenRecoveryFailureClosesMedia: when recovery fails, Open must return
+// the error and close both the backing and the log exactly once each —
+// neither leaked nor double-closed.
+func TestOpenRecoveryFailureClosesMedia(t *testing.T) {
+	cb := &countingBacking{Backing: pagefile.NewMem()}
+	bl := &brokenLog{}
+	m, err := Open(Options{Backing: cb, Log: bl})
+	if err == nil {
+		m.Close()
+		t.Fatal("Open with failing recovery: want error")
+	}
+	if cb.closes != 1 {
+		t.Errorf("backing closed %d times, want exactly 1", cb.closes)
+	}
+	if bl.closes != 1 {
+		t.Errorf("log closed %d times, want exactly 1", bl.closes)
 	}
 }
 

@@ -188,13 +188,13 @@ func TestPagefileStoreSlackless(t *testing.T) {
 // tests can drive the group-commit protocol directly.
 func newWhiteboxPager(t *testing.T, logPath string) *pager {
 	t.Helper()
-	var log *os.File
+	var log LogFile
 	if logPath != "" {
-		var err error
-		log, err = os.OpenFile(logPath, os.O_RDWR|os.O_CREATE, 0o644)
+		f, err := os.OpenFile(logPath, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
+		log = osLog{f}
 	}
 	p := &pager{
 		backing:   pagefile.NewMem(),
@@ -216,7 +216,8 @@ func newWhiteboxPager(t *testing.T, logPath string) *pager {
 // batches and checks the coalescing rules: one write-back per unique page,
 // later batches superseding earlier images, log retired afterwards.
 func TestGroupCommitCoalesce(t *testing.T) {
-	p := newWhiteboxPager(t, filepath.Join(t.TempDir(), "wal"))
+	logPath := filepath.Join(t.TempDir(), "wal")
+	p := newWhiteboxPager(t, logPath)
 
 	mkFrame := func(fill byte) *frame {
 		f, err := p.AllocPage()
@@ -259,7 +260,7 @@ func TestGroupCommitCoalesce(t *testing.T) {
 				want.fr.pf.ID, buf[0], buf[pagefile.PageSize-1], want.fill)
 		}
 	}
-	if info, err := os.Stat(p.log.Name()); err != nil || info.Size() != 0 {
+	if info, err := os.Stat(logPath); err != nil || info.Size() != 0 {
 		t.Errorf("log not truncated after flush: %v, %v", info, err)
 	}
 }
@@ -270,7 +271,8 @@ func TestGroupCommitCoalesce(t *testing.T) {
 // disjoint batches are enqueued concurrently so batch formation, coalescing
 // and the shared durability point all run under the race detector.
 func TestGroupCommitConcurrent(t *testing.T) {
-	p := newWhiteboxPager(t, filepath.Join(t.TempDir(), "wal"))
+	logPath := filepath.Join(t.TempDir(), "wal")
+	p := newWhiteboxPager(t, logPath)
 
 	const workers = 8
 	const perWorker = 25
@@ -330,7 +332,7 @@ func TestGroupCommitConcurrent(t *testing.T) {
 			}
 		}
 	}
-	if info, err := os.Stat(p.log.Name()); err != nil || info.Size() != 0 {
+	if info, err := os.Stat(logPath); err != nil || info.Size() != 0 {
 		t.Errorf("log not truncated after final commit: %v, %v", info, err)
 	}
 }

@@ -21,11 +21,28 @@
 package texas
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
 	"labflow/internal/storage"
 	"labflow/internal/storage/pagefile"
+)
+
+// ErrTornStore is returned by Open when the backing file carries the dirty
+// marker of a store that was mutated but never cleanly closed. The manager
+// has no log, so a torn store cannot be repaired — only detected.
+var ErrTornStore = errors.New("texas: store not closed cleanly (torn)")
+
+// The dirty marker lives in the superblock bytes the page layout leaves
+// free (readSuper ignores everything past offset 104, writeSuper zeroes
+// it). It is forced to disk before the first page write of a session and
+// cleared after the final flush and sync of a clean Close, so its presence
+// on disk means page writes may have happened that no later sync bracketed.
+const (
+	dirtyMarkerOff   = 104
+	dirtyMarkerMagic = 0xD1247E57D1247E57
 )
 
 // Options configures Open.
@@ -34,6 +51,11 @@ type Options struct {
 	// (used by tests; distinct from the "-mm" managers, which bypass pages
 	// entirely).
 	Path string
+	// Backing, if non-nil, is used instead of opening Path — the hook the
+	// fault-injection harness threads its wrapped media through. A
+	// supplied backing is treated as persistent (torn-store detection
+	// applies).
+	Backing pagefile.Backing
 	// MaxResidentPages bounds residency; 0 means unbounded, as with the
 	// original Texas running entirely inside real memory.
 	MaxResidentPages int
@@ -45,15 +67,32 @@ type Options struct {
 
 // Open opens or creates a Texas-style store.
 func Open(opts Options) (storage.Manager, error) {
-	var backing pagefile.Backing
-	if opts.Path == "" {
-		backing = pagefile.NewMem()
-	} else {
-		fb, err := pagefile.OpenFile(opts.Path)
-		if err != nil {
-			return nil, fmt.Errorf("texas: %w", err)
+	backing := opts.Backing
+	persistent := backing != nil || opts.Path != ""
+	if backing == nil {
+		if opts.Path == "" {
+			backing = pagefile.NewMem()
+		} else {
+			fb, err := pagefile.OpenFile(opts.Path)
+			if err != nil {
+				return nil, fmt.Errorf("texas: %w", err)
+			}
+			backing = fb
 		}
-		backing = fb
+	}
+	// A persistent store that was mutated but never cleanly closed is torn:
+	// with no log there is nothing to repair from, so refuse loudly rather
+	// than serve whatever subset of the dirty pages reached the disk.
+	if persistent && backing.NumPages() > 0 {
+		buf := make([]byte, pagefile.PageSize)
+		if err := backing.ReadPage(0, buf); err != nil {
+			backing.Close()
+			return nil, fmt.Errorf("texas: read superblock: %w", err)
+		}
+		if binary.LittleEndian.Uint64(buf[dirtyMarkerOff:]) == dirtyMarkerMagic {
+			backing.Close()
+			return nil, fmt.Errorf("texas: %w", ErrTornStore)
+		}
 	}
 	name := opts.Name
 	if name == "" {
@@ -64,9 +103,10 @@ func Open(opts Options) (storage.Manager, error) {
 		}
 	}
 	pager := &pager{
-		backing:  backing,
-		resident: make(map[pagefile.PageID]*frame),
-		maxPages: opts.MaxResidentPages,
+		backing:    backing,
+		resident:   make(map[pagefile.PageID]*frame),
+		maxPages:   opts.MaxResidentPages,
+		persistent: persistent,
 	}
 	store, err := pagefile.New(name, pager, heapSlack)
 	if err != nil {
@@ -134,14 +174,73 @@ type frame struct {
 
 // pager implements pagefile.Pager with fault-on-first-touch residency.
 type pager struct {
-	mu       sync.Mutex
-	backing  pagefile.Backing
-	resident map[pagefile.PageID]*frame
-	ring     []*frame // CLOCK ring over resident frames
-	hand     int
-	maxPages int
-	stats    pagefile.PagerStats
-	closed   bool
+	mu         sync.Mutex
+	backing    pagefile.Backing
+	resident   map[pagefile.PageID]*frame
+	ring       []*frame // CLOCK ring over resident frames
+	hand       int
+	maxPages   int
+	persistent bool // torn-store marker protocol applies
+	marked     bool // dirty marker is on disk
+	stats      pagefile.PagerStats
+	closed     bool
+}
+
+// writePageLocked is the single path to the backing for page images. For a
+// persistent store it first forces the dirty marker to disk — before any
+// page write can land, the file is branded not-cleanly-closed — and stamps
+// the marker into outgoing superblock images (the store layer zeroes those
+// bytes, and only a clean Close may clear the brand).
+func (p *pager) writePageLocked(id pagefile.PageID, data []byte) error {
+	if p.persistent && !p.marked {
+		if err := p.setMarkerLocked(); err != nil {
+			return fmt.Errorf("texas: set dirty marker: %w", err)
+		}
+	}
+	if p.persistent && id == 0 {
+		stamped := make([]byte, pagefile.PageSize)
+		copy(stamped, data)
+		binary.LittleEndian.PutUint64(stamped[dirtyMarkerOff:], dirtyMarkerMagic)
+		return p.backing.WritePage(id, stamped)
+	}
+	return p.backing.WritePage(id, data)
+}
+
+// setMarkerLocked durably brands the superblock dirty: read-modify-write of
+// page 0 followed by a sync, so the marker cannot be reordered after the
+// page writes it guards.
+func (p *pager) setMarkerLocked() error {
+	buf := make([]byte, pagefile.PageSize)
+	if err := p.backing.ReadPage(0, buf); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[dirtyMarkerOff:], dirtyMarkerMagic)
+	if err := p.backing.WritePage(0, buf); err != nil {
+		return err
+	}
+	if err := p.backing.Sync(); err != nil {
+		return err
+	}
+	p.marked = true
+	return nil
+}
+
+// clearMarkerLocked removes the brand after everything else is flushed and
+// synced: read-modify-write of page 0, then a final sync.
+func (p *pager) clearMarkerLocked() error {
+	buf := make([]byte, pagefile.PageSize)
+	if err := p.backing.ReadPage(0, buf); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[dirtyMarkerOff:], 0)
+	if err := p.backing.WritePage(0, buf); err != nil {
+		return err
+	}
+	if err := p.backing.Sync(); err != nil {
+		return err
+	}
+	p.marked = false
+	return nil
 }
 
 func (p *pager) Pin(id pagefile.PageID, mode pagefile.Mode) (*pagefile.Frame, error) {
@@ -192,7 +291,7 @@ func (p *pager) makeRoomLocked() error {
 			continue
 		}
 		if fr.dirty {
-			if err := p.backing.WritePage(fr.pf.ID, fr.pf.Data); err != nil {
+			if err := p.writePageLocked(fr.pf.ID, fr.pf.Data); err != nil {
 				return fmt.Errorf("texas: evict write-back page %d: %w", fr.pf.ID, err)
 			}
 			p.stats.PageWrites++
@@ -254,7 +353,7 @@ func (p *pager) flushLocked() error {
 		if !fr.dirty {
 			continue
 		}
-		if err := p.backing.WritePage(fr.pf.ID, fr.pf.Data); err != nil {
+		if err := p.writePageLocked(fr.pf.ID, fr.pf.Data); err != nil {
 			return fmt.Errorf("texas: commit write page %d: %w", fr.pf.ID, err)
 		}
 		p.stats.PageWrites++
@@ -271,18 +370,30 @@ func (p *pager) Stats() pagefile.PagerStats {
 
 func (p *pager) SizeBytes() uint64 { return p.backing.SizeBytes() }
 
+// Close flushes, syncs, and clears the dirty marker — in that order, so the
+// marker only leaves the disk once every page write is bracketed by a sync.
+// The backing is closed unconditionally: a failed flush must not leak the
+// descriptor (and leaves the marker in place, which is exactly the verdict
+// a later Open should see).
 func (p *pager) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}
-	if err := p.flushLocked(); err != nil {
-		return err
-	}
 	p.closed = true
-	if err := p.backing.Sync(); err != nil {
-		return err
+	var errs []error
+	if err := p.flushLocked(); err != nil {
+		errs = append(errs, err)
+	} else if err := p.backing.Sync(); err != nil {
+		errs = append(errs, err)
+	} else if p.marked {
+		if err := p.clearMarkerLocked(); err != nil {
+			errs = append(errs, fmt.Errorf("texas: clear dirty marker: %w", err))
+		}
 	}
-	return p.backing.Close()
+	if err := p.backing.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }

@@ -1,0 +1,148 @@
+package texas
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"labflow/internal/storage"
+	"labflow/internal/storage/pagefile"
+)
+
+// TestTornStoreDetected abandons a mutated store without Close — the state a
+// crash leaves — and checks that Open refuses it loudly with ErrTornStore
+// instead of serving whatever subset of the pages reached the disk.
+func TestTornStoreDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "texas.db")
+	m, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocate(storage.SegMaterial, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-life the dirty marker must be on disk: it was forced down before
+	// the commit's first page write.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(raw[dirtyMarkerOff:]); got != dirtyMarkerMagic {
+		t.Fatalf("dirty marker mid-life = %#x, want %#x", got, uint64(dirtyMarkerMagic))
+	}
+
+	// The "process" dies here: no Close, so the marker is never cleared.
+	if _, err := Open(Options{Path: path}); !errors.Is(err, ErrTornStore) {
+		t.Fatalf("Open torn store: err = %v, want ErrTornStore", err)
+	}
+	_ = m.Close()
+}
+
+// TestCleanCloseClearsMarker checks the other half of the protocol: after a
+// clean Close the marker is gone from the file and the store reopens.
+func TestCleanCloseClearsMarker(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "texas.db")
+	m, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := m.Allocate(storage.SegMaterial, []byte("persisted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(raw[dirtyMarkerOff:]); got != 0 {
+		t.Fatalf("dirty marker after clean Close = %#x, want 0", got)
+	}
+
+	m2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatalf("reopen after clean close: %v", err)
+	}
+	defer m2.Close()
+	if got, err := m2.Read(oid); err != nil || string(got) != "persisted" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+}
+
+// countingBacking wraps a Backing, counting Close calls and optionally
+// failing every WritePage.
+type countingBacking struct {
+	pagefile.Backing
+	failWrites bool
+	closes     int
+}
+
+func (b *countingBacking) WritePage(id pagefile.PageID, data []byte) error {
+	if b.failWrites {
+		return fmt.Errorf("injected write failure (page %d)", id)
+	}
+	return b.Backing.WritePage(id, data)
+}
+
+func (b *countingBacking) Close() error {
+	b.closes++
+	return b.Backing.Close()
+}
+
+// TestCloseReleasesBackingOnFlushError: a Close whose final flush fails must
+// still close the backing (exactly once) and report the error — a crashed
+// flush must not leak the descriptor.
+func TestCloseReleasesBackingOnFlushError(t *testing.T) {
+	cb := &countingBacking{Backing: pagefile.NewMem()}
+	m, err := Open(Options{Backing: cb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocate(storage.SegMaterial, []byte("never lands")); err != nil {
+		t.Fatal(err)
+	}
+	cb.failWrites = true
+	if err := m.Commit(); err == nil {
+		t.Fatal("Commit with failing writes: want error")
+	}
+	if err := m.Close(); err == nil {
+		t.Fatal("Close with failing flush: want error")
+	}
+	if cb.closes != 1 {
+		t.Fatalf("backing closed %d times, want exactly 1", cb.closes)
+	}
+}
+
+// TestOpenReleasesBackingOnFormatError: when formatting a fresh store fails,
+// Open must close the backing it was handed exactly once.
+func TestOpenReleasesBackingOnFormatError(t *testing.T) {
+	cb := &countingBacking{Backing: pagefile.NewMem(), failWrites: true}
+	if _, err := Open(Options{Backing: cb}); err == nil {
+		t.Fatal("Open with failing backing: want error")
+	}
+	if cb.closes != 1 {
+		t.Fatalf("backing closed %d times, want exactly 1", cb.closes)
+	}
+}

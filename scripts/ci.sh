@@ -27,6 +27,22 @@ make lint
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== crashtest: fixed-seed crash-recovery schedules (-race)"
+# Deterministic: 200 seeded crash schedules per storage backend, anchored at
+# FixedSeedBase, so a regression here always reproduces bit-for-bit.
+go test -race -count=1 -run 'TestCrashSchedule' ./internal/storage/crashtest/
+
+echo "== crashtest: randomized-seed round"
+# Fresh seeds every run widen coverage over time; the schedule is still
+# fully determined by the seed, so a failure replays from the line below.
+seed=$(date +%s)
+go run ./cmd/labflow -experiment crashtest -store all -seed "$seed" -crashruns 25 >/dev/null || {
+	echo "crashtest randomized round FAILED with base seed $seed" >&2
+	echo "replay: go run ./cmd/labflow -experiment crashtest -store all -seed $seed -crashruns 25" >&2
+	exit 1
+}
+echo "randomized round passed (base seed $seed)"
+
 echo "== concurrent wire stress (-race, byte-identical + drain)"
 go test -race -count=1 \
 	-run 'TestConcurrentReadsByteIdentical|TestConcurrentReadersWithWriter|TestShutdownDrainsPipelinedBurst' \
