@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate scripts/ci.sh implements.
 
-.PHONY: check test race bench table10 lint crashtest clean
+.PHONY: check test race bench bench-write table10 lint crashtest clean
 
 check:
 	./scripts/ci.sh
@@ -17,11 +17,14 @@ race:
 bench:
 	go test -bench=. -benchmem .
 
+bench-write:
+	go test -bench 'BenchmarkPutStepsWriters' -benchmem -run '^$$' ./internal/labbase/shard/
+
 table10:
 	go run ./cmd/labflow -experiment table10
 
 crashtest:
-	go test -race -count=1 -run 'TestCrashSchedule' ./internal/storage/crashtest/
+	go test -race -count=1 -run 'TestCrashSchedule' ./internal/storage/crashtest/ ./internal/labbase/shard/
 	go run ./cmd/labflow -experiment crashtest -store all -crashruns 100
 
 clean:

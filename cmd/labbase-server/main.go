@@ -7,6 +7,7 @@
 //	labbase-server -addr :7047 -store texas+tc -path /var/lab/lab.db
 //	labbase-server -addr :7047 -store ostore-mm          # volatile
 //	labbase-server ... -rules site.lbq                   # deductive views
+//	labbase-server ... -shards 4                         # hash-partitioned
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"syscall"
 
 	"labflow/internal/labbase"
+	"labflow/internal/labbase/shard"
 	"labflow/internal/storage"
 	"labflow/internal/storage/memstore"
 	"labflow/internal/storage/ostore"
@@ -34,16 +36,13 @@ func main() {
 		pool      = flag.Int("pool", 512, "ostore buffer-pool pages")
 		resident  = flag.Int("resident", 0, "texas resident-page bound (0 = unbounded)")
 		rules     = flag.String("rules", "", "file of deductive rules to consult at start")
+		shards    = flag.Int("shards", 1, "hash-partitioned shard count (each shard gets its own store)")
 	)
 	flag.Parse()
 
-	sm, err := openStore(*storeName, *path, *pool, *resident)
+	db, name, err := openDB(*storeName, *path, *pool, *resident, *shards)
 	if err != nil {
 		log.Fatalf("labbase-server: %v", err)
-	}
-	db, err := labbase.Open(sm, labbase.DefaultOptions())
-	if err != nil {
-		log.Fatalf("labbase-server: open database: %v", err)
 	}
 	srv := wire.NewServer(db)
 
@@ -62,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("labbase-server: listen: %v", err)
 	}
-	log.Printf("labbase-server: %s store, listening on %s", sm.Name(), ln.Addr())
+	log.Printf("labbase-server: %s store, listening on %s", name, ln.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -79,6 +78,43 @@ func main() {
 	if err := db.Close(); err != nil {
 		log.Fatalf("labbase-server: close: %v", err)
 	}
+}
+
+// openDB opens the store (or, with -shards N > 1, N stores — persistent
+// paths get a per-shard suffix) behind the labbase.Store facade.
+func openDB(name, path string, pool, resident, shards int) (labbase.Store, string, error) {
+	if shards < 1 {
+		return nil, "", fmt.Errorf("-shards must be at least 1")
+	}
+	if shards == 1 {
+		sm, err := openStore(name, path, pool, resident)
+		if err != nil {
+			return nil, "", err
+		}
+		db, err := labbase.Open(sm, labbase.DefaultOptions())
+		if err != nil {
+			return nil, "", fmt.Errorf("open database: %w", err)
+		}
+		storeName, _ := db.StoreStats()
+		return db, storeName, nil
+	}
+	managers := make([]storage.Manager, 0, shards)
+	for k := 0; k < shards; k++ {
+		sm, err := openStore(name, fmt.Sprintf("%s.shard%d", path, k), pool, resident)
+		if err != nil {
+			for _, m := range managers {
+				m.Close()
+			}
+			return nil, "", fmt.Errorf("shard %d: %w", k, err)
+		}
+		managers = append(managers, sm)
+	}
+	db, err := shard.Open(managers, labbase.DefaultOptions())
+	if err != nil {
+		return nil, "", fmt.Errorf("open database: %w", err)
+	}
+	storeName, _ := db.StoreStats()
+	return db, storeName, nil
 }
 
 func openStore(name, path string, pool, resident int) (storage.Manager, error) {

@@ -55,6 +55,7 @@ type options struct {
 	jsonOut    string
 	parallel   bool
 	crashruns  int
+	shards     int
 }
 
 func main() {
@@ -72,6 +73,7 @@ func main() {
 	flag.StringVar(&o.jsonOut, "json", "", "also write table10 results to this JSON file")
 	flag.BoolVar(&o.parallel, "parallel", true, "run the table10 versions concurrently (per-version CPU columns become process-wide)")
 	flag.IntVar(&o.crashruns, "crashruns", 100, "number of consecutive seeds for crashtest (starting at -seed)")
+	flag.IntVar(&o.shards, "shards", 0, "run table10 through the sharded facade (0 = plain DB; table10 supports 1 only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -125,6 +127,9 @@ func run(o options) error {
 	}
 	if o.intervals > 0 {
 		p.Intervals = o.intervals
+	}
+	if o.shards > 0 {
+		p.Shards = o.shards
 	}
 	if o.seed != 0 {
 		p.Seed = o.seed

@@ -8,18 +8,21 @@
 // -readmix, drawn from a per-worker deterministic generator
 // (rand.NewSource(seed + workerID)), so two runs with the same flags issue
 // the identical operation sequence. Reads are pipelined -pipeline deep;
-// writes in a flight are batched into one OpPutSteps frame. Latency is
-// recorded per round trip (one flush of a flight) in a fixed-bucket
-// histogram (internal/metrics.Hist) and merged across workers at the end.
+// writes in a flight are batched into OpPutSteps frames of -writebatch
+// steps (0 = the whole flight in one frame). Read and write latencies are
+// recorded per round trip in separate fixed-bucket histograms
+// (internal/metrics.Hist) and merged across workers at the end.
 //
 // With no -addr, lfload starts an in-process memstore server on loopback
-// and tears it down afterwards; -serial additionally forces that server to
-// serialize read operations (the pre-concurrency behaviour), which is the
-// baseline that BENCH_2.json compares against.
+// and tears it down afterwards — -shards N backs it with a hash-partitioned
+// N-shard store; -serial additionally forces that server to serialize
+// operations (the pre-concurrency behaviour), which is the baseline that
+// BENCH_2.json compares against.
 //
 // Usage:
 //
 //	lfload -workers 4 -readmix 0.95 -ops 20000            # in-process
+//	lfload -workers 16 -readmix 0.0 -shards 4             # write scaling
 //	lfload -addr lab42:7047 -workers 16 -pipeline 8 -json # remote server
 package main
 
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"labflow/internal/labbase"
+	"labflow/internal/labbase/shard"
 	"labflow/internal/metrics"
 	"labflow/internal/storage"
 	"labflow/internal/storage/memstore"
@@ -42,15 +46,17 @@ import (
 )
 
 type config struct {
-	addr      string
-	workers   int
-	readMix   float64
-	materials int
-	ops       int
-	seed      int64
-	pipeline  int
-	serial    bool
-	jsonOut   bool
+	addr       string
+	workers    int
+	readMix    float64
+	materials  int
+	ops        int
+	seed       int64
+	pipeline   int
+	writeBatch int
+	shards     int
+	serial     bool
+	jsonOut    bool
 }
 
 // The preloaded schema: every material gets one "measure" step so that
@@ -71,16 +77,18 @@ func main() {
 	flag.IntVar(&cfg.ops, "ops", 20000, "total operations across all workers")
 	flag.Int64Var(&cfg.seed, "seed", 1, "base RNG seed (worker i uses seed+i)")
 	flag.IntVar(&cfg.pipeline, "pipeline", 1, "requests in flight per worker round trip")
+	flag.IntVar(&cfg.writeBatch, "writebatch", 0, "steps per OpPutSteps frame (0 = whole flight in one frame)")
+	flag.IntVar(&cfg.shards, "shards", 1, "shard count for the in-process server")
 	flag.BoolVar(&cfg.serial, "serial", false, "serialize reads on the in-process server (baseline)")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON")
 	flag.Parse()
 
 	if cfg.workers < 1 || cfg.materials < 1 || cfg.ops < 1 || cfg.pipeline < 1 ||
-		cfg.readMix < 0 || cfg.readMix > 1 {
+		cfg.writeBatch < 0 || cfg.shards < 1 || cfg.readMix < 0 || cfg.readMix > 1 {
 		log.Fatal("lfload: invalid flags")
 	}
-	if cfg.serial && cfg.addr != "" {
-		log.Fatal("lfload: -serial only applies to the in-process server")
+	if cfg.addr != "" && (cfg.serial || cfg.shards != 1) {
+		log.Fatal("lfload: -serial and -shards only apply to the in-process server")
 	}
 	if err := run(cfg); err != nil {
 		log.Fatalf("lfload: %v", err)
@@ -92,7 +100,7 @@ func run(cfg config) error {
 	var stop func()
 	if addr == "" {
 		var err error
-		addr, stop, err = startInProcess(cfg.serial)
+		addr, stop, err = startInProcess(cfg.serial, cfg.shards)
 		if err != nil {
 			return err
 		}
@@ -115,7 +123,8 @@ func run(cfg config) error {
 	}
 
 	type workerResult struct {
-		hist   metrics.Hist
+		rhist  metrics.Hist
+		whist  metrics.Hist
 		reads  int
 		writes int
 		err    error
@@ -133,7 +142,7 @@ func run(cfg config) error {
 		}
 		go func(id, ops int) {
 			r := &results[id]
-			r.reads, r.writes, r.err = worker(id, clients[id], oids, ops, cfg, &r.hist)
+			r.reads, r.writes, r.err = worker(id, clients[id], oids, ops, cfg, &r.rhist, &r.whist)
 			done <- id
 		}(i, ops)
 	}
@@ -142,13 +151,14 @@ func run(cfg config) error {
 	}
 	wall := metrics.Sample().Sub(before).Wall
 
-	var hist metrics.Hist
+	var rhist, whist metrics.Hist
 	reads, writes := 0, 0
 	for i := range results {
 		if results[i].err != nil {
 			return fmt.Errorf("worker %d: %w", i, results[i].err)
 		}
-		hist.Merge(&results[i].hist)
+		rhist.Merge(&results[i].rhist)
+		whist.Merge(&results[i].whist)
 		reads += results[i].reads
 		writes += results[i].writes
 	}
@@ -163,12 +173,22 @@ func run(cfg config) error {
 	if throughput <= 0 {
 		return fmt.Errorf("self-check: zero throughput")
 	}
-	return report(os.Stdout, cfg, wall, throughput, reads, writes, &hist)
+	return report(os.Stdout, cfg, wall, throughput, reads, writes, &rhist, &whist)
 }
 
-// startInProcess spins up a memstore-backed server on loopback.
-func startInProcess(serial bool) (addr string, stop func(), err error) {
-	db, err := labbase.Open(memstore.Open("OStore-mm"), labbase.DefaultOptions())
+// startInProcess spins up a memstore-backed server on loopback, sharded
+// when shards > 1.
+func startInProcess(serial bool, shards int) (addr string, stop func(), err error) {
+	var db labbase.Store
+	if shards == 1 {
+		db, err = labbase.Open(memstore.Open("OStore-mm"), labbase.DefaultOptions())
+	} else {
+		managers := make([]storage.Manager, shards)
+		for k := range managers {
+			managers[k] = memstore.Open("OStore-mm")
+		}
+		db, err = shard.Open(managers, labbase.DefaultOptions())
+	}
 	if err != nil {
 		return "", nil, err
 	}
@@ -242,9 +262,10 @@ func preload(addr string, cfg config) ([]storage.OID, error) {
 }
 
 // worker runs one closed loop: build a flight of up to cfg.pipeline
-// operations, issue it (reads pipelined, writes as one OpPutSteps batch),
-// wait for every response, repeat. Latency is recorded once per round trip.
-func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, hist *metrics.Hist) (reads, writes int, err error) {
+// operations, issue it (reads pipelined, writes as OpPutSteps batches of
+// cfg.writeBatch steps, 0 = one batch), wait for every response, repeat.
+// Read and write latencies are recorded separately, once per round trip.
+func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhist, whist *metrics.Hist) (reads, writes int, err error) {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	p := c.Pipeline()
 	futures := make([]*wire.MostRecentFuture, 0, cfg.pipeline)
@@ -270,18 +291,28 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, his
 				})
 			}
 		}
-		start := time.Now() //lint:allow wallclock latency measurement, never persisted
 		if len(futures) > 0 {
+			start := time.Now() //lint:allow wallclock latency measurement, never persisted
 			if err := p.Flush(); err != nil {
 				return reads, writes, err
 			}
+			rhist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
 		}
-		if len(specs) > 0 {
-			if _, err := c.PutSteps(specs); err != nil {
+		batch := cfg.writeBatch
+		if batch <= 0 {
+			batch = len(specs)
+		}
+		for lo := 0; lo < len(specs); lo += batch {
+			hi := lo + batch
+			if hi > len(specs) {
+				hi = len(specs)
+			}
+			start := time.Now() //lint:allow wallclock latency measurement, never persisted
+			if _, err := c.PutSteps(specs[lo:hi]); err != nil {
 				return reads, writes, err
 			}
+			whist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
 		}
-		hist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
 		for _, f := range futures {
 			if f.Err != nil {
 				return reads, writes, f.Err
@@ -297,38 +328,58 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, his
 	return reads, writes, nil
 }
 
-type jsonReport struct {
-	Addr       string  `json:"addr"`
-	Workers    int     `json:"workers"`
-	ReadMix    float64 `json:"read_mix"`
-	Pipeline   int     `json:"pipeline"`
-	Serial     bool    `json:"serial"`
-	Seed       int64   `json:"seed"`
-	Materials  int     `json:"materials"`
-	Ops        int     `json:"ops"`
-	ReadOps    int     `json:"read_ops"`
-	WriteOps   int     `json:"write_ops"`
-	WallSecs   float64 `json:"wall_secs"`
-	OpsPerSec  float64 `json:"ops_per_sec"`
+// latencyUS summarizes one histogram for the JSON report.
+type latencyUS struct {
 	RoundTrips uint64  `json:"round_trips"`
-	LatencyUS  struct {
-		Min  float64 `json:"min"`
-		P50  float64 `json:"p50"`
-		P90  float64 `json:"p90"`
-		P99  float64 `json:"p99"`
-		Max  float64 `json:"max"`
-		Mean float64 `json:"mean"`
-	} `json:"round_trip_latency_us"`
+	Min        float64 `json:"min"`
+	P50        float64 `json:"p50"`
+	P90        float64 `json:"p90"`
+	P99        float64 `json:"p99"`
+	Max        float64 `json:"max"`
+	Mean       float64 `json:"mean"`
 }
 
-func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes int, hist *metrics.Hist) error {
+func summarize(hist *metrics.Hist) latencyUS {
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return latencyUS{
+		RoundTrips: hist.Count(),
+		Min:        us(hist.Min()),
+		P50:        us(hist.Quantile(0.5)),
+		P90:        us(hist.Quantile(0.9)),
+		P99:        us(hist.Quantile(0.99)),
+		Max:        us(hist.Max()),
+		Mean:       us(hist.Mean()),
+	}
+}
+
+type jsonReport struct {
+	Addr       string    `json:"addr"`
+	Workers    int       `json:"workers"`
+	ReadMix    float64   `json:"read_mix"`
+	Pipeline   int       `json:"pipeline"`
+	WriteBatch int       `json:"write_batch"`
+	Shards     int       `json:"shards"`
+	Serial     bool      `json:"serial"`
+	Seed       int64     `json:"seed"`
+	Materials  int       `json:"materials"`
+	Ops        int       `json:"ops"`
+	ReadOps    int       `json:"read_ops"`
+	WriteOps   int       `json:"write_ops"`
+	WallSecs   float64   `json:"wall_secs"`
+	OpsPerSec  float64   `json:"ops_per_sec"`
+	ReadLatUS  latencyUS `json:"read_round_trip_latency_us"`
+	WriteLatUS latencyUS `json:"write_round_trip_latency_us"`
+}
+
+func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes int, rhist, whist *metrics.Hist) error {
 	if cfg.jsonOut {
 		var r jsonReport
 		r.Addr = cfg.addr
 		r.Workers = cfg.workers
 		r.ReadMix = cfg.readMix
 		r.Pipeline = cfg.pipeline
+		r.WriteBatch = cfg.writeBatch
+		r.Shards = cfg.shards
 		r.Serial = cfg.serial
 		r.Seed = cfg.seed
 		r.Materials = cfg.materials
@@ -337,28 +388,35 @@ func report(w io.Writer, cfg config, wall time.Duration, throughput float64, rea
 		r.WriteOps = writes
 		r.WallSecs = wall.Seconds()
 		r.OpsPerSec = throughput
-		r.RoundTrips = hist.Count()
-		r.LatencyUS.Min = us(hist.Min())
-		r.LatencyUS.P50 = us(hist.Quantile(0.5))
-		r.LatencyUS.P90 = us(hist.Quantile(0.9))
-		r.LatencyUS.P99 = us(hist.Quantile(0.99))
-		r.LatencyUS.Max = us(hist.Max())
-		r.LatencyUS.Mean = us(hist.Mean())
+		r.ReadLatUS = summarize(rhist)
+		r.WriteLatUS = summarize(whist)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(&r)
 	}
-	fmt.Fprintf(w, "lfload: %d workers, readmix %.2f, pipeline %d, serial=%v, seed %d\n",
-		cfg.workers, cfg.readMix, cfg.pipeline, cfg.serial, cfg.seed)
+	fmt.Fprintf(w, "lfload: %d workers, readmix %.2f, pipeline %d, writebatch %d, shards %d, serial=%v, seed %d\n",
+		cfg.workers, cfg.readMix, cfg.pipeline, cfg.writeBatch, cfg.shards, cfg.serial, cfg.seed)
 	fmt.Fprintf(w, "  %d ops (%d reads, %d writes) over %d materials in %s\n",
 		cfg.ops, reads, writes, cfg.materials, wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "  throughput: %.0f ops/s\n", throughput)
-	t := metrics.NewTable("round-trip latency", "us")
-	t.Row("min", fmt.Sprintf("%.1f", us(hist.Min())))
-	t.Row("p50", fmt.Sprintf("%.1f", us(hist.Quantile(0.5))))
-	t.Row("p90", fmt.Sprintf("%.1f", us(hist.Quantile(0.9))))
-	t.Row("p99", fmt.Sprintf("%.1f", us(hist.Quantile(0.99))))
-	t.Row("max", fmt.Sprintf("%.1f", us(hist.Max())))
-	t.Row("mean", fmt.Sprintf("%.1f", us(hist.Mean())))
-	return t.Write(w)
+	for _, side := range []struct {
+		label string
+		hist  *metrics.Hist
+	}{{"read round-trip latency", rhist}, {"write round-trip latency", whist}} {
+		if side.hist.Count() == 0 {
+			continue
+		}
+		l := summarize(side.hist)
+		t := metrics.NewTable(side.label, "us")
+		t.Row("min", fmt.Sprintf("%.1f", l.Min))
+		t.Row("p50", fmt.Sprintf("%.1f", l.P50))
+		t.Row("p90", fmt.Sprintf("%.1f", l.P90))
+		t.Row("p99", fmt.Sprintf("%.1f", l.P99))
+		t.Row("max", fmt.Sprintf("%.1f", l.Max))
+		t.Row("mean", fmt.Sprintf("%.1f", l.Mean))
+		if err := t.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -295,7 +295,7 @@ func RunBufferSweep(dir string, p Params, pools []int) (*SweepResult, error) {
 			return nil, err
 		}
 		start := time.Now() //lint:allow wallclock experiment elapsed-time measurement
-		result, err := runOn(db, sm, pp)
+		result, err := runOn(db, pp)
 		if err != nil {
 			db.Close()
 			return nil, err

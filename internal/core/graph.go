@@ -87,7 +87,7 @@ func NewLab(p Params) (*Lab, error) {
 // DefineSchema installs the benchmark's user schema: the two-level EER
 // material hierarchy, the workflow states, and the step classes with their
 // version-1 attribute sets. Must run inside a transaction.
-func DefineSchema(db *labbase.DB) error {
+func DefineSchema(db labbase.Store) error {
 	if _, err := db.DefineMaterialClass("material", ""); err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"labflow/internal/labbase"
+	"labflow/internal/labbase/shard"
 	"labflow/internal/metrics"
 	"labflow/internal/storage"
 	"labflow/internal/workflow"
@@ -65,24 +66,37 @@ func Run(kind StoreKind, dir string, p Params) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := labbase.Open(sm, labbase.DefaultOptions())
+	var db labbase.Store
+	if p.Shards >= 1 {
+		// Route the run through the sharded facade. table10's gel batches
+		// create material sets over arbitrary waiting materials, which
+		// violates the sharded single-partition contract (shard.ErrCrossShard)
+		// for any N > 1 — only the 1-shard facade (used to prove it is
+		// byte-identical to a plain DB) is supported here. Use lfload for
+		// multi-shard write scaling.
+		if p.Shards > 1 {
+			sm.Close()
+			return nil, fmt.Errorf("core: %s: table10 supports -shards 1 only: gel batches build material sets over arbitrary materials, so N>1 would violate the single-partition step contract", kind)
+		}
+		db, err = shard.Open([]storage.Manager{sm}, labbase.DefaultOptions())
+	} else {
+		db, err = labbase.Open(sm, labbase.DefaultOptions())
+	}
 	if err != nil {
-		sm.Close()
 		return nil, err
 	}
 	defer db.Close()
-	res, err := runOn(db, sm, p)
+	res, err := runOn(db, p)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", kind, err)
 	}
-	res.Store = sm.Name()
+	res.Store, _ = db.StoreStats()
 	return res, nil
 }
 
 // driver owns one benchmark execution over an open database.
 type driver struct {
-	db  *labbase.DB
-	sm  storage.Manager
+	db  labbase.Store
 	p   Params
 	lab *Lab
 	eng *workflow.Engine
@@ -96,7 +110,7 @@ type driver struct {
 // queryAttrs are the attributes the most-recent probes draw from.
 var queryAttrs = []string{"sequence", "quality", "ok", "position", "coverage", "num_tclones", "hits"}
 
-func runOn(db *labbase.DB, sm storage.Manager, p Params) (*RunResult, error) {
+func runOn(db labbase.Store, p Params) (*RunResult, error) {
 	if err := db.Begin(); err != nil {
 		return nil, err
 	}
@@ -118,7 +132,7 @@ func runOn(db *labbase.DB, sm storage.Manager, p Params) (*RunResult, error) {
 	eng.SetOutOfOrder(p.OutOfOrderProb, p.OutOfOrderSkew)
 
 	d := &driver{
-		db: db, sm: sm, p: p, lab: lab, eng: eng,
+		db: db, p: p, lab: lab, eng: eng,
 		rng: rand.New(rand.NewSource(p.Seed ^ 0x9E3779B9)),
 	}
 	eng.AfterStep = d.afterStep
@@ -126,7 +140,7 @@ func runOn(db *labbase.DB, sm storage.Manager, p Params) (*RunResult, error) {
 	res := &RunResult{}
 	perInterval := (p.BaseClones + 1) / 2
 	prevUsage := metrics.Sample()
-	prevStats := sm.Stats()
+	_, prevStats := db.StoreStats()
 	var prevSteps, prevQueries uint64
 
 	for i := 1; i <= p.Intervals; i++ {
@@ -134,7 +148,7 @@ func runOn(db *labbase.DB, sm storage.Manager, p Params) (*RunResult, error) {
 			return nil, err
 		}
 		usage := metrics.Sample()
-		stats := sm.Stats()
+		_, stats := db.StoreStats()
 		du := usage.Sub(prevUsage)
 		ds := stats.Sub(prevStats)
 		row := IntervalRow{
@@ -166,7 +180,8 @@ func runOn(db *labbase.DB, sm storage.Manager, p Params) (*RunResult, error) {
 		res.Total.Queries += r.Queries
 	}
 	res.Total.Label = "total"
-	res.Total.SizeBytes = sm.Stats().SizeBytes
+	_, finalStats := db.StoreStats()
+	res.Total.SizeBytes = finalStats.SizeBytes
 
 	res.Clones = d.eng.Stats.Roots
 	res.StepCount = d.eng.Stats.Steps

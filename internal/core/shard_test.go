@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOneShardMatchesPlain is the sharding byte-identity acceptance test:
+// the full table10 workload routed through a 1-shard shard.DB must produce
+// results identical to the plain labbase.DB — same per-interval simulated
+// counters (faults, page writes, sizes), same step/query/dump counts, same
+// store name. Shard 0's OID encoding is the identity and the facade's
+// 1-shard paths delegate whole, so any divergence is a facade bug. Run
+// with -race this also stresses the facade's locking on the table10 mix.
+func TestOneShardMatchesPlain(t *testing.T) {
+	p := testParams()
+	for _, k := range []StoreKind{StoreOStoreMM, StoreOStore, StoreTexasTC} {
+		plain, err := Run(k, t.TempDir(), p)
+		if err != nil {
+			t.Fatalf("%s plain: %v", k, err)
+		}
+		ps := p
+		ps.Shards = 1
+		sharded, err := Run(k, t.TempDir(), ps)
+		if err != nil {
+			t.Fatalf("%s 1-shard: %v", k, err)
+		}
+		a, b := stripTimings(plain), stripTimings(sharded)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: 1-shard facade diverges from plain DB:\nplain:   %+v\nsharded: %+v", k, a, b)
+		}
+	}
+}
+
+// TestTable10RejectsMultiShard pins the single-partition contract at the
+// driver level: table10's gel batches span arbitrary materials, so the
+// runner must refuse N > 1 with an error that says why.
+func TestTable10RejectsMultiShard(t *testing.T) {
+	p := testParams()
+	p.Shards = 4
+	_, err := Run(StoreOStoreMM, t.TempDir(), p)
+	if err == nil {
+		t.Fatal("Run with Shards=4 succeeded, want single-partition rejection")
+	}
+	if !strings.Contains(err.Error(), "single-partition") {
+		t.Fatalf("rejection does not cite the contract: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+)
+
+// benchWriters measures PutSteps throughput with exactly `writers`
+// concurrent goroutines over a shared store, each issuing fixed-size
+// batches of single-material steps. Run against 1 shard it measures the
+// serialized write path (the pre-PR baseline modulo facade overhead);
+// against 4 shards the batches fan out per home shard. On a single-core
+// host the shard split buys batching/commit amortization per shard, not
+// CPU parallelism — see EXPERIMENTS.md P3 for the honest attribution.
+func benchWriters(b *testing.B, shards, writers int) {
+	const batch = 16
+	managers := make([]storage.Manager, shards)
+	for k := range managers {
+		managers[k] = memstore.Open("bench-mm")
+	}
+	db, err := Open(managers, labbase.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.DefineMaterialClass("sample", ""); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.DefineState("received"); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := db.DefineStepClass("measure", []labbase.AttrDef{
+		{Name: "reading", Kind: labbase.KindInt},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	const mats = 256
+	oids := make([]storage.OID, mats)
+	for i := range oids {
+		oid, err := db.CreateMaterial("sample", fmt.Sprintf("bench-%d", i), "received", int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	if err := db.Commit(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / writers
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Deterministic material walk, stride coprime to the pool size
+			// so each writer touches every shard's materials.
+			at := w * 31
+			for done := 0; done < per; done += batch {
+				n := batch
+				if rem := per - done; rem < n {
+					n = rem
+				}
+				specs := make([]labbase.StepSpec, n)
+				for i := range specs {
+					specs[i] = labbase.StepSpec{
+						Class:     "measure",
+						ValidTime: int64(w)<<32 | int64(done+i),
+						Materials: []storage.OID{oids[(at+i*7)%mats]},
+						Attrs:     []labbase.AttrValue{{Name: "reading", Value: labbase.Int64(int64(i))}},
+					}
+				}
+				at += n * 7
+				if _, err := db.PutSteps(specs); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPutStepsWriters1(b *testing.B) {
+	b.Run("shards=1", func(b *testing.B) { benchWriters(b, 1, 1) })
+	b.Run("shards=4", func(b *testing.B) { benchWriters(b, 4, 1) })
+}
+
+func BenchmarkPutStepsWriters4(b *testing.B) {
+	b.Run("shards=1", func(b *testing.B) { benchWriters(b, 1, 4) })
+	b.Run("shards=4", func(b *testing.B) { benchWriters(b, 4, 4) })
+}
+
+func BenchmarkPutStepsWriters16(b *testing.B) {
+	b.Run("shards=1", func(b *testing.B) { benchWriters(b, 1, 16) })
+	b.Run("shards=4", func(b *testing.B) { benchWriters(b, 4, 16) })
+}

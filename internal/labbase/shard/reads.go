@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+)
+
+// Scatter-gather reads. The deterministic merge rule (DESIGN §9): ordered
+// aggregates concatenate per-shard results in shard order, counts sum.
+// Because the shard number sits in an OID's high index bits, every shard-k
+// OID in a segment sorts below every shard-k+1 OID, so concatenating
+// per-shard OID-sorted lists in shard order *is* the globally OID-sorted
+// list — no merge pass, and byte-identical to what a 1-shard run returns
+// for the same logical data. Scans visit shards in shard order, each in
+// its native (insertion) order.
+
+// MaterialsInState concatenates the shards' OID-sorted lists in shard
+// order, which is globally OID-sorted (see the merge rule above).
+func (db *DB) MaterialsInState(state string) ([]storage.OID, error) {
+	if len(db.shards) == 1 {
+		return db.shards[0].MaterialsInState(state)
+	}
+	var all []storage.OID
+	for k, sh := range db.shards {
+		part, err := sh.MaterialsInState(state)
+		if err != nil {
+			return nil, db.shardErr(k, err)
+		}
+		all = append(all, part...)
+	}
+	return all, nil
+}
+
+// CountInState sums the per-shard counts.
+func (db *DB) CountInState(state string) (uint64, error) {
+	var total uint64
+	for k, sh := range db.shards {
+		c, err := sh.CountInState(state)
+		if err != nil {
+			return 0, db.shardErr(k, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// CountMaterials sums the per-shard counts (subclass-inclusive, as on a
+// single DB).
+func (db *DB) CountMaterials(class string) (uint64, error) {
+	var total uint64
+	for k, sh := range db.shards {
+		c, err := sh.CountMaterials(class)
+		if err != nil {
+			return 0, db.shardErr(k, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// CountSteps sums the per-shard counts.
+func (db *DB) CountSteps(class string) (uint64, error) {
+	var total uint64
+	for k, sh := range db.shards {
+		c, err := sh.CountSteps(class)
+		if err != nil {
+			return 0, db.shardErr(k, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// ScanMaterials visits shards in shard order, each in its native scan
+// order.
+func (db *DB) ScanMaterials(class string, fn func(*labbase.Material) error) error {
+	for k, sh := range db.shards {
+		if err := sh.ScanMaterials(class, fn); err != nil {
+			return db.shardErr(k, err)
+		}
+	}
+	return nil
+}
+
+// ScanAllMaterials visits shards in shard order, each in its native scan
+// order.
+func (db *DB) ScanAllMaterials(fn func(*labbase.Material) error) error {
+	for k, sh := range db.shards {
+		if err := sh.ScanAllMaterials(fn); err != nil {
+			return db.shardErr(k, err)
+		}
+	}
+	return nil
+}
+
+// ScanSteps visits shards in shard order, each in its native scan order.
+func (db *DB) ScanSteps(class string, fn func(*labbase.Step) error) error {
+	for k, sh := range db.shards {
+		if err := sh.ScanSteps(class, fn); err != nil {
+			return db.shardErr(k, err)
+		}
+	}
+	return nil
+}
+
+// Dump sums the per-shard audit counters. Per-shard deduplication equals
+// global deduplication: a batched step's history entries live on its one
+// home shard.
+func (db *DB) Dump() (labbase.DumpStats, error) {
+	var total labbase.DumpStats
+	for k, sh := range db.shards {
+		ds, err := sh.Dump()
+		if err != nil {
+			return total, db.shardErr(k, err)
+		}
+		total.Materials += ds.Materials
+		total.Steps += ds.Steps
+		total.AttrValues += ds.AttrValues
+		total.HistoryRead += ds.HistoryRead
+	}
+	return total, nil
+}

@@ -1,0 +1,446 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+)
+
+// ErrCrossShard is returned when a step or material set references
+// materials living on different shards. Sharded LabBase transactions are
+// single-partition (as in d-Chiron): everything one step touches — its
+// materials and the members of its Set — must hash to the same shard.
+var ErrCrossShard = errors.New("shard: materials span shards")
+
+// DB fronts N independent labbase.DB instances behind the labbase.Store
+// surface. Materials are routed to shard ShardFor(name, N); each shard has
+// its own storage manager and its own lock domain, so writes to different
+// shards proceed fully in parallel.
+//
+// Concurrency contract: it matches labbase.DB's — reads run in parallel,
+// explicit Begin/Commit write brackets are single-writer and broadcast to
+// every shard — with one extension: PutSteps called outside a transaction
+// owns its per-shard transactions and may be invoked from many goroutines
+// at once (it serializes per shard on internal locks). Callers must not
+// run explicit write brackets concurrently with out-of-transaction
+// PutSteps calls; the wire server guarantees this by holding its writer
+// lock exclusively for every other mutation.
+//
+// Atomicity contract: a PutSteps batch is atomic per shard and non-atomic
+// across shards — each touched shard applies its entries in one
+// transaction; on failure the error names the first failing original batch
+// index per shard, and entries on other shards commit regardless.
+type DB struct {
+	shards []*labbase.DB
+	// wmu serializes write transactions per shard: PutSteps fan-out
+	// goroutines and schema broadcasts take wmu[k] around each shard-k
+	// Begin/Commit bracket. Never held across shards simultaneously except
+	// in shard order by the broadcast paths (which hold stmu).
+	wmu []sync.Mutex
+	// stmu is the catalog lock: schema broadcasts, the implicit
+	// step-schema ensure, and the global transaction flag. Ordered before
+	// any wmu[k].
+	stmu  sync.Mutex
+	inTxn bool
+	opts  labbase.Options
+	// known caches (class, attr-multiset) shapes already broadcast, so the
+	// hot PutSteps path skips the shard-0 catalog probe. Guarded by stmu;
+	// never invalidated (schema is append-only).
+	known map[string]struct{}
+}
+
+var _ labbase.Store = (*DB)(nil)
+
+// ShardFor routes a material name to a shard with FNV-1a (32-bit). The
+// routing is part of the on-disk contract: the same name must hash to the
+// same shard across restarts.
+func ShardFor(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Open builds a sharded DB over one storage manager per shard, all opened
+// with the same labbase options. Open takes ownership of the managers: on
+// error every manager is closed. A 1-shard DB is byte-identical to a plain
+// labbase.DB over the same manager (shard 0's OID encoding is the
+// identity, and the implicit-schema broadcast is skipped).
+func Open(managers []storage.Manager, opts labbase.Options) (*DB, error) {
+	n := len(managers)
+	if n < 1 || n > MaxShards {
+		for _, sm := range managers {
+			sm.Close()
+		}
+		return nil, fmt.Errorf("shard: shard count %d outside [1, %d]", n, MaxShards)
+	}
+	db := &DB{
+		shards: make([]*labbase.DB, n),
+		wmu:    make([]sync.Mutex, n),
+		opts:   opts,
+		known:  make(map[string]struct{}),
+	}
+	for k, sm := range managers {
+		inner, err := labbase.Open(&mapper{inner: sm, shard: k}, opts)
+		if err != nil {
+			for j := 0; j < k; j++ {
+				db.shards[j].Close()
+			}
+			for _, rest := range managers[k:] {
+				rest.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		db.shards[k] = inner
+	}
+	return db, nil
+}
+
+// Shards returns the shard count.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// Shard exposes shard k's inner DB for tests and recovery tooling.
+func (db *DB) Shard(k int) *labbase.DB { return db.shards[k] }
+
+// ConcurrentBatches reports that PutSteps does its own per-shard write
+// serialization, so callers (the wire server) may run batches from
+// different connections concurrently instead of serializing them.
+func (db *DB) ConcurrentBatches() bool { return true }
+
+// shardFor returns the shard owning a material name.
+func (db *DB) shardFor(name string) int { return ShardFor(name, len(db.shards)) }
+
+// shardErr adds shard context to an inner error. On a 1-shard DB the
+// error passes through verbatim, keeping error bytes identical to a plain
+// labbase.DB.
+func (db *DB) shardErr(k int, err error) error {
+	if len(db.shards) == 1 {
+		return err
+	}
+	return fmt.Errorf("shard %d: %w", k, err)
+}
+
+// shardOf validates and decodes the shard number in an OID.
+func (db *DB) shardOf(oid storage.OID) (int, error) {
+	k := ShardOfOID(oid)
+	if k >= len(db.shards) {
+		return 0, fmt.Errorf("shard: %v names shard %d of %d: %w",
+			oid, k, len(db.shards), storage.ErrNoSuchObject)
+	}
+	return k, nil
+}
+
+// Begin opens a write bracket on every shard, in shard order. See the DB
+// contract: explicit brackets are single-writer.
+func (db *DB) Begin() error {
+	db.stmu.Lock()
+	defer db.stmu.Unlock()
+	for k, sh := range db.shards {
+		if err := sh.Begin(); err != nil {
+			return db.shardErr(k, err)
+		}
+	}
+	db.inTxn = true
+	return nil
+}
+
+// Commit commits every shard's bracket, in shard order. Shard commits are
+// independent durability points: a crash between them leaves some shards
+// committed and others not (the cross-shard contract again — each shard's
+// own transaction is atomic).
+func (db *DB) Commit() error {
+	db.stmu.Lock()
+	defer db.stmu.Unlock()
+	var errs []error
+	for k, sh := range db.shards {
+		if err := sh.Commit(); err != nil {
+			errs = append(errs, db.shardErr(k, err))
+		}
+	}
+	db.inTxn = false
+	return errors.Join(errs...)
+}
+
+// InTxn reports whether a broadcast write bracket is open.
+func (db *DB) InTxn() bool {
+	db.stmu.Lock()
+	defer db.stmu.Unlock()
+	return db.inTxn
+}
+
+// Close closes every shard.
+func (db *DB) Close() error {
+	var errs []error
+	for k, sh := range db.shards {
+		if err := sh.Close(); err != nil {
+			errs = append(errs, db.shardErr(k, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// StoreStats sums the storage counters across shards. The name is the
+// backend's own for one shard (keeping 1-shard reports identical) and
+// suffixed with the shard count otherwise.
+func (db *DB) StoreStats() (string, storage.Stats) {
+	name, total := db.shards[0].StoreStats()
+	for _, sh := range db.shards[1:] {
+		_, st := sh.StoreStats()
+		total.Faults += st.Faults
+		total.PageWrites += st.PageWrites
+		total.Reads += st.Reads
+		total.Writes += st.Writes
+		total.Allocs += st.Allocs
+		total.LockWaits += st.LockWaits
+		total.SizeBytes += st.SizeBytes
+		total.LiveObjects += st.LiveObjects
+		total.LiveBytes += st.LiveBytes
+	}
+	if len(db.shards) > 1 {
+		name = fmt.Sprintf("%s×%d", name, len(db.shards))
+	}
+	return name, total
+}
+
+// broadcast runs a schema definition on every shard in shard order and
+// asserts the returned IDs agree. Callers hold stmu; the caller also
+// guarantees an open transaction on every shard (the global bracket).
+// Identical IDs are an invariant, not a hope: every shard starts from the
+// same (empty) catalog and sees the same definitions in the same order
+// under stmu, and ID allocation in labbase is deterministic in that order.
+func broadcast[T comparable](db *DB, what, name string, def func(*labbase.DB) (T, error)) (T, error) {
+	var first T
+	for k, sh := range db.shards {
+		got, err := def(sh)
+		if err != nil {
+			return first, db.shardErr(k, err)
+		}
+		if k == 0 {
+			first = got
+		} else if got != first {
+			return first, fmt.Errorf("shard: catalog divergence: %s %q is %v on shard %d, %v on shard 0",
+				what, name, got, k, first)
+		}
+	}
+	return first, nil
+}
+
+// DefineMaterialClass broadcasts the definition to every shard.
+func (db *DB) DefineMaterialClass(name, parent string) (labbase.ClassID, error) {
+	db.stmu.Lock()
+	defer db.stmu.Unlock()
+	return broadcast(db, "material class", name, func(sh *labbase.DB) (labbase.ClassID, error) {
+		return sh.DefineMaterialClass(name, parent)
+	})
+}
+
+// DefineAttr broadcasts the definition to every shard.
+func (db *DB) DefineAttr(name string, kind labbase.Kind) (labbase.AttrID, error) {
+	db.stmu.Lock()
+	defer db.stmu.Unlock()
+	return broadcast(db, "attribute", name, func(sh *labbase.DB) (labbase.AttrID, error) {
+		return sh.DefineAttr(name, kind)
+	})
+}
+
+// DefineStepClass broadcasts the definition to every shard.
+func (db *DB) DefineStepClass(name string, attrs []labbase.AttrDef) (labbase.StepClassID, labbase.Version, error) {
+	db.stmu.Lock()
+	defer db.stmu.Unlock()
+	got, err := broadcast(db, "step class", name, func(sh *labbase.DB) (idVer, error) {
+		id, ver, err := sh.DefineStepClass(name, attrs)
+		return idVer{id, ver}, err
+	})
+	return got.id, got.ver, err
+}
+
+// DefineState broadcasts the definition to every shard.
+func (db *DB) DefineState(name string) (labbase.StateID, error) {
+	db.stmu.Lock()
+	defer db.stmu.Unlock()
+	return broadcast(db, "state", name, func(sh *labbase.DB) (labbase.StateID, error) {
+		return sh.DefineState(name)
+	})
+}
+
+// Catalog listings come from shard 0: the broadcast discipline keeps every
+// shard's catalog identical (asserted by the ID checks above and by tests).
+func (db *DB) MaterialClasses() []string { return db.shards[0].MaterialClasses() }
+
+// StepClasses lists step classes from shard 0 (see MaterialClasses).
+func (db *DB) StepClasses() []string { return db.shards[0].StepClasses() }
+
+// StepClassVersions lists a class's versions from shard 0 (see MaterialClasses).
+func (db *DB) StepClassVersions(name string) ([][]string, error) {
+	return db.shards[0].StepClassVersions(name)
+}
+
+// States lists states from shard 0 (see MaterialClasses).
+func (db *DB) States() []string { return db.shards[0].States() }
+
+// CreateMaterial routes the material to its home shard by name hash.
+func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storage.OID, error) {
+	return db.shards[db.shardFor(name)].CreateMaterial(class, name, state, validTime)
+}
+
+// LookupMaterial consults only the name's home shard.
+func (db *DB) LookupMaterial(name string) (storage.OID, bool) {
+	return db.shards[db.shardFor(name)].LookupMaterial(name)
+}
+
+// CreateMaterialSet creates the set on its members' shard. All members
+// must co-reside (ErrCrossShard otherwise); an empty set goes to shard 0.
+func (db *DB) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
+	home := 0
+	for i, m := range members {
+		k, err := db.shardOf(m)
+		if err != nil {
+			return storage.NilOID, err
+		}
+		if i == 0 {
+			home = k
+		} else if k != home {
+			return storage.NilOID, fmt.Errorf("%w: set members %v (shard %d) and %v (shard %d)",
+				ErrCrossShard, members[0], home, m, k)
+		}
+	}
+	return db.shards[home].CreateMaterialSet(members)
+}
+
+// SetMembers routes by the set's OID.
+func (db *DB) SetMembers(oid storage.OID) ([]storage.OID, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return nil, err
+	}
+	return db.shards[k].SetMembers(oid)
+}
+
+// SetState routes by the material's OID.
+func (db *DB) SetState(oid storage.OID, state string) error {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return err
+	}
+	return db.shards[k].SetState(oid, state)
+}
+
+// routeStep finds a step's home shard: the shard of its first material, or
+// of its Set when it names no materials directly, and verifies every
+// material co-resides there (the Set's members were already pinned to the
+// Set's shard by CreateMaterialSet). A spec with neither materials nor set
+// routes to shard 0 so labbase produces its own diagnostic.
+func (db *DB) routeStep(spec labbase.StepSpec) (int, error) {
+	home, haveHome := 0, false
+	if !spec.Set.IsNil() {
+		k, err := db.shardOf(spec.Set)
+		if err != nil {
+			return 0, err
+		}
+		home, haveHome = k, true
+	}
+	for _, m := range spec.Materials {
+		k, err := db.shardOf(m)
+		if err != nil {
+			return 0, err
+		}
+		if !haveHome {
+			home, haveHome = k, true
+		} else if k != home {
+			return 0, fmt.Errorf("%w: step %q touches shard %d and shard %d",
+				ErrCrossShard, spec.Class, home, k)
+		}
+	}
+	return home, nil
+}
+
+// RecordStep routes the step to its home shard. Requires the broadcast
+// write bracket (labbase.ErrNoTransaction otherwise, from the shard).
+func (db *DB) RecordStep(spec labbase.StepSpec) (storage.OID, error) {
+	home, err := db.routeStep(spec)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	if err := db.ensureStepSchema([]labbase.StepSpec{spec}); err != nil {
+		return storage.NilOID, err
+	}
+	return db.shards[home].RecordStep(spec)
+}
+
+// GetMaterial routes by OID.
+func (db *DB) GetMaterial(oid storage.OID) (*labbase.Material, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return nil, err
+	}
+	return db.shards[k].GetMaterial(oid)
+}
+
+// State routes by OID.
+func (db *DB) State(oid storage.OID) (string, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return "", err
+	}
+	return db.shards[k].State(oid)
+}
+
+// GetStep routes by OID.
+func (db *DB) GetStep(oid storage.OID) (*labbase.Step, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return nil, err
+	}
+	return db.shards[k].GetStep(oid)
+}
+
+// History routes by OID.
+func (db *DB) History(oid storage.OID) ([]labbase.HistoryEntry, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return nil, err
+	}
+	return db.shards[k].History(oid)
+}
+
+// MostRecent routes by OID.
+func (db *DB) MostRecent(oid storage.OID, attr string) (labbase.Value, storage.OID, bool, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return labbase.Value{}, storage.NilOID, false, err
+	}
+	return db.shards[k].MostRecent(oid, attr)
+}
+
+// MostRecentScan routes by OID.
+func (db *DB) MostRecentScan(oid storage.OID, attr string) (labbase.Value, storage.OID, bool, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return labbase.Value{}, storage.NilOID, false, err
+	}
+	return db.shards[k].MostRecentScan(oid, attr)
+}
+
+// MostRecentAsOf routes by OID.
+func (db *DB) MostRecentAsOf(oid storage.OID, attr string, t int64) (labbase.Value, storage.OID, bool, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return labbase.Value{}, storage.NilOID, false, err
+	}
+	return db.shards[k].MostRecentAsOf(oid, attr, t)
+}
+
+// AttrTimeline routes by OID.
+func (db *DB) AttrTimeline(oid storage.OID, attr string) ([]labbase.TimelineEntry, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return nil, err
+	}
+	return db.shards[k].AttrTimeline(oid, attr)
+}

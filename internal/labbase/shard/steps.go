@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+)
+
+// PutSteps applies a batch of steps with one transaction per touched
+// shard, the per-shard groups running concurrently. The returned OIDs are
+// stitched back into request order.
+//
+// Atomicity contract (the sharded refinement of labbase.DB.PutSteps'):
+//   - Routing is pre-validated: a cross-shard or unroutable spec rejects
+//     the whole batch before anything is applied, with the entry index.
+//   - Each touched shard applies its entries in one transaction — atomic
+//     per shard.
+//   - Across shards the batch is non-atomic: a failure on one shard does
+//     not roll back the others, and its error names the first failing
+//     original batch index on that shard.
+//
+// Called inside a broadcast Begin/Commit bracket, the batch instead joins
+// that transaction sequentially (no fan-out, no extra commits), matching
+// labbase.DB.PutSteps.
+func (db *DB) PutSteps(specs []labbase.StepSpec) ([]storage.OID, error) {
+	if len(db.shards) == 1 {
+		// One shard: delegate whole (labbase.DB.PutSteps joins an open
+		// bracket or owns its transaction, with identical error bytes to a
+		// plain DB); wmu[0] provides the concurrent-caller serialization.
+		db.wmu[0].Lock()
+		defer db.wmu[0].Unlock()
+		return db.shards[0].PutSteps(specs)
+	}
+	if db.InTxn() {
+		oids := make([]storage.OID, len(specs))
+		for i, spec := range specs {
+			oid, err := db.RecordStep(spec)
+			if err != nil {
+				return nil, fmt.Errorf("shard: step batch entry %d (earlier entries recorded): %w", i, err)
+			}
+			oids[i] = oid
+		}
+		return oids, nil
+	}
+
+	if err := db.ensureStepSchema(specs); err != nil {
+		return nil, err
+	}
+
+	// Pre-validate and group by home shard; nothing has been applied yet,
+	// so any routing failure rejects the whole batch.
+	n := len(db.shards)
+	idxs := make([][]int, n)
+	parts := make([][]labbase.StepSpec, n)
+	for i, spec := range specs {
+		home, err := db.routeStep(spec)
+		if err != nil {
+			return nil, fmt.Errorf("shard: step batch entry %d (batch rejected, nothing recorded): %w", i, err)
+		}
+		idxs[home] = append(idxs[home], i)
+		parts[home] = append(parts[home], spec)
+	}
+
+	// Fan out: one goroutine per touched shard, each writing only its own
+	// oids slots (the index sets are disjoint) and its own errs slot.
+	oids := make([]storage.OID, len(specs))
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		if len(idxs[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = db.applyShardBatch(k, parts[k], idxs[k], oids)
+		}(k)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return oids, nil
+}
+
+// applyShardBatch runs one shard's slice of a batch in one transaction,
+// under that shard's write lock.
+func (db *DB) applyShardBatch(k int, specs []labbase.StepSpec, idx []int, oids []storage.OID) error {
+	db.wmu[k].Lock()
+	defer db.wmu[k].Unlock()
+	sh := db.shards[k]
+	if err := sh.Begin(); err != nil {
+		return fmt.Errorf("shard %d: %w", k, err)
+	}
+	var ferr error
+	for j, spec := range specs {
+		oid, err := sh.RecordStep(spec)
+		if err != nil {
+			ferr = fmt.Errorf("shard: step batch entry %d (earlier entries on shard %d recorded, other shards unaffected): %w",
+				idx[j], k, err)
+			break
+		}
+		oids[idx[j]] = oid
+	}
+	if cerr := sh.Commit(); cerr != nil {
+		return errors.Join(ferr, fmt.Errorf("shard %d: commit: %w", k, cerr))
+	}
+	return ferr
+}
+
+// ensureStepSchema pre-broadcasts the step classes, attributes and
+// versions a batch would create implicitly, so implicit schema evolution
+// cannot diverge the shards' catalogs (each shard would otherwise mint the
+// new IDs only on a step's home shard). It reproduces exactly what
+// labbase's implicit path would do: DefineStepClass with the spec's attr
+// names, in spec order, duplicates included (the version key is the
+// sorted attr-ID multiset), each attribute KindAny — the kind implicit
+// evolution uses, compatible with any later typed definition.
+//
+// No-op on a single shard (there is nothing to diverge from, preserving
+// byte-identity with a plain DB) and in strict-schema modes, where the
+// implicit path is disabled and Define* must have been broadcast already.
+func (db *DB) ensureStepSchema(specs []labbase.StepSpec) error {
+	if len(db.shards) == 1 || !db.opts.ImplicitVersions || !db.opts.ImplicitAttrs {
+		return nil
+	}
+	db.stmu.Lock()
+	defer db.stmu.Unlock()
+	for _, spec := range specs {
+		key := schemaKey(spec)
+		if _, ok := db.known[key]; ok {
+			continue
+		}
+		if !db.versionExists(spec) {
+			if err := db.broadcastStepSchemaLocked(spec); err != nil {
+				return err
+			}
+		}
+		db.known[key] = struct{}{}
+	}
+	return nil
+}
+
+// schemaKey identifies a (class, attr-name multiset) schema shape.
+func schemaKey(spec labbase.StepSpec) string {
+	names := attrNames(spec)
+	return spec.Class + "\x00" + strings.Join(names, "\x00")
+}
+
+// attrNames returns the spec's attribute names sorted, duplicates kept.
+func attrNames(spec labbase.StepSpec) []string {
+	names := make([]string, len(spec.Attrs))
+	for i, av := range spec.Attrs {
+		names[i] = av.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// versionExists reports whether shard 0 already has a version of the
+// spec's class with exactly the spec's attr-name multiset (attr names map
+// 1:1 to attr IDs, so name-multiset equality is ID-multiset equality —
+// the key stepVersionLocked uses). Shard 0 stands for all shards: the
+// broadcast discipline keeps the catalogs identical.
+func (db *DB) versionExists(spec labbase.StepSpec) bool {
+	vers, err := db.shards[0].StepClassVersions(spec.Class)
+	if err != nil {
+		return false // unknown class: everything needs defining
+	}
+	want := attrNames(spec)
+	for _, v := range vers {
+		if len(v) != len(want) {
+			continue
+		}
+		got := append([]string(nil), v...)
+		sort.Strings(got)
+		match := true
+		for i := range got {
+			if got[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// broadcastStepSchemaLocked defines the spec's class/attrs/version on
+// every shard, asserting ID agreement. Caller holds stmu. Inside the
+// broadcast write bracket the definitions join it; outside, each shard
+// gets its own short transaction under its write lock.
+func (db *DB) broadcastStepSchemaLocked(spec labbase.StepSpec) error {
+	attrs := make([]labbase.AttrDef, len(spec.Attrs))
+	for i, av := range spec.Attrs {
+		attrs[i] = labbase.AttrDef{Name: av.Name, Kind: labbase.KindAny}
+	}
+	if db.inTxn {
+		_, err := broadcast(db, "step class", spec.Class, func(sh *labbase.DB) (idVer, error) {
+			id, ver, err := sh.DefineStepClass(spec.Class, attrs)
+			return idVer{id, ver}, err
+		})
+		return err
+	}
+	var first idVer
+	for k, sh := range db.shards {
+		got, err := db.defineStepClassOwnTxn(k, sh, spec.Class, attrs)
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			first = got
+		} else if got != first {
+			return fmt.Errorf("shard: catalog divergence: step class %q is %v on shard %d, %v on shard 0",
+				spec.Class, got, k, first)
+		}
+	}
+	return nil
+}
+
+// idVer pairs DefineStepClass's results for the broadcast ID check.
+type idVer struct {
+	id  labbase.StepClassID
+	ver labbase.Version
+}
+
+// defineStepClassOwnTxn runs one shard's definition in its own write
+// bracket under the shard's write lock.
+func (db *DB) defineStepClassOwnTxn(k int, sh *labbase.DB, class string, attrs []labbase.AttrDef) (idVer, error) {
+	db.wmu[k].Lock()
+	defer db.wmu[k].Unlock()
+	if err := sh.Begin(); err != nil {
+		return idVer{}, fmt.Errorf("shard %d: %w", k, err)
+	}
+	id, ver, derr := sh.DefineStepClass(class, attrs)
+	if cerr := sh.Commit(); cerr != nil {
+		return idVer{}, errors.Join(derr, fmt.Errorf("shard %d: commit: %w", k, cerr))
+	}
+	if derr != nil {
+		return idVer{}, fmt.Errorf("shard %d: %w", k, derr)
+	}
+	return idVer{id, ver}, nil
+}

@@ -201,6 +201,41 @@ func (db *DB) recordStepLocked(spec StepSpec) (storage.OID, error) {
 	return stepOID, nil
 }
 
+// PutSteps records a batch of steps. Called outside a transaction it opens
+// one of its own, amortizing the commit (and, under group-commit stores, the
+// log flush) across the batch; inside a caller's transaction it records into
+// that. The batch is not atomic: if entry i fails, entries 0..i-1 have
+// already been recorded and stay recorded — the error names the failing
+// index so the caller can tell.
+func (db *DB) PutSteps(specs []StepSpec) ([]storage.OID, error) {
+	oids := make([]storage.OID, len(specs))
+	own := !db.InTxn()
+	if own {
+		if err := db.Begin(); err != nil {
+			return nil, err
+		}
+	}
+	for i, spec := range specs {
+		oid, err := db.RecordStep(spec)
+		if err != nil {
+			err = fmt.Errorf("labbase: step batch entry %d (earlier entries recorded): %w", i, err)
+			if own {
+				if cerr := db.Commit(); cerr != nil {
+					return nil, fmt.Errorf("%w (and closing the transaction: %w)", err, cerr)
+				}
+			}
+			return nil, err
+		}
+		oids[i] = oid
+	}
+	if own {
+		if err := db.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return oids, nil
+}
+
 // appendHistory adds an entry to the material's history chain, growing it by
 // a chunk clustered next to the previous head when the head fills up.
 func (db *DB) appendHistory(moid storage.OID, m *materialRec, e historyEntry) error {

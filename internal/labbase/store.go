@@ -1,0 +1,73 @@
+package labbase
+
+import (
+	"labflow/internal/storage"
+)
+
+// Store is the full LabBase surface consumed by the wire server, the
+// deductive bridge, and the benchmark drivers. Both *DB (one storage
+// manager) and the hash-partitioned *shard.DB (N storage managers behind
+// one facade) implement it, so every layer above labbase is shard-agnostic:
+// storage.OID stays the public object handle either way.
+//
+// Implementations follow DB's concurrency contract: read entry points may
+// run in parallel, mutations are single-writer, and callers running several
+// write transactions concurrently must serialize their Begin/Commit
+// brackets. PutSteps is the one exception — called outside a transaction it
+// owns its transactions and (on sharded stores) may be invoked from several
+// goroutines at once.
+type Store interface {
+	// Transactions.
+	Begin() error
+	Commit() error
+	InTxn() bool
+	Close() error
+
+	// StoreStats identifies the backing storage and aggregates its
+	// counters (summed across shards on partitioned stores).
+	StoreStats() (name string, st storage.Stats)
+
+	// Schema.
+	DefineMaterialClass(name, parent string) (ClassID, error)
+	DefineAttr(name string, kind Kind) (AttrID, error)
+	DefineStepClass(name string, attrs []AttrDef) (StepClassID, Version, error)
+	DefineState(name string) (StateID, error)
+	MaterialClasses() []string
+	StepClasses() []string
+	StepClassVersions(name string) ([][]string, error)
+	States() []string
+
+	// Materials and sets.
+	CreateMaterial(class, name, state string, validTime int64) (storage.OID, error)
+	LookupMaterial(name string) (storage.OID, bool)
+	GetMaterial(oid storage.OID) (*Material, error)
+	State(oid storage.OID) (string, error)
+	SetState(oid storage.OID, state string) error
+	MaterialsInState(state string) ([]storage.OID, error)
+	CountInState(state string) (uint64, error)
+	CountMaterials(class string) (uint64, error)
+	CountSteps(class string) (uint64, error)
+	ScanMaterials(class string, fn func(*Material) error) error
+	ScanAllMaterials(fn func(*Material) error) error
+	CreateMaterialSet(members []storage.OID) (storage.OID, error)
+	SetMembers(oid storage.OID) ([]storage.OID, error)
+
+	// Steps and history.
+	RecordStep(spec StepSpec) (storage.OID, error)
+	PutSteps(specs []StepSpec) ([]storage.OID, error)
+	GetStep(oid storage.OID) (*Step, error)
+	ScanSteps(class string, fn func(*Step) error) error
+	History(oid storage.OID) ([]HistoryEntry, error)
+	MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool, error)
+	MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, bool, error)
+	MostRecentAsOf(oid storage.OID, attr string, t int64) (Value, storage.OID, bool, error)
+	AttrTimeline(oid storage.OID, attr string) ([]TimelineEntry, error)
+	Dump() (DumpStats, error)
+}
+
+var _ Store = (*DB)(nil)
+
+// StoreStats implements Store over the single storage manager.
+func (db *DB) StoreStats() (string, storage.Stats) {
+	return db.sm.Name(), db.sm.Stats()
+}

@@ -34,14 +34,15 @@ import (
 	"labflow/internal/storage"
 )
 
-// Bridge couples one engine to one database.
+// Bridge couples one engine to one database (a plain *labbase.DB or a
+// sharded store — anything implementing labbase.Store).
 type Bridge struct {
-	db *labbase.DB
+	db labbase.Store
 	e  *datalog.Engine
 }
 
 // New builds an engine wired to db.
-func New(db *labbase.DB) *Bridge {
+func New(db labbase.Store) *Bridge {
 	b := &Bridge{db: db, e: datalog.New()}
 	b.register()
 	return b

@@ -20,7 +20,7 @@ import (
 
 // Server exposes one LabBase database to network clients.
 type Server struct {
-	db     *labbase.DB
+	db     labbase.Store
 	bridge *lbq.Bridge
 	// mu is the server-level reader/writer lock: write opcodes (and their
 	// whole Begin/Commit bracket) hold it exclusively, read opcodes hold it
@@ -29,7 +29,13 @@ type Server struct {
 	// hierarchy).
 	mu     sync.RWMutex
 	serial bool // force every op exclusive (the pre-concurrency behavior)
-	logf   func(format string, args ...any)
+	// batchShared marks a store whose PutSteps self-serializes (a sharded
+	// store): OpPutSteps then runs under the shared lock, so batches from
+	// different connections apply in parallel across shards. Plain stores
+	// keep the exclusive lock — their whole batch bracket must stay
+	// single-writer.
+	batchShared bool
+	logf        func(format string, args ...any)
 
 	wg     sync.WaitGroup
 	connMu sync.Mutex
@@ -37,15 +43,20 @@ type Server struct {
 	closed bool
 }
 
-// NewServer wraps an open database. Site rules may be loaded onto the
-// deductive engine via Bridge before serving.
-func NewServer(db *labbase.DB) *Server {
-	return &Server{
+// NewServer wraps an open store — a plain *labbase.DB or a sharded
+// shard.DB; the wire protocol is shard-agnostic. Site rules may be loaded
+// onto the deductive engine via Bridge before serving.
+func NewServer(db labbase.Store) *Server {
+	s := &Server{
 		db:     db,
 		bridge: lbq.New(db),
 		logf:   log.Printf,
 		conns:  make(map[net.Conn]struct{}),
 	}
+	if cb, ok := db.(interface{ ConcurrentBatches() bool }); ok {
+		s.batchShared = cb.ConcurrentBatches()
+	}
+	return s
 }
 
 // Bridge returns the server's deductive-engine bridge (for consulting site
@@ -171,7 +182,15 @@ func (s *Server) inTxn(fn func() error) error {
 // read ops share the lock (parallel across connections), write ops hold it
 // exclusively so their transaction brackets stay atomic.
 func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
-	if readOnlyOp(op) && !s.serial {
+	shared := readOnlyOp(op)
+	if op == OpPutSteps && s.batchShared {
+		// Sharded stores serialize PutSteps internally (per shard), so
+		// batches from different connections may run concurrently; the
+		// shared lock only keeps them from overlapping an explicit write
+		// bracket.
+		shared = true
+	}
+	if shared && !s.serial {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	} else {
@@ -301,11 +320,13 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		e.Uint(uint64(oid))
 
 	case OpPutSteps:
-		// Batched RecordStep: all steps run in one transaction, amortizing
-		// the commit (and, under group-commit stores, the log flush) across
-		// the batch. The batch is not atomic: if step i fails, steps 0..i-1
-		// have already been recorded and stay recorded — the error names the
-		// failing index so the client can tell.
+		// Batched RecordStep, delegated to the store: a plain DB runs the
+		// whole batch in one transaction (amortizing the commit and, under
+		// group-commit stores, the log flush); a sharded store splits it by
+		// shard and applies the groups concurrently, one transaction per
+		// touched shard. Either way the batch is not atomic: if an entry
+		// fails, earlier entries (on that shard) stay recorded — the error
+		// names the failing index so the client can tell.
 		n := d.Count(maxStepBatch)
 		if d.Err() != nil {
 			return nil, fmt.Errorf("wire: bad step batch count")
@@ -321,18 +342,9 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		if err := d.Finish(); err != nil {
 			return nil, err
 		}
-		oids := make([]storage.OID, len(specs))
-		if err := s.inTxn(func() error {
-			for i, spec := range specs {
-				oid, err := s.db.RecordStep(spec)
-				if err != nil {
-					return fmt.Errorf("wire: step batch entry %d (earlier entries recorded): %w", i, err)
-				}
-				oids[i] = oid
-			}
-			return nil
-		}); err != nil {
-			return nil, err
+		oids, err := s.db.PutSteps(specs)
+		if err != nil {
+			return nil, fmt.Errorf("wire: %w", err)
 		}
 		e.Uint(uint64(len(oids)))
 		for _, oid := range oids {
@@ -519,8 +531,8 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		if err := d.Finish(); err != nil {
 			return nil, err
 		}
-		st := s.db.Manager().Stats()
-		e.String(s.db.Manager().Name())
+		name, st := s.db.StoreStats()
+		e.String(name)
 		e.Uint(st.Faults)
 		e.Uint(st.PageWrites)
 		e.Uint(st.Reads)

@@ -24,13 +24,16 @@ go build ./...
 echo "== labflowvet ./... (make lint)"
 make lint
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle=on ./..."
+# Shuffled order keeps tests honest about hidden ordering dependencies; any
+# failure prints the -shuffle seed to replay with.
+go test -race -shuffle=on ./...
 
 echo "== crashtest: fixed-seed crash-recovery schedules (-race)"
 # Deterministic: 200 seeded crash schedules per storage backend, anchored at
-# FixedSeedBase, so a regression here always reproduces bit-for-bit.
-go test -race -count=1 -run 'TestCrashSchedule' ./internal/storage/crashtest/
+# FixedSeedBase, plus the sharded one-shard-crashes schedules, so a
+# regression here always reproduces bit-for-bit.
+go test -race -count=1 -run 'TestCrashSchedule' ./internal/storage/crashtest/ ./internal/labbase/shard/
 
 echo "== crashtest: randomized-seed round"
 # Fresh seeds every run widen coverage over time; the schedule is still
@@ -56,6 +59,17 @@ echo "$lfload_out" | grep -q '"ops_per_sec"' || {
 	echo "lfload smoke: no throughput in report" >&2
 	exit 1
 }
+
+echo "== lfload write-path smoke (4-shard server, write-only mix)"
+lfload_w=$(go run ./cmd/lfload -workers 4 -pipeline 4 -readmix 0.0 -writebatch 8 \
+	-shards 4 -ops 2000 -materials 200 -json)
+echo "$lfload_w" | grep -q '"ops_per_sec"' || {
+	echo "lfload write-path smoke: no throughput in report" >&2
+	exit 1
+}
+
+echo "== write benchmark smoke (BenchmarkPutStepsWriters, 1 iteration each)"
+go test -bench 'BenchmarkPutStepsWriters' -benchtime=1x -run '^$' ./internal/labbase/shard/
 
 echo "== benchmark smoke (BenchmarkTable10_*, 1 iteration each)"
 go test -bench 'BenchmarkTable10_' -benchtime=1x -run '^$' .
