@@ -7,11 +7,15 @@
 // Each worker mixes most-recent reads and step-recording writes per
 // -readmix, drawn from a per-worker deterministic generator
 // (rand.NewSource(seed + workerID)), so two runs with the same flags issue
-// the identical operation sequence. Reads are pipelined -pipeline deep;
-// writes in a flight are batched into OpPutSteps frames of -writebatch
-// steps (0 = the whole flight in one frame). Read and write latencies are
-// recorded per round trip in separate fixed-bucket histograms
-// (internal/metrics.Hist) and merged across workers at the end.
+// the identical operation sequence. -querymix additionally diverts a
+// fraction of operations to OpQuery requests — the signature most_recent
+// lookup phrased through the deductive engine — which exercise the server's
+// shared-mode query path. Reads are pipelined -pipeline deep; writes in a
+// flight are batched into OpPutSteps frames of -writebatch steps (0 = the
+// whole flight in one frame); queries are one synchronous round trip each.
+// Read, write, and query latencies are recorded per round trip in separate
+// fixed-bucket histograms (internal/metrics.Hist) and merged across workers
+// at the end.
 //
 // With no -addr, lfload starts an in-process memstore server on loopback
 // and tears it down afterwards — -shards N backs it with a hash-partitioned
@@ -49,6 +53,7 @@ type config struct {
 	addr       string
 	workers    int
 	readMix    float64
+	queryMix   float64
 	materials  int
 	ops        int
 	seed       int64
@@ -73,6 +78,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "", "server address (empty = in-process memstore server)")
 	flag.IntVar(&cfg.workers, "workers", 4, "concurrent closed-loop workers")
 	flag.Float64Var(&cfg.readMix, "readmix", 0.9, "fraction of operations that are reads (0..1)")
+	flag.Float64Var(&cfg.queryMix, "querymix", 0, "fraction of operations that are deductive OpQuery requests (0..1)")
 	flag.IntVar(&cfg.materials, "materials", 1000, "materials to preload")
 	flag.IntVar(&cfg.ops, "ops", 20000, "total operations across all workers")
 	flag.Int64Var(&cfg.seed, "seed", 1, "base RNG seed (worker i uses seed+i)")
@@ -84,7 +90,8 @@ func main() {
 	flag.Parse()
 
 	if cfg.workers < 1 || cfg.materials < 1 || cfg.ops < 1 || cfg.pipeline < 1 ||
-		cfg.writeBatch < 0 || cfg.shards < 1 || cfg.readMix < 0 || cfg.readMix > 1 {
+		cfg.writeBatch < 0 || cfg.shards < 1 || cfg.readMix < 0 || cfg.readMix > 1 ||
+		cfg.queryMix < 0 || cfg.queryMix > 1 {
 		log.Fatal("lfload: invalid flags")
 	}
 	if cfg.addr != "" && (cfg.serial || cfg.shards != 1) {
@@ -123,11 +130,13 @@ func run(cfg config) error {
 	}
 
 	type workerResult struct {
-		rhist  metrics.Hist
-		whist  metrics.Hist
-		reads  int
-		writes int
-		err    error
+		rhist   metrics.Hist
+		whist   metrics.Hist
+		qhist   metrics.Hist
+		reads   int
+		writes  int
+		queries int
+		err     error
 	}
 	results := make([]workerResult, cfg.workers)
 	perWorker := cfg.ops / cfg.workers
@@ -142,7 +151,7 @@ func run(cfg config) error {
 		}
 		go func(id, ops int) {
 			r := &results[id]
-			r.reads, r.writes, r.err = worker(id, clients[id], oids, ops, cfg, &r.rhist, &r.whist)
+			r.reads, r.writes, r.queries, r.err = worker(id, clients[id], oids, ops, cfg, &r.rhist, &r.whist, &r.qhist)
 			done <- id
 		}(i, ops)
 	}
@@ -151,20 +160,22 @@ func run(cfg config) error {
 	}
 	wall := metrics.Sample().Sub(before).Wall
 
-	var rhist, whist metrics.Hist
-	reads, writes := 0, 0
+	var rhist, whist, qhist metrics.Hist
+	reads, writes, queries := 0, 0, 0
 	for i := range results {
 		if results[i].err != nil {
 			return fmt.Errorf("worker %d: %w", i, results[i].err)
 		}
 		rhist.Merge(&results[i].rhist)
 		whist.Merge(&results[i].whist)
+		qhist.Merge(&results[i].qhist)
 		reads += results[i].reads
 		writes += results[i].writes
+		queries += results[i].queries
 	}
 
-	if reads+writes != cfg.ops {
-		return fmt.Errorf("self-check: %d ops completed, want %d", reads+writes, cfg.ops)
+	if reads+writes+queries != cfg.ops {
+		return fmt.Errorf("self-check: %d ops completed, want %d", reads+writes+queries, cfg.ops)
 	}
 	if wall <= 0 {
 		return fmt.Errorf("self-check: zero wall time")
@@ -173,7 +184,7 @@ func run(cfg config) error {
 	if throughput <= 0 {
 		return fmt.Errorf("self-check: zero throughput")
 	}
-	return report(os.Stdout, cfg, wall, throughput, reads, writes, &rhist, &whist)
+	return report(os.Stdout, cfg, wall, throughput, reads, writes, queries, &rhist, &whist, &qhist)
 }
 
 // startInProcess spins up a memstore-backed server on loopback, sharded
@@ -263,13 +274,15 @@ func preload(addr string, cfg config) ([]storage.OID, error) {
 
 // worker runs one closed loop: build a flight of up to cfg.pipeline
 // operations, issue it (reads pipelined, writes as OpPutSteps batches of
-// cfg.writeBatch steps, 0 = one batch), wait for every response, repeat.
-// Read and write latencies are recorded separately, once per round trip.
-func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhist, whist *metrics.Hist) (reads, writes int, err error) {
+// cfg.writeBatch steps, 0 = one batch, deductive queries one synchronous
+// round trip each), wait for every response, repeat. Read, write, and query
+// latencies are recorded separately, once per round trip.
+func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhist, whist, qhist *metrics.Hist) (reads, writes, queries int, err error) {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	p := c.Pipeline()
 	futures := make([]*wire.MostRecentFuture, 0, cfg.pipeline)
 	specs := make([]labbase.StepSpec, 0, cfg.pipeline)
+	queryOids := make([]storage.OID, 0, cfg.pipeline)
 	validTime := int64(1 << 20) // past all preload times, so writes win most-recent
 	for left := ops; left > 0; {
 		flight := cfg.pipeline
@@ -278,7 +291,14 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhi
 		}
 		futures = futures[:0]
 		specs = specs[:0]
+		queryOids = queryOids[:0]
 		for i := 0; i < flight; i++ {
+			// The query draw is skipped entirely at -querymix 0, so the
+			// operation sequence stays identical to pre-querymix runs.
+			if cfg.queryMix > 0 && rng.Float64() < cfg.queryMix {
+				queryOids = append(queryOids, oids[rng.Intn(len(oids))])
+				continue
+			}
 			if rng.Float64() < cfg.readMix {
 				futures = append(futures, p.MostRecent(oids[rng.Intn(len(oids))], attrName))
 			} else {
@@ -294,7 +314,7 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhi
 		if len(futures) > 0 {
 			start := time.Now() //lint:allow wallclock latency measurement, never persisted
 			if err := p.Flush(); err != nil {
-				return reads, writes, err
+				return reads, writes, queries, err
 			}
 			rhist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
 		}
@@ -309,23 +329,35 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhi
 			}
 			start := time.Now() //lint:allow wallclock latency measurement, never persisted
 			if _, err := c.PutSteps(specs[lo:hi]); err != nil {
-				return reads, writes, err
+				return reads, writes, queries, err
 			}
 			whist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
 		}
+		for _, q := range queryOids {
+			start := time.Now() //lint:allow wallclock latency measurement, never persisted
+			sols, err := c.Query(fmt.Sprintf("most_recent(%d, %s, V)", uint64(q), attrName), 1)
+			if err != nil {
+				return reads, writes, queries, err
+			}
+			qhist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
+			if len(sols) == 0 {
+				return reads, writes, queries, fmt.Errorf("self-check: deductive query miss on preloaded material")
+			}
+		}
 		for _, f := range futures {
 			if f.Err != nil {
-				return reads, writes, f.Err
+				return reads, writes, queries, f.Err
 			}
 			if !f.Found {
-				return reads, writes, fmt.Errorf("self-check: most-recent miss on preloaded material")
+				return reads, writes, queries, fmt.Errorf("self-check: most-recent miss on preloaded material")
 			}
 		}
 		reads += len(futures)
 		writes += len(specs)
+		queries += len(queryOids)
 		left -= flight
 	}
-	return reads, writes, nil
+	return reads, writes, queries, nil
 }
 
 // latencyUS summarizes one histogram for the JSON report.
@@ -356,6 +388,7 @@ type jsonReport struct {
 	Addr       string    `json:"addr"`
 	Workers    int       `json:"workers"`
 	ReadMix    float64   `json:"read_mix"`
+	QueryMix   float64   `json:"query_mix"`
 	Pipeline   int       `json:"pipeline"`
 	WriteBatch int       `json:"write_batch"`
 	Shards     int       `json:"shards"`
@@ -365,18 +398,21 @@ type jsonReport struct {
 	Ops        int       `json:"ops"`
 	ReadOps    int       `json:"read_ops"`
 	WriteOps   int       `json:"write_ops"`
+	QueryOps   int       `json:"query_ops"`
 	WallSecs   float64   `json:"wall_secs"`
 	OpsPerSec  float64   `json:"ops_per_sec"`
 	ReadLatUS  latencyUS `json:"read_round_trip_latency_us"`
 	WriteLatUS latencyUS `json:"write_round_trip_latency_us"`
+	QueryLatUS latencyUS `json:"query_round_trip_latency_us"`
 }
 
-func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes int, rhist, whist *metrics.Hist) error {
+func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes, queries int, rhist, whist, qhist *metrics.Hist) error {
 	if cfg.jsonOut {
 		var r jsonReport
 		r.Addr = cfg.addr
 		r.Workers = cfg.workers
 		r.ReadMix = cfg.readMix
+		r.QueryMix = cfg.queryMix
 		r.Pipeline = cfg.pipeline
 		r.WriteBatch = cfg.writeBatch
 		r.Shards = cfg.shards
@@ -386,23 +422,25 @@ func report(w io.Writer, cfg config, wall time.Duration, throughput float64, rea
 		r.Ops = cfg.ops
 		r.ReadOps = reads
 		r.WriteOps = writes
+		r.QueryOps = queries
 		r.WallSecs = wall.Seconds()
 		r.OpsPerSec = throughput
 		r.ReadLatUS = summarize(rhist)
 		r.WriteLatUS = summarize(whist)
+		r.QueryLatUS = summarize(qhist)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(&r)
 	}
-	fmt.Fprintf(w, "lfload: %d workers, readmix %.2f, pipeline %d, writebatch %d, shards %d, serial=%v, seed %d\n",
-		cfg.workers, cfg.readMix, cfg.pipeline, cfg.writeBatch, cfg.shards, cfg.serial, cfg.seed)
-	fmt.Fprintf(w, "  %d ops (%d reads, %d writes) over %d materials in %s\n",
-		cfg.ops, reads, writes, cfg.materials, wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "lfload: %d workers, readmix %.2f, querymix %.2f, pipeline %d, writebatch %d, shards %d, serial=%v, seed %d\n",
+		cfg.workers, cfg.readMix, cfg.queryMix, cfg.pipeline, cfg.writeBatch, cfg.shards, cfg.serial, cfg.seed)
+	fmt.Fprintf(w, "  %d ops (%d reads, %d writes, %d queries) over %d materials in %s\n",
+		cfg.ops, reads, writes, queries, cfg.materials, wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "  throughput: %.0f ops/s\n", throughput)
 	for _, side := range []struct {
 		label string
 		hist  *metrics.Hist
-	}{{"read round-trip latency", rhist}, {"write round-trip latency", whist}} {
+	}{{"read round-trip latency", rhist}, {"write round-trip latency", whist}, {"query round-trip latency", qhist}} {
 		if side.hist.Count() == 0 {
 			continue
 		}

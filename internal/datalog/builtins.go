@@ -33,8 +33,8 @@ func registerBuiltins(e *Engine) {
 	b["string/1"] = biTypeTest(func(t Term) bool { _, ok := t.(Str); return ok })
 	b["is_list/1"] = biTypeTest(func(t Term) bool { _, ok := ListSlice(t); return ok })
 	b["call/1"] = biCall
-	b["not/1"] = func(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
-		return e.solveNeg(args[0], bs, depth, k)
+	b["not/1"] = func(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+		return e.solveNeg(args[0], qc, bs, depth, k)
 	}
 	b["findall/3"] = biFindall
 	b["setof/3"] = biSetof
@@ -49,7 +49,7 @@ func registerBuiltins(e *Engine) {
 	b["=../2"] = biUniv
 }
 
-func biUnify(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biUnify(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	mark := bs.Mark()
 	if Unify(args[0], args[1], bs) {
 		done, err := k()
@@ -61,7 +61,7 @@ func biUnify(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, err
 	return false, nil
 }
 
-func biNotUnify(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biNotUnify(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	mark := bs.Mark()
 	ok := Unify(args[0], args[1], bs)
 	bs.Undo(mark)
@@ -71,14 +71,14 @@ func biNotUnify(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, 
 	return k()
 }
 
-func biEq(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biEq(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	if compare(args[0], args[1]) == 0 {
 		return k()
 	}
 	return false, nil
 }
 
-func biNeq(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biNeq(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	if compare(args[0], args[1]) != 0 {
 		return k()
 	}
@@ -196,7 +196,7 @@ func Eval(t Term) (Term, error) {
 	return nil, fmt.Errorf("datalog: cannot evaluate %s", t)
 }
 
-func biIs(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biIs(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	v, err := Eval(args[1])
 	if err != nil {
 		return false, err
@@ -213,7 +213,7 @@ func biIs(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error)
 }
 
 func biCompare(test func(int) bool) builtin {
-	return func(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	return func(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 		a, err := Eval(args[0])
 		if err != nil {
 			return false, err
@@ -230,7 +230,7 @@ func biCompare(test func(int) bool) builtin {
 }
 
 func biTypeTest(test func(Term) bool) builtin {
-	return func(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	return func(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 		if test(deref(args[0])) {
 			return k()
 		}
@@ -238,14 +238,14 @@ func biTypeTest(test func(Term) bool) builtin {
 	}
 }
 
-func biCall(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
-	return e.solveGoal(args[0], bs, depth+1, k)
+func biCall(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	return e.solveGoal(args[0], qc, bs, depth+1, k)
 }
 
-func biFindall(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biFindall(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	template, goal, out := args[0], args[1], args[2]
 	var results []Term
-	err := e.enumerate(goal, bs, depth, func() {
+	err := e.enumerate(goal, qc, bs, depth, func() {
 		results = append(results, Resolve(template))
 	})
 	if err != nil {
@@ -266,10 +266,10 @@ func biFindall(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, e
 // and fails when there are none — the standard Prolog setof behaviour the
 // benchmark's counting queries rely on. (Unlike full Prolog, free variables
 // in the goal are not grouped over; use findall for bag semantics.)
-func biSetof(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biSetof(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	template, goal, out := args[0], args[1], args[2]
 	var results []Term
-	err := e.enumerate(goal, bs, depth, func() {
+	err := e.enumerate(goal, qc, bs, depth, func() {
 		results = append(results, Resolve(template))
 	})
 	if err != nil {
@@ -290,7 +290,7 @@ func biSetof(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, err
 	return false, nil
 }
 
-func biLength(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biLength(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	if elems, ok := ListSlice(args[0]); ok {
 		mark := bs.Mark()
 		if Unify(args[1], Int(len(elems)), bs) {
@@ -320,7 +320,7 @@ func biLength(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, er
 	return false, fmt.Errorf("datalog: length/2 needs a list or a length")
 }
 
-func biBetween(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biBetween(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	lo, ok1 := deref(args[0]).(Int)
 	hi, ok2 := deref(args[1]).(Int)
 	if !ok1 || !ok2 {
@@ -362,7 +362,12 @@ func clauseOf(t Term) (Clause, error) {
 
 // biAssert inserts a fact or rule — the paper's assert(p): "inserts the
 // atomic formula p into the database. This predicate is always true."
-func biAssert(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+// Read-only queries reject it: the clause database is shared by every
+// concurrent query, so only exclusive (read-write) queries may grow it.
+func biAssert(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	if qc.ReadOnly {
+		return false, fmt.Errorf("datalog: assert/1 is not allowed in a read-only query")
+	}
 	c, err := clauseOf(args[0])
 	if err != nil {
 		return false, err
@@ -374,8 +379,12 @@ func biAssert(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, er
 }
 
 // biRetract deletes the first matching clause — the paper's retract(p):
-// "true if p was in the database prior to deletion."
-func biRetract(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+// "true if p was in the database prior to deletion." Rejected in read-only
+// queries for the same reason as assert/1.
+func biRetract(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+	if qc.ReadOnly {
+		return false, fmt.Errorf("datalog: retract/1 is not allowed in a read-only query")
+	}
 	pat := deref(args[0])
 	patHead, patBody := pat, Term(Atom("true"))
 	if c, ok := pat.(*Compound); ok && (c.Functor == ":-" || c.Functor == "<-") && len(c.Args) == 2 {
@@ -423,17 +432,17 @@ func conjoin(goals []Term) Term {
 	return t
 }
 
-func biWrite(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biWrite(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	fmt.Fprint(e.out, Resolve(args[0]).String())
 	return k()
 }
 
-func biWriteln(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biWriteln(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	fmt.Fprintln(e.out, Resolve(args[0]).String())
 	return k()
 }
 
-func biCopyTerm(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biCopyTerm(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	cp := renameTerm(args[0], make(map[*Var]*Var))
 	mark := bs.Mark()
 	if Unify(args[1], cp, bs) {
@@ -447,7 +456,7 @@ func biCopyTerm(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, 
 }
 
 // biUniv implements T =.. [Functor|Args].
-func biUniv(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func biUniv(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error) {
 	t := deref(args[0])
 	switch x := t.(type) {
 	case *Compound:

@@ -16,24 +16,62 @@ type Cont func() (bool, error)
 // keep enumerating; it returns k's final verdict.
 type Extern func(args []Term, bs *Bindings, k Cont) (bool, error)
 
-type builtin func(e *Engine, args []Term, bs *Bindings, depth int, k Cont) (bool, error)
+// CtxExtern is an Extern that also receives the query context, so it can
+// read from the query's snapshot handle, memoize in its query-local scratch
+// space, and refuse updates when the query is read-only.
+type CtxExtern func(qc *Qctx, args []Term, bs *Bindings, k Cont) (bool, error)
+
+type builtin func(e *Engine, qc *Qctx, args []Term, bs *Bindings, depth int, k Cont) (bool, error)
 
 // cutSignal unwinds resolution to the clause barrier a cut belongs to.
 type cutSignal struct{ barrier int64 }
 
 func (cutSignal) Error() string { return "datalog: cut" }
 
+// Qctx is one query's private resolution context. The engine itself holds
+// only the clause database and the builtin/extern registrations; everything
+// a single resolution mutates — the cut-barrier counter, extern memoization
+// — lives here. Read-only queries therefore share one engine concurrently:
+// each brings its own Qctx, the shared clause database is only read, and
+// assert/1 and retract/1 (the goals that would mutate it) are rejected.
+type Qctx struct {
+	// Handle is the store this query's external predicates read from (nil
+	// means the live store). The engine never inspects it — it is carried
+	// for the externs, which know its concrete type.
+	Handle any
+	// ReadOnly rejects assert/1 and retract/1, and tells externs to reject
+	// their own update predicates, making the query safe to run in
+	// parallel with other queries over the same engine.
+	ReadOnly bool
+	// Memo is query-local scratch space for externs (decoded-record caches
+	// and the like), keyed by the consuming package. It is dropped with
+	// the query, so nothing memoized can outlive the snapshot it was read
+	// from.
+	Memo map[string]any
+
+	barrier int64 // cut-barrier counter, private to this resolution
+}
+
+// NewQctx returns a context for one query over handle.
+func NewQctx(handle any, readOnly bool) *Qctx {
+	return &Qctx{Handle: handle, ReadOnly: readOnly, Memo: make(map[string]any)}
+}
+
 // Engine is a deductive-query engine: a clause database plus a resolution
 // procedure with backtracking, negation as failure, cut, and the update and
 // aggregation builtins of the LabFlow-1 benchmark (assert, retract, setof,
 // findall).
+//
+// Loading (Consult, Add, Declare, RegisterExtern) must happen before
+// concurrent use. After that, any number of read-only queries (QueryCtx
+// with a ReadOnly Qctx) may run in parallel; queries that update the clause
+// database need external serialization.
 type Engine struct {
 	clauses  map[string]*predicate
 	builtins map[string]builtin
-	externs  map[string]Extern
+	externs  map[string]CtxExtern
 	out      io.Writer
 	maxDepth int
-	barrier  int64
 }
 
 // New returns an engine with the standard builtins and library predicates
@@ -42,7 +80,7 @@ func New() *Engine {
 	e := &Engine{
 		clauses:  make(map[string]*predicate),
 		builtins: make(map[string]builtin),
-		externs:  make(map[string]Extern),
+		externs:  make(map[string]CtxExtern),
 		out:      os.Stdout,
 		maxDepth: 100000,
 	}
@@ -101,8 +139,17 @@ func (e *Engine) Declare(name string, arity int) {
 	}
 }
 
-// RegisterExtern installs a database-backed predicate.
+// RegisterExtern installs a database-backed predicate that does not need the
+// query context.
 func (e *Engine) RegisterExtern(name string, arity int, fn Extern) {
+	e.RegisterExternCtx(name, arity, func(_ *Qctx, args []Term, bs *Bindings, k Cont) (bool, error) {
+		return fn(args, bs, k)
+	})
+}
+
+// RegisterExternCtx installs a database-backed predicate that receives the
+// query context (snapshot handle, read-only flag, memo space).
+func (e *Engine) RegisterExternCtx(name string, arity int, fn CtxExtern) {
 	e.externs[fmt.Sprintf("%s/%d", name, arity)] = fn
 }
 
@@ -110,15 +157,22 @@ func (e *Engine) RegisterExtern(name string, arity int, fn Extern) {
 type Solution map[string]Term
 
 // Query runs a goal conjunction and returns up to max solutions (max <= 0
-// means all).
+// means all). It runs read-write over the live store; concurrent use needs
+// QueryCtx with a read-only context.
 func (e *Engine) Query(src string, max int) ([]Solution, error) {
+	return e.QueryCtx(NewQctx(nil, false), src, max)
+}
+
+// QueryCtx runs a goal conjunction under an explicit query context and
+// returns up to max solutions (max <= 0 means all).
+func (e *Engine) QueryCtx(qc *Qctx, src string, max int) ([]Solution, error) {
 	goals, vars, err := ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
 	var out []Solution
 	bs := &Bindings{}
-	_, err = e.solveSeq(goals, bs, 0, func() (bool, error) {
+	_, err = e.solveSeq(goals, qc, bs, 0, func() (bool, error) {
 		sol := make(Solution, len(vars))
 		for name, v := range vars {
 			sol[name] = Resolve(v)
@@ -145,14 +199,14 @@ func (e *Engine) Prove(src string) (bool, error) {
 // Solve runs parsed goals under an existing binding environment (used by
 // tests and the lbq bridge).
 func (e *Engine) Solve(goals []Term, bs *Bindings, k Cont) (bool, error) {
-	done, err := e.solveSeq(goals, bs, 0, k)
+	done, err := e.solveSeq(goals, NewQctx(nil, false), bs, 0, k)
 	if _, ok := err.(cutSignal); ok {
 		err = nil
 	}
 	return done, err
 }
 
-func (e *Engine) solveSeq(goals []Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func (e *Engine) solveSeq(goals []Term, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	if depth > e.maxDepth {
 		return false, fmt.Errorf("datalog: depth limit %d exceeded", e.maxDepth)
 	}
@@ -161,12 +215,12 @@ func (e *Engine) solveSeq(goals []Term, bs *Bindings, depth int, k Cont) (bool, 
 	}
 	g := goals[0]
 	rest := goals[1:]
-	return e.solveGoal(g, bs, depth, func() (bool, error) {
-		return e.solveSeq(rest, bs, depth, k)
+	return e.solveGoal(g, qc, bs, depth, func() (bool, error) {
+		return e.solveSeq(rest, qc, bs, depth, k)
 	})
 }
 
-func (e *Engine) solveGoal(goal Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func (e *Engine) solveGoal(goal Term, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	if depth > e.maxDepth {
 		return false, fmt.Errorf("datalog: depth limit %d exceeded", e.maxDepth)
 	}
@@ -197,19 +251,19 @@ func (e *Engine) solveGoal(goal Term, bs *Bindings, depth int, k Cont) (bool, er
 			return done, cutSignal{barrier: int64(t.Args[0].(Int))}
 		case ",":
 			if len(t.Args) == 2 {
-				return e.solveSeq(flattenConj(t), bs, depth, k)
+				return e.solveSeq(flattenConj(t), qc, bs, depth, k)
 			}
 		case ";":
 			if len(t.Args) == 2 {
-				return e.solveOr(t.Args[0], t.Args[1], bs, depth, k)
+				return e.solveOr(t.Args[0], t.Args[1], qc, bs, depth, k)
 			}
 		case "->":
 			if len(t.Args) == 2 {
-				return e.solveIfThenElse(t.Args[0], t.Args[1], Atom("fail"), bs, depth, k)
+				return e.solveIfThenElse(t.Args[0], t.Args[1], Atom("fail"), qc, bs, depth, k)
 			}
 		case "\\+":
 			if len(t.Args) == 1 {
-				return e.solveNeg(t.Args[0], bs, depth, k)
+				return e.solveNeg(t.Args[0], qc, bs, depth, k)
 			}
 		}
 	default:
@@ -221,12 +275,12 @@ func (e *Engine) solveGoal(goal Term, bs *Bindings, depth int, k Cont) (bool, er
 		return false, fmt.Errorf("datalog: goal %s is not callable", g)
 	}
 	if b, isB := e.builtins[key]; isB {
-		return b(e, goalArgs(g), bs, depth, k)
+		return b(e, qc, goalArgs(g), bs, depth, k)
 	}
 	if x, isX := e.externs[key]; isX {
-		return x(goalArgs(g), bs, k)
+		return x(qc, goalArgs(g), bs, k)
 	}
-	return e.call(g, key, bs, depth, k)
+	return e.call(g, key, qc, bs, depth, k)
 }
 
 func goalArgs(g Term) []Term {
@@ -237,14 +291,15 @@ func goalArgs(g Term) []Term {
 }
 
 // call resolves a user-defined predicate, establishing a cut barrier for the
-// clause bodies it tries.
-func (e *Engine) call(g Term, key string, bs *Bindings, depth int, k Cont) (bool, error) {
+// clause bodies it tries. Barrier identities come from the query context, so
+// concurrent queries never share (or race on) the counter.
+func (e *Engine) call(g Term, key string, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	pred, ok := e.clauses[key]
 	if !ok {
 		return false, fmt.Errorf("datalog: unknown predicate %s", key)
 	}
-	e.barrier++
-	id := e.barrier
+	qc.barrier++
+	id := qc.barrier
 	for _, ic := range pred.candidates(g) {
 		c := ic.c
 		mark := bs.Mark()
@@ -255,7 +310,7 @@ func (e *Engine) call(g Term, key string, bs *Bindings, depth int, k Cont) (bool
 			for i, bg := range c.Body {
 				body[i] = tagCuts(renameTerm(bg, seen), id)
 			}
-			done, err := e.solveSeq(body, bs, depth+1, k)
+			done, err := e.solveSeq(body, qc, bs, depth+1, k)
 			if cut, isCut := err.(cutSignal); isCut {
 				if cut.barrier == id {
 					if !done {
@@ -299,24 +354,24 @@ func tagCuts(t Term, id int64) Term {
 	return t
 }
 
-func (e *Engine) solveOr(a, b Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func (e *Engine) solveOr(a, b Term, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	// if-then-else written (Cond -> Then ; Else).
 	if c, ok := deref(a).(*Compound); ok && c.Functor == "->" && len(c.Args) == 2 {
-		return e.solveIfThenElse(c.Args[0], c.Args[1], b, bs, depth, k)
+		return e.solveIfThenElse(c.Args[0], c.Args[1], b, qc, bs, depth, k)
 	}
 	mark := bs.Mark()
-	done, err := e.solveGoal(a, bs, depth+1, k)
+	done, err := e.solveGoal(a, qc, bs, depth+1, k)
 	if err != nil || done {
 		return done, err
 	}
 	bs.Undo(mark)
-	return e.solveGoal(b, bs, depth+1, k)
+	return e.solveGoal(b, qc, bs, depth+1, k)
 }
 
-func (e *Engine) solveIfThenElse(cond, then, els Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func (e *Engine) solveIfThenElse(cond, then, els Term, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	mark := bs.Mark()
 	found := false
-	done, err := e.solveGoal(cond, bs, depth+1, func() (bool, error) {
+	done, err := e.solveGoal(cond, qc, bs, depth+1, func() (bool, error) {
 		found = true
 		return true, nil // commit to the first solution of Cond
 	})
@@ -329,7 +384,7 @@ func (e *Engine) solveIfThenElse(cond, then, els Term, bs *Bindings, depth int, 
 		return false, err
 	}
 	if found {
-		done, err := e.solveGoal(then, bs, depth+1, k)
+		done, err := e.solveGoal(then, qc, bs, depth+1, k)
 		if err != nil || done {
 			return done, err
 		}
@@ -337,13 +392,13 @@ func (e *Engine) solveIfThenElse(cond, then, els Term, bs *Bindings, depth int, 
 		return false, nil
 	}
 	bs.Undo(mark)
-	return e.solveGoal(els, bs, depth+1, k)
+	return e.solveGoal(els, qc, bs, depth+1, k)
 }
 
-func (e *Engine) solveNeg(g Term, bs *Bindings, depth int, k Cont) (bool, error) {
+func (e *Engine) solveNeg(g Term, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	mark := bs.Mark()
 	found := false
-	_, err := e.solveGoal(g, bs, depth+1, func() (bool, error) {
+	_, err := e.solveGoal(g, qc, bs, depth+1, func() (bool, error) {
 		found = true
 		return true, nil
 	})
@@ -362,9 +417,9 @@ func (e *Engine) solveNeg(g Term, bs *Bindings, depth int, k Cont) (bool, error)
 
 // enumerate runs goal, invoking collect (with bindings in place) for every
 // solution, and backtracks through all of them. Used by findall and setof.
-func (e *Engine) enumerate(goal Term, bs *Bindings, depth int, collect func()) error {
+func (e *Engine) enumerate(goal Term, qc *Qctx, bs *Bindings, depth int, collect func()) error {
 	mark := bs.Mark()
-	_, err := e.solveGoal(goal, bs, depth+1, func() (bool, error) {
+	_, err := e.solveGoal(goal, qc, bs, depth+1, func() (bool, error) {
 		collect()
 		return false, nil // keep backtracking
 	})

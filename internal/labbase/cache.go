@@ -23,7 +23,7 @@ import (
 // miss on an OID performs the storage read while any concurrent readers of
 // the same OID wait for that one fill instead of stampeding the storage
 // manager. c.mu is a leaf lock in the DB lock hierarchy (see DESIGN.md): it
-// is never held across a storage-manager call or while taking DB.mu.
+// is never held across a storage-manager call or while taking DB.wmu.
 //
 // A nil *oidCache is a valid, permanently-empty cache (caching disabled).
 type oidCache[V any] struct {
@@ -33,6 +33,12 @@ type oidCache[V any] struct {
 	head     *cacheNode[V] // most recently used
 	tail     *cacheNode[V] // least recently used
 	fills    map[storage.OID]*cacheFill[V]
+	// gen counts writer-driven updates (put/invalidate). A fill that started
+	// before such an update must not install its possibly-stale bytes over
+	// the writer's refresh, so getOrFill only installs when gen is unchanged
+	// since the fill registered. Sequential use never skips an install: gen
+	// cannot move while a single goroutine is inside getOrFill.
+	gen uint64
 }
 
 type cacheNode[V any] struct {
@@ -102,13 +108,14 @@ func (c *oidCache[V]) getOrFill(oid storage.OID, load func() (V, error)) (V, err
 	}
 	f := &cacheFill[V]{done: make(chan struct{})}
 	c.fills[oid] = f
+	genAtFill := c.gen
 	c.mu.Unlock()
 
 	f.val, f.err = load()
 
 	c.mu.Lock()
 	delete(c.fills, oid)
-	if f.err == nil {
+	if f.err == nil && c.gen == genAtFill {
 		c.putLocked(oid, f.val)
 	}
 	c.mu.Unlock()
@@ -124,6 +131,7 @@ func (c *oidCache[V]) put(oid storage.OID, v V) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	c.putLocked(oid, v)
 }
 
@@ -152,6 +160,7 @@ func (c *oidCache[V]) invalidate(oid storage.OID) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	if n, ok := c.m[oid]; ok {
 		c.unlink(n)
 		delete(c.m, oid)

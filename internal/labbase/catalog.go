@@ -2,6 +2,8 @@ package labbase
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -70,6 +72,38 @@ type catalog struct {
 	byState         map[string]StateID
 	countersOID     storage.OID
 	dirty           bool // needs rewrite at commit
+}
+
+// clone deep-copies the catalog for a published snapshot: class structs are
+// copied (the writer keeps mutating extent heads and version lists in
+// place), the name maps are rebuilt over the copies, and immutable leaves
+// (version attribute slices, strings) are shared. The clone's dirty flag is
+// clear — snapshots never reach the commit path.
+func (c *catalog) clone() *catalog {
+	n := &catalog{
+		materialClasses: make([]*MaterialClass, len(c.materialClasses)),
+		byMCName:        make(map[string]*MaterialClass, len(c.byMCName)),
+		attrs:           slices.Clone(c.attrs),
+		byAttrName:      maps.Clone(c.byAttrName),
+		stepClasses:     make([]*StepClass, len(c.stepClasses)),
+		bySCName:        make(map[string]*StepClass, len(c.bySCName)),
+		states:          slices.Clone(c.states),
+		byState:         maps.Clone(c.byState),
+		countersOID:     c.countersOID,
+	}
+	for i, mc := range c.materialClasses {
+		cm := *mc
+		n.materialClasses[i] = &cm
+		n.byMCName[cm.Name] = &cm
+	}
+	for i, sc := range c.stepClasses {
+		cs := *sc
+		cs.Versions = slices.Clone(sc.Versions)
+		cs.byAttrKey = maps.Clone(sc.byAttrKey)
+		n.stepClasses[i] = &cs
+		n.bySCName[cs.Name] = &cs
+	}
+	return n
 }
 
 func newCatalog() *catalog {

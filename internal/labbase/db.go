@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"labflow/internal/rec"
 	"labflow/internal/storage"
@@ -74,33 +75,39 @@ func DefaultOptions() Options {
 // DB is a LabBase database over a storage manager. Mutating calls must be
 // bracketed by Begin/Commit; reads may run at any time.
 //
-// Concurrency contract: a DB is safe for concurrent use with single-writer
-// semantics. Read-only entry points (MostRecent, MostRecentAsOf,
-// MostRecentScan, History, AttrTimeline, GetMaterial, GetStep, State,
-// LookupMaterial, the counts and scans, SetMembers, Dump, and the catalog
-// listings) take mu.RLock and may run in parallel with each other.
-// Mutations (Begin, Commit, the Define* calls, CreateMaterial,
-// CreateMaterialSet, RecordStep, SetState, Close) take mu.Lock and are
-// fully serialized — both against each other and against readers. Callers
-// running several write transactions concurrently must additionally
-// serialize their Begin/Commit brackets (the wire server's write lock does
-// this); DB.mu alone only makes the individual calls atomic. The decode
-// caches are internally synchronized leaf locks below mu — see DESIGN.md
-// for the full lock hierarchy.
+// Concurrency contract: a DB is safe for concurrent use with single-writer,
+// snapshot-reader semantics. Read entry points take no lock at all: each
+// captures the current published snapshot (one atomic load plus an epoch
+// pin, see snapshot.go) and runs against it for the duration of the call,
+// so readers never wait on writers or on each other. Snapshot() exposes the
+// same mechanism to callers that want one consistent view across several
+// reads. Mutations (Begin, Commit, the Define* calls, CreateMaterial,
+// CreateMaterialSet, RecordStep, SetState, Close) serialize on the writer
+// mutex wmu and publish a new snapshot before returning. Callers running
+// several write transactions concurrently must additionally serialize their
+// Begin/Commit brackets (the wire server's write lock does this); wmu alone
+// only makes the individual calls atomic. The decode caches and the version
+// table are internally synchronized leaf locks below wmu — see DESIGN.md
+// §10 for the full hierarchy. Close must not run concurrently with reads:
+// it releases the storage manager, which active snapshots still read
+// through (the wire server drains its connections first).
 type DB struct {
-	// mu is the reader/writer lock behind the concurrency contract above.
-	// Public read entry points hold it shared and call the unexported
-	// *Locked bodies; mutations hold it exclusively. Internal helpers never
-	// take it, so entry points must not call other public entry points.
-	mu sync.RWMutex
+	// wmu serializes mutations among themselves. Readers never touch it:
+	// the published-snapshot pointer below is their only rendezvous with
+	// the writer.
+	wmu sync.Mutex
 
 	sm   storage.Manager
 	cat  *catalog
 	cnt  counters
 	opts Options
 
-	stateIdx map[StateID]map[storage.OID]struct{}
-	nameIdx  map[string]storage.OID // material name -> OID (names are keys)
+	// Volatile access structures, rebuilt at open. Persistent treaps so a
+	// published snapshot shares all but the most recently touched paths
+	// with the writer's working copy (see treap.go).
+	stateRoots []*treapNode[uint64, struct{}]  // index = StateID-1; key = material OID
+	nameRoot   *treapNode[string, storage.OID] // material name -> OID
+	invRoot    *treapNode[uint64, *invList]    // material OID -> involving steps
 
 	// Decode caches for the hot read paths (see Options.CacheEntries). Both
 	// are invalidated or refreshed on every write to the records they mirror.
@@ -109,10 +116,27 @@ type DB struct {
 	matCache *oidCache[materialRec]
 	mrCache  *oidCache[[]byte]
 
-	inTxn    bool
+	inTxn    atomic.Bool
 	cntDirty bool
 	seq      int64  // logical transaction-time counter
 	cntBuf   []byte // scratch buffer for counter encodes, reused per commit
+
+	// MVCC publication state (snapshot.go). state is the atomically-swapped
+	// pointer readers capture; vers holds pre-images for readers pinned to
+	// older epochs; readers tracks those pins so publish can prune.
+	state   atomic.Pointer[dbState]
+	vers    verTable
+	readers readerSlots
+	// wEpoch is the epoch the next publish will carry (published epoch + 1).
+	wEpoch uint64
+	// snapCat/snapCnt are the catalog and counters clones in the currently
+	// published snapshot; publish reuses them while no op has touched the
+	// working copies since (catTouched/cntTouched).
+	snapCat           *catalog
+	snapCnt           *counters
+	catTouched        bool
+	cntTouched        bool
+	dirtySincePublish bool
 }
 
 // Open opens the LabBase database stored in sm, formatting a fresh one if
@@ -121,8 +145,6 @@ func Open(sm storage.Manager, opts Options) (*DB, error) {
 	db := &DB{
 		sm:       sm,
 		opts:     opts,
-		stateIdx: make(map[StateID]map[storage.OID]struct{}),
-		nameIdx:  make(map[string]storage.OID),
 		matCache: newOIDCache[materialRec](opts.CacheEntries),
 		mrCache:  newOIDCache[[]byte](opts.CacheEntries),
 	}
@@ -134,6 +156,8 @@ func Open(sm storage.Manager, opts Options) (*DB, error) {
 		if err := db.format(); err != nil {
 			return nil, err
 		}
+		db.wEpoch = 1
+		db.publish()
 		return db, nil
 	}
 	data, err := sm.Read(root)
@@ -156,6 +180,8 @@ func Open(sm storage.Manager, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.seq = int64(db.cnt.totalSteps() + db.cnt.totalMaterials())
+	db.wEpoch = 1
+	db.publish()
 	return db, nil
 }
 
@@ -179,10 +205,12 @@ func (db *DB) format() error {
 	return db.sm.Commit()
 }
 
-// rebuildStateIndex reconstructs the in-memory state and name indexes —
-// LabBase keeps its volatile access structures in memory and rebuilds them
-// at server start.
+// rebuildStateIndex reconstructs the in-memory access structures — the
+// state sets, the name index and the reverse involves index. LabBase keeps
+// its volatile access structures in memory and rebuilds them at server
+// start.
 func (db *DB) rebuildStateIndex() error {
+	db.stateRoots = make([]*treapNode[uint64, struct{}], len(db.cat.states))
 	for _, mc := range db.cat.materialClasses {
 		err := db.scanExtent(mc.extentHead, func(oid storage.OID) error {
 			m, err := db.readMaterial(oid)
@@ -193,9 +221,9 @@ func (db *DB) rebuildStateIndex() error {
 				db.stateIdxAdd(m.stateID, oid)
 			}
 			if m.name != "" {
-				db.nameIdx[m.name] = oid
+				db.nameRoot = treapPut(db.nameRoot, m.name, namePri(m.name), oid)
 			}
-			return nil
+			return db.rebuildInvolves(oid, m)
 		})
 		if err != nil {
 			return err
@@ -204,38 +232,56 @@ func (db *DB) rebuildStateIndex() error {
 	return nil
 }
 
-func (db *DB) stateIdxAdd(s StateID, oid storage.OID) {
-	set, ok := db.stateIdx[s]
-	if !ok {
-		set = make(map[storage.OID]struct{})
-		db.stateIdx[s] = set
+// rebuildInvolves replays a material's history chain into the reverse
+// involves index (material -> steps that processed it).
+func (db *DB) rebuildInvolves(oid storage.OID, m *materialRec) error {
+	if m.historyHead.IsNil() {
+		return nil
 	}
-	set[oid] = struct{}{}
+	hist, err := db.historyFrom(m.historyHead, m.historyCount)
+	if err != nil {
+		return err
+	}
+	var l *invList
+	for i, h := range hist {
+		l = &invList{step: h.Step, next: l, n: i + 1}
+	}
+	if l != nil {
+		db.invRoot = treapPut(db.invRoot, uint64(oid), oidPri(uint64(oid)), l)
+	}
+	return nil
+}
+
+func (db *DB) stateIdxAdd(s StateID, oid storage.OID) {
+	for len(db.stateRoots) < int(s) {
+		db.stateRoots = append(db.stateRoots, nil)
+	}
+	db.stateRoots[s-1] = treapPut(db.stateRoots[s-1], uint64(oid), oidPri(uint64(oid)), struct{}{})
 }
 
 func (db *DB) stateIdxRemove(s StateID, oid storage.OID) {
-	if set, ok := db.stateIdx[s]; ok {
-		delete(set, oid)
+	if int(s) <= len(db.stateRoots) {
+		db.stateRoots[s-1] = treapDelete(db.stateRoots[s-1], uint64(oid))
 	}
 }
 
 // Begin starts a transaction.
 func (db *DB) Begin() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if err := db.sm.Begin(); err != nil {
 		return err
 	}
-	db.inTxn = true
+	db.inTxn.Store(true)
 	return nil
 }
 
 // Commit writes back the catalog and counters if they changed and commits
 // the storage transaction.
 func (db *DB) Commit() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if !db.inTxn {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if !db.inTxn.Load() {
 		return ErrNoTransaction
 	}
 	if db.cat.dirty {
@@ -261,12 +307,15 @@ func (db *DB) Commit() error {
 		}
 		db.cntDirty = false
 	}
-	db.inTxn = false
+	db.inTxn.Store(false)
+	// Backstop publish: ops normally publish themselves on exit, but an op
+	// that failed partway may have left unpublished mutations behind.
+	db.publishIfDirty()
 	return db.sm.Commit()
 }
 
 func (db *DB) requireTxn() error {
-	if !db.inTxn {
+	if !db.inTxn.Load() {
 		return ErrNoTransaction
 	}
 	return nil
@@ -274,15 +323,13 @@ func (db *DB) requireTxn() error {
 
 // InTxn reports whether a transaction is open.
 func (db *DB) InTxn() bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.inTxn
+	return db.inTxn.Load()
 }
 
 // Close closes the database (the storage manager with it).
 func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	return db.sm.Close()
 }
 
@@ -303,8 +350,9 @@ func (db *DB) nextTxnTime() int64 {
 // (is-a link). Re-defining an existing class with the same parent is a
 // no-op; with a different parent it is an error.
 func (db *DB) DefineMaterialClass(name, parent string) (ClassID, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	defer db.publishIfDirty()
 	if err := db.requireTxn(); err != nil {
 		return 0, err
 	}
@@ -328,17 +376,18 @@ func (db *DB) DefineMaterialClass(name, parent string) (ClassID, error) {
 	mc := &MaterialClass{ID: ClassID(len(db.cat.materialClasses) + 1), Name: name, Parent: parentID}
 	db.cat.materialClasses = append(db.cat.materialClasses, mc)
 	db.cat.byMCName[name] = mc
-	db.cat.dirty = true
+	db.markCat()
 	db.cnt.growTo(len(db.cat.materialClasses), len(db.cat.stepClasses), len(db.cat.states))
-	db.cntDirty = true
+	db.markCnt()
 	return mc.ID, nil
 }
 
 // DefineAttr registers an attribute. Redefinition with a conflicting kind is
 // an error; with the same kind it is a no-op.
 func (db *DB) DefineAttr(name string, kind Kind) (AttrID, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	defer db.publishIfDirty()
 	if err := db.requireTxn(); err != nil {
 		return 0, err
 	}
@@ -359,7 +408,7 @@ func (db *DB) defineAttrLocked(name string, kind Kind) (AttrID, error) {
 	db.cat.attrs = append(db.cat.attrs, AttrDef{Name: name, Kind: kind})
 	id := AttrID(len(db.cat.attrs))
 	db.cat.byAttrName[name] = id
-	db.cat.dirty = true
+	db.markCat()
 	return id, nil
 }
 
@@ -370,8 +419,9 @@ func (db *DB) defineAttrLocked(name string, kind Kind) (AttrID, error) {
 // evolution: "as a step evolves, new versions of the step are created" and
 // "each step object is associated forever with the same version".
 func (db *DB) DefineStepClass(name string, attrs []AttrDef) (StepClassID, Version, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	defer db.publishIfDirty()
 	if err := db.requireTxn(); err != nil {
 		return 0, 0, err
 	}
@@ -395,9 +445,9 @@ func (db *DB) DefineStepClass(name string, attrs []AttrDef) (StepClassID, Versio
 		}
 		db.cat.stepClasses = append(db.cat.stepClasses, sc)
 		db.cat.bySCName[name] = sc
-		db.cat.dirty = true
+		db.markCat()
 		db.cnt.growTo(len(db.cat.materialClasses), len(db.cat.stepClasses), len(db.cat.states))
-		db.cntDirty = true
+		db.markCnt()
 	}
 	ver, err := db.stepVersionLocked(sc, ids)
 	if err != nil {
@@ -417,14 +467,15 @@ func (db *DB) stepVersionLocked(sc *StepClass, ids []AttrID) (Version, error) {
 	v := Version(len(sc.Versions) + 1)
 	sc.Versions = append(sc.Versions, StepVersion{Ver: v, Attrs: sorted})
 	sc.byAttrKey[key] = v
-	db.cat.dirty = true
+	db.markCat()
 	return v, nil
 }
 
 // DefineState registers a workflow state name.
 func (db *DB) DefineState(name string) (StateID, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	defer db.publishIfDirty()
 	if err := db.requireTxn(); err != nil {
 		return 0, err
 	}
@@ -437,19 +488,26 @@ func (db *DB) DefineState(name string) (StateID, error) {
 	db.cat.states = append(db.cat.states, name)
 	id := StateID(len(db.cat.states))
 	db.cat.byState[name] = id
-	db.cat.dirty = true
+	db.stateRoots = append(db.stateRoots, nil)
+	db.markCat()
 	db.cnt.growTo(len(db.cat.materialClasses), len(db.cat.stepClasses), len(db.cat.states))
-	db.cntDirty = true
+	db.markCnt()
 	return id, nil
 }
 
 // MaterialClasses returns the defined material class names in definition
 // order.
 func (db *DB) MaterialClasses() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, len(db.cat.materialClasses))
-	for i, mc := range db.cat.materialClasses {
+	s := db.acquire()
+	defer s.Close()
+	return s.MaterialClasses()
+}
+
+// MaterialClasses returns the class names as of the snapshot.
+func (s *Snap) MaterialClasses() []string {
+	cat := s.catView()
+	out := make([]string, len(cat.materialClasses))
+	for i, mc := range cat.materialClasses {
 		out[i] = mc.Name
 	}
 	return out
@@ -457,10 +515,16 @@ func (db *DB) MaterialClasses() []string {
 
 // StepClasses returns the defined step class names in definition order.
 func (db *DB) StepClasses() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, len(db.cat.stepClasses))
-	for i, sc := range db.cat.stepClasses {
+	s := db.acquire()
+	defer s.Close()
+	return s.StepClasses()
+}
+
+// StepClasses returns the step class names as of the snapshot.
+func (s *Snap) StepClasses() []string {
+	cat := s.catView()
+	out := make([]string, len(cat.stepClasses))
+	for i, sc := range cat.stepClasses {
 		out[i] = sc.Name
 	}
 	return out
@@ -469,9 +533,15 @@ func (db *DB) StepClasses() []string {
 // StepClassVersions returns the versions of a step class with attribute
 // names resolved.
 func (db *DB) StepClassVersions(name string) ([][]string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	sc, ok := db.cat.bySCName[name]
+	s := db.acquire()
+	defer s.Close()
+	return s.StepClassVersions(name)
+}
+
+// StepClassVersions returns the versions as of the snapshot.
+func (s *Snap) StepClassVersions(name string) ([][]string, error) {
+	cat := s.catView()
+	sc, ok := cat.bySCName[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: step class %q", ErrUnknownClass, name)
 	}
@@ -479,7 +549,7 @@ func (db *DB) StepClassVersions(name string) ([][]string, error) {
 	for i, v := range sc.Versions {
 		names := make([]string, len(v.Attrs))
 		for j, a := range v.Attrs {
-			def, err := db.cat.attr(a)
+			def, err := cat.attr(a)
 			if err != nil {
 				return nil, err
 			}
@@ -492,7 +562,12 @@ func (db *DB) StepClassVersions(name string) ([][]string, error) {
 
 // States returns the defined state names in definition order.
 func (db *DB) States() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return append([]string(nil), db.cat.states...)
+	s := db.acquire()
+	defer s.Close()
+	return s.States()
+}
+
+// States returns the state names as of the snapshot.
+func (s *Snap) States() []string {
+	return append([]string(nil), s.catView().states...)
 }

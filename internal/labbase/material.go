@@ -2,7 +2,6 @@ package labbase
 
 import (
 	"fmt"
-	"sort"
 
 	"labflow/internal/rec"
 	"labflow/internal/storage"
@@ -23,8 +22,9 @@ type Material struct {
 // material came into existence. A non-empty name is the material's key and
 // must be unique across the database.
 func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storage.OID, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	defer db.publishIfDirty()
 	if err := db.requireTxn(); err != nil {
 		return storage.NilOID, err
 	}
@@ -33,7 +33,7 @@ func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storag
 		return storage.NilOID, fmt.Errorf("%w: material class %q", ErrUnknownClass, class)
 	}
 	if name != "" {
-		if _, dup := db.nameIdx[name]; dup {
+		if _, dup := treapGet(db.nameRoot, name); dup {
 			return storage.NilOID, fmt.Errorf("%w: %q", ErrDuplicateName, name)
 		}
 	}
@@ -54,12 +54,15 @@ func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storag
 	if err != nil {
 		return storage.NilOID, fmt.Errorf("labbase: create material: %w", err)
 	}
+	// Creation marker: readers pinned to earlier epochs must not see the
+	// new material even though its record now exists in storage.
+	db.vers.save(oid, db.wEpoch, nil)
 	changed, err := db.appendToExtent(&mc.extentHead, oid)
 	if err != nil {
 		return storage.NilOID, err
 	}
 	if changed {
-		db.cat.dirty = true
+		db.markCat()
 	}
 	db.cnt.matsByClass[mc.ID-1]++
 	if stateID != 0 {
@@ -67,34 +70,40 @@ func (db *DB) CreateMaterial(class, name, state string, validTime int64) (storag
 		db.stateIdxAdd(stateID, oid)
 	}
 	if name != "" {
-		db.nameIdx[name] = oid
+		db.nameRoot = treapPut(db.nameRoot, name, namePri(name), oid)
 	}
-	db.cntDirty = true
+	db.markCnt()
 	return oid, nil
 }
 
 // LookupMaterial resolves a material by its name (the lab's natural key) —
 // the LabFlow analog of TPC's "look up an account record given its key".
 func (db *DB) LookupMaterial(name string) (storage.OID, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	oid, ok := db.nameIdx[name]
-	return oid, ok
+	s := db.acquire()
+	defer s.Close()
+	return s.LookupMaterial(name)
+}
+
+// LookupMaterial resolves a material name as of the snapshot.
+func (s *Snap) LookupMaterial(name string) (storage.OID, bool) {
+	return treapGet(s.nameRootView(), name)
 }
 
 // GetMaterial returns the public view of a material.
 func (db *DB) GetMaterial(oid storage.OID) (*Material, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.getMaterialLocked(oid)
+	s := db.acquire()
+	defer s.Close()
+	return s.GetMaterial(oid)
 }
 
-func (db *DB) getMaterialLocked(oid storage.OID) (*Material, error) {
-	m, err := db.readMaterial(oid)
+// GetMaterial returns the material's public view as of the snapshot.
+func (s *Snap) GetMaterial(oid storage.OID) (*Material, error) {
+	m, err := s.readMaterial(oid)
 	if err != nil {
 		return nil, err
 	}
-	mc, err := db.cat.materialClass(m.classID)
+	cat := s.catView()
+	mc, err := cat.materialClass(m.classID)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +115,7 @@ func (db *DB) getMaterialLocked(oid storage.OID) (*Material, error) {
 		HistoryLen: int(m.historyCount),
 	}
 	if m.stateID != 0 {
-		out.State, err = db.cat.stateName(m.stateID)
+		out.State, err = cat.stateName(m.stateID)
 		if err != nil {
 			return nil, err
 		}
@@ -116,23 +125,29 @@ func (db *DB) getMaterialLocked(oid storage.OID) (*Material, error) {
 
 // State returns a material's workflow state ("" if none).
 func (db *DB) State(oid storage.OID) (string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	m, err := db.readMaterial(oid)
+	s := db.acquire()
+	defer s.Close()
+	return s.State(oid)
+}
+
+// State returns the material's workflow state as of the snapshot.
+func (s *Snap) State(oid storage.OID) (string, error) {
+	m, err := s.readMaterial(oid)
 	if err != nil {
 		return "", err
 	}
 	if m.stateID == 0 {
 		return "", nil
 	}
-	return db.cat.stateName(m.stateID)
+	return s.catView().stateName(m.stateID)
 }
 
 // SetState moves a material to a new workflow state — the retract/assert
 // pair of the paper's workflow-tracking updates. state may be "" to clear.
 func (db *DB) SetState(oid storage.OID, state string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	defer db.publishIfDirty()
 	if err := db.requireTxn(); err != nil {
 		return err
 	}
@@ -151,6 +166,10 @@ func (db *DB) SetState(oid storage.OID, state string) error {
 	if m.stateID == stateID {
 		return nil
 	}
+	// Save the pre-image before any mutation: a reader that observes the
+	// rewritten record always finds the version it should see instead.
+	pre := *m
+	db.vers.save(oid, db.wEpoch, &pre)
 	if m.stateID != 0 {
 		db.cnt.matsByState[m.stateID-1]--
 		db.stateIdxRemove(m.stateID, oid)
@@ -160,52 +179,73 @@ func (db *DB) SetState(oid storage.OID, state string) error {
 		db.cnt.matsByState[stateID-1]++
 		db.stateIdxAdd(stateID, oid)
 	}
-	db.cntDirty = true
+	db.markCnt()
 	return db.writeMaterial(oid, m)
 }
 
 // MaterialsInState returns the materials currently in the named state,
 // sorted by OID for determinism.
 func (db *DB) MaterialsInState(state string) ([]storage.OID, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	id, ok := db.cat.byState[state]
+	s := db.acquire()
+	defer s.Close()
+	return s.MaterialsInState(state)
+}
+
+// MaterialsInState returns the state's members as of the snapshot.
+func (s *Snap) MaterialsInState(state string) ([]storage.OID, error) {
+	id, ok := s.catView().byState[state]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownState, state)
 	}
-	set := db.stateIdx[id]
-	out := make([]storage.OID, 0, len(set))
-	for oid := range set {
-		out = append(out, oid)
+	roots := s.stateRootsView()
+	var root *treapNode[uint64, struct{}]
+	if int(id) <= len(roots) {
+		root = roots[id-1]
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]storage.OID, 0, 16)
+	_ = treapAscend(root, func(k uint64, _ struct{}) error {
+		out = append(out, storage.OID(k))
+		return nil
+	})
 	return out, nil
 }
 
 // CountInState returns the number of materials in the named state.
 func (db *DB) CountInState(state string) (uint64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	id, ok := db.cat.byState[state]
+	s := db.acquire()
+	defer s.Close()
+	return s.CountInState(state)
+}
+
+// CountInState counts the state's members as of the snapshot.
+func (s *Snap) CountInState(state string) (uint64, error) {
+	id, ok := s.catView().byState[state]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownState, state)
 	}
-	return db.cnt.matsByState[id-1], nil
+	return s.cntView().matsByState[id-1], nil
 }
 
 // CountMaterials counts the instances of a material class, including
 // subclasses (is-a semantics).
 func (db *DB) CountMaterials(class string) (uint64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	mc, ok := db.cat.byMCName[class]
+	s := db.acquire()
+	defer s.Close()
+	return s.CountMaterials(class)
+}
+
+// CountMaterials counts a class's instances as of the snapshot.
+func (s *Snap) CountMaterials(class string) (uint64, error) {
+	cat := s.catView()
+	mc, ok := cat.byMCName[class]
 	if !ok {
 		return 0, fmt.Errorf("%w: material class %q", ErrUnknownClass, class)
 	}
+	cnt := s.cntView()
 	var total uint64
-	for _, c := range db.cat.materialClasses {
-		if db.cat.isSubclass(c.ID, mc.ID) {
-			total += db.cnt.matsByClass[c.ID-1]
+	for _, c := range cat.materialClasses {
+		if cat.isSubclass(c.ID, mc.ID) {
+			total += cnt.matsByClass[c.ID-1]
 		}
 	}
 	return total, nil
@@ -213,30 +253,42 @@ func (db *DB) CountMaterials(class string) (uint64, error) {
 
 // CountSteps counts the instances of a step class across all its versions.
 func (db *DB) CountSteps(class string) (uint64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	sc, ok := db.cat.bySCName[class]
+	s := db.acquire()
+	defer s.Close()
+	return s.CountSteps(class)
+}
+
+// CountSteps counts a step class's instances as of the snapshot.
+func (s *Snap) CountSteps(class string) (uint64, error) {
+	sc, ok := s.catView().bySCName[class]
 	if !ok {
 		return 0, fmt.Errorf("%w: step class %q", ErrUnknownClass, class)
 	}
-	return db.cnt.stepsByClass[sc.ID-1], nil
+	return s.cntView().stepsByClass[sc.ID-1], nil
 }
 
 // ScanMaterials calls fn for each material of the class (subclasses
 // included), in insertion order per class.
 func (db *DB) ScanMaterials(class string, fn func(*Material) error) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	mc, ok := db.cat.byMCName[class]
+	s := db.acquire()
+	defer s.Close()
+	return s.ScanMaterials(class, fn)
+}
+
+// ScanMaterials scans a class's instances as of the snapshot.
+func (s *Snap) ScanMaterials(class string, fn func(*Material) error) error {
+	cat := s.catView()
+	mc, ok := cat.byMCName[class]
 	if !ok {
 		return fmt.Errorf("%w: material class %q", ErrUnknownClass, class)
 	}
-	for _, c := range db.cat.materialClasses {
-		if !db.cat.isSubclass(c.ID, mc.ID) {
+	cnt := s.cntView()
+	for _, c := range cat.materialClasses {
+		if !cat.isSubclass(c.ID, mc.ID) {
 			continue
 		}
-		err := db.scanExtent(c.extentHead, func(oid storage.OID) error {
-			m, err := db.getMaterialLocked(oid)
+		err := s.scanExtentN(c.extentHead, cnt.matsByClass[c.ID-1], func(oid storage.OID) error {
+			m, err := s.GetMaterial(oid)
 			if err != nil {
 				return err
 			}
@@ -252,11 +304,18 @@ func (db *DB) ScanMaterials(class string, fn func(*Material) error) error {
 // ScanAllMaterials calls fn once for every material in the database,
 // walking each concrete class's extent (no subclass double-counting).
 func (db *DB) ScanAllMaterials(fn func(*Material) error) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for _, c := range db.cat.materialClasses {
-		err := db.scanExtent(c.extentHead, func(oid storage.OID) error {
-			m, err := db.getMaterialLocked(oid)
+	s := db.acquire()
+	defer s.Close()
+	return s.ScanAllMaterials(fn)
+}
+
+// ScanAllMaterials scans every material as of the snapshot.
+func (s *Snap) ScanAllMaterials(fn func(*Material) error) error {
+	cat := s.catView()
+	cnt := s.cntView()
+	for _, c := range cat.materialClasses {
+		err := s.scanExtentN(c.extentHead, cnt.matsByClass[c.ID-1], func(oid storage.OID) error {
+			m, err := s.GetMaterial(oid)
 			if err != nil {
 				return err
 			}
@@ -272,8 +331,8 @@ func (db *DB) ScanAllMaterials(fn func(*Material) error) error {
 // CreateMaterialSet stores a write-once material_set over the given members
 // (each must be a live material) and returns its OID.
 func (db *DB) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if err := db.requireTxn(); err != nil {
 		return storage.NilOID, err
 	}
@@ -289,14 +348,22 @@ func (db *DB) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
 	if err != nil {
 		return storage.NilOID, fmt.Errorf("labbase: create set: %w", err)
 	}
+	// No publish: a set is write-once and reachable only through the OID
+	// just returned, so no in-memory snapshot structure changes.
 	return oid, nil
 }
 
 // SetMembers returns the members of a material_set.
 func (db *DB) SetMembers(oid storage.OID) ([]storage.OID, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.setMembersLocked(oid)
+	s := db.acquire()
+	defer s.Close()
+	return s.SetMembers(oid)
+}
+
+// SetMembers reads a material_set. Sets are write-once, so no snapshot
+// correction is needed.
+func (s *Snap) SetMembers(oid storage.OID) ([]storage.OID, error) {
+	return s.db.setMembersLocked(oid)
 }
 
 func (db *DB) setMembersLocked(oid storage.OID) ([]storage.OID, error) {

@@ -17,18 +17,30 @@ type HistoryEntry struct {
 // time) order, oldest first. Valid-time order may differ when steps were
 // recorded out of order; see MostRecent.
 func (db *DB) History(oid storage.OID) ([]HistoryEntry, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.historyLocked(oid)
+	s := db.acquire()
+	defer s.Close()
+	return s.History(oid)
 }
 
-func (db *DB) historyLocked(oid storage.OID) ([]HistoryEntry, error) {
-	m, err := db.readMaterial(oid)
+// History returns the material's event history as of the snapshot.
+func (s *Snap) History(oid storage.OID) ([]HistoryEntry, error) {
+	m, err := s.readMaterial(oid)
 	if err != nil {
 		return nil, err
 	}
+	return s.db.historyFrom(m.historyHead, m.historyCount)
+}
+
+// historyFrom walks a history chain from head, returning exactly the first
+// total entries in insertion order. History chunks grow by in-place append
+// with the count byte written last and never rewrite existing entries, so a
+// snapshot reader handed a capture-time (head, count) pair sees exactly its
+// capture-time prefix even while the writer keeps appending: only the head
+// chunk can have grown (non-head chunks are full by construction), and
+// total truncates it.
+func (db *DB) historyFrom(head storage.OID, total uint64) ([]HistoryEntry, error) {
 	var chunks [][]byte
-	for c := m.historyHead; !c.IsNil(); {
+	for c := head; !c.IsNil(); {
 		data, err := db.sm.Read(c)
 		if err != nil {
 			return nil, fmt.Errorf("labbase: read history chunk: %w", err)
@@ -39,10 +51,17 @@ func (db *DB) historyLocked(oid storage.OID) ([]HistoryEntry, error) {
 		chunks = append(chunks, data)
 		c = historyChunkNext(data)
 	}
-	out := make([]HistoryEntry, 0, int(m.historyCount))
+	out := make([]HistoryEntry, 0, int(total))
+	validHead := int(total) - (len(chunks)-1)*historyChunkCap
 	for i := len(chunks) - 1; i >= 0; i-- {
 		data := chunks[i]
 		n := historyChunkCount(data)
+		if i == 0 {
+			if validHead < 0 || validHead > n {
+				return nil, fmt.Errorf("labbase: history chain disagrees with count %d", total)
+			}
+			n = validHead
+		}
 		for j := 0; j < n; j++ {
 			e := historyChunkEntry(data, j)
 			out = append(out, HistoryEntry{Step: e.step, ValidTime: e.validTime})
@@ -51,37 +70,50 @@ func (db *DB) historyLocked(oid storage.OID) ([]HistoryEntry, error) {
 	return out, nil
 }
 
+// StepsInvolving returns the OIDs of every step that processed the material,
+// in insertion order (oldest first) — the step projection of History served
+// from the reverse involves index in O(result) instead of a history-chain
+// walk.
+func (db *DB) StepsInvolving(oid storage.OID) ([]storage.OID, error) {
+	s := db.acquire()
+	defer s.Close()
+	return s.StepsInvolving(oid)
+}
+
+// StepsInvolving answers from the snapshot's reverse involves index.
+func (s *Snap) StepsInvolving(oid storage.OID) ([]storage.OID, error) {
+	if _, err := s.readMaterial(oid); err != nil {
+		return nil, err
+	}
+	l, _ := treapGet(s.invRootView(), uint64(oid))
+	return l.invSteps(), nil
+}
+
 // MostRecent answers the benchmark's signature query: the value of attr on
 // the most recent (by valid time) step that assigned it to the material.
 // It uses the most-recent index — O(1) in history length — and returns the
 // value, the step that produced it, and whether any step assigned the
 // attribute at all.
 func (db *DB) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	id, ok := db.cat.byAttrName[attr]
+	s := db.acquire()
+	defer s.Close()
+	return s.MostRecent(oid, attr)
+}
+
+// MostRecent answers the signature query as of the snapshot.
+func (s *Snap) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool, error) {
+	id, ok := s.catView().byAttrName[attr]
 	if !ok {
 		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
 	}
-	m, err := db.readMaterial(oid)
+	m, err := s.readMaterial(oid)
 	if err != nil {
 		return Nil(), storage.NilOID, false, err
 	}
 	if m.mrIndex.IsNil() {
 		return Nil(), storage.NilOID, false, nil
 	}
-	// Single-flight fill: concurrent readers missing on the same index
-	// share one storage read instead of stampeding the manager.
-	data, err := db.mrCache.getOrFill(m.mrIndex, func() ([]byte, error) {
-		data, err := db.sm.Read(m.mrIndex)
-		if err != nil {
-			return nil, fmt.Errorf("labbase: read most-recent index: %w", err)
-		}
-		if err := checkMRIndex(data); err != nil {
-			return nil, err
-		}
-		return data, nil
-	})
+	data, err := s.readMR(m.mrIndex)
 	if err != nil {
 		return Nil(), storage.NilOID, false, err
 	}
@@ -90,7 +122,7 @@ func (db *DB) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool
 		return Nil(), storage.NilOID, false, nil
 	}
 	e := mrGet(data, i)
-	step, err := db.readStep(e.step)
+	step, err := s.db.readStep(e.step)
 	if err != nil {
 		return Nil(), storage.NilOID, false, fmt.Errorf("labbase: most-recent step: %w", err)
 	}
@@ -106,13 +138,18 @@ func (db *DB) MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool
 // steps with equal valid time, the latest-inserted wins, matching the
 // index's tie-break.
 func (db *DB) MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	id, ok := db.cat.byAttrName[attr]
+	s := db.acquire()
+	defer s.Close()
+	return s.MostRecentScan(oid, attr)
+}
+
+// MostRecentScan answers the oracle query as of the snapshot.
+func (s *Snap) MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, bool, error) {
+	id, ok := s.catView().byAttrName[attr]
 	if !ok {
 		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
 	}
-	hist, err := db.historyLocked(oid)
+	hist, err := s.History(oid)
 	if err != nil {
 		return Nil(), storage.NilOID, false, err
 	}
@@ -120,7 +157,7 @@ func (db *DB) MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, 
 	// from the back then prefers the latest-inserted of the newest steps.
 	sort.SliceStable(hist, func(i, j int) bool { return hist[i].ValidTime < hist[j].ValidTime })
 	for i := len(hist) - 1; i >= 0; i-- {
-		step, err := db.readStep(hist[i].Step)
+		step, err := s.db.readStep(hist[i].Step)
 		if err != nil {
 			return Nil(), storage.NilOID, false, err
 		}
@@ -136,13 +173,18 @@ func (db *DB) MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, 
 // ValidTime <= t that assigned it. Ties in valid time resolve to the
 // latest-inserted step, consistent with MostRecent.
 func (db *DB) MostRecentAsOf(oid storage.OID, attr string, t int64) (Value, storage.OID, bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	id, ok := db.cat.byAttrName[attr]
+	s := db.acquire()
+	defer s.Close()
+	return s.MostRecentAsOf(oid, attr, t)
+}
+
+// MostRecentAsOf answers the historical query as of the snapshot.
+func (s *Snap) MostRecentAsOf(oid storage.OID, attr string, t int64) (Value, storage.OID, bool, error) {
+	id, ok := s.catView().byAttrName[attr]
 	if !ok {
 		return Nil(), storage.NilOID, false, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
 	}
-	hist, err := db.historyLocked(oid)
+	hist, err := s.History(oid)
 	if err != nil {
 		return Nil(), storage.NilOID, false, err
 	}
@@ -151,7 +193,7 @@ func (db *DB) MostRecentAsOf(oid storage.OID, attr string, t int64) (Value, stor
 		if hist[i].ValidTime > t {
 			continue
 		}
-		step, err := db.readStep(hist[i].Step)
+		step, err := s.db.readStep(hist[i].Step)
 		if err != nil {
 			return Nil(), storage.NilOID, false, err
 		}
@@ -173,20 +215,26 @@ type TimelineEntry struct {
 // time order (insertion order among equal valid times) — the event-calculus
 // style view of the audit trail.
 func (db *DB) AttrTimeline(oid storage.OID, attr string) ([]TimelineEntry, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	id, ok := db.cat.byAttrName[attr]
+	s := db.acquire()
+	defer s.Close()
+	return s.AttrTimeline(oid, attr)
+}
+
+// AttrTimeline returns the attribute's assignment timeline as of the
+// snapshot.
+func (s *Snap) AttrTimeline(oid storage.OID, attr string) ([]TimelineEntry, error) {
+	id, ok := s.catView().byAttrName[attr]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
 	}
-	hist, err := db.historyLocked(oid)
+	hist, err := s.History(oid)
 	if err != nil {
 		return nil, err
 	}
 	sort.SliceStable(hist, func(i, j int) bool { return hist[i].ValidTime < hist[j].ValidTime })
 	var out []TimelineEntry
 	for _, h := range hist {
-		step, err := db.readStep(h.Step)
+		step, err := s.db.readStep(h.Step)
 		if err != nil {
 			return nil, err
 		}
@@ -209,14 +257,21 @@ type DumpStats struct {
 // archival scan. It touches each material record, each history chunk and
 // each referenced step record, and returns volume statistics.
 func (db *DB) Dump() (DumpStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	s := db.acquire()
+	defer s.Close()
+	return s.Dump()
+}
+
+// Dump runs the archival scan against the snapshot.
+func (s *Snap) Dump() (DumpStats, error) {
 	var st DumpStats
+	cat := s.catView()
+	cnt := s.cntView()
 	seen := make(map[storage.OID]struct{})
-	for _, mc := range db.cat.materialClasses {
-		err := db.scanExtent(mc.extentHead, func(moid storage.OID) error {
+	for _, mc := range cat.materialClasses {
+		err := s.scanExtentN(mc.extentHead, cnt.matsByClass[mc.ID-1], func(moid storage.OID) error {
 			st.Materials++
-			hist, err := db.historyLocked(moid)
+			hist, err := s.History(moid)
 			if err != nil {
 				return err
 			}
@@ -226,7 +281,7 @@ func (db *DB) Dump() (DumpStats, error) {
 					continue
 				}
 				seen[h.Step] = struct{}{}
-				step, err := db.readStep(h.Step)
+				step, err := s.db.readStep(h.Step)
 				if err != nil {
 					return err
 				}

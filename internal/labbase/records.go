@@ -534,6 +534,15 @@ func (c *counters) growTo(nmc, nsc, nst int) {
 	}
 }
 
+// clone copies the counters for a published snapshot.
+func (c *counters) clone() counters {
+	return counters{
+		matsByClass:  append([]uint64(nil), c.matsByClass...),
+		stepsByClass: append([]uint64(nil), c.stepsByClass...),
+		matsByState:  append([]uint64(nil), c.matsByState...),
+	}
+}
+
 func (c *counters) totalMaterials() uint64 {
 	var t uint64
 	for _, v := range c.matsByClass {

@@ -11,8 +11,14 @@ import (
 // OID in a segment sorts below every shard-k+1 OID, so concatenating
 // per-shard OID-sorted lists in shard order *is* the globally OID-sorted
 // list — no merge pass, and byte-identical to what a 1-shard run returns
-// for the same logical data. Scans visit shards in shard order, each in
-// its native (insertion) order.
+// for the same logical data.
+//
+// Every cross-shard read first captures one snapshot per shard — up front,
+// before any data is read (see shardSnap) — so the answer reflects a set of
+// per-shard op boundaries fixed at call time rather than states that drift
+// while the shards are visited one by one. The merge itself then runs on
+// the captures. Single-shard routed reads delegate straight to the owning
+// shard, whose own read entry points capture a snapshot internally.
 
 // MaterialsInState concatenates the shards' OID-sorted lists in shard
 // order, which is globally OID-sorted (see the merge rule above).
@@ -20,103 +26,106 @@ func (db *DB) MaterialsInState(state string) ([]storage.OID, error) {
 	if len(db.shards) == 1 {
 		return db.shards[0].MaterialsInState(state)
 	}
-	var all []storage.OID
-	for k, sh := range db.shards {
-		part, err := sh.MaterialsInState(state)
-		if err != nil {
-			return nil, db.shardErr(k, err)
-		}
-		all = append(all, part...)
+	s, err := db.Snapshot()
+	if err != nil {
+		return nil, err
 	}
-	return all, nil
+	defer s.Close()
+	return s.MaterialsInState(state)
 }
 
 // CountInState sums the per-shard counts.
 func (db *DB) CountInState(state string) (uint64, error) {
-	var total uint64
-	for k, sh := range db.shards {
-		c, err := sh.CountInState(state)
-		if err != nil {
-			return 0, db.shardErr(k, err)
-		}
-		total += c
+	if len(db.shards) == 1 {
+		return db.shards[0].CountInState(state)
 	}
-	return total, nil
+	s, err := db.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	return s.CountInState(state)
 }
 
 // CountMaterials sums the per-shard counts (subclass-inclusive, as on a
 // single DB).
 func (db *DB) CountMaterials(class string) (uint64, error) {
-	var total uint64
-	for k, sh := range db.shards {
-		c, err := sh.CountMaterials(class)
-		if err != nil {
-			return 0, db.shardErr(k, err)
-		}
-		total += c
+	if len(db.shards) == 1 {
+		return db.shards[0].CountMaterials(class)
 	}
-	return total, nil
+	s, err := db.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	return s.CountMaterials(class)
 }
 
 // CountSteps sums the per-shard counts.
 func (db *DB) CountSteps(class string) (uint64, error) {
-	var total uint64
-	for k, sh := range db.shards {
-		c, err := sh.CountSteps(class)
-		if err != nil {
-			return 0, db.shardErr(k, err)
-		}
-		total += c
+	if len(db.shards) == 1 {
+		return db.shards[0].CountSteps(class)
 	}
-	return total, nil
+	s, err := db.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	return s.CountSteps(class)
 }
 
 // ScanMaterials visits shards in shard order, each in its native scan
 // order.
 func (db *DB) ScanMaterials(class string, fn func(*labbase.Material) error) error {
-	for k, sh := range db.shards {
-		if err := sh.ScanMaterials(class, fn); err != nil {
-			return db.shardErr(k, err)
-		}
+	if len(db.shards) == 1 {
+		return db.shards[0].ScanMaterials(class, fn)
 	}
-	return nil
+	s, err := db.Snapshot()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return s.ScanMaterials(class, fn)
 }
 
 // ScanAllMaterials visits shards in shard order, each in its native scan
 // order.
 func (db *DB) ScanAllMaterials(fn func(*labbase.Material) error) error {
-	for k, sh := range db.shards {
-		if err := sh.ScanAllMaterials(fn); err != nil {
-			return db.shardErr(k, err)
-		}
+	if len(db.shards) == 1 {
+		return db.shards[0].ScanAllMaterials(fn)
 	}
-	return nil
+	s, err := db.Snapshot()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return s.ScanAllMaterials(fn)
 }
 
 // ScanSteps visits shards in shard order, each in its native scan order.
 func (db *DB) ScanSteps(class string, fn func(*labbase.Step) error) error {
-	for k, sh := range db.shards {
-		if err := sh.ScanSteps(class, fn); err != nil {
-			return db.shardErr(k, err)
-		}
+	if len(db.shards) == 1 {
+		return db.shards[0].ScanSteps(class, fn)
 	}
-	return nil
+	s, err := db.Snapshot()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return s.ScanSteps(class, fn)
 }
 
 // Dump sums the per-shard audit counters. Per-shard deduplication equals
 // global deduplication: a batched step's history entries live on its one
 // home shard.
 func (db *DB) Dump() (labbase.DumpStats, error) {
-	var total labbase.DumpStats
-	for k, sh := range db.shards {
-		ds, err := sh.Dump()
-		if err != nil {
-			return total, db.shardErr(k, err)
-		}
-		total.Materials += ds.Materials
-		total.Steps += ds.Steps
-		total.AttrValues += ds.AttrValues
-		total.HistoryRead += ds.HistoryRead
+	if len(db.shards) == 1 {
+		return db.shards[0].Dump()
 	}
-	return total, nil
+	s, err := db.Snapshot()
+	if err != nil {
+		return labbase.DumpStats{}, err
+	}
+	defer s.Close()
+	return s.Dump()
 }

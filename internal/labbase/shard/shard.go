@@ -409,6 +409,15 @@ func (db *DB) History(oid storage.OID) ([]labbase.HistoryEntry, error) {
 	return db.shards[k].History(oid)
 }
 
+// StepsInvolving routes by OID.
+func (db *DB) StepsInvolving(oid storage.OID) ([]storage.OID, error) {
+	k, err := db.shardOf(oid)
+	if err != nil {
+		return nil, err
+	}
+	return db.shards[k].StepsInvolving(oid)
+}
+
 // MostRecent routes by OID.
 func (db *DB) MostRecent(oid storage.OID, attr string) (labbase.Value, storage.OID, bool, error) {
 	k, err := db.shardOf(oid)

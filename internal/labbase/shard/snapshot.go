@@ -1,0 +1,254 @@
+package shard
+
+import (
+	"errors"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+)
+
+// shardSnap is a cross-shard snapshot: one labbase snapshot per shard, all
+// captured up front (in shard order) before any data is read. Routed reads
+// answer from the owning shard's capture; scatter-gather reads apply the
+// deterministic merge rule of DESIGN §9 over the captures. Because every
+// shard-local snapshot sits at one of that shard's op boundaries, a
+// cross-shard read through a shardSnap never observes a torn mid-operation
+// state on any shard, and repeated reads through the same handle are
+// mutually consistent — the capture does not drift between the first and
+// last shard visited the way a shard-by-shard walk over live state can.
+type shardSnap struct {
+	db    *DB
+	snaps []labbase.Snapshot
+}
+
+var _ labbase.Snapshot = (*shardSnap)(nil)
+
+// Snapshot captures one snapshot per shard, in shard order, before reading
+// anything. The handle must be Closed.
+func (db *DB) Snapshot() (labbase.Snapshot, error) {
+	snaps := make([]labbase.Snapshot, len(db.shards))
+	for k, sh := range db.shards {
+		s, err := sh.Snapshot()
+		if err != nil {
+			for _, prev := range snaps[:k] {
+				prev.Close()
+			}
+			return nil, db.shardErr(k, err)
+		}
+		snaps[k] = s
+	}
+	return &shardSnap{db: db, snaps: snaps}, nil
+}
+
+// Close releases every shard's capture.
+func (s *shardSnap) Close() error {
+	var errs []error
+	for k, snap := range s.snaps {
+		if err := snap.Close(); err != nil {
+			errs = append(errs, s.db.shardErr(k, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// routed returns the capture owning an OID.
+func (s *shardSnap) routed(oid storage.OID) (labbase.Snapshot, error) {
+	k, err := s.db.shardOf(oid)
+	if err != nil {
+		return nil, err
+	}
+	return s.snaps[k], nil
+}
+
+// --- catalog listings (shard 0; the broadcast discipline keeps catalogs
+// identical across shards) --------------------------------------------------
+
+func (s *shardSnap) MaterialClasses() []string { return s.snaps[0].MaterialClasses() }
+func (s *shardSnap) StepClasses() []string     { return s.snaps[0].StepClasses() }
+func (s *shardSnap) States() []string          { return s.snaps[0].States() }
+
+func (s *shardSnap) StepClassVersions(name string) ([][]string, error) {
+	return s.snaps[0].StepClassVersions(name)
+}
+
+// --- routed reads -----------------------------------------------------------
+
+func (s *shardSnap) LookupMaterial(name string) (storage.OID, bool) {
+	return s.snaps[s.db.shardFor(name)].LookupMaterial(name)
+}
+
+func (s *shardSnap) GetMaterial(oid storage.OID) (*labbase.Material, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return nil, err
+	}
+	return sh.GetMaterial(oid)
+}
+
+func (s *shardSnap) State(oid storage.OID) (string, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return "", err
+	}
+	return sh.State(oid)
+}
+
+func (s *shardSnap) SetMembers(oid storage.OID) ([]storage.OID, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return nil, err
+	}
+	return sh.SetMembers(oid)
+}
+
+func (s *shardSnap) GetStep(oid storage.OID) (*labbase.Step, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return nil, err
+	}
+	return sh.GetStep(oid)
+}
+
+func (s *shardSnap) History(oid storage.OID) ([]labbase.HistoryEntry, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return nil, err
+	}
+	return sh.History(oid)
+}
+
+func (s *shardSnap) StepsInvolving(oid storage.OID) ([]storage.OID, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return nil, err
+	}
+	return sh.StepsInvolving(oid)
+}
+
+func (s *shardSnap) MostRecent(oid storage.OID, attr string) (labbase.Value, storage.OID, bool, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return labbase.Value{}, storage.NilOID, false, err
+	}
+	return sh.MostRecent(oid, attr)
+}
+
+func (s *shardSnap) MostRecentScan(oid storage.OID, attr string) (labbase.Value, storage.OID, bool, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return labbase.Value{}, storage.NilOID, false, err
+	}
+	return sh.MostRecentScan(oid, attr)
+}
+
+func (s *shardSnap) MostRecentAsOf(oid storage.OID, attr string, t int64) (labbase.Value, storage.OID, bool, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return labbase.Value{}, storage.NilOID, false, err
+	}
+	return sh.MostRecentAsOf(oid, attr, t)
+}
+
+func (s *shardSnap) AttrTimeline(oid storage.OID, attr string) ([]labbase.TimelineEntry, error) {
+	sh, err := s.routed(oid)
+	if err != nil {
+		return nil, err
+	}
+	return sh.AttrTimeline(oid, attr)
+}
+
+// --- scatter-gather reads (merge rule of DESIGN §9: ordered aggregates
+// concatenate in shard order, counts sum) ------------------------------------
+
+func (s *shardSnap) MaterialsInState(state string) ([]storage.OID, error) {
+	if len(s.snaps) == 1 {
+		return s.snaps[0].MaterialsInState(state)
+	}
+	var all []storage.OID
+	for k, sh := range s.snaps {
+		part, err := sh.MaterialsInState(state)
+		if err != nil {
+			return nil, s.db.shardErr(k, err)
+		}
+		all = append(all, part...)
+	}
+	return all, nil
+}
+
+func (s *shardSnap) CountInState(state string) (uint64, error) {
+	var total uint64
+	for k, sh := range s.snaps {
+		c, err := sh.CountInState(state)
+		if err != nil {
+			return 0, s.db.shardErr(k, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func (s *shardSnap) CountMaterials(class string) (uint64, error) {
+	var total uint64
+	for k, sh := range s.snaps {
+		c, err := sh.CountMaterials(class)
+		if err != nil {
+			return 0, s.db.shardErr(k, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func (s *shardSnap) CountSteps(class string) (uint64, error) {
+	var total uint64
+	for k, sh := range s.snaps {
+		c, err := sh.CountSteps(class)
+		if err != nil {
+			return 0, s.db.shardErr(k, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func (s *shardSnap) ScanMaterials(class string, fn func(*labbase.Material) error) error {
+	for k, sh := range s.snaps {
+		if err := sh.ScanMaterials(class, fn); err != nil {
+			return s.db.shardErr(k, err)
+		}
+	}
+	return nil
+}
+
+func (s *shardSnap) ScanAllMaterials(fn func(*labbase.Material) error) error {
+	for k, sh := range s.snaps {
+		if err := sh.ScanAllMaterials(fn); err != nil {
+			return s.db.shardErr(k, err)
+		}
+	}
+	return nil
+}
+
+func (s *shardSnap) ScanSteps(class string, fn func(*labbase.Step) error) error {
+	for k, sh := range s.snaps {
+		if err := sh.ScanSteps(class, fn); err != nil {
+			return s.db.shardErr(k, err)
+		}
+	}
+	return nil
+}
+
+func (s *shardSnap) Dump() (labbase.DumpStats, error) {
+	var total labbase.DumpStats
+	for k, sh := range s.snaps {
+		ds, err := sh.Dump()
+		if err != nil {
+			return total, s.db.shardErr(k, err)
+		}
+		total.Materials += ds.Materials
+		total.Steps += ds.Steps
+		total.AttrValues += ds.AttrValues
+		total.HistoryRead += ds.HistoryRead
+	}
+	return total, nil
+}

@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+)
+
+// TestShardSnapshotNeverTornMidBatch races cross-shard snapshot captures
+// against writers streaming PutSteps batches over 4 shards (run under
+// -race). Each material receives a monotone per-material sequence, so every
+// capture must satisfy, per material: history is the contiguous prefix
+// 0..n-1 and the valid-time most-recent equals its last entry. Across
+// shards, the aggregate CountSteps from the same handle must equal the sum
+// of the history lengths it reports — the up-front per-shard capture is
+// what keeps the count and the histories from drifting apart while the
+// parallel batch apply is mid-flight.
+func TestShardSnapshotNeverTornMidBatch(t *testing.T) {
+	db := openShards(t, 4)
+	const mats = 8
+	oids := make([]storage.OID, mats)
+	begin(t, db)
+	if _, err := db.DefineMaterialClass("sample", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineState("received"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.DefineStepClass("measure", []labbase.AttrDef{{Name: "reading", Kind: labbase.KindInt}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range oids {
+		oid, err := db.CreateMaterial("sample", fmt.Sprintf("t-%d", i), "received", int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	commit(t, db)
+
+	const (
+		readers  = 4
+		batches  = 40
+		batchLen = 6
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := db.Snapshot()
+				if err != nil {
+					errs <- err
+					return
+				}
+				var histTotal uint64
+				bad := false
+				for m, oid := range oids {
+					h, err := snap.History(oid)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: History(m%d): %w", r, m, err)
+						bad = true
+						break
+					}
+					for j, e := range h {
+						if e.ValidTime != int64(j) {
+							errs <- fmt.Errorf("reader %d: m%d history[%d].ValidTime = %d; not the contiguous prefix", r, m, j, e.ValidTime)
+							bad = true
+							break
+						}
+					}
+					v, _, found, err := snap.MostRecent(oid, "reading")
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: MostRecent(m%d): %w", r, m, err)
+						bad = true
+						break
+					}
+					if found != (len(h) > 0) || (found && v.Int != int64(len(h)-1)) {
+						errs <- fmt.Errorf("reader %d: m%d torn: most-recent %v (found=%v) vs %d history entries", r, m, v, found, len(h))
+						bad = true
+						break
+					}
+					histTotal += uint64(len(h))
+				}
+				if !bad {
+					if n, err := snap.CountSteps("measure"); err != nil || n != histTotal {
+						errs <- fmt.Errorf("reader %d: CountSteps = %d, %w; histories sum to %d in the same capture", r, n, err, histTotal)
+						bad = true
+					}
+				}
+				snap.Close()
+				if bad {
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		next := make([]int64, mats)
+		for b := 0; b < batches; b++ {
+			// Each batch spans every material, so the parallel apply fans
+			// out across all four shards at once.
+			specs := make([]labbase.StepSpec, 0, mats*batchLen)
+			for m := range oids {
+				for k := 0; k < batchLen; k++ {
+					specs = append(specs, labbase.StepSpec{
+						Class: "measure", ValidTime: next[m],
+						Materials: []storage.OID{oids[m]},
+						Attrs:     []labbase.AttrValue{{Name: "reading", Value: labbase.Int64(next[m])}},
+					})
+					next[m]++
+				}
+			}
+			if _, err := db.PutSteps(specs); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

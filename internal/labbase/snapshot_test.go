@@ -1,0 +1,384 @@
+package labbase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"labflow/internal/storage"
+)
+
+// TestSnapshotAcrossCommits pins a snapshot, then pushes N commits through
+// the writer — new steps, a state change, new materials — and re-asserts the
+// snapshot's entire capture-time view after every commit. The snapshot must
+// be a fixed point: same most-recent value, same history, same counts, and
+// materials created after the capture must not exist in it.
+func TestSnapshotAcrossCommits(t *testing.T) {
+	db := openMem(t)
+	oids := loadReadSet(t, db, 4, 3)
+
+	snapIface, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapIface.(*Snap)
+	defer snap.Close()
+
+	// Capture-time expectations, read once through the snapshot itself.
+	type matView struct {
+		mr   Value
+		hist []HistoryEntry
+		st   string
+	}
+	want := make([]matView, len(oids))
+	for i, oid := range oids {
+		v, _, found, err := snap.MostRecent(oid, "reading")
+		if err != nil || !found {
+			t.Fatalf("capture MostRecent(%d): %v %v", i, found, err)
+		}
+		h, err := snap.History(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := snap.State(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = matView{mr: v, hist: h, st: st}
+	}
+	wantMats, err := snap.CountMaterials("sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSteps, err := snap.CountSteps("measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInState, err := snap.CountInState("new")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(round int) {
+		t.Helper()
+		for i, oid := range oids {
+			v, _, found, err := snap.MostRecent(oid, "reading")
+			if err != nil || !found || v.Int != want[i].mr.Int {
+				t.Fatalf("round %d: MostRecent(%d) = %v %v %v, want %v", round, i, v, found, err, want[i].mr)
+			}
+			h, err := snap.History(oid)
+			if err != nil || len(h) != len(want[i].hist) {
+				t.Fatalf("round %d: History(%d) = %d entries, %v; want %d", round, i, len(h), err, len(want[i].hist))
+			}
+			for j := range h {
+				if h[j] != want[i].hist[j] {
+					t.Fatalf("round %d: History(%d)[%d] = %+v, want %+v", round, i, j, h[j], want[i].hist[j])
+				}
+			}
+			if st, err := snap.State(oid); err != nil || st != want[i].st {
+				t.Fatalf("round %d: State(%d) = %q, %v; want %q", round, i, st, err, want[i].st)
+			}
+			inv, err := snap.StepsInvolving(oid)
+			if err != nil || len(inv) != len(want[i].hist) {
+				t.Fatalf("round %d: StepsInvolving(%d) = %d steps, %v; want %d", round, i, len(inv), err, len(want[i].hist))
+			}
+		}
+		if n, err := snap.CountMaterials("sample"); err != nil || n != wantMats {
+			t.Fatalf("round %d: CountMaterials = %d, %v; want %d", round, n, err, wantMats)
+		}
+		if n, err := snap.CountSteps("measure"); err != nil || n != wantSteps {
+			t.Fatalf("round %d: CountSteps = %d, %v; want %d", round, n, err, wantSteps)
+		}
+		if n, err := snap.CountInState("new"); err != nil || n != wantInState {
+			t.Fatalf("round %d: CountInState(new) = %d, %v; want %d", round, n, err, wantInState)
+		}
+	}
+	check(0)
+
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineState("used"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	const commits = 25
+	var createdOID storage.OID
+	for i := 0; i < commits; i++ {
+		if err := db.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.RecordStep(StepSpec{
+			Class: "measure", ValidTime: int64(5000 + i),
+			Materials: []storage.OID{oids[i%len(oids)]},
+			Attrs:     []AttrValue{{Name: "reading", Value: Int64(int64(9000 + i))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if err := db.SetState(oids[0], "used"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		name := fmt.Sprintf("post-capture-%d", i)
+		oid, err := db.CreateMaterial("sample", name, "new", int64(7000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		createdOID = oid
+		if err := db.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		check(i + 1)
+		// Post-capture materials must be invisible by name and by OID.
+		if _, found := snap.LookupMaterial(name); found {
+			t.Fatalf("round %d: snapshot resolves post-capture name %q", i, name)
+		}
+		if _, err := snap.GetMaterial(createdOID); !errors.Is(err, storage.ErrNoSuchObject) {
+			t.Fatalf("round %d: GetMaterial(post-capture) err = %v, want ErrNoSuchObject", i, err)
+		}
+	}
+
+	// A snapshot captured now sees everything the pinned one must not.
+	fresh, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if n, err := fresh.CountMaterials("sample"); err != nil || n != wantMats+commits {
+		t.Fatalf("fresh CountMaterials = %d, %v; want %d", n, err, wantMats+commits)
+	}
+	if st, err := fresh.State(oids[0]); err != nil || st != "used" {
+		t.Fatalf("fresh State = %q, %v; want used", st, err)
+	}
+	check(commits + 1)
+
+	// Releasing the old pin lets the next publish reclaim every pre-image.
+	snap.Close()
+	fresh.Close()
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateMaterial("sample", "after-release", "new", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.vers.n.Load(); n != 0 {
+		t.Fatalf("version table holds %d entries after all snapshots closed", n)
+	}
+}
+
+// TestSnapshotNeverTornMidBatch races snapshot captures against a writer
+// streaming PutSteps batches (run under -race). Writes are per-material
+// monotone sequences, so any snapshot must satisfy two invariants no matter
+// when it lands: the history is exactly the prefix 0..n-1 of the sequence,
+// and the valid-time most-recent equals the last history entry — never a
+// half-applied step where one structure has advanced and the other has not.
+func TestSnapshotNeverTornMidBatch(t *testing.T) {
+	db := openMem(t)
+	oids := loadReadSet(t, db, 4, 0)
+
+	const readers = 4
+	const batches = 60
+	const batchLen = 5
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				oid := oids[(r+i)%len(oids)]
+				snapIface, err := db.Snapshot()
+				if err != nil {
+					errs <- err
+					return
+				}
+				snap := snapIface.(*Snap)
+				h, err := snap.History(oid)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: History: %w", r, err)
+					snap.Close()
+					return
+				}
+				for j, e := range h {
+					if e.ValidTime != int64(j) {
+						errs <- fmt.Errorf("reader %d: history[%d].ValidTime = %d; not the contiguous prefix", r, j, e.ValidTime)
+						snap.Close()
+						return
+					}
+				}
+				v, _, found, err := snap.MostRecent(oid, "reading")
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: MostRecent: %w", r, err)
+					snap.Close()
+					return
+				}
+				if found != (len(h) > 0) || (found && v.Int != int64(len(h)-1)) {
+					errs <- fmt.Errorf("reader %d: torn state: most-recent %v (found=%v) vs %d history entries", r, v, found, len(h))
+					snap.Close()
+					return
+				}
+				inv, err := snap.StepsInvolving(oid)
+				if err != nil || len(inv) != len(h) {
+					errs <- fmt.Errorf("reader %d: involves index %d steps vs %d history entries: %w", r, len(inv), len(h), err)
+					snap.Close()
+					return
+				}
+				snap.Close()
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		next := make([]int64, len(oids))
+		for b := 0; b < batches; b++ {
+			m := b % len(oids)
+			specs := make([]StepSpec, batchLen)
+			for k := range specs {
+				specs[k] = StepSpec{
+					Class: "measure", ValidTime: next[m],
+					Materials: []storage.OID{oids[m]},
+					Attrs:     []AttrValue{{Name: "reading", Value: Int64(next[m])}},
+				}
+				next[m]++
+			}
+			if _, err := db.PutSteps(specs); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestInvolvesIndexEquivalence checks the reverse involves index against
+// ground truth computed the pre-index way — a linear scan of every step,
+// expanding set targets into members — on a workload that exercises
+// multi-material steps, set steps, and materials shared across steps.
+func TestInvolvesIndexEquivalence(t *testing.T) {
+	db := openMem(t)
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineMaterialClass("sample", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineState("new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.DefineStepClass("measure", []AttrDef{{Name: "reading", Kind: KindInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.DefineStepClass("pool", nil); err != nil {
+		t.Fatal(err)
+	}
+	const mats = 10
+	oids := make([]storage.OID, mats)
+	for i := range oids {
+		oid, err := db.CreateMaterial("sample", fmt.Sprintf("m%d", i), "new", int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	set, err := db.CreateMaterialSet(oids[2:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-material, multi-material, and set-target steps, interleaved so
+	// per-material insertion orders cross step classes.
+	for i := 0; i < 30; i++ {
+		spec := StepSpec{Class: "measure", ValidTime: int64(i),
+			Attrs: []AttrValue{{Name: "reading", Value: Int64(int64(i))}}}
+		switch i % 3 {
+		case 0:
+			spec.Materials = []storage.OID{oids[i%mats]}
+		case 1:
+			spec.Materials = []storage.OID{oids[i%mats], oids[(i+3)%mats]}
+		case 2:
+			spec = StepSpec{Class: "pool", ValidTime: int64(i), Set: set}
+		}
+		if _, err := db.RecordStep(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: scan every step of every class, expand sets.
+	truth := make(map[storage.OID][]storage.OID)
+	for _, class := range []string{"measure", "pool"} {
+		if err := db.ScanSteps(class, func(st *Step) error {
+			targets := append([]storage.OID(nil), st.Materials...)
+			if !st.Set.IsNil() {
+				members, err := db.SetMembers(st.Set)
+				if err != nil {
+					return err
+				}
+				targets = append(targets, members...)
+			}
+			for _, m := range targets {
+				truth[m] = append(truth[m], st.OID)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, oid := range oids {
+		got, err := db.StepsInvolving(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Multiset equivalence against the scan (the scan's cross-class
+		// order is extent order, not insertion order).
+		a := append([]storage.OID(nil), got...)
+		b := append([]storage.OID(nil), truth[oid]...)
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+		if len(a) != len(b) {
+			t.Fatalf("m%d: index has %d steps, scan %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("m%d: index %v != scan %v", i, got, truth[oid])
+			}
+		}
+		// Exact-order equivalence against History's step projection: the
+		// index must be the oldest-first audit trail, not just its members.
+		h, err := db.History(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h) != len(got) {
+			t.Fatalf("m%d: index %d steps vs history %d", i, len(got), len(h))
+		}
+		for j := range h {
+			if h[j].Step != got[j] {
+				t.Fatalf("m%d: index order %v != history order", i, got)
+			}
+		}
+	}
+}

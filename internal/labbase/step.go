@@ -54,8 +54,9 @@ type Step struct {
 // existing history, so one material's audit trail stays physically together
 // when the storage manager honours clustering (Texas+TC, OStore).
 func (db *DB) RecordStep(spec StepSpec) (storage.OID, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	defer db.publishIfDirty()
 	return db.recordStepLocked(spec)
 }
 
@@ -81,9 +82,9 @@ func (db *DB) recordStepLocked(spec StepSpec) (storage.OID, error) {
 		}
 		db.cat.stepClasses = append(db.cat.stepClasses, sc)
 		db.cat.bySCName[spec.Class] = sc
-		db.cat.dirty = true
+		db.markCat()
 		db.cnt.growTo(len(db.cat.materialClasses), len(db.cat.stepClasses), len(db.cat.states))
-		db.cntDirty = true
+		db.markCnt()
 	}
 
 	// Resolve attributes, defining unknown ones when allowed.
@@ -144,6 +145,11 @@ func (db *DB) recordStepLocked(spec StepSpec) (storage.OID, error) {
 			return storage.NilOID, fmt.Errorf("labbase: step material %v: %w", m, err)
 		}
 		mats[i] = mr
+		// Save the pre-image before any mutation below rewrites the record;
+		// the version table keeps the first save per epoch, so a duplicate
+		// target (or a target also touched earlier in this epoch) is fine.
+		pre := *mr
+		db.vers.save(m, db.wEpoch, &pre)
 	}
 
 	// Store the step record near the first material's existing history.
@@ -174,7 +180,8 @@ func (db *DB) recordStepLocked(spec StepSpec) (storage.OID, error) {
 		return storage.NilOID, fmt.Errorf("labbase: store step: %w", err)
 	}
 
-	// Thread the step into each material's history and most-recent index.
+	// Thread the step into each material's history, most-recent index and
+	// the reverse involves index.
 	entry := historyEntry{step: stepOID, validTime: spec.ValidTime}
 	for i, moid := range targets {
 		if err := db.appendHistory(moid, mats[i], entry); err != nil {
@@ -187,6 +194,9 @@ func (db *DB) recordStepLocked(spec StepSpec) (storage.OID, error) {
 		if err := db.writeMaterial(moid, mats[i]); err != nil {
 			return storage.NilOID, fmt.Errorf("labbase: update material %v: %w", moid, err)
 		}
+		old, _ := treapGet(db.invRoot, uint64(moid))
+		db.invRoot = treapPut(db.invRoot, uint64(moid), oidPri(uint64(moid)),
+			&invList{step: stepOID, next: old, n: old.length() + 1})
 	}
 
 	changed, err := db.appendToExtent(&sc.extentHead, stepOID)
@@ -194,10 +204,10 @@ func (db *DB) recordStepLocked(spec StepSpec) (storage.OID, error) {
 		return storage.NilOID, err
 	}
 	if changed {
-		db.cat.dirty = true
+		db.markCat()
 	}
 	db.cnt.stepsByClass[sc.ID-1]++
-	db.cntDirty = true
+	db.markCnt()
 	return stepOID, nil
 }
 
@@ -274,13 +284,17 @@ func (db *DB) appendHistory(moid storage.OID, m *materialRec, e historyEntry) er
 // updateMostRecent folds the step's attributes into the material's
 // most-recent index, honouring valid-time order for out-of-order arrivals.
 // The index bytes are served from the decode cache when present; the entry
-// is dropped before the in-place mutation and re-installed only after the
-// write succeeds, so the cache never holds unpersisted bytes.
+// is dropped before the mutation and re-installed only after the write
+// succeeds, so the cache never holds unpersisted bytes. Cached bytes are
+// never mutated in place: lock-free readers may hold the cached slice, so
+// the mutation works on a private copy and the original becomes the
+// version-table pre-image.
 func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID, e historyEntry) error {
 	if len(attrs) == 0 && !m.mrIndex.IsNil() {
 		return nil
 	}
 	var data []byte
+	var pre []byte // unmutated bytes for snapshot readers; nil for a fresh index
 	var err error
 	if m.mrIndex.IsNil() {
 		data = newMRIndex(mrInitialCap)
@@ -289,8 +303,11 @@ func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID,
 			return fmt.Errorf("labbase: most-recent index: %w", err)
 		}
 		m.mrIndex = oid
+		// No pre-image: readers pinned to earlier epochs see the material
+		// record's pre-image, whose mrIndex is still nil.
 	} else if cached, ok := db.mrCache.get(m.mrIndex); ok {
-		data = cached
+		pre = cached
+		data = append([]byte(nil), cached...)
 	} else {
 		data, err = db.sm.Read(m.mrIndex)
 		if err != nil {
@@ -299,6 +316,7 @@ func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID,
 		if err := checkMRIndex(data); err != nil {
 			return err
 		}
+		pre = append([]byte(nil), data...)
 	}
 	db.mrCache.invalidate(m.mrIndex)
 	changed := false
@@ -311,6 +329,11 @@ func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID,
 		db.mrCache.put(m.mrIndex, data)
 		return nil
 	}
+	if pre != nil {
+		// Strictly before the overwrite: a reader that sees post-image bytes
+		// must already find the pre-image in the version table.
+		db.vers.save(m.mrIndex, db.wEpoch, pre)
+	}
 	if err := db.sm.Write(m.mrIndex, data); err != nil {
 		return err
 	}
@@ -320,36 +343,39 @@ func (db *DB) updateMostRecent(moid storage.OID, m *materialRec, attrs []AttrID,
 
 // GetStep returns the public view of a step instance.
 func (db *DB) GetStep(oid storage.OID) (*Step, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.getStepLocked(oid)
+	s := db.acquire()
+	defer s.Close()
+	return s.GetStep(oid)
 }
 
-func (db *DB) getStepLocked(oid storage.OID) (*Step, error) {
-	s, err := db.readStep(oid)
+// GetStep returns the step's public view. Steps are immutable once written,
+// so only the catalog lookup is snapshot-dependent.
+func (s *Snap) GetStep(oid storage.OID) (*Step, error) {
+	sr, err := s.db.readStep(oid)
 	if err != nil {
 		return nil, err
 	}
-	sc, err := db.cat.stepClass(s.classID)
+	cat := s.catView()
+	sc, err := cat.stepClass(sr.classID)
 	if err != nil {
 		return nil, err
 	}
 	out := &Step{
 		OID:       oid,
 		Class:     sc.Name,
-		Version:   s.version,
-		ValidTime: s.validTime,
-		TxnTime:   s.txnTime,
-		Materials: s.materials,
-		Set:       s.set,
+		Version:   sr.version,
+		ValidTime: sr.validTime,
+		TxnTime:   sr.txnTime,
+		Materials: sr.materials,
+		Set:       sr.set,
 	}
-	out.Attrs = make([]AttrValue, len(s.attrIDs))
-	for i, a := range s.attrIDs {
-		def, err := db.cat.attr(a)
+	out.Attrs = make([]AttrValue, len(sr.attrIDs))
+	for i, a := range sr.attrIDs {
+		def, err := cat.attr(a)
 		if err != nil {
 			return nil, err
 		}
-		out.Attrs[i] = AttrValue{Name: def.Name, Value: s.attrVals[i]}
+		out.Attrs[i] = AttrValue{Name: def.Name, Value: sr.attrVals[i]}
 	}
 	return out, nil
 }
@@ -366,17 +392,23 @@ func (s *Step) Attr(name string) (Value, bool) {
 
 // ScanSteps calls fn for each instance of a step class, in insertion order.
 func (db *DB) ScanSteps(class string, fn func(*Step) error) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	sc, ok := db.cat.bySCName[class]
+	s := db.acquire()
+	defer s.Close()
+	return s.ScanSteps(class, fn)
+}
+
+// ScanSteps scans a step class's instances as of the snapshot.
+func (s *Snap) ScanSteps(class string, fn func(*Step) error) error {
+	cat := s.catView()
+	sc, ok := cat.bySCName[class]
 	if !ok {
 		return fmt.Errorf("%w: step class %q", ErrUnknownClass, class)
 	}
-	return db.scanExtent(sc.extentHead, func(oid storage.OID) error {
-		s, err := db.getStepLocked(oid)
+	return s.scanExtentN(sc.extentHead, s.cntView().stepsByClass[sc.ID-1], func(oid storage.OID) error {
+		st, err := s.GetStep(oid)
 		if err != nil {
 			return err
 		}
-		return fn(s)
+		return fn(st)
 	})
 }

@@ -4,60 +4,36 @@ import (
 	"labflow/internal/storage"
 )
 
-// Store is the full LabBase surface consumed by the wire server, the
-// deductive bridge, and the benchmark drivers. Both *DB (one storage
-// manager) and the hash-partitioned *shard.DB (N storage managers behind
-// one facade) implement it, so every layer above labbase is shard-agnostic:
-// storage.OID stays the public object handle either way.
-//
-// Implementations follow DB's concurrency contract: read entry points may
-// run in parallel, mutations are single-writer, and callers running several
-// write transactions concurrently must serialize their Begin/Commit
-// brackets. PutSteps is the one exception — called outside a transaction it
-// owns its transactions and (on sharded stores) may be invoked from several
-// goroutines at once.
-type Store interface {
-	// Transactions.
-	Begin() error
-	Commit() error
-	InTxn() bool
-	Close() error
-
-	// StoreStats identifies the backing storage and aggregates its
-	// counters (summed across shards on partitioned stores).
-	StoreStats() (name string, st storage.Stats)
-
+// Reader is the read-only LabBase surface. It is implemented both by the
+// stores themselves (each read captures a fresh snapshot internally) and by
+// the snapshot handles they hand out (every read answers against one fixed
+// capture-time state). Code that only consumes data — the deductive
+// bridge's externs, report generators — should accept a Reader so it runs
+// unchanged over either.
+type Reader interface {
 	// Schema.
-	DefineMaterialClass(name, parent string) (ClassID, error)
-	DefineAttr(name string, kind Kind) (AttrID, error)
-	DefineStepClass(name string, attrs []AttrDef) (StepClassID, Version, error)
-	DefineState(name string) (StateID, error)
 	MaterialClasses() []string
 	StepClasses() []string
 	StepClassVersions(name string) ([][]string, error)
 	States() []string
 
 	// Materials and sets.
-	CreateMaterial(class, name, state string, validTime int64) (storage.OID, error)
 	LookupMaterial(name string) (storage.OID, bool)
 	GetMaterial(oid storage.OID) (*Material, error)
 	State(oid storage.OID) (string, error)
-	SetState(oid storage.OID, state string) error
 	MaterialsInState(state string) ([]storage.OID, error)
 	CountInState(state string) (uint64, error)
 	CountMaterials(class string) (uint64, error)
 	CountSteps(class string) (uint64, error)
 	ScanMaterials(class string, fn func(*Material) error) error
 	ScanAllMaterials(fn func(*Material) error) error
-	CreateMaterialSet(members []storage.OID) (storage.OID, error)
 	SetMembers(oid storage.OID) ([]storage.OID, error)
 
 	// Steps and history.
-	RecordStep(spec StepSpec) (storage.OID, error)
-	PutSteps(specs []StepSpec) ([]storage.OID, error)
 	GetStep(oid storage.OID) (*Step, error)
 	ScanSteps(class string, fn func(*Step) error) error
 	History(oid storage.OID) ([]HistoryEntry, error)
+	StepsInvolving(oid storage.OID) ([]storage.OID, error)
 	MostRecent(oid storage.OID, attr string) (Value, storage.OID, bool, error)
 	MostRecentScan(oid storage.OID, attr string) (Value, storage.OID, bool, error)
 	MostRecentAsOf(oid storage.OID, attr string, t int64) (Value, storage.OID, bool, error)
@@ -65,7 +41,64 @@ type Store interface {
 	Dump() (DumpStats, error)
 }
 
-var _ Store = (*DB)(nil)
+// Snapshot is one consistent read-only view of a store: every Reader call
+// answers as of the same capture time, unaffected by concurrent writes.
+// Snapshots are cheap (no copy — an atomic pointer capture plus an epoch
+// pin) and must be Closed so the writer can reclaim superseded versions.
+type Snapshot interface {
+	Reader
+	Close() error
+}
+
+// Store is the full LabBase surface consumed by the wire server, the
+// deductive bridge, and the benchmark drivers. Both *DB (one storage
+// manager) and the hash-partitioned *shard.DB (N storage managers behind
+// one facade) implement it, so every layer above labbase is shard-agnostic:
+// storage.OID stays the public object handle either way.
+//
+// Implementations follow DB's concurrency contract: read entry points are
+// lock-free snapshot captures and may run in parallel with anything;
+// mutations are single-writer, and callers running several write
+// transactions concurrently must serialize their Begin/Commit brackets.
+// PutSteps is the one exception — called outside a transaction it owns its
+// transactions and (on sharded stores) may be invoked from several
+// goroutines at once.
+type Store interface {
+	Reader
+
+	// Transactions.
+	Begin() error
+	Commit() error
+	InTxn() bool
+	Close() error
+
+	// Snapshot captures a consistent read view (see Snapshot).
+	Snapshot() (Snapshot, error)
+
+	// StoreStats identifies the backing storage and aggregates its
+	// counters (summed across shards on partitioned stores).
+	StoreStats() (name string, st storage.Stats)
+
+	// Schema definition.
+	DefineMaterialClass(name, parent string) (ClassID, error)
+	DefineAttr(name string, kind Kind) (AttrID, error)
+	DefineStepClass(name string, attrs []AttrDef) (StepClassID, Version, error)
+	DefineState(name string) (StateID, error)
+
+	// Materials and sets.
+	CreateMaterial(class, name, state string, validTime int64) (storage.OID, error)
+	SetState(oid storage.OID, state string) error
+	CreateMaterialSet(members []storage.OID) (storage.OID, error)
+
+	// Steps.
+	RecordStep(spec StepSpec) (storage.OID, error)
+	PutSteps(specs []StepSpec) ([]storage.OID, error)
+}
+
+var (
+	_ Store    = (*DB)(nil)
+	_ Snapshot = (*Snap)(nil)
+)
 
 // StoreStats implements Store over the single storage manager.
 func (db *DB) StoreStats() (string, storage.Stats) {

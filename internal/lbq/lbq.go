@@ -11,6 +11,7 @@
 //	state(M, S)                workflow state; enumerable by state
 //	most_recent(M, Attr, V)    the benchmark's signature query
 //	history(M, Steps)          the material's audit trail (step OID list)
+//	steps_involving(M, Steps)  every step touching M, via the reverse index
 //	step(S, Class, ValidTime)  a step instance's class and valid time
 //	step_version(S, V)         the step-class version an instance is bound to
 //	step_attr(S, Attr, V)      a step's recorded results
@@ -24,6 +25,13 @@
 //	create_material(Class, Name, State, ValidTime, M)
 //	record_step(Class, ValidTime, Materials, [Attr = Value, ...], S)
 //	assert_state(M, S) / retract_state(M, S)  the paper's state updates
+//
+// Queries run in one of two modes. Query and Prove resolve against the live
+// store and may update it (and, via assert/retract, the engine's clause
+// database) — callers serialize those externally. QueryOn resolves every
+// database predicate against a caller-supplied snapshot and rejects all
+// update predicates; any number of QueryOn calls may run concurrently over
+// one bridge, each seeing exactly its snapshot's state.
 package lbq
 
 import (
@@ -51,13 +59,64 @@ func New(db labbase.Store) *Bridge {
 // Engine returns the underlying engine (for Consult of site rules).
 func (b *Bridge) Engine() *datalog.Engine { return b.e }
 
-// Query runs a goal against the database (max <= 0 returns all solutions).
+// Query runs a goal against the live database (max <= 0 returns all
+// solutions). Update predicates are allowed; callers serialize Query calls
+// against each other and against writers.
 func (b *Bridge) Query(q string, max int) ([]datalog.Solution, error) {
 	return b.e.Query(q, max)
 }
 
-// Prove reports whether the goal has a solution.
+// QueryOn runs a goal with every database predicate reading from snap and
+// every update predicate (including the engine's assert/retract) rejected.
+// Concurrent QueryOn calls over one bridge are safe: the engine's shared
+// clause database is only read, and all per-query state lives in the query
+// context.
+func (b *Bridge) QueryOn(snap labbase.Reader, q string, max int) ([]datalog.Solution, error) {
+	return b.e.QueryCtx(datalog.NewQctx(snap, true), q, max)
+}
+
+// Prove reports whether the goal has a solution (live store, like Query).
 func (b *Bridge) Prove(q string) (bool, error) { return b.e.Prove(q) }
+
+// storeFor resolves the store a query's database predicates read from: the
+// snapshot handle the query was started on (QueryOn), or the live store.
+func (b *Bridge) storeFor(qc *datalog.Qctx) labbase.Reader {
+	if qc != nil {
+		if r, ok := qc.Handle.(labbase.Reader); ok && r != nil {
+			return r
+		}
+	}
+	return b.db
+}
+
+// stepMemoKey indexes the per-query decoded-step cache in Qctx.Memo.
+const stepMemoKey = "lbq.steps"
+
+// getStep reads a step through the query-local memo: the join shape of the
+// benchmark's deductive queries visits one step through step/3,
+// step_version/2 and step_attr/3 in turn, and the memo decodes it once per
+// query instead of once per goal. Steps are write-once records, so a
+// decoded step can never go stale — the memo is still dropped with the
+// query, keyed off its snapshot handle's context.
+func getStep(qc *datalog.Qctx, db labbase.Reader, oid storage.OID) (*labbase.Step, error) {
+	if qc == nil || qc.Memo == nil {
+		return db.GetStep(oid)
+	}
+	memo, _ := qc.Memo[stepMemoKey].(map[storage.OID]*labbase.Step)
+	if memo == nil {
+		memo = make(map[storage.OID]*labbase.Step)
+		qc.Memo[stepMemoKey] = memo
+	}
+	if s, ok := memo[oid]; ok {
+		return s, nil
+	}
+	s, err := db.GetStep(oid)
+	if err != nil {
+		return nil, err
+	}
+	memo[oid] = s
+	return s, nil
+}
 
 // OIDTerm converts an OID for use in queries.
 func OIDTerm(oid storage.OID) datalog.Term { return datalog.Int(int64(oid)) }
@@ -168,10 +227,17 @@ func (b *Bridge) withTxn(fn func() error) error {
 	return b.db.Commit()
 }
 
-func (b *Bridge) register() {
-	e, db := b.e, b.db
+// readOnlyErr is the rejection every update predicate returns in a QueryOn
+// resolution.
+func readOnlyErr(pred string) error {
+	return fmt.Errorf("lbq: %s is an update and is not allowed in a read-only query", pred)
+}
 
-	e.RegisterExtern("material", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+func (b *Bridge) register() {
+	e := b.e
+
+	e.RegisterExternCtx("material", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		if oid, ok := TermOID(datalog.Resolve(args[0])); ok {
 			m, err := db.GetMaterial(oid)
 			if err != nil {
@@ -199,7 +265,8 @@ func (b *Bridge) register() {
 		return done, nil
 	})
 
-	e.RegisterExtern("material_name", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("material_name", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		// Keyed mode: a bound name resolves directly through the name index.
 		switch n := datalog.Resolve(args[1]).(type) {
 		case datalog.Str:
@@ -224,7 +291,8 @@ func (b *Bridge) register() {
 		return yield(bs, k, [2]datalog.Term{args[1], datalog.Str(m.Name)})
 	})
 
-	e.RegisterExtern("state", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("state", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		if oid, ok := TermOID(datalog.Resolve(args[0])); ok {
 			st, err := db.State(oid)
 			if err != nil || st == "" {
@@ -254,7 +322,8 @@ func (b *Bridge) register() {
 		return false, nil
 	})
 
-	e.RegisterExtern("most_recent", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("most_recent", 3, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		oid, ok := TermOID(datalog.Resolve(args[0]))
 		if !ok {
 			return false, fmt.Errorf("lbq: most_recent/3 needs a bound material")
@@ -271,8 +340,8 @@ func (b *Bridge) register() {
 	})
 
 	// Schema queries (paper Section 8.1): the catalog through the language.
-	e.RegisterExtern("material_class", 1, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
-		for _, name := range db.MaterialClasses() {
+	e.RegisterExternCtx("material_class", 1, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		for _, name := range b.storeFor(qc).MaterialClasses() {
 			done, err := yield(bs, k, [2]datalog.Term{args[0], datalog.Atom(name)})
 			if err != nil || done {
 				return done, err
@@ -280,8 +349,8 @@ func (b *Bridge) register() {
 		}
 		return false, nil
 	})
-	e.RegisterExtern("step_class", 1, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
-		for _, name := range db.StepClasses() {
+	e.RegisterExternCtx("step_class", 1, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		for _, name := range b.storeFor(qc).StepClasses() {
 			done, err := yield(bs, k, [2]datalog.Term{args[0], datalog.Atom(name)})
 			if err != nil || done {
 				return done, err
@@ -289,8 +358,8 @@ func (b *Bridge) register() {
 		}
 		return false, nil
 	})
-	e.RegisterExtern("workflow_state", 1, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
-		for _, name := range db.States() {
+	e.RegisterExternCtx("workflow_state", 1, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		for _, name := range b.storeFor(qc).States() {
 			done, err := yield(bs, k, [2]datalog.Term{args[0], datalog.Atom(name)})
 			if err != nil || done {
 				return done, err
@@ -300,7 +369,8 @@ func (b *Bridge) register() {
 	})
 	// step_class_version(Class, Version, Attrs): enumerate a step class's
 	// versions with their attribute sets — how re-engineering is audited.
-	e.RegisterExtern("step_class_version", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("step_class_version", 3, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		classes := db.StepClasses()
 		if c, ok := datalog.Resolve(args[0]).(datalog.Atom); ok {
 			classes = []string{string(c)}
@@ -327,7 +397,8 @@ func (b *Bridge) register() {
 		return false, nil
 	})
 
-	e.RegisterExtern("most_recent_at", 4, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("most_recent_at", 4, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		oid, ok := TermOID(datalog.Resolve(args[0]))
 		if !ok {
 			return false, fmt.Errorf("lbq: most_recent_at/4 needs a bound material")
@@ -347,7 +418,8 @@ func (b *Bridge) register() {
 		return yield(bs, k, [2]datalog.Term{args[3], ValueTerm(v)})
 	})
 
-	e.RegisterExtern("timeline", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("timeline", 3, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		oid, ok := TermOID(datalog.Resolve(args[0]))
 		if !ok {
 			return false, fmt.Errorf("lbq: timeline/3 needs a bound material")
@@ -367,7 +439,8 @@ func (b *Bridge) register() {
 		return yield(bs, k, [2]datalog.Term{args[2], datalog.MkList(items...)})
 	})
 
-	e.RegisterExtern("history", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("history", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		oid, ok := TermOID(datalog.Resolve(args[0]))
 		if !ok {
 			return false, fmt.Errorf("lbq: history/2 needs a bound material")
@@ -383,12 +456,33 @@ func (b *Bridge) register() {
 		return yield(bs, k, [2]datalog.Term{args[1], datalog.MkList(steps...)})
 	})
 
-	e.RegisterExtern("step", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	// steps_involving(M, Steps): every step whose material list (or set
+	// expansion) includes M, oldest first — history/2's step projection,
+	// answered from the reverse involves index instead of the history chain.
+	e.RegisterExternCtx("steps_involving", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: steps_involving/2 needs a bound material")
+		}
+		steps, err := db.StepsInvolving(oid)
+		if err != nil {
+			return false, nil
+		}
+		terms := make([]datalog.Term, len(steps))
+		for i, s := range steps {
+			terms[i] = OIDTerm(s)
+		}
+		return yield(bs, k, [2]datalog.Term{args[1], datalog.MkList(terms...)})
+	})
+
+	e.RegisterExternCtx("step", 3, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		oid, ok := TermOID(datalog.Resolve(args[0]))
 		if !ok {
 			return false, fmt.Errorf("lbq: step/3 needs a bound step")
 		}
-		s, err := db.GetStep(oid)
+		s, err := getStep(qc, db, oid)
 		if err != nil {
 			return false, nil
 		}
@@ -397,24 +491,26 @@ func (b *Bridge) register() {
 			[2]datalog.Term{args[2], datalog.Int(s.ValidTime)})
 	})
 
-	e.RegisterExtern("step_version", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("step_version", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		oid, ok := TermOID(datalog.Resolve(args[0]))
 		if !ok {
 			return false, fmt.Errorf("lbq: step_version/2 needs a bound step")
 		}
-		s, err := db.GetStep(oid)
+		s, err := getStep(qc, db, oid)
 		if err != nil {
 			return false, nil
 		}
 		return yield(bs, k, [2]datalog.Term{args[1], datalog.Int(int64(s.Version))})
 	})
 
-	e.RegisterExtern("step_attr", 3, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("step_attr", 3, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		oid, ok := TermOID(datalog.Resolve(args[0]))
 		if !ok {
 			return false, fmt.Errorf("lbq: step_attr/3 needs a bound step")
 		}
-		s, err := db.GetStep(oid)
+		s, err := getStep(qc, db, oid)
 		if err != nil {
 			return false, nil
 		}
@@ -429,7 +525,8 @@ func (b *Bridge) register() {
 		return false, nil
 	})
 
-	e.RegisterExtern("set_member", 2, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("set_member", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
 		oid, ok := TermOID(datalog.Resolve(args[0]))
 		if !ok {
 			return false, fmt.Errorf("lbq: set_member/2 needs a bound set")
@@ -447,24 +544,30 @@ func (b *Bridge) register() {
 		return false, nil
 	})
 
-	counter := func(name string, count func(string) (uint64, error)) datalog.Extern {
-		return func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	counter := func(name string, count func(labbase.Reader, string) (uint64, error)) datalog.CtxExtern {
+		return func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
 			c, ok := datalog.Resolve(args[0]).(datalog.Atom)
 			if !ok {
 				return false, fmt.Errorf("lbq: %s/2 needs a bound name", name)
 			}
-			n, err := count(string(c))
+			n, err := count(b.storeFor(qc), string(c))
 			if err != nil {
 				return false, nil
 			}
 			return yield(bs, k, [2]datalog.Term{args[1], datalog.Int(int64(n))})
 		}
 	}
-	e.RegisterExtern("count_materials", 2, counter("count_materials", db.CountMaterials))
-	e.RegisterExtern("count_steps", 2, counter("count_steps", db.CountSteps))
-	e.RegisterExtern("count_in_state", 2, counter("count_in_state", db.CountInState))
+	e.RegisterExternCtx("count_materials", 2, counter("count_materials",
+		func(r labbase.Reader, c string) (uint64, error) { return r.CountMaterials(c) }))
+	e.RegisterExternCtx("count_steps", 2, counter("count_steps",
+		func(r labbase.Reader, c string) (uint64, error) { return r.CountSteps(c) }))
+	e.RegisterExternCtx("count_in_state", 2, counter("count_in_state",
+		func(r labbase.Reader, c string) (uint64, error) { return r.CountInState(c) }))
 
-	e.RegisterExtern("create_material", 5, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("create_material", 5, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		if qc.ReadOnly {
+			return false, readOnlyErr("create_material/5")
+		}
 		class, ok1 := datalog.Resolve(args[0]).(datalog.Atom)
 		var name string
 		switch n := datalog.Resolve(args[1]).(type) {
@@ -483,7 +586,7 @@ func (b *Bridge) register() {
 		var oid storage.OID
 		err := b.withTxn(func() error {
 			var err error
-			oid, err = db.CreateMaterial(string(class), name, string(state), int64(vt))
+			oid, err = b.db.CreateMaterial(string(class), name, string(state), int64(vt))
 			return err
 		})
 		if err != nil {
@@ -492,7 +595,10 @@ func (b *Bridge) register() {
 		return yield(bs, k, [2]datalog.Term{args[4], OIDTerm(oid)})
 	})
 
-	e.RegisterExtern("record_step", 5, func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	e.RegisterExternCtx("record_step", 5, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		if qc.ReadOnly {
+			return false, readOnlyErr("record_step/5")
+		}
 		class, ok := datalog.Resolve(args[0]).(datalog.Atom)
 		if !ok {
 			return false, fmt.Errorf("lbq: record_step/5 needs a class atom")
@@ -536,7 +642,7 @@ func (b *Bridge) register() {
 		var step storage.OID
 		err := b.withTxn(func() error {
 			var err error
-			step, err = db.RecordStep(labbase.StepSpec{
+			step, err = b.db.RecordStep(labbase.StepSpec{
 				Class: string(class), ValidTime: int64(vt), Materials: mats, Attrs: attrs,
 			})
 			return err
@@ -547,8 +653,11 @@ func (b *Bridge) register() {
 		return yield(bs, k, [2]datalog.Term{args[4], OIDTerm(step)})
 	})
 
-	setStateExt := func(requireCurrent bool) datalog.Extern {
-		return func(args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+	setStateExt := func(name string, requireCurrent bool) datalog.CtxExtern {
+		return func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+			if qc.ReadOnly {
+				return false, readOnlyErr(name + "/2")
+			}
 			oid, ok := TermOID(datalog.Resolve(args[0]))
 			if !ok {
 				return false, fmt.Errorf("lbq: state update needs a bound material")
@@ -559,23 +668,23 @@ func (b *Bridge) register() {
 			}
 			if requireCurrent {
 				// retract_state(M, S): true only if M is currently in S.
-				cur, err := db.State(oid)
+				cur, err := b.db.State(oid)
 				if err != nil || cur != string(st) {
 					return false, nil
 				}
-				if err := b.withTxn(func() error { return db.SetState(oid, "") }); err != nil {
+				if err := b.withTxn(func() error { return b.db.SetState(oid, "") }); err != nil {
 					return false, err
 				}
 				return k()
 			}
-			if err := b.withTxn(func() error { return db.SetState(oid, string(st)) }); err != nil {
+			if err := b.withTxn(func() error { return b.db.SetState(oid, string(st)) }); err != nil {
 				return false, err
 			}
 			return k()
 		}
 	}
-	e.RegisterExtern("assert_state", 2, setStateExt(false))
-	e.RegisterExtern("retract_state", 2, setStateExt(true))
+	e.RegisterExternCtx("assert_state", 2, setStateExt("assert_state", false))
+	e.RegisterExternCtx("retract_state", 2, setStateExt("retract_state", true))
 }
 
 // errStop aborts a scan once the continuation asks to stop.

@@ -350,3 +350,94 @@ func TestSetMember(t *testing.T) {
 		t.Fatalf("set_member = %v, %v", sols, err)
 	}
 }
+
+// TestStepsInvolvingEquivalence checks the engine-level involves index:
+// steps_involving/2 must be exactly history/2's step projection, including
+// steps that reach a material through a multi-material spec or a set.
+func TestStepsInvolvingEquivalence(t *testing.T) {
+	db, b, c1, c2 := seed(t)
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := db.CreateMaterialSet([]storage.OID{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RecordStep(labbase.StepSpec{
+		Class: "determine_sequence", ValidTime: 20,
+		Materials: []storage.OID{c1, c2},
+		Attrs:     []labbase.AttrValue{{Name: "sequence", Value: labbase.String("TTAA")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RecordStep(labbase.StepSpec{
+		Class: "pool", ValidTime: 30, Set: set,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, oid := range []storage.OID{c1, c2} {
+		ivq, err := b.Query(fmt.Sprintf("steps_involving(%d, L)", int64(oid)), 0)
+		if err != nil || len(ivq) != 1 {
+			t.Fatalf("steps_involving(%d) = %v, %v", int64(oid), ivq, err)
+		}
+		hq, err := b.Query(fmt.Sprintf("history(%d, L)", int64(oid)), 0)
+		if err != nil || len(hq) != 1 {
+			t.Fatalf("history(%d) = %v, %v", int64(oid), hq, err)
+		}
+		if got, want := ivq[0]["L"].String(), hq[0]["L"].String(); got != want {
+			t.Errorf("material %d: involves index %s != history projection %s", int64(oid), got, want)
+		}
+	}
+	// The unification form holds as one goal, too.
+	if ok, err := b.Prove(fmt.Sprintf("steps_involving(%d, L), history(%d, L)", int64(c2), int64(c2))); err != nil || !ok {
+		t.Errorf("steps_involving/history should unify: %v %v", ok, err)
+	}
+}
+
+// TestQueryOnSnapshotStability pins QueryOn to its capture: queries through
+// a snapshot keep answering from capture-time state while the live store
+// moves on, and update predicates are rejected.
+func TestQueryOnSnapshotStability(t *testing.T) {
+	db, b, c1, _ := seed(t)
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RecordStep(labbase.StepSpec{
+		Class: "determine_sequence", ValidTime: 40,
+		Materials: []storage.OID{c1},
+		Attrs:     []labbase.AttrValue{{Name: "sequence", Value: labbase.String("GGGG")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := fmt.Sprintf("most_recent(%d, sequence, S)", int64(c1))
+	old, err := b.QueryOn(snap.(labbase.Reader), q, 0)
+	if err != nil || len(old) != 1 || old[0]["S"].String() != `"ACGT"` {
+		t.Fatalf("snapshot query = %v, %v; want capture-time ACGT", old, err)
+	}
+	live, err := b.Query(q, 0)
+	if err != nil || len(live) != 1 || live[0]["S"].String() != `"GGGG"` {
+		t.Fatalf("live query = %v, %v; want GGGG", live, err)
+	}
+	ivOld, err := b.QueryOn(snap.(labbase.Reader), fmt.Sprintf("steps_involving(%d, L), length(L, N)", int64(c1)), 0)
+	if err != nil || len(ivOld) != 1 || ivOld[0]["N"].String() != "1" {
+		t.Fatalf("snapshot involves = %v, %v; want length 1", ivOld, err)
+	}
+
+	if _, err := b.QueryOn(snap.(labbase.Reader), "assert_state(1, done)", 0); err == nil {
+		t.Fatal("update through a snapshot query should be rejected")
+	}
+}

@@ -12,6 +12,7 @@
 //	errwrap      fmt.Errorf must wrap error arguments with %w
 //	mapiter      map iteration on output paths must use sorted keys
 //	mutexhygiene no mutex copies; every lock released on every return path
+//	snapshothygiene snapshot read methods are lock-free and mutation-free
 //
 // Diagnostics can be suppressed, with a mandatory justification, by a
 // directive on the offending line or on its own line immediately above:
@@ -52,7 +53,7 @@ type Analyzer struct {
 }
 
 // All is the suite run by cmd/labflowvet, in reporting order.
-var All = []*Analyzer{Detrand, Wallclock, Errwrap, Mapiter, MutexHygiene}
+var All = []*Analyzer{Detrand, Wallclock, Errwrap, Mapiter, MutexHygiene, SnapshotHygiene}
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *Analyzer {

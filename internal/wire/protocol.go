@@ -7,9 +7,10 @@
 // applications connecting as clients. This package provides that process
 // (Server) and its Go client (Client). The server executes every update in
 // its own transaction and serializes all writes across connections, as the
-// operational server did; read-only operations (see readOnlyOp) run in
-// parallel under a shared lock, so a fleet of read-heavy clients is no
-// longer funnelled through one mutex.
+// operational server did; read-only operations (see readOnlyOp) take no
+// server lock at all — each captures an MVCC snapshot inside the store and
+// runs against it, so a fleet of read-heavy clients never contends with
+// writers or with each other.
 //
 // Frame format (both directions):
 //
@@ -51,22 +52,25 @@ const (
 	OpPutSteps
 )
 
-// readOnlyOp classifies each opcode for the server's reader/writer lock:
-// read ops never mutate the database or the deductive engine and may
-// execute in parallel across connections; everything else (including
-// unknown opcodes) is treated as a write and fully serialized.
+// readOnlyOp classifies each opcode for the server's lock discipline: read
+// ops never mutate the database or the deductive engine, answer from an
+// MVCC snapshot the store captures internally, and run with no server lock
+// at all; everything else (including unknown opcodes) is treated as a write
+// and fully serialized.
 //
 //	read:  Hello, State, MostRecent, History, GetMaterial, GetStep,
 //	       CountMaterials, CountSteps, CountInState, MaterialsInState,
-//	       SetMembers, Dump, Stats, LookupMaterial
+//	       SetMembers, Dump, Stats, LookupMaterial,
+//	       Query (runs read-only on a private snapshot; resolution is
+//	       re-entrant because all per-query engine state lives in the
+//	       query context, and update predicates are rejected)
 //	write: DefineMaterialClass, DefineState, DefineStepClass,
-//	       CreateMaterial, CreateSet, RecordStep, PutSteps, SetState,
-//	       Query (the engine may consult and memoize — kept exclusive)
+//	       CreateMaterial, CreateSet, RecordStep, PutSteps, SetState
 func readOnlyOp(op uint8) bool {
 	switch op {
 	case OpHello, OpState, OpMostRecent, OpHistory, OpGetMaterial, OpGetStep,
 		OpCountMaterials, OpCountSteps, OpCountInState, OpMaterialsInState,
-		OpSetMembers, OpDump, OpStats, OpLookupMaterial:
+		OpSetMembers, OpDump, OpStats, OpLookupMaterial, OpQuery:
 		return true
 	}
 	return false

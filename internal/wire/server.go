@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"labflow/internal/datalog"
 	"labflow/internal/labbase"
 	"labflow/internal/lbq"
 	"labflow/internal/rec"
@@ -22,11 +23,12 @@ import (
 type Server struct {
 	db     labbase.Store
 	bridge *lbq.Bridge
-	// mu is the server-level reader/writer lock: write opcodes (and their
-	// whole Begin/Commit bracket) hold it exclusively, read opcodes hold it
-	// shared and execute in parallel across connections. It is always
-	// acquired before labbase.DB's internal lock (see DESIGN.md's lock
-	// hierarchy).
+	// mu arbitrates writers only: write opcodes (and their whole
+	// Begin/Commit bracket) hold it exclusively. Read opcodes do not touch
+	// it — each read entry point captures an MVCC snapshot inside the
+	// store and is consistent without any server-level exclusion. It is
+	// always acquired before labbase.DB's internal writer lock (see
+	// DESIGN.md's lock hierarchy).
 	mu     sync.RWMutex
 	serial bool // force every op exclusive (the pre-concurrency behavior)
 	// batchShared marks a store whose PutSteps self-serializes (a sharded
@@ -179,21 +181,25 @@ func (s *Server) inTxn(fn func() error) error {
 }
 
 // handle executes one request under the lock its opcode class requires:
-// read ops share the lock (parallel across connections), write ops hold it
-// exclusively so their transaction brackets stay atomic.
+// read ops take no lock at all (their snapshot capture makes them
+// consistent), write ops hold the lock exclusively so their transaction
+// brackets stay atomic against each other.
 func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
-	shared := readOnlyOp(op)
-	if op == OpPutSteps && s.batchShared {
+	switch {
+	case s.serial:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	case readOnlyOp(op):
+		// Lock-free: the store's read entry points (and the OpQuery
+		// handler explicitly) capture a snapshot and answer from it.
+	case op == OpPutSteps && s.batchShared:
 		// Sharded stores serialize PutSteps internally (per shard), so
 		// batches from different connections may run concurrently; the
 		// shared lock only keeps them from overlapping an explicit write
 		// bracket.
-		shared = true
-	}
-	if shared && !s.serial {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
-	} else {
+	default:
 		s.mu.Lock()
 		defer s.mu.Unlock()
 	}
@@ -496,7 +502,23 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		if err := d.Finish(); err != nil {
 			return nil, err
 		}
-		sols, err := s.bridge.Query(q, max)
+		var sols []datalog.Solution
+		var err error
+		if s.serial {
+			// The serialized baseline keeps the historic read-write query
+			// path: updates through OpQuery work, under the exclusive lock.
+			sols, err = s.bridge.Query(q, max)
+		} else {
+			// Shared mode: the query runs read-only against a snapshot
+			// captured here, so concurrent queries and writers never
+			// interact; update predicates are rejected by the bridge.
+			snap, serr := s.db.Snapshot()
+			if serr != nil {
+				return nil, serr
+			}
+			defer snap.Close()
+			sols, err = s.bridge.QueryOn(snap, q, max)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -51,6 +51,15 @@ go test -race -count=1 \
 	-run 'TestConcurrentReadsByteIdentical|TestConcurrentReadersWithWriter|TestShutdownDrainsPipelinedBurst' \
 	./internal/wire/
 
+echo "== snapshot stress (-race -shuffle=on, lock-free readers vs writers + shared OpQuery)"
+# The MVCC read-path contract (DESIGN §10): snapshots pinned across commits
+# stay at their capture, concurrent batches never expose torn state (single
+# DB and 4-shard), and shared-mode OpQuery is byte-identical to the
+# serialized baseline while write batches land.
+go test -race -shuffle=on -count=1 \
+	-run 'TestSnapshotAcrossCommits|TestSnapshotNeverTornMidBatch|TestShardSnapshotNeverTornMidBatch|TestConcurrentQueryByteIdentical|TestConcurrentQueryWithWriteBatches|TestQueryUpdatesRejectedShared' \
+	./internal/labbase/ ./internal/labbase/shard/ ./internal/wire/
+
 echo "== lfload smoke (closed-loop load generator)"
 lfload_out=$(go run ./cmd/lfload -workers 4 -pipeline 4 -readmix 0.9 -ops 4000 -materials 200 -json)
 # lfload exits nonzero on any worker error or zero throughput; double-check
@@ -65,6 +74,14 @@ lfload_w=$(go run ./cmd/lfload -workers 4 -pipeline 4 -readmix 0.0 -writebatch 8
 	-shards 4 -ops 2000 -materials 200 -json)
 echo "$lfload_w" | grep -q '"ops_per_sec"' || {
 	echo "lfload write-path smoke: no throughput in report" >&2
+	exit 1
+}
+
+echo "== lfload querymix smoke (shared OpQuery in the closed loop)"
+lfload_q=$(go run ./cmd/lfload -workers 4 -pipeline 4 -readmix 1.0 -querymix 0.5 \
+	-ops 2000 -materials 200 -json)
+echo "$lfload_q" | grep -q '"query_ops"' || {
+	echo "lfload querymix smoke: no query ops in report" >&2
 	exit 1
 }
 
