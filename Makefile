@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate scripts/ci.sh implements.
 
-.PHONY: check test race bench bench-write table10 lint crashtest clean
+.PHONY: check test race bench bench-write table10 lint lint-fix-check crashtest clean
 
 check:
 	./scripts/ci.sh
@@ -10,6 +10,16 @@ test:
 
 lint:
 	go run ./cmd/labflowvet ./...
+
+# Regenerate the analyzer golden files, then fail if that changed anything:
+# a stale golden means analyzer output drifted without the fixture contract
+# being re-reviewed.
+lint-fix-check:
+	go test ./internal/lint -run TestGolden -update >/dev/null
+	@git diff --quiet -- internal/lint/testdata || { \
+		git --no-pager diff --stat -- internal/lint/testdata >&2; \
+		echo "lint-fix-check: golden files are stale; review and commit the refresh" >&2; \
+		exit 1; }
 
 race:
 	go test -race ./...

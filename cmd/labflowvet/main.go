@@ -3,11 +3,18 @@
 //
 //	go run ./cmd/labflowvet ./...
 //	go run ./cmd/labflowvet -json ./internal/...
+//	go run ./cmd/labflowvet -allowlist ./...
 //
 // It exits 0 when the tree is clean, 1 when diagnostics were reported, and
 // 2 when the packages could not be loaded. Findings are suppressed, with a
 // mandatory reason, by a "//lint:allow <analyzer> <reason>" comment on the
 // offending line or the line above it.
+//
+// -allowlist inventories every //lint:allow directive in the module —
+// file:line, analyzer, and justification — instead of running the suite,
+// so reviews can audit the accumulated escape hatches in one place. The
+// inventory exits 1 if any directive names an analyzer that no longer
+// exists: a stale suppression hides nothing, and deleting it is free.
 //
 // The tool is built entirely on the standard library (go/parser, go/types,
 // go/build, and the source importer), so the lint gate needs no network
@@ -32,12 +39,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("labflowvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	allowlist := fs.Bool("allowlist", false, "inventory //lint:allow directives instead of running the analyzers")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: labflowvet [-json] [packages]\n")
+		fmt.Fprintf(stderr, "usage: labflowvet [-json] [-allowlist] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *allowlist {
+		return runAllowlist(fs.Args(), *jsonOut, stdout, stderr)
 	}
 
 	diags, err := lint.Run(lint.Options{Patterns: fs.Args()})
@@ -65,6 +77,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !*jsonOut {
 			fmt.Fprintf(stderr, "labflowvet: %d finding(s)\n", len(diags))
 		}
+		return 1
+	}
+	return 0
+}
+
+// runAllowlist implements -allowlist: print every directive with its
+// position and justification, and fail if any names an unknown analyzer.
+func runAllowlist(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	dirs, err := lint.Directives(lint.Options{Patterns: patterns})
+	if err != nil {
+		fmt.Fprintf(stderr, "labflowvet: %v\n", err)
+		return 2
+	}
+	unknown := 0
+	for _, d := range dirs {
+		if !d.Known {
+			unknown++
+		}
+	}
+	if jsonOut {
+		if dirs == nil {
+			dirs = []lint.Directive{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(dirs); err != nil {
+			fmt.Fprintf(stderr, "labflowvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range dirs {
+			reason := d.Reason
+			if reason == "" {
+				reason = "(no reason given)"
+			}
+			note := ""
+			if !d.Known {
+				note = " [unknown analyzer]"
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s%s: %s\n", d.File, d.Line, d.Analyzer, note, reason)
+		}
+	}
+	if unknown > 0 {
+		fmt.Fprintf(stderr, "labflowvet: %d directive(s) name unknown analyzers\n", unknown)
 		return 1
 	}
 	return 0

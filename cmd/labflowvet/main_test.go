@@ -89,6 +89,73 @@ func TestCleanRepoPattern(t *testing.T) {
 	}
 }
 
+// TestAllowlist inventories the srcmod directives: both sanctioned
+// wallclock sites appear with their positions and reasons, and a module
+// whose directives all name live analyzers exits 0.
+func TestAllowlist(t *testing.T) {
+	chdir(t, "testdata/srcmod")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-allowlist", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	want := []string{
+		"emit/emit.go:29: wallclock: integration-test sanctioned site",
+		"emit/emit.go:30: wallclock: integration-test sanctioned site",
+	}
+	got := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("got %d directives, want %d:\n%s", len(got), len(want), out.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("directive %d:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAllowlistUnknown asserts the inventory fails when a directive names
+// an analyzer that no longer exists, and that a missing reason is surfaced
+// without failing the run.
+func TestAllowlistUnknown(t *testing.T) {
+	chdir(t, "testdata/allowmod")
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-allowlist", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{
+		"a.go:8: wallclock: sanctioned latency probe",
+		"a.go:11: nosuchpass [unknown analyzer]: leftover from a deleted analyzer",
+		"a.go:14: detrand: (no reason given)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inventory missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "1 directive(s) name unknown analyzers") {
+		t.Errorf("stderr missing unknown-analyzer summary: %s", errOut.String())
+	}
+
+	// JSON form carries the Known flag for tooling.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-allowlist", "-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("json form: exit %d, want 1", code)
+	}
+	var dirs []lint.Directive
+	if err := json.Unmarshal(out.Bytes(), &dirs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("got %d JSON directives, want 3: %s", len(dirs), out.String())
+	}
+	if dirs[1].Analyzer != "nosuchpass" || dirs[1].Known {
+		t.Errorf("unexpected second directive: %+v", dirs[1])
+	}
+}
+
 // TestJSONOutput checks the -json encoding of diagnostics.
 func TestJSONOutput(t *testing.T) {
 	chdir(t, "testdata/srcmod")

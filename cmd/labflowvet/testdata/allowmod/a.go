@@ -1,0 +1,15 @@
+// Package a exists to exercise `labflowvet -allowlist`: one well-formed
+// directive, one naming an analyzer that does not exist, and one missing
+// its reason.
+package a
+
+import "time"
+
+//lint:allow wallclock sanctioned latency probe
+func Now() time.Time { return time.Now() }
+
+//lint:allow nosuchpass leftover from a deleted analyzer
+func X() int { return 1 }
+
+//lint:allow detrand
+func Y() int { return 2 }

@@ -1,0 +1,812 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cowhygiene enforces the copy-on-write contract behind DB's lock-free read
+// path (DESIGN §6): every value reachable from a published snapshot — a
+// *dbState loaded through the atomic state pointer, the treap nodes and
+// inversion lists hanging off it, and anything a blessed accessor returns
+// from one — is immutable. The writer may *replace* a field that feeds the
+// next publish (`db.nameRoot = treapPut(...)`), but may never write
+// *through* a published value (`st.nameRoot.left = ...`), pass one to a
+// callee that mutates its parameter, or call a mutating method on one.
+//
+// The pass is module-wide and runs in three phases over the fact store:
+//
+//  1. Mutation summaries: for every function in the module, which
+//     parameters (and the receiver) it writes through, propagated through
+//     static calls to a fixpoint. Unknown callees — interface dispatch,
+//     function values, the standard library — are assumed non-mutating,
+//     which is the documented under-approximation that keeps the treap
+//     value-copy idiom (`c := *n; treapRotateRight(&c)`) legal.
+//  2. Taint facts: which functions return snapshot-reachable pointers and
+//     which struct fields hold them, seeded by `(atomic.Pointer[T]).Load`
+//     for published T and grown to a fixpoint. Building a published-type
+//     composite literal marks the source fields it captures (publish()
+//     aliasing `db.nameRoot` into the next dbState), while fields wrapped
+//     in `append(nil, ...)` stay clean — the copy breaks the alias.
+//  3. Violation scan: per function body (closures analyzed as their own
+//     contexts), using reaching definitions to track taint through local
+//     reassignment. Value copies cleanse: assigning a non-pointer-shaped
+//     value (`c := *n`) produces a fresh object the writer may mutate.
+var CowHygiene = &Analyzer{
+	Name:      "cowhygiene",
+	Doc:       "values reachable from a published MVCC snapshot must never be mutated",
+	RunModule: runCowHygiene,
+}
+
+// cowPublishedTypes names the types whose instances are published by the
+// snapshot machinery, keyed by bare type name so fixtures exercise the same
+// code paths as labbase itself.
+var cowPublishedTypes = map[string]bool{
+	"dbState":   true,
+	"treapNode": true,
+	"invList":   true,
+}
+
+const (
+	nsCowMutates = "cow.mutates" // funcKey -> cowMutFact
+	nsCowReturns = "cow.returns" // funcKey -> true (returns a tainted pointer)
+	nsCowField   = "cow.field"   // fieldKey/pkgVarKey -> true (holds a tainted pointer)
+	nsCowElems   = "cow.elems"   // fieldKey -> true (slice header fresh, elements shared)
+)
+
+// cowMutFact summarizes which inputs a function writes through.
+type cowMutFact struct {
+	Recv   bool
+	Params []bool
+}
+
+func (f cowMutFact) any() bool {
+	if f.Recv {
+		return true
+	}
+	for _, p := range f.Params {
+		if p {
+			return true
+		}
+	}
+	return false
+}
+
+// cowFunc is one analyzable body: a declared function or a function literal.
+type cowFunc struct {
+	unit  *Unit
+	key   string // funcKey; "" for literals
+	ftype *ast.FuncType
+	recv  *ast.FieldList // nil for literals and plain functions
+	body  *ast.BlockStmt
+}
+
+func runCowHygiene(p *ModulePass) {
+	funcs := cowCollect(p.Units)
+
+	// Phase 1: mutation summaries to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range funcs {
+			if fn.key == "" {
+				continue
+			}
+			fact := cowMutSummary(fn, p.Facts)
+			if prev, ok := p.Facts.Get(nsCowMutates, fn.key); !ok || !sameMutFact(prev.(cowMutFact), fact) {
+				p.Facts.Put(nsCowMutates, fn.key, fact)
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2: taint facts (returns and field stores) to a fixpoint.
+	duCache := map[*ast.BlockStmt]*defUse{}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range funcs {
+			ctx := newCowCtx(p, fn, duCache)
+			if ctx.harvest() {
+				changed = true
+			}
+		}
+	}
+
+	// Phase 3: report violations.
+	for _, fn := range funcs {
+		newCowCtx(p, fn, duCache).scan()
+	}
+}
+
+// cowCollect lists every function body in the module in deterministic
+// order: declared functions first, then each function literal (which gets
+// its own flow context — captured variables are analyzed conservatively as
+// untainted, a documented under-approximation).
+func cowCollect(units []*Unit) []*cowFunc {
+	var funcs []*cowFunc
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := ""
+				if obj, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+					key = funcKey(obj)
+				}
+				funcs = append(funcs, &cowFunc{unit: u, key: key, ftype: fd.Type, recv: fd.Recv, body: fd.Body})
+			}
+			unit := u
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					funcs = append(funcs, &cowFunc{unit: unit, ftype: lit.Type, body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+	return funcs
+}
+
+func sameMutFact(a, b cowMutFact) bool {
+	if a.Recv != b.Recv || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- phase 1: mutation summaries ---------------------------------------------
+
+// cowMutSummary computes which of fn's inputs the body writes through:
+// directly (assignment/++/--/delete on a chain rooted at the parameter, at
+// depth >= 1 — rebinding the parameter itself is not mutation), or
+// indirectly by forwarding the bare parameter to a callee already known to
+// mutate. Bare-copy aliases (`q := p`, `for _, q := range p`) count as the
+// parameter. Closure bodies are included: a literal that mutates a captured
+// parameter makes the enclosing function mutating.
+func cowMutSummary(fn *cowFunc, facts *FactStore) cowMutFact {
+	info := fn.unit.Info
+	// Input objects: receiver is index -1, parameters are 0..n-1.
+	inputs := map[types.Object]int{}
+	if fn.recv != nil {
+		for _, f := range fn.recv.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					inputs[obj] = -1
+				}
+			}
+		}
+	}
+	nparams := 0
+	if fn.ftype.Params != nil {
+		for _, f := range fn.ftype.Params.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					inputs[obj] = nparams
+				}
+				nparams++
+			}
+			if len(f.Names) == 0 {
+				nparams++
+			}
+		}
+	}
+	fact := cowMutFact{Params: make([]bool, nparams)}
+	mark := func(idx int) {
+		if idx == -1 {
+			fact.Recv = true
+		} else if idx >= 0 && idx < nparams {
+			fact.Params[idx] = true
+		}
+	}
+
+	// Flow-insensitive alias growth: q := p makes q stand for p everywhere.
+	for grown := true; grown; {
+		grown = false
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					src, ok := unparen(rhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					idx, aliased := inputs[objectOf(info, src)]
+					if !aliased {
+						continue
+					}
+					if dst, ok := unparen(n.Lhs[i]).(*ast.Ident); ok && dst.Name != "_" {
+						if obj := objectOf(info, dst); obj != nil {
+							if _, seen := inputs[obj]; !seen {
+								inputs[obj] = idx
+								grown = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				src, ok := unparen(n.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				idx, aliased := inputs[objectOf(info, src)]
+				if !aliased || n.Value == nil {
+					return true
+				}
+				if dst, ok := unparen(n.Value).(*ast.Ident); ok && dst.Name != "_" {
+					if obj := objectOf(info, dst); obj != nil {
+						if _, seen := inputs[obj]; !seen {
+							inputs[obj] = idx
+							grown = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	rootInput := func(e ast.Expr) (int, bool) {
+		depth := 0
+		for {
+			switch x := unparen(e).(type) {
+			case *ast.SelectorExpr:
+				e, depth = x.X, depth+1
+			case *ast.IndexExpr:
+				e, depth = x.X, depth+1
+			case *ast.StarExpr:
+				e, depth = x.X, depth+1
+			case *ast.Ident:
+				if depth == 0 {
+					return 0, false // rebinding, not mutation
+				}
+				idx, ok := inputs[objectOf(info, x)]
+				return idx, ok
+			default:
+				return 0, false
+			}
+		}
+	}
+
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := rootInput(lhs); ok {
+					mark(idx)
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := rootInput(n.X); ok {
+				mark(idx)
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := objectOf(info, id).(*types.Builtin); isBuiltin && id.Name == "delete" && len(n.Args) > 0 {
+					if src, ok := unparen(n.Args[0]).(*ast.Ident); ok {
+						if idx, aliased := inputs[objectOf(info, src)]; aliased {
+							mark(idx)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Call-through mutation: forwarding a bare input to a mutating callee.
+	for _, e := range callEdges(fn.body, info, true) {
+		v, ok := facts.Get(nsCowMutates, e.callee)
+		if !ok {
+			continue
+		}
+		callee := v.(cowMutFact)
+		if callee.Recv {
+			if sel, ok := unparen(e.call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := unparen(sel.X).(*ast.Ident); ok {
+					if idx, aliased := inputs[objectOf(info, id)]; aliased {
+						mark(idx)
+					}
+				}
+			}
+		}
+		for i, arg := range e.call.Args {
+			arg = unparen(arg)
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				continue // &p mutates the pointee of a fresh pointer, not p's referent
+			}
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			idx, aliased := inputs[objectOf(info, id)]
+			if !aliased {
+				continue
+			}
+			j := i
+			if j >= len(callee.Params) {
+				j = len(callee.Params) - 1 // variadic tail
+			}
+			if j >= 0 && callee.Params[j] {
+				mark(idx)
+			}
+		}
+	}
+	return fact
+}
+
+// --- phases 2 and 3: taint and violations ------------------------------------
+
+// cowCtx is the flow context for one function body: its reaching-defs
+// solution plus memoized taint verdicts against the current fact store.
+type cowCtx struct {
+	pass *ModulePass
+	fn   *cowFunc
+	info *types.Info
+	du   *defUse
+
+	defTaint map[cowDefKey]int8 // 0 unknown, 1 in progress, 2 false, 3 true
+}
+
+type cowDefKey struct {
+	obj  types.Object
+	node ast.Node
+}
+
+func newCowCtx(p *ModulePass, fn *cowFunc, duCache map[*ast.BlockStmt]*defUse) *cowCtx {
+	du, ok := duCache[fn.body]
+	if !ok {
+		du = buildDefUse(fn.ftype, fn.body, fn.unit.Info)
+		duCache[fn.body] = du
+	}
+	return &cowCtx{pass: p, fn: fn, info: fn.unit.Info, du: du, defTaint: map[cowDefKey]int8{}}
+}
+
+func (c *cowCtx) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// pointerLike reports whether values of t share their referent when copied:
+// mutating through the copy mutates the original. Plain structs, arrays,
+// and scalars copy by value, which is what makes `c := *n` a cleanse.
+func pointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// cowSnapshotLoad reports whether call is (atomic.Pointer[T]).Load for a
+// published T: the taint source.
+func cowSnapshotLoad(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	n, ok := deref(s.Recv()).(*types.Named)
+	if !ok {
+		return false
+	}
+	if path, name := namedPath(n.Origin()); path != "sync/atomic" || name != "Pointer" {
+		return false
+	}
+	args := n.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return false
+	}
+	elem, ok := deref(args.At(0)).(*types.Named)
+	return ok && cowPublishedTypes[elem.Origin().Obj().Name()]
+}
+
+// tainted reports whether e evaluates to a value reachable from a published
+// snapshot. Local variables consult reaching definitions; value-shaped
+// results (non-pointer-like) are always clean.
+func (c *cowCtx) tainted(e ast.Expr) bool {
+	e = unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := objectOf(c.info, e)
+		v, ok := obj.(*types.Var)
+		if !ok || !pointerLike(v.Type()) {
+			return false
+		}
+		if key := pkgVarKey(v); key != "" {
+			_, hot := c.pass.Facts.Get(nsCowField, key)
+			return hot
+		}
+		for _, dn := range c.du.defsOf(e) {
+			if c.defTainted(obj, dn) {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		if s, ok := c.info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if key := fieldKeyOf(s); key != "" {
+				if _, hot := c.pass.Facts.Get(nsCowField, key); hot {
+					return true
+				}
+			}
+			return c.tainted(e.X) && pointerLike(c.typeOf(e))
+		}
+		if obj := c.info.Uses[e.Sel]; obj != nil {
+			if key := pkgVarKey(obj); key != "" {
+				_, hot := c.pass.Facts.Get(nsCowField, key)
+				return hot && pointerLike(obj.Type())
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		return (c.tainted(e.X) || c.elemsTainted(e.X)) && pointerLike(c.typeOf(e))
+	case *ast.StarExpr:
+		return c.tainted(e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && c.tainted(e.X)
+	case *ast.TypeAssertExpr:
+		return e.Type != nil && c.tainted(e.X) && pointerLike(c.typeOf(e))
+	case *ast.CallExpr:
+		return c.callTainted(e)
+	}
+	return false
+}
+
+// callTainted reports whether a call's result is tainted: the atomic Load
+// source itself, append/conversions of a tainted operand, or a callee known
+// to return snapshot-reachable pointers.
+func (c *cowCtx) callTainted(call *ast.CallExpr) bool {
+	if cowSnapshotLoad(c.info, call) {
+		return true
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := objectOf(c.info, id).(*types.Builtin); isBuiltin {
+			// append(nil, tainted...) copies into arg0: taint follows the
+			// destination, so append([]T(nil), st.roots...) is a cleanse.
+			return id.Name == "append" && len(call.Args) > 0 && c.tainted(call.Args[0])
+		}
+	}
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return c.tainted(call.Args[0]) // conversion preserves the referent
+	}
+	if key := staticCalleeKey(c.info, call); key != "" {
+		if _, hot := c.pass.Facts.Get(nsCowReturns, key); hot {
+			return true
+		}
+	}
+	return false
+}
+
+// defTainted evaluates one reaching definition of obj. The in-progress
+// state breaks def cycles (`n = n.left` in a loop): the cyclic def itself
+// contributes nothing, and taint still arrives through the loop-entry def.
+func (c *cowCtx) defTainted(obj types.Object, node ast.Node) bool {
+	k := cowDefKey{obj: obj, node: node}
+	switch c.defTaint[k] {
+	case 1:
+		return false
+	case 2:
+		return false
+	case 3:
+		return true
+	}
+	c.defTaint[k] = 1
+	v := c.defTaintedEval(obj, node)
+	if v {
+		c.defTaint[k] = 3
+	} else {
+		c.defTaint[k] = 2
+	}
+	return v
+}
+
+func (c *cowCtx) defTaintedEval(obj types.Object, node ast.Node) bool {
+	tupleTaint := func(rhs ast.Expr) bool {
+		switch r := unparen(rhs).(type) {
+		case *ast.CallExpr:
+			return c.callTainted(r)
+		case *ast.TypeAssertExpr:
+			return c.tainted(r.X)
+		case *ast.IndexExpr:
+			return c.tainted(r.X)
+		case *ast.UnaryExpr:
+			return c.tainted(r.X) // <-ch
+		}
+		return false
+	}
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		idx := -1
+		for i, lhs := range n.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok && objectOf(c.info, id) == obj {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return false
+		}
+		if len(n.Rhs) == len(n.Lhs) {
+			return c.tainted(n.Rhs[idx])
+		}
+		return tupleTaint(n.Rhs[0])
+	case *ast.ValueSpec:
+		idx := -1
+		for i, name := range n.Names {
+			if c.info.Defs[name] == obj {
+				idx = i
+			}
+		}
+		if idx < 0 || len(n.Values) == 0 {
+			return false
+		}
+		if len(n.Values) == len(n.Names) {
+			return c.tainted(n.Values[idx])
+		}
+		return tupleTaint(n.Values[0])
+	case *ast.RangeStmt:
+		return c.tainted(n.X) || c.elemsTainted(n.X)
+	}
+	// IncDecStmt and parameter Fields never introduce taint.
+	return false
+}
+
+// elemsTainted reports whether e names a field whose slice header is fresh
+// but whose elements are shared with a published snapshot — the result of
+// the publish() idiom `append([]T(nil), db.stateRoots...)`, which copies
+// the slice of pointers but not the nodes behind them. Replacing a slot is
+// legal; mutating through a slot is not.
+func (c *cowCtx) elemsTainted(e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := c.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	key := fieldKeyOf(s)
+	if key == "" {
+		return false
+	}
+	_, hot := c.pass.Facts.Get(nsCowElems, key)
+	return hot
+}
+
+// harvest records this body's contribution to the taint facts — functions
+// returning tainted pointers, fields (and package variables) storing them,
+// and source fields captured by a published-type composite literal — and
+// reports whether anything new was learned.
+func (c *cowCtx) harvest() bool {
+	changed := false
+	putIfNew := func(ns, key string) {
+		if _, ok := c.pass.Facts.Get(ns, key); !ok {
+			c.pass.Facts.Put(ns, key, true)
+			changed = true
+		}
+	}
+	ast.Inspect(c.fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // harvested as its own context
+		case *ast.ReturnStmt:
+			if c.fn.key == "" {
+				return true
+			}
+			for _, r := range n.Results {
+				if pointerLike(c.typeOf(r)) && c.tainted(r) {
+					putIfNew(nsCowReturns, c.fn.key)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				hot := false
+				if len(n.Rhs) == len(n.Lhs) {
+					hot = pointerLike(c.typeOf(n.Rhs[i])) && c.tainted(n.Rhs[i])
+				} else if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					hot = c.callTainted(call)
+				}
+				if !hot {
+					continue
+				}
+				switch lhs := unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if s, ok := c.info.Selections[lhs]; ok {
+						if key := fieldKeyOf(s); key != "" {
+							putIfNew(nsCowField, key)
+						}
+					}
+				case *ast.Ident:
+					if obj := objectOf(c.info, lhs); obj != nil {
+						if key := pkgVarKey(obj); key != "" {
+							putIfNew(nsCowField, key)
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			c.harvestComposite(n, putIfNew)
+		}
+		return true
+	})
+	return changed
+}
+
+// harvestComposite handles struct literals: storing a tainted value in a
+// field taints the field everywhere, and building a *published* type's
+// literal additionally marks the source fields it aliases — that is how
+// publish() turns `nameRoot: db.nameRoot` into "db.nameRoot is now shared
+// with readers". Elements wrapped in append(nil, ...) or clone calls never
+// reach here as bare selectors, so copied fields stay writable.
+func (c *cowCtx) harvestComposite(lit *ast.CompositeLit, putIfNew func(ns, key string)) {
+	named, ok := deref(c.typeOf(lit)).(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	ownerKey := namedKeyOf(named)
+	published := cowPublishedTypes[named.Origin().Obj().Name()]
+	for i, elt := range lit.Elts {
+		value := elt
+		fieldName := ""
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			value = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				fieldName = id.Name
+			}
+		} else if i < st.NumFields() {
+			fieldName = st.Field(i).Name()
+		}
+		if fieldName == "" || !pointerLike(c.typeOf(value)) {
+			continue
+		}
+		if c.tainted(value) {
+			putIfNew(nsCowField, ownerKey+"."+fieldName)
+		}
+		if published {
+			if sel, ok := unparen(value).(*ast.SelectorExpr); ok {
+				if s, ok := c.info.Selections[sel]; ok {
+					if key := fieldKeyOf(s); key != "" {
+						putIfNew(nsCowField, key)
+					}
+				}
+			}
+			// append(nil, db.field...) copies the slice header but shares the
+			// elements: the source field's slots stay writable, their
+			// referents do not.
+			if call, ok := unparen(value).(*ast.CallExpr); ok && call.Ellipsis.IsValid() {
+				if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+					if _, isBuiltin := objectOf(c.info, id).(*types.Builtin); isBuiltin {
+						for _, a := range call.Args[1:] {
+							if sel, ok := unparen(a).(*ast.SelectorExpr); ok {
+								if s, ok := c.info.Selections[sel]; ok {
+									if key := fieldKeyOf(s); key != "" {
+										putIfNew(nsCowElems, key)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// scan reports every mutation of a tainted value in this body.
+func (c *cowCtx) scan() {
+	ast.Inspect(c.fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // scanned as its own context
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+// baseTainted reports whether writing through e lands in snapshot-published
+// memory: e itself is tainted, or e is a projection (field/index/deref)
+// whose base is. Projections through a clean value copy stop the walk —
+// that is the cleanse the copy constructors rely on.
+func (c *cowCtx) baseTainted(e ast.Expr) bool {
+	e = unparen(e)
+	if c.tainted(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return c.baseTainted(e.X)
+		}
+	case *ast.IndexExpr:
+		return c.baseTainted(e.X)
+	case *ast.StarExpr:
+		return c.baseTainted(e.X)
+	}
+	return false
+}
+
+func (c *cowCtx) checkWrite(lhs ast.Expr) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.info.Selections[lhs]; ok && s.Kind() == types.FieldVal && c.baseTainted(lhs.X) {
+			c.pass.Reportf(lhs.Pos(), "write to %s mutates snapshot-published state; clone before mutating (DESIGN §6)", types.ExprString(lhs))
+		}
+	case *ast.IndexExpr:
+		if c.baseTainted(lhs.X) {
+			c.pass.Reportf(lhs.Pos(), "write to %s mutates snapshot-published state; clone before mutating (DESIGN §6)", types.ExprString(lhs))
+		}
+	case *ast.StarExpr:
+		if c.baseTainted(lhs.X) {
+			c.pass.Reportf(lhs.Pos(), "write through %s mutates snapshot-published state; clone before mutating (DESIGN §6)", types.ExprString(lhs))
+		}
+	}
+}
+
+func (c *cowCtx) checkCall(call *ast.CallExpr) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := objectOf(c.info, id).(*types.Builtin); isBuiltin {
+			if id.Name == "delete" && len(call.Args) > 0 && c.tainted(call.Args[0]) {
+				c.pass.Reportf(call.Pos(), "delete on snapshot-published map %s; clone before mutating (DESIGN §6)", types.ExprString(call.Args[0]))
+			}
+			return
+		}
+	}
+	key := staticCalleeKey(c.info, call)
+	if key == "" {
+		return
+	}
+	v, ok := c.pass.Facts.Get(nsCowMutates, key)
+	if !ok {
+		return
+	}
+	fact := v.(cowMutFact)
+	if !fact.any() {
+		return
+	}
+	if fact.Recv {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && c.tainted(sel.X) {
+			c.pass.Reportf(call.Pos(), "%s mutates its receiver, which is snapshot-published here; clone before mutating (DESIGN §6)", shortKey(key))
+		}
+	}
+	for i, arg := range call.Args {
+		j := i
+		if j >= len(fact.Params) {
+			j = len(fact.Params) - 1
+		}
+		if j < 0 || !fact.Params[j] {
+			continue
+		}
+		if c.tainted(arg) {
+			c.pass.Reportf(arg.Pos(), "passing snapshot-published %s to %s, which mutates that parameter; clone first (DESIGN §6)", types.ExprString(arg), shortKey(key))
+		}
+	}
+}

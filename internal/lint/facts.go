@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the cross-package half of the flow-aware framework: a fact
+// store keyed by stable, position-independent object names, so one
+// analysis phase's findings (a function's mutation summary, a field's
+// access discipline, a lock's transitive acquisitions) feed later phases —
+// and later *analyzers* — across package boundaries.
+//
+// Why string keys and not types.Object identity: the loader type-checks a
+// package twice when it has in-package tests (once as a dependency, once
+// augmented with its _test files), and those two checks mint distinct
+// objects for the same source. Names of the form "pkgpath.Type.member"
+// (or "pkgpath.name" at package level) are identical across both checks,
+// so facts recorded from one view are visible from every other.
+
+// FactStore holds facts for one driver run, namespaced per producer so
+// analyzers cannot clobber each other's keys by accident.
+type FactStore struct {
+	m map[string]map[string]any
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[string]map[string]any{}}
+}
+
+// Put records fact under (ns, key), overwriting any previous value.
+func (s *FactStore) Put(ns, key string, fact any) {
+	if s.m[ns] == nil {
+		s.m[ns] = map[string]any{}
+	}
+	s.m[ns][key] = fact
+}
+
+// Get returns the fact stored under (ns, key).
+func (s *FactStore) Get(ns, key string) (any, bool) {
+	v, ok := s.m[ns][key]
+	return v, ok
+}
+
+// Keys returns the sorted keys of a namespace, so iteration over facts is
+// deterministic (diagnostic order must be reproducible run to run).
+func (s *FactStore) Keys(ns string) []string {
+	keys := make([]string, 0, len(s.m[ns]))
+	for k := range s.m[ns] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- stable object keys ------------------------------------------------------
+
+// funcKey names a function or method position-independently:
+// "pkg/path.Name" for package functions, "pkg/path.Recv.Name" for methods
+// (generic receivers collapse to their origin, so every instantiation of
+// oidCache[V].get shares one key). "" when the object is unusable (builtins,
+// error.Error, objects without a package).
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		n, ok := deref(recv.Type()).(*types.Named)
+		if !ok {
+			return "" // interface method or weird receiver: not a static target
+		}
+		return namedKeyOf(n) + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// namedKeyOf names a (possibly instantiated) named type by its origin:
+// "pkg/path.Name".
+func namedKeyOf(n *types.Named) string {
+	obj := n.Origin().Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// fieldKeyOf names a struct field as "pkg/path.Owner.field", resolving the
+// owner through the selection's receiver type (so promoted fields key on
+// the struct that actually declares them when reachable, and otherwise on
+// the receiver the source wrote). "" when the selection is not a field.
+func fieldKeyOf(sel *types.Selection) string {
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return ""
+	}
+	obj, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return ""
+	}
+	// Walk the selection's receiver to the named struct holding the field.
+	t := sel.Recv()
+	for _, idx := range sel.Index()[:len(sel.Index())-1] {
+		s, ok := deref(t).Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		t = s.Field(idx).Type()
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	return namedKeyOf(n) + "." + obj.Name()
+}
+
+// pkgVarKey names a package-level variable "pkg/path.name", or "".
+func pkgVarKey(obj types.Object) string {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return v.Pkg().Path() + "." + v.Name()
+}
+
+// staticCalleeKey resolves a call expression to the funcKey of its static
+// target: a package function, a method on a concrete named type, or a
+// qualified identifier. Calls through interfaces, function values, and
+// builtins return "" — the analyses treat them as opaque.
+func staticCalleeKey(info *types.Info, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := objectOf(info, fun).(*types.Func); ok {
+			return funcKey(fn)
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if s.Kind() != types.MethodVal {
+				return ""
+			}
+			if _, isIface := deref(s.Recv()).Underlying().(*types.Interface); isIface {
+				return "" // dynamic dispatch
+			}
+			if fn, ok := s.Obj().(*types.Func); ok {
+				if key := funcKey(fn); key != "" {
+					return key
+				}
+				// Methods on instantiated generics have no origin receiver in
+				// the signature; rebuild the key from the selection receiver.
+				if n, ok := deref(s.Recv()).(*types.Named); ok {
+					return namedKeyOf(n) + "." + fn.Name()
+				}
+			}
+			return ""
+		}
+		// Package-qualified call: fmt.Errorf, atomic.AddUint64, ...
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return funcKey(fn)
+		}
+	}
+	return ""
+}
+
+// shortKey trims the module path prefix off a fact key for diagnostics:
+// "labflow/internal/labbase.DB.wmu" reads as "labbase.DB.wmu".
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// posString renders a position compactly (base filename:line) for use
+// inside diagnostic messages that reference a second location.
+func posString(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + itoa(p.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

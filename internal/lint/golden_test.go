@@ -16,7 +16,9 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files with current analyzer output")
 
 // checkFixture parses and type-checks every .go file in dir as one package,
-// importing only the standard library.
+// importing only the standard library. The package path is
+// "fixture/<basename>", which the lockorder rank table mirrors so fixtures
+// exercise the same hierarchy checks as the real tree.
 func checkFixture(t *testing.T, fset *token.FileSet, std types.Importer, dir string) ([]*ast.File, *types.Package, *types.Info) {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
@@ -43,6 +45,7 @@ func checkFixture(t *testing.T, fset *token.FileSet, std types.Importer, dir str
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
 	}
 	conf := types.Config{Importer: std}
 	pkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
@@ -50,6 +53,42 @@ func checkFixture(t *testing.T, fset *token.FileSet, std types.Importer, dir str
 		t.Fatalf("type-checking fixture %s: %v", dir, err)
 	}
 	return files, pkg, info
+}
+
+// fixtureDiags is the one harness every fixture-driven test goes through:
+// type-check testdata/<name>, run the given analyzers, and render the
+// diagnostics one per line with base filenames.
+func fixtureDiags(t *testing.T, fset *token.FileSet, std types.Importer, name string, analyzers []*Analyzer) string {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	files, pkg, info := checkFixture(t, fset, std, dir)
+	diags := RunAnalyzers(fset, files, pkg, info, analyzers)
+	var b strings.Builder
+	for _, d := range diags {
+		d.File = filepath.Base(d.File)
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// compareGolden asserts got matches the golden file byte for byte, or
+// rewrites it under -update.
+func compareGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
 }
 
 // TestGolden runs every analyzer over its testdata fixture package and
@@ -60,32 +99,8 @@ func TestGolden(t *testing.T) {
 	std := importer.ForCompiler(fset, "source", nil)
 	for _, a := range All {
 		t.Run(a.Name, func(t *testing.T) {
-			dir := filepath.Join("testdata", a.Name)
-			files, pkg, info := checkFixture(t, fset, std, dir)
-			diags := RunAnalyzers(fset, files, pkg, info, []*Analyzer{a})
-
-			var b strings.Builder
-			for _, d := range diags {
-				d.File = filepath.Base(d.File)
-				b.WriteString(d.String())
-				b.WriteString("\n")
-			}
-			got := b.String()
-
-			goldenPath := filepath.Join(dir, "golden.txt")
-			if *update {
-				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(goldenPath)
-			if err != nil {
-				t.Fatalf("missing golden file (run with -update to create): %v", err)
-			}
-			if got != string(want) {
-				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
-			}
+			got := fixtureDiags(t, fset, std, a.Name, []*Analyzer{a})
+			compareGolden(t, filepath.Join("testdata", a.Name, "golden.txt"), got)
 		})
 	}
 }

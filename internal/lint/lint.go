@@ -14,12 +14,23 @@
 //	mutexhygiene no mutex copies; every lock released on every return path
 //	snapshothygiene snapshot read methods are lock-free and mutation-free
 //
+// PR 7 upgraded the framework from per-file AST walks to a module-wide,
+// flow-aware driver: a lightweight CFG/def-use layer over function bodies
+// (cfg.go, defuse.go) and a cross-package fact store (facts.go) let one
+// pass's findings feed another across package boundaries. Three passes
+// enforce the MVCC invariants PR 6 made load-bearing:
+//
+//	cowhygiene   values loaded from published snapshot state are immutable
+//	atomichygiene a field accessed atomically anywhere is atomic everywhere
+//	lockorder    mutex acquisition follows the DESIGN §7/§10 hierarchy
+//
 // Diagnostics can be suppressed, with a mandatory justification, by a
 // directive on the offending line or on its own line immediately above:
 //
 //	//lint:allow <analyzer> <reason>
 //
-// A directive without a reason is itself reported.
+// A directive without a reason is itself reported, and
+// `labflowvet -allowlist` inventories every directive in the module.
 package lint
 
 import (
@@ -45,15 +56,20 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named pass over a type-checked package.
+// Analyzer is one named pass. Run analyzes one type-checked unit at a
+// time; RunModule, when set, runs instead over every unit of the module at
+// once with a shared fact store — the shape the flow-aware passes need,
+// since a mutation summary computed in labbase must be visible while
+// analyzing shard. Exactly one of the two must be set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // All is the suite run by cmd/labflowvet, in reporting order.
-var All = []*Analyzer{Detrand, Wallclock, Errwrap, Mapiter, MutexHygiene, SnapshotHygiene}
+var All = []*Analyzer{Detrand, Wallclock, Errwrap, Mapiter, MutexHygiene, SnapshotHygiene, CowHygiene, AtomicHygiene, LockOrder}
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *Analyzer {
@@ -89,23 +105,82 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunAnalyzers applies each analyzer to the package and returns the surviving
-// diagnostics: findings suppressed by a well-formed //lint:allow directive are
-// dropped, and malformed directives are reported as findings of their own.
+// ModulePass carries a module-wide analyzer's view of every unit loaded
+// for this run, plus the fact store shared by the whole suite.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Units    []*Unit
+	Facts    *FactStore
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers applies each analyzer to one type-checked package and
+// returns the surviving diagnostics. It wraps the files as a single-unit
+// module, so module-wide analyzers work too — they simply see one unit.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	unit := &Unit{Path: pkg.Path(), Fset: fset, Files: files, Pkg: pkg, Info: info}
+	return RunUnits(fset, []*Unit{unit}, analyzers)
+}
+
+// RunUnits applies each analyzer across every unit and returns the
+// surviving diagnostics: per-unit analyzers run unit by unit, module-wide
+// analyzers run once over the whole slice with a shared fact store.
+// Findings suppressed by a well-formed //lint:allow directive are dropped,
+// and malformed directives are reported as findings of their own.
+func RunUnits(fset *token.FileSet, units []*Unit, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	facts := NewFactStore()
 	for _, a := range analyzers {
-		a.Run(&Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    files,
-			Pkg:      pkg,
-			Info:     info,
-			diags:    &diags,
-		})
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{
+				Analyzer: a,
+				Fset:     fset,
+				Units:    units,
+				Facts:    facts,
+				diags:    &diags,
+			})
+			continue
+		}
+		for _, u := range units {
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    u.Files,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				diags:    &diags,
+			})
+		}
 	}
-	allows, bad := collectAllows(fset, files)
-	diags = append(diags, bad...)
+	allows := allowSet{}
+	for _, u := range units {
+		us, bad := collectAllows(fset, u.Files)
+		for k, lines := range us {
+			if allows[k] == nil {
+				allows[k] = lines
+				continue
+			}
+			for line := range lines {
+				allows[k][line] = true
+			}
+		}
+		diags = append(diags, bad...)
+	}
 	kept := diags[:0]
 	for _, d := range diags {
 		if !allows.match(d) {
@@ -196,4 +271,46 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnost
 		}
 	}
 	return allows, bad
+}
+
+// Directive is one //lint:allow suppression found in the module, for the
+// -allowlist inventory. Known reports whether the named analyzer (or
+// "all") still exists; Reason is empty for malformed directives.
+type Directive struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Known    bool   `json:"known"`
+}
+
+// scanDirectives lists every //lint:allow directive in the files, in
+// encounter order (callers sort).
+func scanDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := Directive{File: pos.Filename, Line: pos.Line}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.Analyzer = fields[0]
+					d.Known = d.Analyzer == "all" || ByName(d.Analyzer) != nil
+				}
+				if len(fields) > 1 {
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
 }

@@ -1,0 +1,578 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder enforces the DESIGN §7 mutex hierarchy across the module. Every
+// acquisition site is analyzed with the set of lock *classes* that may
+// already be held — a class is the field that declares the mutex
+// ("labbase.DB.wmu"), so every instance of a sharded lock shares one node —
+// and three rules are checked:
+//
+//  1. Ranked classes must be acquired in ascending rank order. The ranks
+//     encode the documented hierarchy:
+//     wire.Server.mu(10) < wire.Server.connMu(20) < shard.DB.stmu(30) <
+//     shard.DB.wmu(40) < labbase.DB.wmu(50) < the labbase leaves(60).
+//  2. Leaf classes (oidCache.mu, verTable.mu, readerSlots.mu) may acquire
+//     nothing at all while held — that is what makes them safe to take
+//     from both the read and write paths (DESIGN §10).
+//  3. The module-wide acquisition graph, including unranked storage-manager
+//     mutexes, must be acyclic. Storage locks are deliberately unranked:
+//     they sit below everything and only a genuine cycle among them is a
+//     bug.
+//
+// May-held analysis: branches union, so a lock held on either arm counts.
+// Deferred unlocks do not release for the remainder of the function — the
+// lock really is held at every later statement — while explicit unlocks
+// release immediately. Calls contribute the transitive acquisition summary
+// of their static callee (and of any function-literal arguments, which is
+// how `broadcast(db, fn)` attributes fn's locks to the call site);
+// interface calls are opaque, and `go` statements start an empty-held
+// analysis root of their own, because a spawned goroutine does not inherit
+// the spawner's locks.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex acquisition must follow the DESIGN §7 hierarchy and stay acyclic",
+	RunModule: runLockOrder,
+}
+
+// lockRanks is the encoded DESIGN §7 hierarchy. A lock may only be acquired
+// while every held ranked lock has a strictly smaller rank. Equal-rank
+// classes (the leaves) are mutually unordered and guarded by lockLeaves
+// instead. The fixture mirrors exercise the same table from testdata.
+var lockRanks = map[string]int{
+	"labflow/internal/wire.Server.mu":         10,
+	"labflow/internal/wire.Server.connMu":     20,
+	"labflow/internal/labbase/shard.DB.stmu":  30,
+	"labflow/internal/labbase/shard.DB.wmu":   40,
+	"labflow/internal/labbase.DB.wmu":         50,
+	"labflow/internal/labbase.oidCache.mu":    60,
+	"labflow/internal/labbase.verTable.mu":    60,
+	"labflow/internal/labbase.readerSlots.mu": 60,
+
+	"fixture/lockorder.Server.mu":     10,
+	"fixture/lockorder.Server.connMu": 20,
+	"fixture/lockorder.DB.stmu":       30,
+	"fixture/lockorder.DB.wmu":        40,
+	"fixture/lockorder.Cache.mu":      60,
+}
+
+// lockLeaves are the classes that may acquire nothing while held.
+var lockLeaves = map[string]bool{
+	"labflow/internal/labbase.oidCache.mu":    true,
+	"labflow/internal/labbase.verTable.mu":    true,
+	"labflow/internal/labbase.readerSlots.mu": true,
+	"fixture/lockorder.Cache.mu":              true,
+}
+
+const nsLockAcquires = "lock.acquires" // funcKey -> map[classKey]bool (transitive)
+
+const (
+	lockNone = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockMethodCall classifies a call as a sync.Mutex/RWMutex acquisition or
+// release and returns the receiver expression.
+func lockMethodCall(info *types.Info, call *ast.CallExpr) (ast.Expr, int) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, lockNone
+	}
+	kind := lockNone
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return nil, lockNone
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, lockNone
+	}
+	path, name := namedPath(deref(s.Recv()))
+	if path != "sync" || (name != "Mutex" && name != "RWMutex") {
+		return nil, lockNone
+	}
+	return sel.X, kind
+}
+
+// lockClassKey names the lock class behind a mutex receiver expression: the
+// declaring field for struct-held mutexes (array/slice elements collapse to
+// the field, so every wmu[k] is one class), the package variable for
+// globals, "" for locals and unresolvable receivers.
+func lockClassKey(info *types.Info, e ast.Expr) string {
+	e = unparen(e)
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = unparen(x.X)
+			continue
+		case *ast.StarExpr:
+			e = unparen(x.X)
+			continue
+		}
+		break
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			return fieldKeyOf(s)
+		}
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return pkgVarKey(obj)
+		}
+	case *ast.Ident:
+		if obj := objectOf(info, e); obj != nil {
+			return pkgVarKey(obj)
+		}
+	}
+	return ""
+}
+
+// lockCollect gathers a body's direct acquisitions and static callees,
+// including function-literal bodies (they may run downstream of any call)
+// but excluding `go` statements (their goroutine holds nothing inherited).
+func lockCollect(body ast.Node, info *types.Info) (direct map[string]bool, callees []string) {
+	direct = map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if recv, kind := lockMethodCall(info, n); kind == lockAcquire {
+				if key := lockClassKey(info, recv); key != "" {
+					direct[key] = true
+				}
+			} else if kind == lockNone {
+				if key := staticCalleeKey(info, n); key != "" {
+					callees = append(callees, key)
+				}
+			}
+		}
+		return true
+	})
+	return direct, callees
+}
+
+// lockEdge is the first-encountered witness for "to may be acquired while
+// from is held".
+type lockEdge struct {
+	pos token.Pos
+	via string // funcKey of the call carrying the acquisition; "" if direct
+}
+
+type lockState struct {
+	p        *ModulePass
+	edges    map[string]map[string]lockEdge
+	reported map[string]bool
+	litSums  map[*ast.FuncLit]map[string]bool
+}
+
+type lockRoot struct {
+	unit  *Unit
+	body  *ast.BlockStmt
+	gorun bool // body of a go-statement literal
+}
+
+func runLockOrder(p *ModulePass) {
+	st := &lockState{
+		p:        p,
+		edges:    map[string]map[string]lockEdge{},
+		reported: map[string]bool{},
+		litSums:  map[*ast.FuncLit]map[string]bool{},
+	}
+
+	// Phase 1: transitive acquisition summaries per function, to a fixpoint.
+	type fnInfo struct {
+		key     string
+		direct  map[string]bool
+		callees []string
+	}
+	var fns []*fnInfo
+	var roots []*lockRoot
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := ""
+				if obj, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+					key = funcKey(obj)
+				}
+				direct, callees := lockCollect(fd.Body, u.Info)
+				fns = append(fns, &fnInfo{key: key, direct: direct, callees: callees})
+				roots = append(roots, &lockRoot{unit: u, body: fd.Body})
+			}
+			unit := u
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+						roots = append(roots, &lockRoot{unit: unit, body: lit.Body, gorun: true})
+					}
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if fn.key == "" {
+				continue
+			}
+			sum := map[string]bool{}
+			for k := range fn.direct {
+				sum[k] = true
+			}
+			for _, callee := range fn.callees {
+				if v, ok := p.Facts.Get(nsLockAcquires, callee); ok {
+					for k := range v.(map[string]bool) {
+						sum[k] = true
+					}
+				}
+			}
+			prev, ok := p.Facts.Get(nsLockAcquires, fn.key)
+			if !ok || !sameStringSet(prev.(map[string]bool), sum) {
+				p.Facts.Put(nsLockAcquires, fn.key, sum)
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2: may-held dataflow per root; the replay records edges and
+	// reports direct violations.
+	for _, r := range roots {
+		st.walkRoot(r)
+	}
+
+	// Phase 3: the acquisition graph must be acyclic — this is the only
+	// check that covers the unranked storage-manager classes.
+	st.reportCycles()
+}
+
+func sameStringSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedSet(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// walkRoot runs the union-merge held-set dataflow over one body's CFG, then
+// replays it once with reporting on.
+func (st *lockState) walkRoot(r *lockRoot) {
+	g := buildCFG(r.body)
+	preds := make([][]int, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk.Index)
+		}
+	}
+	outs := make([]map[string]bool, len(g.Blocks))
+	for i := range outs {
+		outs[i] = map[string]bool{}
+	}
+	inSet := func(i int) map[string]bool {
+		held := map[string]bool{}
+		for _, pi := range preds[i] {
+			for k := range outs[pi] {
+				held[k] = true
+			}
+		}
+		return held
+	}
+	work := make([]int, 0, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		work = append(work, blk.Index)
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		held := inSet(i)
+		for _, n := range g.Blocks[i].Nodes {
+			st.flowNode(r.unit.Info, n, held, false)
+		}
+		if !sameStringSet(held, outs[i]) {
+			outs[i] = held
+			for _, s := range g.Blocks[i].Succs {
+				work = append(work, s.Index)
+			}
+		}
+	}
+	for _, blk := range g.Blocks {
+		held := inSet(blk.Index)
+		for _, n := range blk.Nodes {
+			st.flowNode(r.unit.Info, n, held, true)
+		}
+	}
+}
+
+// flowNode advances the held set across one flat CFG node, recording edges
+// and (when report is set) violations at each acquisition.
+func (st *lockState) flowNode(info *types.Info, n ast.Node, held map[string]bool, report bool) {
+	var deferredCall *ast.CallExpr
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// A deferred call runs at exit with at least the never-released
+		// locks held; processing it here with the current held set is the
+		// conservative approximation. A deferred Unlock does NOT release:
+		// the lock stays held for everything after this statement.
+		deferredCall = d.Call
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // its body is summarized at call sites and walked as a root when spawned
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			st.flowCall(info, m, held, m == deferredCall, report)
+		}
+		return true
+	})
+}
+
+func (st *lockState) flowCall(info *types.Info, call *ast.CallExpr, held map[string]bool, deferred bool, report bool) {
+	if recv, kind := lockMethodCall(info, call); kind != lockNone {
+		key := lockClassKey(info, recv)
+		if key == "" {
+			return
+		}
+		switch kind {
+		case lockAcquire:
+			st.acquire(held, key, call.Pos(), "", report)
+			held[key] = true
+		case lockRelease:
+			if !deferred {
+				delete(held, key)
+			}
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	// Transitive acquisitions of the callee and of any literal arguments.
+	targets := map[string]string{} // class -> via funcKey
+	if key := staticCalleeKey(info, call); key != "" {
+		if v, ok := st.p.Facts.Get(nsLockAcquires, key); ok {
+			for t := range v.(map[string]bool) {
+				targets[t] = key
+			}
+		}
+	}
+	addLit := func(lit *ast.FuncLit) {
+		for t := range st.litSummary(info, lit) {
+			if _, ok := targets[t]; !ok {
+				targets[t] = "func literal"
+			}
+		}
+	}
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		addLit(lit)
+	}
+	for _, arg := range call.Args {
+		if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+			addLit(lit)
+		}
+	}
+	for _, t := range sortedKeysOf(targets) {
+		st.acquire(held, t, call.Pos(), targets[t], report)
+	}
+}
+
+func sortedKeysOf(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// litSummary is the transitive acquisition set of a function literal.
+func (st *lockState) litSummary(info *types.Info, lit *ast.FuncLit) map[string]bool {
+	if s, ok := st.litSums[lit]; ok {
+		return s
+	}
+	st.litSums[lit] = map[string]bool{} // cycle guard
+	direct, callees := lockCollect(lit.Body, info)
+	for _, callee := range callees {
+		if v, ok := st.p.Facts.Get(nsLockAcquires, callee); ok {
+			for k := range v.(map[string]bool) {
+				direct[k] = true
+			}
+		}
+	}
+	st.litSums[lit] = direct
+	return direct
+}
+
+// acquire checks one (held set, target class) acquisition and records the
+// edges. via is the callee carrying the acquisition, "" when the Lock call
+// is in this function.
+func (st *lockState) acquire(held map[string]bool, target string, pos token.Pos, via string, report bool) {
+	suffix := ""
+	if via != "" && via != "func literal" {
+		suffix = " (via " + shortKey(via) + ")"
+	} else if via == "func literal" {
+		suffix = " (via a function literal passed here)"
+	}
+	for _, h := range sortedSet(held) {
+		st.recordEdge(h, target, pos, via)
+		if !report {
+			continue
+		}
+		if h == target {
+			if via == "" {
+				st.reportOnce(pos, "acquiring %s while it is already held: self-deadlock", shortKey(h))
+			}
+			continue // a call-carried re-acquisition surfaces as a cycle
+		}
+		if lockLeaves[h] {
+			st.reportOnce(pos, "%s is a leaf lock (DESIGN §7) and may acquire nothing, but is held while acquiring %s%s", shortKey(h), shortKey(target), suffix)
+			continue
+		}
+		rh, okH := lockRanks[h]
+		rt, okT := lockRanks[target]
+		if okH && okT && rh > rt {
+			st.reportOnce(pos, "acquiring %s while holding %s inverts the DESIGN §7 lock hierarchy%s", shortKey(target), shortKey(h), suffix)
+		}
+	}
+}
+
+func (st *lockState) recordEdge(from, to string, pos token.Pos, via string) {
+	if st.edges[from] == nil {
+		st.edges[from] = map[string]lockEdge{}
+	}
+	if _, ok := st.edges[from][to]; !ok {
+		st.edges[from][to] = lockEdge{pos: pos, via: via}
+	}
+}
+
+func (st *lockState) reportOnce(pos token.Pos, format string, args ...any) {
+	msg := itoa(int(pos)) + "\x00" + format
+	for _, a := range args {
+		if s, ok := a.(string); ok {
+			msg += "\x00" + s
+		}
+	}
+	if st.reported[msg] {
+		return
+	}
+	st.reported[msg] = true
+	st.p.Reportf(pos, format, args...)
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph. Any SCC with more than one class — or a self-loop — means two
+// executions can wait on each other.
+func (st *lockState) reportCycles() {
+	nodes := make([]string, 0, len(st.edges))
+	for k := range st.edges {
+		nodes = append(nodes, k)
+	}
+	sort.Strings(nodes)
+
+	// Self-loops first: holding a class while calling something that may
+	// acquire it again.
+	for _, n := range nodes {
+		if e, ok := st.edges[n][n]; ok && e.via != "" {
+			via := shortKey(e.via)
+			if e.via == "func literal" {
+				via = "a function literal"
+			}
+			st.reportOnce(e.pos, "holding %s while calling %s, which may acquire it again: self-deadlock", shortKey(n), via)
+		}
+	}
+
+	// Tarjan SCC with deterministic (sorted) adjacency.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range st.edges[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		pos := token.Pos(0)
+		for _, a := range scc {
+			for _, b := range scc {
+				if e, ok := st.edges[a][b]; ok && (pos == 0 || e.pos < pos) {
+					pos = e.pos
+				}
+			}
+		}
+		names := make([]string, len(scc))
+		for i, c := range scc {
+			names[i] = shortKey(c)
+		}
+		st.reportOnce(pos, "lock classes %s can be acquired in conflicting orders: the acquisition graph has a cycle (DESIGN §7)", strings.Join(names, " <-> "))
+	}
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -43,15 +44,59 @@ func Run(opts Options) ([]Diagnostic, error) {
 	}
 
 	absDir, _ := filepath.Abs(dir)
+	// One driver run over every unit: module-wide analyzers need the whole
+	// slice at once so cross-package facts (mutation summaries, lock
+	// acquisition sets, atomic-access disciplines) line up.
 	var diags []Diagnostic
-	for _, u := range units {
-		for _, d := range RunAnalyzers(u.Fset, u.Files, u.Pkg, u.Info, analyzers) {
-			if rel, err := filepath.Rel(absDir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
-				d.File = filepath.ToSlash(rel)
-			}
-			diags = append(diags, d)
+	for _, d := range RunUnits(loader.Fset, units, analyzers) {
+		if rel, err := filepath.Rel(absDir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			d.File = filepath.ToSlash(rel)
 		}
+		diags = append(diags, d)
 	}
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// Directives loads the requested packages and inventories every
+// //lint:allow directive, sorted by position, for `labflowvet -allowlist`.
+// File names are reported relative to Dir when possible.
+func Directives(opts Options) ([]Directive, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.Expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	units, err := loader.Load(dirs)
+	if err != nil {
+		return nil, err
+	}
+	absDir, _ := filepath.Abs(dir)
+	var out []Directive
+	for _, u := range units {
+		for _, d := range scanDirectives(loader.Fset, u.Files) {
+			if rel, err := filepath.Rel(absDir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+				d.File = filepath.ToSlash(rel)
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
 }

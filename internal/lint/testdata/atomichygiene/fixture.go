@@ -1,0 +1,79 @@
+// Package atomfix exercises atomichygiene: any field or package variable
+// touched through sync/atomic must be touched atomically everywhere, so
+// each plain mention below is a hard error. The wrapper types
+// (atomic.Uint64 and friends) are immune by construction and draw no
+// findings.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	hits uint64 // never atomic: plain access is fine
+	wrap atomic.Uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+// Violation shape 1: a plain read racing the atomic add.
+func (c *counter) read() uint64 {
+	return c.n
+}
+
+// Violation shape 2: a plain write.
+func (c *counter) reset() {
+	c.n = 0
+}
+
+// Violation shape 3: taking the address creates an alias the atomic side
+// cannot see.
+func (c *counter) alias() *uint64 {
+	return &c.n
+}
+
+// ok: hits has no atomic access anywhere; wrap is a wrapper type.
+func (c *counter) okPlain() uint64 {
+	c.hits++
+	c.wrap.Add(1)
+	return c.hits + c.wrap.Load()
+}
+
+type registry struct {
+	slots [8]uint64
+}
+
+// Array elements collapse to the field: one atomic access to any slot
+// makes every plain slots mention a violation.
+func (r *registry) pin(i int) uint64 {
+	return atomic.LoadUint64(&r.slots[i])
+}
+
+// Violation shape 4: plain indexing (and the range mention) of the slots
+// array.
+func (r *registry) scan() uint64 {
+	var sum uint64
+	for i := 0; i < len(r.slots); i++ {
+		sum += r.slots[i]
+	}
+	return sum
+}
+
+// Package variables are covered too.
+var epoch int64
+
+func bumpEpoch() {
+	atomic.AddInt64(&epoch, 1)
+}
+
+// Violation shape 5: plain read of an atomically-written package variable.
+func currentEpoch() int64 {
+	return epoch
+}
+
+// Suppressed: the dump runs after every goroutine has joined.
+func (c *counter) debugDump() uint64 {
+	//lint:allow atomichygiene post-join dump, no concurrent writers remain
+	return c.n
+}

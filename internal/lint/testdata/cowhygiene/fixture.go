@@ -1,0 +1,137 @@
+// Package cowfix exercises cowhygiene: a miniature of labbase's MVCC
+// snapshot machinery. The published types are recognized by name (dbState,
+// treapNode, invList), so this fixture walks the same code paths as the
+// real tree: atomic Load as the taint source, publish() aliasing writer
+// fields, the Snap handle storing a published pointer, and the value-copy
+// cleanse the treap relies on.
+package cowfix
+
+import "sync/atomic"
+
+type treapNode struct {
+	key         uint64
+	pri         uint64
+	left, right *treapNode
+}
+
+type invList struct {
+	steps []uint64
+}
+
+type counters struct {
+	materials uint64
+}
+
+type dbState struct {
+	epoch    uint64
+	cnt      *counters
+	roots    []*treapNode
+	nameRoot *treapNode
+	inv      map[uint64]*invList
+}
+
+type DB struct {
+	state    atomic.Pointer[dbState]
+	cnt      *counters
+	roots    []*treapNode
+	nameRoot *treapNode
+}
+
+type Snap struct {
+	db *DB
+	st *dbState
+}
+
+// publish aliases the writer's fields into an immutable published state:
+// nameRoot and cnt are shared outright, roots shares its elements behind a
+// fresh slice header.
+func (db *DB) publish(epoch uint64) {
+	st := &dbState{
+		epoch:    epoch,
+		cnt:      db.cnt,
+		roots:    append([]*treapNode(nil), db.roots...),
+		nameRoot: db.nameRoot,
+	}
+	db.state.Store(st)
+}
+
+func (db *DB) acquire() *Snap {
+	return &Snap{db: db, st: db.state.Load()}
+}
+
+// rotate mutates its parameter: passing it a published node is a violation,
+// passing it a fresh copy is the blessed idiom.
+func rotate(n *treapNode) {
+	n.left, n.right = n.right, n.left
+}
+
+func (c *counters) bump() {
+	c.materials++
+}
+
+// Violation shape 1: writing a field of the loaded state directly.
+func badDirect(db *DB) {
+	st := db.state.Load()
+	st.nameRoot = nil
+}
+
+// Violation shape 2: taint follows a helper's return value across the call.
+func loadedRoot(db *DB) *treapNode {
+	return db.state.Load().nameRoot
+}
+
+func badViaHelper(db *DB) {
+	r := loadedRoot(db)
+	r.left = nil
+}
+
+// Violation shape 3: taint stored in a struct field (Snap.st, recorded at
+// acquire) reaches every method, and indexing a published slice taints the
+// element.
+func badViaSnap(s *Snap) {
+	s.st.nameRoot = nil
+	s.st.roots[0].left = nil
+}
+
+// Violation shape 4: after publish() the writer's own nameRoot aliases the
+// published state — writing through it corrupts readers. Replacing the
+// field (or a roots slot) is how the writer is supposed to update.
+func badWriterAlias(db *DB) {
+	db.nameRoot.pri = 1
+	db.roots[0].left = nil
+	db.nameRoot = nil // ok: replacement feeds the next publish
+	db.roots[0] = nil // ok: the slice header is the writer's own
+}
+
+// Violation shape 5: handing a published value to a mutating callee, or
+// calling a mutating method on one.
+func badCallee(db *DB) {
+	st := db.state.Load()
+	rotate(st.nameRoot)
+	st.cnt.bump()
+}
+
+// Violation shape 6: delete mutates a published map.
+func badDelete(db *DB) {
+	st := db.state.Load()
+	delete(st.inv, 1)
+}
+
+// The copy-constructor idiom stays legal: a value copy cleanses, so the
+// copy may be mutated, rotated in place, and linked into a fresh path.
+func put(n *treapNode) *treapNode {
+	if n == nil {
+		return &treapNode{pri: 1}
+	}
+	c := *n
+	c.pri++
+	rotate(&c)
+	return &c
+}
+
+// Suppressed: the directive names the analyzer and gives a reason.
+func allowedWrite(db *DB) {
+	st := db.state.Load()
+	//lint:allow cowhygiene recovery-only epoch stamp, single-threaded by construction
+	st.epoch = 0
+}

@@ -1,0 +1,140 @@
+// Package lockfix exercises lockorder against the mirrored rank table:
+// Server.mu(10) < Server.connMu(20) < DB.stmu(30) < DB.wmu(40), with
+// Cache.mu a leaf and the storage types unranked (cycle-checked only).
+// Because the analysis is module-wide, the ok functions below still feed
+// the acquisition graph — the ranked-cycle finding reported inside
+// okDescend is the graph-level consequence of badInvert reversing an edge
+// okDescend establishes.
+package lockfix
+
+import "sync"
+
+type Server struct {
+	mu     sync.Mutex
+	connMu sync.Mutex
+	db     *DB
+}
+
+type DB struct {
+	stmu sync.Mutex
+	wmu  []sync.Mutex
+	c    *Cache
+}
+
+type Cache struct {
+	mu sync.Mutex
+	m  map[uint64]string
+}
+
+type ostore struct{ mu sync.Mutex }
+
+type pagefile struct{ mu sync.Mutex }
+
+// ok: descending the documented hierarchy.
+func (s *Server) okDescend(k int) {
+	s.mu.Lock()
+	s.connMu.Lock()
+	s.db.stmu.Lock()
+	s.db.wmu[k].Lock()
+	s.db.wmu[k].Unlock()
+	s.db.stmu.Unlock()
+	s.connMu.Unlock()
+	s.mu.Unlock()
+}
+
+// ok: deferred unlocks keep the lock held for the rest of the function,
+// which is exactly what the hierarchy is checked against.
+func (s *Server) okDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+}
+
+// ok: a spawned goroutine inherits none of the spawner's locks, so this
+// records no mu -> connMu edge from inside the literal.
+func (s *Server) okGo() {
+	s.mu.Lock()
+	go func() {
+		s.connMu.Lock()
+		s.connMu.Unlock()
+	}()
+	s.mu.Unlock()
+}
+
+// Violation shape 1: wmu -> stmu inverts the hierarchy.
+func (d *DB) badInvert(k int) {
+	d.wmu[k].Lock()
+	d.stmu.Lock()
+	d.stmu.Unlock()
+	d.wmu[k].Unlock()
+}
+
+// Violation shape 2: a leaf lock may acquire nothing while held.
+func (d *DB) badLeaf(k int) {
+	d.c.mu.Lock()
+	d.wmu[k].Lock()
+	d.wmu[k].Unlock()
+	d.c.mu.Unlock()
+}
+
+// Violation shape 3: the inversion hides behind a call — the callee's
+// transitive acquisition summary carries it to this call site.
+func (d *DB) lockCatalog() {
+	d.stmu.Lock()
+	d.stmu.Unlock()
+}
+
+func (d *DB) badViaCall(k int) {
+	d.wmu[k].Lock()
+	d.lockCatalog()
+	d.wmu[k].Unlock()
+}
+
+// Violation shape 4: a function-literal argument is attributed to the call
+// that receives it.
+func withCatalog(d *DB, fn func()) {
+	fn()
+}
+
+func (d *DB) badLitArg(k int) {
+	d.wmu[k].Lock()
+	withCatalog(d, func() {
+		d.stmu.Lock()
+		d.stmu.Unlock()
+	})
+	d.wmu[k].Unlock()
+}
+
+// Violation shape 5: re-acquiring a held mutex self-deadlocks.
+func (d *DB) badRelock() {
+	d.stmu.Lock()
+	d.stmu.Lock()
+	d.stmu.Unlock()
+	d.stmu.Unlock()
+}
+
+// Violation shape 6: the unranked storage locks are cycle-checked — these
+// two functions acquire them in both orders.
+func storeThenPage(o *ostore, p *pagefile) {
+	o.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func pageThenStore(o *ostore, p *pagefile) {
+	p.mu.Lock()
+	o.mu.Lock()
+	o.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// Suppressed: the directive names the analyzer and gives a reason.
+func (d *DB) allowedInvert(k int) {
+	d.wmu[k].Lock()
+	//lint:allow lockorder shutdown path, serialized behind the run-state gate
+	d.stmu.Lock()
+	d.stmu.Unlock()
+	d.wmu[k].Unlock()
+}

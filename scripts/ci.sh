@@ -21,8 +21,27 @@ fi
 echo "== go build ./..."
 go build ./...
 
-echo "== labflowvet ./... (make lint)"
-make lint
+echo "== labflowvet ./... (-json artifact, 30s budget)"
+# The full flow-aware suite must stay fast enough to sit in the inner loop:
+# a 30-second budget on a cold `go run` is the regression tripwire. The JSON
+# artifact is what CI archives; on findings it doubles as the failure report.
+mkdir -p artifacts
+lint_start=$(date +%s)
+if ! go run ./cmd/labflowvet -json ./... >artifacts/lint.json; then
+	echo "labflowvet findings (artifacts/lint.json):" >&2
+	cat artifacts/lint.json >&2
+	exit 1
+fi
+go run ./cmd/labflowvet -allowlist -json ./... >artifacts/lint-allowlist.json
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "lint clean in ${lint_elapsed}s (artifacts/lint.json, artifacts/lint-allowlist.json)"
+if [ "$lint_elapsed" -gt 30 ]; then
+	echo "labflowvet took ${lint_elapsed}s, over the 30s budget" >&2
+	exit 1
+fi
+
+echo "== golden staleness (make lint-fix-check)"
+make lint-fix-check
 
 echo "== go test -race -shuffle=on ./..."
 # Shuffled order keeps tests honest about hidden ordering dependencies; any
