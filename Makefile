@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate scripts/ci.sh implements.
 
-.PHONY: check test race bench bench-write table10 lint lint-fix-check crashtest clean
+.PHONY: check test race bench bench-write table10 lint lint-fix-check crashtest cluster-smoke clean
 
 check:
 	./scripts/ci.sh
@@ -36,6 +36,11 @@ table10:
 crashtest:
 	go test -race -count=1 -run 'TestCrashSchedule' ./internal/storage/crashtest/ ./internal/labbase/shard/
 	go run ./cmd/labflow -experiment crashtest -store all -crashruns 100
+
+# End-to-end distributed topology smoke: 2 labbase-server subprocesses,
+# lfload closed loop through the shard router, clean SIGTERM teardown.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 clean:
 	go clean ./...

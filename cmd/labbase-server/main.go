@@ -8,6 +8,14 @@
 //	labbase-server -addr :7047 -store ostore-mm          # volatile
 //	labbase-server ... -rules site.lbq                   # deductive views
 //	labbase-server ... -shards 4                         # hash-partitioned
+//	labbase-server ... -shard 1/4                        # cluster member
+//
+// -shards N partitions inside one process; -shard k/n instead makes this
+// process shard k of an n-server cluster fronted by a shard.Router (each
+// server owns one store and advertises its identity through the OpShardInfo
+// handshake, so a router with a different topology refuses to use it).
+// -addrfile writes the bound listen address (useful with -addr :0) so
+// launchers can collect a topology without parsing logs.
 package main
 
 import (
@@ -17,6 +25,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"labflow/internal/labbase"
@@ -37,10 +47,12 @@ func main() {
 		resident  = flag.Int("resident", 0, "texas resident-page bound (0 = unbounded)")
 		rules     = flag.String("rules", "", "file of deductive rules to consult at start")
 		shards    = flag.Int("shards", 1, "hash-partitioned shard count (each shard gets its own store)")
+		member    = flag.String("shard", "", "serve as cluster member k of n (\"k/n\"); excludes -shards")
+		addrfile  = flag.String("addrfile", "", "write the bound listen address to this file")
 	)
 	flag.Parse()
 
-	db, name, err := openDB(*storeName, *path, *pool, *resident, *shards)
+	db, name, err := openDB(*storeName, *path, *pool, *resident, *shards, *member)
 	if err != nil {
 		log.Fatalf("labbase-server: %v", err)
 	}
@@ -62,6 +74,11 @@ func main() {
 		log.Fatalf("labbase-server: listen: %v", err)
 	}
 	log.Printf("labbase-server: %s store, listening on %s", name, ln.Addr())
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("labbase-server: addrfile: %v", err)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -81,10 +98,31 @@ func main() {
 }
 
 // openDB opens the store (or, with -shards N > 1, N stores — persistent
-// paths get a per-shard suffix) behind the labbase.Store facade.
-func openDB(name, path string, pool, resident, shards int) (labbase.Store, string, error) {
+// paths get a per-shard suffix) behind the labbase.Store facade. A
+// non-empty member spec ("k/n") instead opens one cluster shard whose OIDs
+// carry shard tag k and whose OpShardInfo handshake advertises k of n.
+func openDB(name, path string, pool, resident, shards int, member string) (labbase.Store, string, error) {
 	if shards < 1 {
 		return nil, "", fmt.Errorf("-shards must be at least 1")
+	}
+	if member != "" {
+		if shards != 1 {
+			return nil, "", fmt.Errorf("-shard and -shards are mutually exclusive (a cluster member is one shard; in-process partitioning belongs on a standalone server)")
+		}
+		index, count, err := parseMember(member)
+		if err != nil {
+			return nil, "", err
+		}
+		sm, err := openStore(name, path, pool, resident)
+		if err != nil {
+			return nil, "", err
+		}
+		db, err := shard.OpenMember(sm, index, count, labbase.DefaultOptions())
+		if err != nil {
+			return nil, "", fmt.Errorf("open database: %w", err)
+		}
+		storeName, _ := db.StoreStats()
+		return db, fmt.Sprintf("%s (shard %d/%d)", storeName, index, count), nil
 	}
 	if shards == 1 {
 		sm, err := openStore(name, path, pool, resident)
@@ -115,6 +153,24 @@ func openDB(name, path string, pool, resident, shards int) (labbase.Store, strin
 	}
 	storeName, _ := db.StoreStats()
 	return db, storeName, nil
+}
+
+// parseMember parses a "k/n" cluster-member spec.
+func parseMember(spec string) (index, count int, err error) {
+	bad := fmt.Errorf("-shard %q: want \"k/n\" with 0 <= k < n", spec)
+	k, n, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, bad
+	}
+	index, err = strconv.Atoi(k)
+	if err != nil {
+		return 0, 0, bad
+	}
+	count, err = strconv.Atoi(n)
+	if err != nil || index < 0 || count < 1 || index >= count {
+		return 0, 0, bad
+	}
+	return index, count, nil
 }
 
 func openStore(name, path string, pool, resident int) (storage.Manager, error) {

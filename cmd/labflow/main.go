@@ -36,6 +36,7 @@ import (
 
 	"labflow/internal/core"
 	"labflow/internal/labbase"
+	"labflow/internal/labbase/shard"
 	"labflow/internal/storage"
 	"labflow/internal/storage/crashtest"
 )
@@ -56,6 +57,7 @@ type options struct {
 	parallel   bool
 	crashruns  int
 	shards     int
+	topology   string
 }
 
 func main() {
@@ -74,6 +76,7 @@ func main() {
 	flag.BoolVar(&o.parallel, "parallel", true, "run the table10 versions concurrently (per-version CPU columns become process-wide)")
 	flag.IntVar(&o.crashruns, "crashruns", 100, "number of consecutive seeds for crashtest (starting at -seed)")
 	flag.IntVar(&o.shards, "shards", 0, "run table10 through the sharded facade (0 = plain DB; table10 supports 1 only)")
+	flag.StringVar(&o.topology, "topology", "", "run table10 through a shard router over these labbase-servers (shards.json or host:port,...; 1-server topologies only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -183,6 +186,9 @@ func runOne(experiment string, o options, p core.Params) error {
 		}
 
 	case "table10":
+		if o.topology != "" {
+			return runTable10Topology(o, p)
+		}
 		kinds := core.AllStoreKinds
 		if o.stores != "" {
 			kinds = nil
@@ -302,6 +308,45 @@ func runOne(experiment string, o options, p core.Params) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
+	return nil
+}
+
+// runTable10Topology drives the table10 workload through a shard.Router
+// over already-running labbase-server processes (started with -shard k/n
+// over fresh stores) instead of an in-process store. Only 1-server
+// topologies can run table10 — its gel batches violate the sharded
+// single-partition contract for N > 1 — so this mode exists to prove the
+// distributed stack end to end: same workload, same results, the storage
+// manager a process away. CPU and fault columns meter this process, not
+// the server, so the shape check is skipped.
+func runTable10Topology(o options, p core.Params) error {
+	if o.shards > 0 {
+		return fmt.Errorf("-topology and -shards are mutually exclusive")
+	}
+	t, err := shard.ParseTopology(o.topology)
+	if err != nil {
+		return err
+	}
+	r, err := shard.OpenRouter(t, shard.RouterOptions{})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	res, err := core.RunStore(r, p)
+	if err != nil {
+		return fmt.Errorf("core: router: %w", err)
+	}
+	results := []*core.RunResult{res}
+	fmt.Print(core.FormatTable10(results))
+	fmt.Println()
+	fmt.Print(core.FormatSeries(results))
+	if o.jsonOut != "" {
+		if err := core.WriteJSON(o.jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "results written to %s\n", o.jsonOut)
+	}
+	fmt.Fprintln(os.Stderr, "shape check skipped: -topology meters the client process, not the servers")
 	return nil
 }
 

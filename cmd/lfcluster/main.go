@@ -1,0 +1,173 @@
+// Command lfcluster launches and supervises an n-server LabBase shard
+// cluster on the local machine: one labbase-server subprocess per shard
+// (each started with -shard k/n over its own store file), a topology file
+// collecting their bound addresses for routers to consume, and a clean
+// fan-out shutdown on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	lfcluster -n 4 -store texas+tc -dir /var/lab/cluster -topology shards.json
+//	lfload -topology shards.json -workers 16 -json     # in another terminal
+//
+// Each server listens on a kernel-assigned loopback port and reports it
+// through -addrfile, so no port coordination is needed. Once every shard is
+// up, lfcluster writes the topology file and prints "ready: <addrs>"; it
+// then waits until signalled (or until a server dies, which tears the
+// cluster down with a non-zero exit). Shutdown forwards SIGTERM to every
+// server and waits for each to drain its connections and close its store.
+//
+// -server names the labbase-server binary (default: found on PATH; CI
+// points it at a freshly built one).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"labflow/internal/labbase/shard"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 2, "number of shard servers")
+		store   = flag.String("store", "texas+tc", "store backend for every shard (see labbase-server -store)")
+		dir     = flag.String("dir", "", "working directory for store files and addrfiles (default: a temp dir, removed at exit)")
+		topoOut = flag.String("topology", "shards.json", "write the cluster topology (JSON) to this file")
+		server  = flag.String("server", "labbase-server", "labbase-server binary to launch")
+		startTO = flag.Duration("start-timeout", 30*time.Second, "how long to wait for every shard to come up")
+		keep    = flag.Bool("keep", false, "keep the working directory")
+	)
+	flag.Parse()
+	if err := run(*n, *store, *dir, *topoOut, *server, *startTO, *keep); err != nil {
+		log.Fatalf("lfcluster: %v", err)
+	}
+}
+
+func run(n int, store, dir, topoOut, server string, startTO time.Duration, keep bool) error {
+	if n < 1 || n > shard.MaxShards {
+		return fmt.Errorf("-n %d outside [1, %d]", n, shard.MaxShards)
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "lfcluster-*")
+		if err != nil {
+			return err
+		}
+		dir = tmp
+		if !keep {
+			defer os.RemoveAll(tmp)
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// Launch every shard server; each reports its kernel-assigned port
+	// through its addrfile.
+	procs := make([]*exec.Cmd, n)
+	died := make(chan int, n)
+	for k := 0; k < n; k++ {
+		cmd := exec.Command(server,
+			"-addr", "127.0.0.1:0",
+			"-store", store,
+			"-path", filepath.Join(dir, fmt.Sprintf("shard%d.db", k)),
+			"-shard", fmt.Sprintf("%d/%d", k, n),
+			"-addrfile", addrfile(dir, k),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stopAll(procs)
+			return fmt.Errorf("start shard %d: %w", k, err)
+		}
+		procs[k] = cmd
+		go func(k int, cmd *exec.Cmd) {
+			cmd.Wait()
+			died <- k
+		}(k, cmd)
+	}
+
+	topo, err := collectTopology(dir, n, startTO, died)
+	if err != nil {
+		stopAll(procs)
+		return err
+	}
+	if err := writeTopology(topoOut, topo); err != nil {
+		stopAll(procs)
+		return err
+	}
+	fmt.Printf("ready: %s\n", strings.Join(topo.Shards, ","))
+
+	// Supervise until signalled or a shard dies.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		log.Print("lfcluster: shutting down")
+		stopAll(procs)
+		return nil
+	case k := <-died:
+		stopAll(procs)
+		return fmt.Errorf("shard %d server exited; cluster torn down", k)
+	}
+}
+
+func addrfile(dir string, k int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard%d.addr", k))
+}
+
+// collectTopology polls for every shard's addrfile, failing early if a
+// server process dies while we wait.
+func collectTopology(dir string, n int, timeout time.Duration, died <-chan int) (shard.Topology, error) {
+	const poll = 20 * time.Millisecond
+	topo := shard.Topology{Shards: make([]string, n)}
+	for k := 0; k < n; k++ {
+		for waited := time.Duration(0); ; waited += poll {
+			select {
+			case dead := <-died:
+				return topo, fmt.Errorf("shard %d server exited during startup", dead)
+			default:
+			}
+			b, err := os.ReadFile(addrfile(dir, k))
+			if err == nil && len(b) > 0 {
+				topo.Shards[k] = strings.TrimSpace(string(b))
+				break
+			}
+			if waited >= timeout {
+				return topo, fmt.Errorf("shard %d not up after %v", k, timeout)
+			}
+			time.Sleep(poll)
+		}
+	}
+	return topo, nil
+}
+
+func writeTopology(path string, topo shard.Topology) error {
+	data, err := json.Marshal(topo)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// stopAll SIGTERMs every running server and waits for it to exit, so
+// stores are closed cleanly before lfcluster returns.
+func stopAll(procs []*exec.Cmd) {
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Wait()
+		}
+	}
+}

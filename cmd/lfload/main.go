@@ -23,11 +23,18 @@
 // operations (the pre-concurrency behaviour), which is the baseline that
 // BENCH_2.json compares against.
 //
+// -topology (shards.json, or host:port,host:port,...) instead drives a
+// shard cluster: lfload opens a shard.Router over the listed labbase-server
+// processes (each started with -shard k/n) and fronts it with a loopback
+// proxy server, so the same closed-loop workers measure multi-process
+// scatter-gather over the wire.
+//
 // Usage:
 //
 //	lfload -workers 4 -readmix 0.95 -ops 20000            # in-process
 //	lfload -workers 16 -readmix 0.0 -shards 4             # write scaling
 //	lfload -addr lab42:7047 -workers 16 -pipeline 8 -json # remote server
+//	lfload -topology shards.json -workers 16 -json        # shard cluster
 package main
 
 import (
@@ -51,6 +58,7 @@ import (
 
 type config struct {
 	addr       string
+	topology   string
 	workers    int
 	readMix    float64
 	queryMix   float64
@@ -76,6 +84,7 @@ const (
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", "", "server address (empty = in-process memstore server)")
+	flag.StringVar(&cfg.topology, "topology", "", "shard cluster: shards.json or host:port,host:port,... (workers drive a router over the listed labbase-servers)")
 	flag.IntVar(&cfg.workers, "workers", 4, "concurrent closed-loop workers")
 	flag.Float64Var(&cfg.readMix, "readmix", 0.9, "fraction of operations that are reads (0..1)")
 	flag.Float64Var(&cfg.queryMix, "querymix", 0, "fraction of operations that are deductive OpQuery requests (0..1)")
@@ -97,6 +106,9 @@ func main() {
 	if cfg.addr != "" && (cfg.serial || cfg.shards != 1) {
 		log.Fatal("lfload: -serial and -shards only apply to the in-process server")
 	}
+	if cfg.topology != "" && (cfg.addr != "" || cfg.serial || cfg.shards != 1) {
+		log.Fatal("lfload: -topology excludes -addr, -serial and -shards")
+	}
 	if err := run(cfg); err != nil {
 		log.Fatalf("lfload: %v", err)
 	}
@@ -105,7 +117,14 @@ func main() {
 func run(cfg config) error {
 	addr := cfg.addr
 	var stop func()
-	if addr == "" {
+	if cfg.topology != "" {
+		var err error
+		addr, stop, err = startRouterProxy(cfg.topology)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	} else if addr == "" {
 		var err error
 		addr, stop, err = startInProcess(cfg.serial, cfg.shards)
 		if err != nil {
@@ -220,6 +239,44 @@ func startInProcess(serial bool, shards int) (addr string, stop func(), err erro
 		ln.Close()
 		srv.Shutdown()
 		<-serveDone
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// startRouterProxy opens a shard.Router over the topology's labbase-server
+// processes and fronts it with a loopback wire server, so the workers'
+// pipelined clients drive the router exactly as they drive any server. The
+// router's scatter-gather fans each multi-shard operation out to all
+// cluster members concurrently; reads stay lock-free end to end.
+func startRouterProxy(topo string) (addr string, stop func(), err error) {
+	t, err := shard.ParseTopology(topo)
+	if err != nil {
+		return "", nil, err
+	}
+	r, err := shard.OpenRouter(t, shard.RouterOptions{})
+	if err != nil {
+		return "", nil, err
+	}
+	srv := wire.NewServer(r)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		r.Close()
+		return "", nil, err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("lfload: serve: %v", err)
+		}
+	}()
+	stop = func() {
+		ln.Close()
+		srv.Shutdown()
+		<-serveDone
+		if err := r.Close(); err != nil {
+			log.Printf("lfload: router close: %v", err)
+		}
 	}
 	return ln.Addr().String(), stop, nil
 }
@@ -386,6 +443,7 @@ func summarize(hist *metrics.Hist) latencyUS {
 
 type jsonReport struct {
 	Addr       string    `json:"addr"`
+	Topology   string    `json:"topology,omitempty"`
 	Workers    int       `json:"workers"`
 	ReadMix    float64   `json:"read_mix"`
 	QueryMix   float64   `json:"query_mix"`
@@ -410,6 +468,7 @@ func report(w io.Writer, cfg config, wall time.Duration, throughput float64, rea
 	if cfg.jsonOut {
 		var r jsonReport
 		r.Addr = cfg.addr
+		r.Topology = cfg.topology
 		r.Workers = cfg.workers
 		r.ReadMix = cfg.readMix
 		r.QueryMix = cfg.queryMix

@@ -94,6 +94,27 @@ func Run(kind StoreKind, dir string, p Params) (*RunResult, error) {
 	return res, nil
 }
 
+// RunStore executes the LabFlow-1 workload on an already-open store — the
+// seam the distributed topology uses to drive table10 through a
+// shard.Router instead of an in-process DB. The caller keeps ownership of
+// db (RunStore does not Close it). Stores that expose more than one shard
+// are rejected for the same reason Run rejects p.Shards > 1: table10's gel
+// batches violate the single-partition step contract.
+func RunStore(db labbase.Store, p Params) (*RunResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if s, ok := db.(interface{ Shards() int }); ok && s.Shards() > 1 {
+		return nil, fmt.Errorf("core: table10 supports 1 shard only: gel batches build material sets over arbitrary materials, so N>1 would violate the single-partition step contract")
+	}
+	res, err := runOn(db, p)
+	if err != nil {
+		return nil, err
+	}
+	res.Store, _ = db.StoreStats()
+	return res, nil
+}
+
 // driver owns one benchmark execution over an open database.
 type driver struct {
 	db  labbase.Store

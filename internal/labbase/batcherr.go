@@ -1,0 +1,35 @@
+package labbase
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCrossShard is returned when a step or material set references
+// materials living on different shards of a partitioned store. Sharded
+// LabBase transactions are single-partition (as in d-Chiron): everything
+// one step touches — its materials and the members of its Set — must hash
+// to the same shard.
+//
+// The sentinel lives here rather than in labbase/shard so the wire layer
+// can map it onto an error code without importing the shard package (which
+// itself imports wire for the distributed router); shard re-exports it as
+// shard.ErrCrossShard, the name all existing errors.Is call sites use.
+var ErrCrossShard = errors.New("shard: materials span shards")
+
+// BatchError reports a PutSteps failure at a specific entry: entries before
+// Index were recorded (the batch owns its transaction and commits the
+// prefix), entries from Index on were not. It exists as a type, not just a
+// formatted string, so the wire layer can carry the failing index across
+// the protocol and the distributed router can re-stitch part-local indexes
+// back into original batch positions.
+type BatchError struct {
+	Index int   // position of the failing entry in the batch
+	Err   error // the entry's own error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("labbase: step batch entry %d (earlier entries recorded): %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"labflow/internal/wire"
+)
+
+// ErrShardDown marks a shard server the router cannot reach. Operations
+// that would touch the shard fail fast with an error naming it (and
+// wrapping this sentinel) instead of re-dialing — and timing out — on
+// every call; the router's health monitor keeps probing the address and
+// lifts the mark when the server answers the handshake again.
+var ErrShardDown = errors.New("shard: shard server down")
+
+// pool is one shard's client-connection pool. Connections are checked out
+// for exactly one synchronous operation (a Client is single-goroutine), so
+// concurrent router calls against the same shard each get their own
+// connection; idle ones are reused LIFO.
+type pool struct {
+	shard   int
+	addr    string
+	timeout time.Duration // dial bound and per-operation I/O deadline
+
+	// mu guards idle and down. Leaf-like in the router hierarchy: nothing
+	// is acquired while it is held (dials happen outside it).
+	mu   sync.Mutex
+	idle []*wire.Client
+	down error // non-nil while the shard is marked down (wraps ErrShardDown)
+}
+
+func newPool(shard int, addr string, timeout time.Duration) *pool {
+	return &pool{shard: shard, addr: addr, timeout: timeout}
+}
+
+// get checks out a connection: an idle one if available, a fresh dial
+// otherwise. While the shard is marked down it fails fast with the stored
+// ErrShardDown error; only the health monitor (or a successful seed)
+// clears the mark.
+func (p *pool) get() (*wire.Client, error) {
+	p.mu.Lock()
+	if p.down != nil {
+		err := p.down
+		p.mu.Unlock()
+		return nil, err
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := wire.DialTimeout(p.addr, p.timeout)
+	if err != nil {
+		p.markDown(err)
+		return nil, fmt.Errorf("shard %d (%s): %w: %w", p.shard, p.addr, ErrShardDown, err)
+	}
+	return c, nil
+}
+
+// put returns a healthy connection to the idle list. If the shard was
+// marked down in the meantime the connection is stale evidence — close it.
+func (p *pool) put(c *wire.Client) {
+	p.mu.Lock()
+	if p.down != nil {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// discard drops a connection whose stream state is unknown (transport
+// error mid-operation). The shard is not marked down — the next get dials
+// fresh, and only a failed dial (or health probe) declares it down.
+func (p *pool) discard(c *wire.Client) { c.Close() }
+
+// markDown records the shard as unreachable and drops every idle
+// connection (they share the dead peer).
+func (p *pool) markDown(cause error) {
+	p.mu.Lock()
+	if p.down == nil {
+		p.down = fmt.Errorf("shard %d (%s): %w: %w", p.shard, p.addr, ErrShardDown, cause)
+	}
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// seed installs a verified connection and clears any down mark (used by
+// the opening handshake and the health monitor's successful probes).
+func (p *pool) seed(c *wire.Client) {
+	p.mu.Lock()
+	p.down = nil
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// isDown reports whether the shard is currently marked down.
+func (p *pool) isDown() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down != nil
+}
+
+// closeAll closes every idle connection (router shutdown).
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}

@@ -14,7 +14,10 @@ import (
 // materials living on different shards. Sharded LabBase transactions are
 // single-partition (as in d-Chiron): everything one step touches — its
 // materials and the members of its Set — must hash to the same shard.
-var ErrCrossShard = errors.New("shard: materials span shards")
+//
+// The sentinel itself lives in labbase (see labbase.ErrCrossShard for why);
+// this is the same error value, so errors.Is matches either name.
+var ErrCrossShard = labbase.ErrCrossShard
 
 // DB fronts N independent labbase.DB instances behind the labbase.Store
 // surface. Materials are routed to shard ShardFor(name, N); each shard has
@@ -128,10 +131,17 @@ func (db *DB) shardErr(k int, err error) error {
 
 // shardOf validates and decodes the shard number in an OID.
 func (db *DB) shardOf(oid storage.OID) (int, error) {
+	return shardOfN(oid, len(db.shards))
+}
+
+// shardOfN is shardOf parameterized by shard count, shared with the
+// distributed Router so routing errors stay byte-identical between the
+// in-process facade and the wire topology.
+func shardOfN(oid storage.OID, n int) (int, error) {
 	k := ShardOfOID(oid)
-	if k >= len(db.shards) {
+	if k >= n {
 		return 0, fmt.Errorf("shard: %v names shard %d of %d: %w",
-			oid, k, len(db.shards), storage.ErrNoSuchObject)
+			oid, k, n, storage.ErrNoSuchObject)
 	}
 	return k, nil
 }
@@ -297,20 +307,30 @@ func (db *DB) LookupMaterial(name string) (storage.OID, bool) {
 // CreateMaterialSet creates the set on its members' shard. All members
 // must co-reside (ErrCrossShard otherwise); an empty set goes to shard 0.
 func (db *DB) CreateMaterialSet(members []storage.OID) (storage.OID, error) {
+	home, err := setHomeIn(len(db.shards), members)
+	if err != nil {
+		return storage.NilOID, err
+	}
+	return db.shards[home].CreateMaterialSet(members)
+}
+
+// setHomeIn finds a material set's home shard and enforces member
+// co-residency, shared with the Router (identical error bytes).
+func setHomeIn(n int, members []storage.OID) (int, error) {
 	home := 0
 	for i, m := range members {
-		k, err := db.shardOf(m)
+		k, err := shardOfN(m, n)
 		if err != nil {
-			return storage.NilOID, err
+			return 0, err
 		}
 		if i == 0 {
 			home = k
 		} else if k != home {
-			return storage.NilOID, fmt.Errorf("%w: set members %v (shard %d) and %v (shard %d)",
+			return 0, fmt.Errorf("%w: set members %v (shard %d) and %v (shard %d)",
 				ErrCrossShard, members[0], home, m, k)
 		}
 	}
-	return db.shards[home].CreateMaterialSet(members)
+	return home, nil
 }
 
 // SetMembers routes by the set's OID.
@@ -337,16 +357,23 @@ func (db *DB) SetState(oid storage.OID, state string) error {
 // Set's shard by CreateMaterialSet). A spec with neither materials nor set
 // routes to shard 0 so labbase produces its own diagnostic.
 func (db *DB) routeStep(spec labbase.StepSpec) (int, error) {
+	return routeStepIn(len(db.shards), spec)
+}
+
+// routeStepIn is routeStep parameterized by shard count, shared with the
+// distributed Router so routing decisions — and their error bytes — stay
+// identical between the in-process facade and the wire topology.
+func routeStepIn(n int, spec labbase.StepSpec) (int, error) {
 	home, haveHome := 0, false
 	if !spec.Set.IsNil() {
-		k, err := db.shardOf(spec.Set)
+		k, err := shardOfN(spec.Set, n)
 		if err != nil {
 			return 0, err
 		}
 		home, haveHome = k, true
 	}
 	for _, m := range spec.Materials {
-		k, err := db.shardOf(m)
+		k, err := shardOfN(m, n)
 		if err != nil {
 			return 0, err
 		}

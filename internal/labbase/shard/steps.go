@@ -88,6 +88,25 @@ func (db *DB) PutSteps(specs []labbase.StepSpec) ([]storage.OID, error) {
 	return oids, nil
 }
 
+// BatchError reports a PutSteps failure at a specific entry of a sharded
+// batch: the failing shard committed the entries before Index it owned,
+// other shards committed all of theirs, and nothing from Index on landed
+// on shard Shard. A type (not a formatted string) so the distributed
+// Router can re-stitch part-local indexes back into original batch
+// positions while keeping error bytes identical to the in-process facade.
+type BatchError struct {
+	Index int   // position of the failing entry in the original batch
+	Shard int   // shard whose sub-batch failed
+	Err   error // the entry's own error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("shard: step batch entry %d (earlier entries on shard %d recorded, other shards unaffected): %v",
+		e.Index, e.Shard, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // applyShardBatch runs one shard's slice of a batch in one transaction,
 // under that shard's write lock.
 func (db *DB) applyShardBatch(k int, specs []labbase.StepSpec, idx []int, oids []storage.OID) error {
@@ -101,8 +120,7 @@ func (db *DB) applyShardBatch(k int, specs []labbase.StepSpec, idx []int, oids [
 	for j, spec := range specs {
 		oid, err := sh.RecordStep(spec)
 		if err != nil {
-			ferr = fmt.Errorf("shard: step batch entry %d (earlier entries on shard %d recorded, other shards unaffected): %w",
-				idx[j], k, err)
+			ferr = &BatchError{Index: idx[j], Shard: k, Err: err}
 			break
 		}
 		oids[idx[j]] = oid
@@ -172,6 +190,13 @@ func (db *DB) versionExists(spec labbase.StepSpec) bool {
 	if err != nil {
 		return false // unknown class: everything needs defining
 	}
+	return versionListed(vers, spec)
+}
+
+// versionListed reports whether one of a class's version attr-name lists
+// matches the spec's attr-name multiset; shared with the distributed
+// Router's schema-ensure pass.
+func versionListed(vers [][]string, spec labbase.StepSpec) bool {
 	want := attrNames(spec)
 	for _, v := range vers {
 		if len(v) != len(want) {

@@ -1,0 +1,46 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Topology is the cluster shard map: shard k of the OID space lives behind
+// Shards[k]. The on-disk JSON form is {"shards": ["host:port", ...]}.
+type Topology struct {
+	Shards []string `json:"shards"`
+}
+
+// ParseTopology accepts either an inline address list
+// ("host:port,host:port,...") or a path to a JSON topology file. The
+// distinction is syntactic: an argument containing ':' is an address list,
+// anything else is read as a file.
+func ParseTopology(arg string) (Topology, error) {
+	if arg == "" {
+		return Topology{}, fmt.Errorf("shard: empty topology")
+	}
+	var t Topology
+	if strings.Contains(arg, ":") {
+		for _, a := range strings.Split(arg, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return Topology{}, fmt.Errorf("shard: empty address in topology %q", arg)
+			}
+			t.Shards = append(t.Shards, a)
+		}
+	} else {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return Topology{}, fmt.Errorf("shard: read topology: %w", err)
+		}
+		if err := json.Unmarshal(data, &t); err != nil {
+			return Topology{}, fmt.Errorf("shard: parse topology %s: %w", arg, err)
+		}
+	}
+	if n := len(t.Shards); n < 1 || n > MaxShards {
+		return Topology{}, fmt.Errorf("shard: topology names %d shards, outside [1, %d]", len(t.Shards), MaxShards)
+	}
+	return t, nil
+}

@@ -228,7 +228,7 @@ func (db *DB) PutSteps(specs []StepSpec) ([]storage.OID, error) {
 	for i, spec := range specs {
 		oid, err := db.RecordStep(spec)
 		if err != nil {
-			err = fmt.Errorf("labbase: step batch entry %d (earlier entries recorded): %w", i, err)
+			err = error(&BatchError{Index: i, Err: err})
 			if own {
 				if cerr := db.Commit(); cerr != nil {
 					return nil, fmt.Errorf("%w (and closing the transaction: %w)", err, cerr)

@@ -263,6 +263,7 @@ func (l *Loader) Load(dirs []string) ([]*Unit, error) {
 			return nil, fmt.Errorf("lint: %s: %w", dir, err)
 		}
 
+		var augmented *types.Package // the package with its in-package test files
 		if len(bp.GoFiles) > 0 || len(bp.TestGoFiles) > 0 {
 			names := append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...)
 			files, err := l.parseFiles(dir, names)
@@ -278,6 +279,7 @@ func (l *Loader) Load(dirs []string) ([]*Unit, error) {
 				return nil, err
 			}
 			units = append(units, &Unit{Dir: dir, Path: unitPath, Fset: l.Fset, Files: files, Pkg: pkg, Info: info})
+			augmented = pkg
 			if _, ok := l.pkgs[path]; !ok && len(bp.TestGoFiles) == 0 {
 				l.pkgs[path] = pkg // reusable as-is by importers
 			}
@@ -288,7 +290,21 @@ func (l *Loader) Load(dirs []string) ([]*Unit, error) {
 			if err != nil {
 				return nil, err
 			}
+			// An external test package imports its subject augmented with the
+			// in-package test files (go test semantics): export_test.go
+			// declarations must resolve. Swap the augmented package into the
+			// import cache for this check only — other importers of the
+			// subject still see the base package.
+			prev, hadPrev := l.pkgs[path]
+			if augmented != nil {
+				l.pkgs[path] = augmented
+			}
 			pkg, info, err := l.check(path+"_test", files)
+			if hadPrev {
+				l.pkgs[path] = prev
+			} else if augmented != nil {
+				delete(l.pkgs, path)
+			}
 			if err != nil {
 				return nil, err
 			}

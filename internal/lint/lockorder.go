@@ -17,7 +17,12 @@ import (
 //  1. Ranked classes must be acquired in ascending rank order. The ranks
 //     encode the documented hierarchy:
 //     wire.Server.mu(10) < wire.Server.connMu(20) < shard.DB.stmu(30) <
-//     shard.DB.wmu(40) < labbase.DB.wmu(50) < the labbase leaves(60).
+//     shard.Router.stmu(32) < shard.pool.mu(34) < shard.DB.wmu(40) <
+//     labbase.DB.wmu(50) < the leaves(60). The router classes slot between
+//     the facade's catalog lock and the write locks: a router bracket
+//     checks out pooled connections (stmu -> pool.mu), and on the far end
+//     of those connections a wire.Server drives a labbase.DB — but that is
+//     a different process, so no edge crosses the wire.
 //  2. Leaf classes (oidCache.mu, verTable.mu, readerSlots.mu) may acquire
 //     nothing at all while held — that is what makes them safe to take
 //     from both the read and write paths (DESIGN §10).
@@ -46,28 +51,36 @@ var LockOrder = &Analyzer{
 // classes (the leaves) are mutually unordered and guarded by lockLeaves
 // instead. The fixture mirrors exercise the same table from testdata.
 var lockRanks = map[string]int{
-	"labflow/internal/wire.Server.mu":         10,
-	"labflow/internal/wire.Server.connMu":     20,
-	"labflow/internal/labbase/shard.DB.stmu":  30,
-	"labflow/internal/labbase/shard.DB.wmu":   40,
-	"labflow/internal/labbase.DB.wmu":         50,
-	"labflow/internal/labbase.oidCache.mu":    60,
-	"labflow/internal/labbase.verTable.mu":    60,
-	"labflow/internal/labbase.readerSlots.mu": 60,
+	"labflow/internal/wire.Server.mu":                 10,
+	"labflow/internal/wire.Server.connMu":             20,
+	"labflow/internal/labbase/shard.DB.stmu":          30,
+	"labflow/internal/labbase/shard.Router.stmu":      32,
+	"labflow/internal/labbase/shard.pool.mu":          34,
+	"labflow/internal/labbase/shard.DB.wmu":           40,
+	"labflow/internal/labbase.DB.wmu":                 50,
+	"labflow/internal/labbase.oidCache.mu":            60,
+	"labflow/internal/labbase.verTable.mu":            60,
+	"labflow/internal/labbase.readerSlots.mu":         60,
+	"labflow/internal/labbase/shard.routerMetrics.mu": 60,
 
 	"fixture/lockorder.Server.mu":     10,
 	"fixture/lockorder.Server.connMu": 20,
 	"fixture/lockorder.DB.stmu":       30,
+	"fixture/lockorder.Router.stmu":   32,
+	"fixture/lockorder.Pool.mu":       34,
 	"fixture/lockorder.DB.wmu":        40,
 	"fixture/lockorder.Cache.mu":      60,
+	"fixture/lockorder.Metrics.mu":    60,
 }
 
 // lockLeaves are the classes that may acquire nothing while held.
 var lockLeaves = map[string]bool{
-	"labflow/internal/labbase.oidCache.mu":    true,
-	"labflow/internal/labbase.verTable.mu":    true,
-	"labflow/internal/labbase.readerSlots.mu": true,
-	"fixture/lockorder.Cache.mu":              true,
+	"labflow/internal/labbase.oidCache.mu":            true,
+	"labflow/internal/labbase.verTable.mu":            true,
+	"labflow/internal/labbase.readerSlots.mu":         true,
+	"labflow/internal/labbase/shard.routerMetrics.mu": true,
+	"fixture/lockorder.Cache.mu":                      true,
+	"fixture/lockorder.Metrics.mu":                    true,
 }
 
 const nsLockAcquires = "lock.acquires" // funcKey -> map[classKey]bool (transitive)

@@ -1,6 +1,7 @@
 // Package lockfix exercises lockorder against the mirrored rank table:
-// Server.mu(10) < Server.connMu(20) < DB.stmu(30) < DB.wmu(40), with
-// Cache.mu a leaf and the storage types unranked (cycle-checked only).
+// Server.mu(10) < Server.connMu(20) < DB.stmu(30) < Router.stmu(32) <
+// Pool.mu(34) < DB.wmu(40), with Cache.mu and Metrics.mu leaves and the
+// storage types unranked (cycle-checked only).
 // Because the analysis is module-wide, the ok functions below still feed
 // the acquisition graph — the ranked-cycle finding reported inside
 // okDescend is the graph-level consequence of badInvert reversing an edge
@@ -128,6 +129,76 @@ func pageThenStore(o *ostore, p *pagefile) {
 	o.mu.Lock()
 	o.mu.Unlock()
 	p.mu.Unlock()
+}
+
+// Router/Pool/Metrics mirror the distributed router's lock shapes: the
+// bracket lock above the per-shard connection pools, with the metrics
+// histogram lock a leaf.
+type Router struct {
+	stmu  sync.Mutex
+	pools []*Pool
+	met   *Metrics
+}
+
+type Pool struct {
+	mu   sync.Mutex
+	idle []int
+}
+
+type Metrics struct {
+	mu sync.Mutex
+	n  []uint64
+}
+
+// ok: the router bracket descends stmu -> pool.mu, and the fan-out
+// literals run on their own goroutines, so they inherit nothing — pool
+// and metrics acquisitions inside them start from an empty held set.
+func (r *Router) okFanOut() {
+	r.stmu.Lock()
+	r.pools[0].mu.Lock()
+	r.pools[0].mu.Unlock()
+	r.stmu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range r.pools {
+		wg.Add(1)
+		p := p
+		go func() {
+			defer wg.Done()
+			p.mu.Lock()
+			p.mu.Unlock()
+			r.met.mu.Lock()
+			r.met.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// Violation shape 7: a fan-out helper that runs its closure synchronously
+// attributes the closure's acquisitions to the call site — holding a pool
+// lock while the closure re-enters the router bracket inverts the
+// Router.stmu(32) < Pool.mu(34) order.
+func eachShard(r *Router, fn func(k int)) {
+	for k := range r.pools {
+		fn(k)
+	}
+}
+
+func (r *Router) badFanOutClosure() {
+	r.pools[0].mu.Lock()
+	eachShard(r, func(k int) {
+		r.stmu.Lock()
+		r.stmu.Unlock()
+	})
+	r.pools[0].mu.Unlock()
+}
+
+// Violation shape 8: the metrics histogram lock is a leaf — record, don't
+// call out.
+func (r *Router) badMetricsLeaf() {
+	r.met.mu.Lock()
+	r.pools[0].mu.Lock()
+	r.pools[0].mu.Unlock()
+	r.met.mu.Unlock()
 }
 
 // Suppressed: the directive names the analyzer and gives a reason.

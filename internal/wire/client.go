@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"labflow/internal/labbase"
 	"labflow/internal/rec"
@@ -17,6 +18,10 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// ioTimeout bounds each blocking socket operation (0 = none). Armed
+	// before every frame write and read, so a dead or wedged peer turns
+	// into an os.ErrDeadlineExceeded instead of a hang.
+	ioTimeout time.Duration
 }
 
 // Dial connects to a LabBase server and performs the hello exchange.
@@ -28,18 +33,47 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn)
 }
 
+// DialTimeout is Dial with a bound on connection establishment; the same
+// bound becomes the connection's per-operation I/O deadline (see
+// SetIOTimeout).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), ioTimeout: timeout}
+	return c.hello()
+}
+
+// SetIOTimeout bounds every subsequent blocking socket operation (read or
+// write of one frame); zero removes the bound. It exists so a fan-out
+// across shard servers fails fast when one peer dies instead of hanging
+// the whole scatter.
+func (c *Client) SetIOTimeout(d time.Duration) { c.ioTimeout = d }
+
+// arm sets the connection deadline ahead of a blocking socket operation.
+func (c *Client) arm() {
+	if c.ioTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.ioTimeout)) //lint:allow wallclock I/O deadline arming, never persisted or compared
+	}
+}
+
 // NewClient wraps an established connection (for tests, net.Pipe works).
 func NewClient(conn net.Conn) (*Client, error) {
 	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	return c.hello()
+}
+
+func (c *Client) hello() (*Client, error) {
 	e := rec.NewEncoder(4)
 	e.Uint(protocolVersion)
 	d, err := c.roundTrip(OpHello, e.Bytes())
 	if err != nil {
-		conn.Close()
+		c.conn.Close()
 		return nil, err
 	}
 	if v := d.Uint(); v != protocolVersion {
-		conn.Close()
+		c.conn.Close()
 		return nil, fmt.Errorf("wire: server speaks version %d", v)
 	}
 	_ = d.String() // server banner
@@ -53,22 +87,52 @@ func (c *Client) Close() error { return c.conn.Close() }
 var ErrRemote = errors.New("wire: remote error")
 
 func (c *Client) roundTrip(op uint8, payload []byte) (*rec.Decoder, error) {
+	c.arm()
 	if err := writeFrame(c.w, op, payload); err != nil {
 		return nil, err
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
+	c.arm()
 	status, body, err := readFrame(c.r)
 	if err != nil {
 		return nil, err
 	}
 	d := rec.NewDecoder(body)
 	if status == statusErr {
-		msg := d.String()
-		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+		return nil, decodeRemoteErr(d)
 	}
 	return d, nil
+}
+
+// Begin opens an explicit transaction bracket on the server: until Commit,
+// this connection holds the server's writer lock and every mutation it
+// sends joins the one open transaction (mirroring labbase.DB.Begin).
+func (c *Client) Begin() error {
+	_, err := c.roundTrip(OpBegin, nil)
+	return err
+}
+
+// Commit closes the explicit transaction bracket (see Begin).
+func (c *Client) Commit() error {
+	_, err := c.roundTrip(OpCommit, nil)
+	return err
+}
+
+// ShardInfo performs the topology handshake: the server's shard index and
+// count, and its storage-backend name (the router's shard-map fingerprint).
+// It doubles as the health-check ping — it is read-only and lock-free on
+// the server.
+func (c *Client) ShardInfo() (index, count int, store string, err error) {
+	d, err := c.roundTrip(OpShardInfo, nil)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	index = int(d.Uint())
+	count = int(d.Uint())
+	store = d.String()
+	return index, count, store, d.Err()
 }
 
 // DefineMaterialClass mirrors labbase.DB.DefineMaterialClass.
@@ -81,6 +145,18 @@ func (c *Client) DefineMaterialClass(name, parent string) (labbase.ClassID, erro
 		return 0, err
 	}
 	return labbase.ClassID(d.Uint()), d.Err()
+}
+
+// DefineAttr mirrors labbase.DB.DefineAttr.
+func (c *Client) DefineAttr(name string, kind labbase.Kind) (labbase.AttrID, error) {
+	e := rec.NewEncoder(32)
+	e.String(name)
+	e.Byte(byte(kind))
+	d, err := c.roundTrip(OpDefineAttr, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return labbase.AttrID(d.Uint()), d.Err()
 }
 
 // DefineState mirrors labbase.DB.DefineState.
@@ -254,6 +330,12 @@ func (c *Client) GetMaterial(oid storage.OID) (*labbase.Material, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := decodeMaterial(d)
+	return m, d.Err()
+}
+
+// decodeMaterial reads one material in the layout encodeMaterial writes.
+func decodeMaterial(d *rec.Decoder) *labbase.Material {
 	m := &labbase.Material{
 		OID:       storage.OID(d.Uint()),
 		Class:     d.String(),
@@ -262,7 +344,7 @@ func (c *Client) GetMaterial(oid storage.OID) (*labbase.Material, error) {
 		CreatedAt: d.Int(),
 	}
 	m.HistoryLen = int(d.Uint())
-	return m, d.Err()
+	return m
 }
 
 // GetStep mirrors labbase.DB.GetStep.
@@ -273,6 +355,15 @@ func (c *Client) GetStep(oid storage.OID) (*labbase.Step, error) {
 	if err != nil {
 		return nil, err
 	}
+	st, err := decodeStep(d)
+	if err != nil {
+		return nil, err
+	}
+	return st, d.Err()
+}
+
+// decodeStep reads one step in the layout encodeStep writes.
+func decodeStep(d *rec.Decoder) (*labbase.Step, error) {
 	st := &labbase.Step{
 		OID:       storage.OID(d.Uint()),
 		Class:     d.String(),
@@ -407,6 +498,190 @@ func (c *Client) Query(q string, max int) ([]map[string]string, error) {
 	return out, d.Err()
 }
 
+func (c *Client) nameList(op uint8) ([]string, error) {
+	d, err := c.roundTrip(op, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(1 << 20)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad name list reply")
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.String()
+	}
+	return out, d.Err()
+}
+
+// MaterialClasses mirrors labbase.DB.MaterialClasses.
+func (c *Client) MaterialClasses() ([]string, error) { return c.nameList(OpMaterialClasses) }
+
+// StepClasses mirrors labbase.DB.StepClasses.
+func (c *Client) StepClasses() ([]string, error) { return c.nameList(OpStepClasses) }
+
+// States mirrors labbase.DB.States.
+func (c *Client) States() ([]string, error) { return c.nameList(OpStates) }
+
+// StepClassVersions mirrors labbase.DB.StepClassVersions.
+func (c *Client) StepClassVersions(name string) ([][]string, error) {
+	e := rec.NewEncoder(32)
+	e.String(name)
+	d, err := c.roundTrip(OpStepClassVersions, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(1 << 20)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad version list reply")
+	}
+	out := make([][]string, n)
+	for i := range out {
+		na := d.Count(1 << 16)
+		if d.Err() != nil {
+			return nil, fmt.Errorf("wire: bad version list reply")
+		}
+		out[i] = make([]string, na)
+		for j := range out[i] {
+			out[i][j] = d.String()
+		}
+	}
+	return out, d.Err()
+}
+
+// ScanMaterials fetches a class's materials in one frame and runs fn over
+// them locally. An early-stopping fn cannot shorten the server-side scan
+// (the full list has already shipped), but its error still aborts the
+// local iteration with the same semantics as labbase.DB.ScanMaterials.
+func (c *Client) ScanMaterials(class string, fn func(*labbase.Material) error) error {
+	e := rec.NewEncoder(32)
+	e.String(class)
+	d, err := c.roundTrip(OpScanMaterials, e.Bytes())
+	if err != nil {
+		return err
+	}
+	return scanMaterialReply(d, fn)
+}
+
+// ScanAllMaterials is ScanMaterials over every class (see its caveats).
+func (c *Client) ScanAllMaterials(fn func(*labbase.Material) error) error {
+	d, err := c.roundTrip(OpScanAllMaterials, nil)
+	if err != nil {
+		return err
+	}
+	return scanMaterialReply(d, fn)
+}
+
+func scanMaterialReply(d *rec.Decoder, fn func(*labbase.Material) error) error {
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return fmt.Errorf("wire: bad material scan reply")
+	}
+	for i := 0; i < n; i++ {
+		m := decodeMaterial(d)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// ScanSteps fetches a class's steps in one frame and runs fn over them
+// locally (see ScanMaterials for the early-stop caveat).
+func (c *Client) ScanSteps(class string, fn func(*labbase.Step) error) error {
+	e := rec.NewEncoder(32)
+	e.String(class)
+	d, err := c.roundTrip(OpScanSteps, e.Bytes())
+	if err != nil {
+		return err
+	}
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return fmt.Errorf("wire: bad step scan reply")
+	}
+	for i := 0; i < n; i++ {
+		st, err := decodeStep(d)
+		if err != nil {
+			return err
+		}
+		if err := fn(st); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// StepsInvolving mirrors labbase.DB.StepsInvolving.
+func (c *Client) StepsInvolving(oid storage.OID) ([]storage.OID, error) {
+	e := rec.NewEncoder(16)
+	e.Uint(uint64(oid))
+	d, err := c.roundTrip(OpStepsInvolving, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad steps reply")
+	}
+	out := make([]storage.OID, n)
+	for i := range out {
+		out[i] = storage.OID(d.Uint())
+	}
+	return out, d.Err()
+}
+
+func (c *Client) mostRecentVariant(op uint8, oid storage.OID, attr string, t int64) (labbase.Value, storage.OID, bool, error) {
+	e := rec.NewEncoder(40)
+	e.Uint(uint64(oid))
+	e.String(attr)
+	if op == OpMostRecentAsOf {
+		e.Int(t)
+	}
+	d, err := c.roundTrip(op, e.Bytes())
+	if err != nil {
+		return labbase.Nil(), storage.NilOID, false, err
+	}
+	found := d.Bool()
+	src := storage.OID(d.Uint())
+	v := labbase.DecodeValue(d)
+	return v, src, found, d.Err()
+}
+
+// MostRecentScan mirrors labbase.DB.MostRecentScan.
+func (c *Client) MostRecentScan(oid storage.OID, attr string) (labbase.Value, storage.OID, bool, error) {
+	return c.mostRecentVariant(OpMostRecentScan, oid, attr, 0)
+}
+
+// MostRecentAsOf mirrors labbase.DB.MostRecentAsOf.
+func (c *Client) MostRecentAsOf(oid storage.OID, attr string, t int64) (labbase.Value, storage.OID, bool, error) {
+	return c.mostRecentVariant(OpMostRecentAsOf, oid, attr, t)
+}
+
+// AttrTimeline mirrors labbase.DB.AttrTimeline.
+func (c *Client) AttrTimeline(oid storage.OID, attr string) ([]labbase.TimelineEntry, error) {
+	e := rec.NewEncoder(32)
+	e.Uint(uint64(oid))
+	e.String(attr)
+	d, err := c.roundTrip(OpAttrTimeline, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n := d.Count(1 << 24)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("wire: bad timeline reply")
+	}
+	out := make([]labbase.TimelineEntry, n)
+	for i := range out {
+		out[i].ValidTime = d.Int()
+		out[i].Step = storage.OID(d.Uint())
+		out[i].Value = labbase.DecodeValue(d)
+	}
+	return out, d.Err()
+}
+
 // Dump mirrors labbase.DB.Dump.
 func (c *Client) Dump() (labbase.DumpStats, error) {
 	d, err := c.roundTrip(OpDump, nil)
@@ -435,6 +710,7 @@ func (c *Client) Stats() (string, storage.Stats, error) {
 		Reads:       d.Uint(),
 		Writes:      d.Uint(),
 		Allocs:      d.Uint(),
+		LockWaits:   d.Uint(),
 		SizeBytes:   d.Uint(),
 		LiveObjects: d.Uint(),
 		LiveBytes:   d.Uint(),

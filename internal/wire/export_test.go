@@ -1,0 +1,6 @@
+package wire
+
+// BatchSharedForTest exposes the server's ConcurrentBatches detection to
+// the external wire_test package (which exists to break the wire ↔ shard
+// test-only import cycle).
+func BatchSharedForTest(s *Server) bool { return s.batchShared }

@@ -45,45 +45,72 @@ func (p *Pipeline) push(op uint8, payload []byte, done func(*rec.Decoder, error)
 // Flush sends all enqueued frames and reads one response per request, in
 // order, resolving each future. It returns the first transport error; remote
 // (per-request) errors land in the individual futures instead. On a
-// transport error the connection is in an unknown state and the remaining
-// futures are resolved with that same error.
+// transport error — the peer closing mid-pipeline included — the connection
+// is in an unknown state and every unresolved future completes with a
+// descriptive error naming the lost response, so no future is ever left
+// holding its zero value after Flush returns.
 func (p *Pipeline) Flush() error {
-	pending := p.pending
-	p.pending = p.pending[:0]
+	if err := p.Send(); err != nil {
+		return err
+	}
+	return p.Drain()
+}
+
+// Send flushes every enqueued frame to the socket without reading any
+// responses, so a caller fanning out over several shard connections can put
+// all shards to work before draining any of them. On error the pending
+// futures are resolved with it. Send-with-nothing-pending is a no-op.
+func (p *Pipeline) Send() error {
 	if p.err != nil {
 		err := p.err
 		p.err = nil
-		for _, done := range pending {
-			done(nil, err)
-		}
+		p.resolveAll(err)
 		return err
 	}
+	p.c.arm()
 	if err := p.c.w.Flush(); err != nil {
-		for _, done := range pending {
-			done(nil, err)
-		}
+		p.resolveAll(err)
 		return err
 	}
+	return nil
+}
+
+// Drain reads one response per pending request, in order, resolving each
+// future (see Flush). The caller must have Sent (or enqueued nothing).
+func (p *Pipeline) Drain() error {
+	pending := p.pending
+	p.pending = p.pending[:0]
 	var transportErr error
 	for i, done := range pending {
 		if transportErr != nil {
 			done(nil, transportErr)
 			continue
 		}
+		p.c.arm()
 		status, body, err := readFrame(p.c.r)
 		if err != nil {
-			transportErr = fmt.Errorf("wire: pipeline response %d: %w", i, err)
+			transportErr = fmt.Errorf("wire: pipeline response %d of %d lost (peer closed or I/O failed mid-pipeline): %w",
+				i, len(pending), err)
 			done(nil, transportErr)
 			continue
 		}
 		d := rec.NewDecoder(body)
 		if status == statusErr {
-			done(nil, fmt.Errorf("%w: %s", ErrRemote, d.String()))
+			done(nil, decodeRemoteErr(d))
 			continue
 		}
 		done(d, nil)
 	}
 	return transportErr
+}
+
+// resolveAll fails every pending future with err and clears the queue.
+func (p *Pipeline) resolveAll(err error) {
+	pending := p.pending
+	p.pending = p.pending[:0]
+	for _, done := range pending {
+		done(nil, err)
+	}
 }
 
 // MostRecentFuture resolves when the enqueuing pipeline is flushed.
@@ -160,6 +187,41 @@ func (p *Pipeline) History(oid storage.OID) *HistoryFuture {
 		for i := range f.Entries {
 			f.Entries[i].Step = storage.OID(d.Uint())
 			f.Entries[i].ValidTime = d.Int()
+		}
+		f.Err = d.Err()
+	})
+	return f
+}
+
+// PutStepsFuture resolves when the enqueuing pipeline is flushed.
+type PutStepsFuture struct {
+	OIDs []storage.OID
+	Err  error
+}
+
+// PutSteps enqueues an OpPutSteps request (see Client.PutSteps). The shard
+// router uses one per touched shard so the per-shard sub-batches apply
+// concurrently across server processes.
+func (p *Pipeline) PutSteps(specs []labbase.StepSpec) *PutStepsFuture {
+	f := &PutStepsFuture{}
+	e := rec.NewEncoder(16 + 128*len(specs))
+	e.Uint(uint64(len(specs)))
+	for _, spec := range specs {
+		encodeStepSpec(e, spec)
+	}
+	p.push(OpPutSteps, e.Bytes(), func(d *rec.Decoder, remoteErr error) {
+		if remoteErr != nil {
+			f.Err = remoteErr
+			return
+		}
+		n := d.Count(maxStepBatch)
+		if d.Err() != nil {
+			f.Err = fmt.Errorf("wire: bad step batch reply")
+			return
+		}
+		f.OIDs = make([]storage.OID, n)
+		for i := range f.OIDs {
+			f.OIDs[i] = storage.OID(d.Uint())
 		}
 		f.Err = d.Err()
 	})

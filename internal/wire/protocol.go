@@ -50,6 +50,21 @@ const (
 	OpStats
 	OpLookupMaterial
 	OpPutSteps
+	OpBegin
+	OpCommit
+	OpShardInfo
+	OpDefineAttr
+	OpMaterialClasses
+	OpStepClasses
+	OpStates
+	OpStepClassVersions
+	OpScanMaterials
+	OpScanAllMaterials
+	OpScanSteps
+	OpStepsInvolving
+	OpMostRecentScan
+	OpMostRecentAsOf
+	OpAttrTimeline
 )
 
 // readOnlyOp classifies each opcode for the server's lock discipline: read
@@ -58,19 +73,27 @@ const (
 // at all; everything else (including unknown opcodes) is treated as a write
 // and fully serialized.
 //
-//	read:  Hello, State, MostRecent, History, GetMaterial, GetStep,
+//	read:  Hello, ShardInfo, State, MostRecent, MostRecentScan,
+//	       MostRecentAsOf, AttrTimeline, History, GetMaterial, GetStep,
 //	       CountMaterials, CountSteps, CountInState, MaterialsInState,
-//	       SetMembers, Dump, Stats, LookupMaterial,
+//	       SetMembers, StepsInvolving, Dump, Stats, LookupMaterial,
+//	       MaterialClasses, StepClasses, States, StepClassVersions,
+//	       ScanMaterials, ScanAllMaterials, ScanSteps,
 //	       Query (runs read-only on a private snapshot; resolution is
 //	       re-entrant because all per-query engine state lives in the
 //	       query context, and update predicates are rejected)
-//	write: DefineMaterialClass, DefineState, DefineStepClass,
-//	       CreateMaterial, CreateSet, RecordStep, PutSteps, SetState
+//	write: DefineMaterialClass, DefineAttr, DefineState, DefineStepClass,
+//	       CreateMaterial, CreateSet, RecordStep, PutSteps, SetState,
+//	       Begin, Commit (the explicit-bracket opcodes manage the writer
+//	       lock themselves — see connState)
 func readOnlyOp(op uint8) bool {
 	switch op {
-	case OpHello, OpState, OpMostRecent, OpHistory, OpGetMaterial, OpGetStep,
+	case OpHello, OpShardInfo, OpState, OpMostRecent, OpMostRecentScan,
+		OpMostRecentAsOf, OpAttrTimeline, OpHistory, OpGetMaterial, OpGetStep,
 		OpCountMaterials, OpCountSteps, OpCountInState, OpMaterialsInState,
-		OpSetMembers, OpDump, OpStats, OpLookupMaterial, OpQuery:
+		OpSetMembers, OpStepsInvolving, OpDump, OpStats, OpLookupMaterial,
+		OpMaterialClasses, OpStepClasses, OpStates, OpStepClassVersions,
+		OpScanMaterials, OpScanAllMaterials, OpScanSteps, OpQuery:
 		return true
 	}
 	return false
@@ -121,5 +144,9 @@ func readFrame(r io.Reader) (uint8, []byte, error) {
 	return body[0], body[1:], nil
 }
 
-// protocolVersion is checked in the hello exchange.
-const protocolVersion = 1
+// protocolVersion is checked in the hello exchange. Version 2 added the
+// explicit transaction bracket (OpBegin/OpCommit), the shard-topology
+// handshake (OpShardInfo), the catalog/scan/timeline opcodes, structured
+// error frames ([code u8][message]; see errors.go) and the structured
+// OpPutSteps reply carrying the failing batch index.
+const protocolVersion = 2

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"labflow/internal/labbase"
+	"labflow/internal/rec"
+	"labflow/internal/storage"
+	"labflow/internal/storage/texas"
+)
+
+// fakePeer speaks just enough of the protocol to exercise client failure
+// paths deterministically: it answers the hello exchange, then hands the
+// connection to a scripted behavior. net.Pipe is synchronous, so every
+// client write is observed by the script before the client proceeds.
+func fakePeer(t *testing.T, script func(r *bufio.Reader, w *bufio.Writer, conn net.Conn)) *Client {
+	t.Helper()
+	cconn, pconn := net.Pipe()
+	go func() {
+		r := bufio.NewReader(pconn)
+		w := bufio.NewWriter(pconn)
+		if _, _, err := readFrame(r); err != nil {
+			pconn.Close()
+			return
+		}
+		e := rec.NewEncoder(16)
+		e.Uint(protocolVersion)
+		e.String("fake peer")
+		if err := writeFrame(w, statusOK, e.Bytes()); err != nil || w.Flush() != nil {
+			pconn.Close()
+			return
+		}
+		script(r, w, pconn)
+	}()
+	c, err := NewClient(cconn)
+	if err != nil {
+		t.Fatalf("hello against fake peer: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestPipelineFuturesFailOnPeerClose is the peer-death regression test: a
+// pipeline whose peer closes the connection mid-flight must complete every
+// outstanding future with a descriptive error — never hang, never leave a
+// future unresolved.
+func TestPipelineFuturesFailOnPeerClose(t *testing.T) {
+	const inFlight = 3
+	c := fakePeer(t, func(r *bufio.Reader, w *bufio.Writer, conn net.Conn) {
+		// Consume the whole flight, answer nothing, drop the connection.
+		for i := 0; i < inFlight; i++ {
+			if _, _, err := readFrame(r); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	})
+
+	p := c.Pipeline()
+	futs := make([]*MostRecentFuture, inFlight)
+	for i := range futs {
+		futs[i] = p.MostRecent(storage.OID(i+1), "reading")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Send()
+		p.Drain()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain hung after peer closed mid-pipeline")
+	}
+	for i, f := range futs {
+		if f.Err == nil {
+			t.Fatalf("future %d resolved without error after peer death", i)
+		}
+		if !strings.Contains(f.Err.Error(), fmt.Sprintf("pipeline response 0 of %d lost", inFlight)) {
+			t.Errorf("future %d error not descriptive: %v", i, f.Err)
+		}
+	}
+}
+
+// TestClientIOTimeout: with an I/O deadline armed, a peer that accepts a
+// request and never answers turns into os.ErrDeadlineExceeded instead of a
+// hang — the fail-fast bound the shard router's fan-out relies on.
+func TestClientIOTimeout(t *testing.T) {
+	block := make(chan struct{})
+	c := fakePeer(t, func(r *bufio.Reader, w *bufio.Writer, conn net.Conn) {
+		readFrame(r) // swallow the request
+		<-block      // never answer
+	})
+	defer close(block)
+	c.SetIOTimeout(50 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.CountMaterials("sample")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("silent peer = %v, want os.ErrDeadlineExceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("request against silent peer hung despite I/O deadline")
+	}
+}
+
+// TestSentinelRoundTrip pins the structured error frames: every well-known
+// sentinel must survive encode/decode with errors.Is intact and the
+// server-side message bytes preserved verbatim — including the sentinels a
+// live test cannot easily provoke (ErrTornStore).
+func TestSentinelRoundTrip(t *testing.T) {
+	sentinels := []error{
+		storage.ErrNoSuchObject,
+		labbase.ErrCrossShard,
+		texas.ErrTornStore,
+		labbase.ErrNoTransaction,
+		labbase.ErrUnknownClass,
+		labbase.ErrUnknownAttr,
+		labbase.ErrUnknownState,
+		labbase.ErrKindMismatch,
+		labbase.ErrNotMaterial,
+		labbase.ErrNoSuchVersion,
+		labbase.ErrDuplicateName,
+		storage.ErrSegmentFull,
+	}
+	for _, sentinel := range sentinels {
+		wrapped := fmt.Errorf("some context: %w", sentinel)
+		e := rec.NewEncoder(64)
+		encodeRemoteErr(e, wrapped)
+		got := decodeRemoteErr(rec.NewDecoder(e.Bytes()))
+		if !errors.Is(got, ErrRemote) {
+			t.Errorf("%v: decoded error does not match ErrRemote", sentinel)
+		}
+		if !errors.Is(got, sentinel) {
+			t.Errorf("%v: sentinel identity lost across the wire: %v", sentinel, got)
+		}
+		var re *RemoteError
+		if !errors.As(got, &re) {
+			t.Fatalf("%v: decoded %T, want *RemoteError", sentinel, got)
+		}
+		if re.Msg != wrapped.Error() {
+			t.Errorf("%v: message bytes changed: %q != %q", sentinel, re.Msg, wrapped.Error())
+		}
+		if bare := re.Bare(); bare.Error() != wrapped.Error() || !errors.Is(bare, sentinel) {
+			t.Errorf("%v: Bare() lost bytes or identity: %v", sentinel, bare)
+		}
+	}
+
+	// Batch errors travel structurally: index and inner sentinel intact.
+	be := &labbase.BatchError{Index: 7, Err: fmt.Errorf("entry: %w", labbase.ErrNotMaterial)}
+	e := rec.NewEncoder(64)
+	encodeRemoteErr(e, be)
+	got := decodeRemoteErr(rec.NewDecoder(e.Bytes()))
+	var rbe *RemoteBatchError
+	if !errors.As(got, &rbe) {
+		t.Fatalf("batch error decoded as %T", got)
+	}
+	if rbe.Index != 7 {
+		t.Errorf("batch index = %d, want 7", rbe.Index)
+	}
+	if !errors.Is(got, labbase.ErrNotMaterial) || !errors.Is(got, ErrRemote) {
+		t.Errorf("batch error chain broken: %v", got)
+	}
+	if got.Error() != "wire: remote error: "+be.Error() {
+		t.Errorf("batch error bytes: %q", got.Error())
+	}
+}
+
+// TestSentinelsAcrossLiveServer drives a handful of sentinel-producing
+// operations through a real server and asserts errors.Is classification on
+// the client side (the router builds its routing decisions on these).
+func TestSentinelsAcrossLiveServer(t *testing.T) {
+	c, _ := startServer(t)
+	if _, err := c.DefineMaterialClass("sample", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DefineState("received"); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := c.CreateMaterial("sample", "m-0", "received", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetMaterial(oid + 9999); !errors.Is(err, storage.ErrNoSuchObject) {
+		t.Errorf("bogus OID = %v, want ErrNoSuchObject", err)
+	}
+	if _, err := c.CreateMaterial("sample", "m-0", "received", 2); !errors.Is(err, labbase.ErrDuplicateName) {
+		t.Errorf("dup name = %v, want ErrDuplicateName", err)
+	}
+	if err := c.SetState(oid, "nowhere"); !errors.Is(err, labbase.ErrUnknownState) {
+		t.Errorf("unknown state = %v, want ErrUnknownState", err)
+	}
+	if _, err := c.CreateMaterial("mystery", "m-1", "received", 3); !errors.Is(err, labbase.ErrUnknownClass) {
+		t.Errorf("unknown class = %v, want ErrUnknownClass", err)
+	}
+	if err := c.Commit(); !errors.Is(err, labbase.ErrNoTransaction) {
+		t.Errorf("commit without begin = %v, want ErrNoTransaction", err)
+	}
+}

@@ -127,8 +127,17 @@ func (s *Server) Shutdown() {
 	s.wg.Wait()
 }
 
+// connState is a connection's per-frame protocol state: whether it holds
+// the explicit client transaction bracket (OpBegin..OpCommit), and with it
+// the server writer lock across frames.
+type connState struct {
+	bracket bool
+}
+
 func (s *Server) serveConn(conn net.Conn) {
+	cs := &connState{}
 	defer func() {
+		s.releaseBracket(cs)
 		conn.Close()
 		s.connMu.Lock()
 		delete(s.conns, conn)
@@ -146,10 +155,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp, err := s.handle(op, payload)
+		resp, err := s.handle(cs, op, payload)
 		if err != nil {
-			e := rec.NewEncoder(len(err.Error()) + 4)
-			e.String(err.Error())
+			e := rec.NewEncoder(len(err.Error()) + 8)
+			encodeRemoteErr(e, err)
 			if werr := writeFrame(w, statusErr, e.Bytes()); werr != nil {
 				return
 			}
@@ -180,12 +189,78 @@ func (s *Server) inTxn(fn func() error) error {
 	return s.db.Commit()
 }
 
+// exec runs one mutation for a connection: inside an explicit bracket it
+// joins the client's open transaction (the connection already holds the
+// writer lock), otherwise it gets its own one-shot transaction.
+func (s *Server) exec(cs *connState, fn func() error) error {
+	if cs.bracket {
+		return fn()
+	}
+	return s.inTxn(fn)
+}
+
+// beginBracket opens the explicit client transaction bracket: the
+// connection takes the writer lock and holds it across frames until
+// OpCommit, mirroring labbase's Begin/Commit surface over the wire. The
+// shard router uses this so a broadcast bracket spans every member server.
+func (s *Server) beginBracket(cs *connState) error {
+	if cs.bracket {
+		// Nested Begin: surface the store's own diagnostic, bracket intact.
+		return s.db.Begin()
+	}
+	s.mu.Lock() //lint:allow mutexhygiene bracket lock held across frames; released by commitBracket or releaseBracket on disconnect
+	if err := s.db.Begin(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	cs.bracket = true
+	//lint:allow mutexhygiene bracket lock deliberately survives this return; released by commitBracket or releaseBracket on disconnect
+	return nil
+}
+
+// commitBracket closes the bracket and releases the writer lock. Without an
+// open bracket it still calls Commit under the lock so the client sees the
+// store's own ErrNoTransaction bytes.
+func (s *Server) commitBracket(cs *connState) error {
+	if !cs.bracket {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.db.Commit()
+	}
+	cs.bracket = false
+	err := s.db.Commit()
+	s.mu.Unlock()
+	return err
+}
+
+// releaseBracket commits and unlocks a bracket abandoned by a dropped
+// connection, so a client crash mid-bracket cannot wedge the server.
+// Committing (not discarding) matches labbase's commit-only transaction
+// model: the work already applied is published, exactly as if the client
+// had committed before dying.
+func (s *Server) releaseBracket(cs *connState) {
+	if !cs.bracket {
+		return
+	}
+	cs.bracket = false
+	if err := s.db.Commit(); err != nil {
+		s.logf("wire: commit abandoned bracket: %v", err)
+	}
+	s.mu.Unlock()
+}
+
 // handle executes one request under the lock its opcode class requires:
 // read ops take no lock at all (their snapshot capture makes them
 // consistent), write ops hold the lock exclusively so their transaction
-// brackets stay atomic against each other.
-func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
+// brackets stay atomic against each other, and a connection inside an
+// explicit bracket already holds the writer lock across frames.
+func (s *Server) handle(cs *connState, op uint8, payload []byte) ([]byte, error) {
 	switch {
+	case op == OpBegin || op == OpCommit:
+		// The bracket opcodes manage the writer lock themselves.
+	case cs.bracket:
+		// This connection holds the writer lock until OpCommit; every op it
+		// sends executes inside its bracket.
 	case s.serial:
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -203,12 +278,16 @@ func (s *Server) handle(op uint8, payload []byte) ([]byte, error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 	}
-	return s.dispatch(op, payload)
+	// dispatch reaches beginBracket's s.mu.Lock only for OpBegin, and the
+	// first switch case dispatches the bracket opcodes lock-free; the
+	// may-held union cannot see that path split.
+	//lint:allow lockorder bracket opcodes are dispatched lock-free by the first case above
+	return s.dispatch(cs, op, payload)
 }
 
 // dispatch decodes and executes one request; the caller holds the
 // appropriate server lock.
-func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
+func (s *Server) dispatch(cs *connState, op uint8, payload []byte) ([]byte, error) {
 	d := rec.NewDecoder(payload)
 	e := rec.NewEncoder(64)
 	switch op {
@@ -229,7 +308,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		var id labbase.ClassID
-		if err := s.inTxn(func() (err error) {
+		if err := s.exec(cs, func() (err error) {
 			id, err = s.db.DefineMaterialClass(name, parent)
 			return
 		}); err != nil {
@@ -243,7 +322,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		var id labbase.StateID
-		if err := s.inTxn(func() (err error) {
+		if err := s.exec(cs, func() (err error) {
 			id, err = s.db.DefineState(name)
 			return
 		}); err != nil {
@@ -266,7 +345,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		}
 		var id labbase.StepClassID
 		var ver labbase.Version
-		if err := s.inTxn(func() (err error) {
+		if err := s.exec(cs, func() (err error) {
 			id, ver, err = s.db.DefineStepClass(name, attrs)
 			return
 		}); err != nil {
@@ -282,7 +361,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		var oid storage.OID
-		if err := s.inTxn(func() (err error) {
+		if err := s.exec(cs, func() (err error) {
 			oid, err = s.db.CreateMaterial(class, name, state, vt)
 			return
 		}); err != nil {
@@ -303,7 +382,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		var oid storage.OID
-		if err := s.inTxn(func() (err error) {
+		if err := s.exec(cs, func() (err error) {
 			oid, err = s.db.CreateMaterialSet(members)
 			return
 		}); err != nil {
@@ -317,7 +396,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		var oid storage.OID
-		if err := s.inTxn(func() (err error) {
+		if err := s.exec(cs, func() (err error) {
 			oid, err = s.db.RecordStep(spec)
 			return
 		}); err != nil {
@@ -350,7 +429,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		}
 		oids, err := s.db.PutSteps(specs)
 		if err != nil {
-			return nil, fmt.Errorf("wire: %w", err)
+			return nil, err
 		}
 		e.Uint(uint64(len(oids)))
 		for _, oid := range oids {
@@ -363,7 +442,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		if err := d.Finish(); err != nil {
 			return nil, err
 		}
-		if err := s.inTxn(func() error { return s.db.SetState(oid, state) }); err != nil {
+		if err := s.exec(cs, func() error { return s.db.SetState(oid, state) }); err != nil {
 			return nil, err
 		}
 
@@ -416,12 +495,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.Uint(uint64(m.OID))
-		e.String(m.Class)
-		e.String(m.Name)
-		e.String(m.State)
-		e.Int(m.CreatedAt)
-		e.Uint(uint64(m.HistoryLen))
+		encodeMaterial(e, m)
 
 	case OpGetStep:
 		oid := storage.OID(d.Uint())
@@ -432,21 +506,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.Uint(uint64(st.OID))
-		e.String(st.Class)
-		e.Uint(uint64(st.Version))
-		e.Int(st.ValidTime)
-		e.Int(st.TxnTime)
-		e.Uint(uint64(len(st.Materials)))
-		for _, m := range st.Materials {
-			e.Uint(uint64(m))
-		}
-		e.Uint(uint64(st.Set))
-		e.Uint(uint64(len(st.Attrs)))
-		for _, av := range st.Attrs {
-			e.String(av.Name)
-			labbase.EncodeValue(e, av.Value)
-		}
+		encodeStep(e, st)
 
 	case OpCountMaterials, OpCountSteps, OpCountInState:
 		name := d.String()
@@ -560,6 +620,7 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		e.Uint(st.Reads)
 		e.Uint(st.Writes)
 		e.Uint(st.Allocs)
+		e.Uint(st.LockWaits)
 		e.Uint(st.SizeBytes)
 		e.Uint(st.LiveObjects)
 		e.Uint(st.LiveBytes)
@@ -573,6 +634,196 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 		e.Bool(found)
 		e.Uint(uint64(oid))
 
+	case OpBegin:
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		if err := s.beginBracket(cs); err != nil {
+			return nil, err
+		}
+
+	case OpCommit:
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		if err := s.commitBracket(cs); err != nil {
+			return nil, err
+		}
+
+	case OpShardInfo:
+		// Topology handshake and health ping: the server advertises which
+		// shard it holds (0 of 1 for an unsharded store), and the storage
+		// backend name as the router's fingerprint of the shard map.
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		idx, count := 0, 1
+		if si, ok := s.db.(interface{ ShardInfo() (int, int) }); ok {
+			idx, count = si.ShardInfo()
+		}
+		name, _ := s.db.StoreStats()
+		e.Uint(uint64(idx))
+		e.Uint(uint64(count))
+		e.String(name)
+
+	case OpDefineAttr:
+		name := d.String()
+		kind := labbase.Kind(d.Byte())
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var id labbase.AttrID
+		if err := s.exec(cs, func() (err error) {
+			id, err = s.db.DefineAttr(name, kind)
+			return
+		}); err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(id))
+
+	case OpMaterialClasses, OpStepClasses, OpStates:
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var names []string
+		switch op {
+		case OpMaterialClasses:
+			names = s.db.MaterialClasses()
+		case OpStepClasses:
+			names = s.db.StepClasses()
+		default:
+			names = s.db.States()
+		}
+		e.Uint(uint64(len(names)))
+		for _, n := range names {
+			e.String(n)
+		}
+
+	case OpStepClassVersions:
+		name := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		vers, err := s.db.StepClassVersions(name)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(vers)))
+		for _, v := range vers {
+			e.Uint(uint64(len(v)))
+			for _, a := range v {
+				e.String(a)
+			}
+		}
+
+	case OpScanMaterials, OpScanAllMaterials:
+		// Scans ship the full result list in one frame (bounded by
+		// MaxFrame); the client re-runs the caller's callback locally. An
+		// early-stopping callback therefore cannot shorten the server-side
+		// scan, which only matters for wire-level counter accounting.
+		var class string
+		if op == OpScanMaterials {
+			class = d.String()
+		}
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var mats []*labbase.Material
+		collect := func(m *labbase.Material) error {
+			cp := *m
+			mats = append(mats, &cp)
+			return nil
+		}
+		var err error
+		if op == OpScanMaterials {
+			err = s.db.ScanMaterials(class, collect)
+		} else {
+			err = s.db.ScanAllMaterials(collect)
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(mats)))
+		for _, m := range mats {
+			encodeMaterial(e, m)
+		}
+
+	case OpScanSteps:
+		class := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var steps []*labbase.Step
+		err := s.db.ScanSteps(class, func(st *labbase.Step) error {
+			cp := *st
+			steps = append(steps, &cp)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(steps)))
+		for _, st := range steps {
+			encodeStep(e, st)
+		}
+
+	case OpStepsInvolving:
+		oid := storage.OID(d.Uint())
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		steps, err := s.db.StepsInvolving(oid)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(steps)))
+		for _, st := range steps {
+			e.Uint(uint64(st))
+		}
+
+	case OpMostRecentScan, OpMostRecentAsOf:
+		oid := storage.OID(d.Uint())
+		attr := d.String()
+		var t int64
+		if op == OpMostRecentAsOf {
+			t = d.Int()
+		}
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		var v labbase.Value
+		var src storage.OID
+		var found bool
+		var err error
+		if op == OpMostRecentScan {
+			v, src, found, err = s.db.MostRecentScan(oid, attr)
+		} else {
+			v, src, found, err = s.db.MostRecentAsOf(oid, attr, t)
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.Bool(found)
+		e.Uint(uint64(src))
+		labbase.EncodeValue(e, v)
+
+	case OpAttrTimeline:
+		oid := storage.OID(d.Uint())
+		attr := d.String()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		tl, err := s.db.AttrTimeline(oid, attr)
+		if err != nil {
+			return nil, err
+		}
+		e.Uint(uint64(len(tl)))
+		for _, te := range tl {
+			e.Int(te.ValidTime)
+			e.Uint(uint64(te.Step))
+			labbase.EncodeValue(e, te.Value)
+		}
+
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", op)
 	}
@@ -585,6 +836,37 @@ func (s *Server) dispatch(op uint8, payload []byte) ([]byte, error) {
 // maxStepBatch bounds one OpPutSteps batch; MaxFrame already bounds the
 // payload, this guards the count prefix itself.
 const maxStepBatch = 1 << 16
+
+// encodeMaterial writes one material in the wire layout shared by
+// OpGetMaterial and the material scans.
+func encodeMaterial(e *rec.Encoder, m *labbase.Material) {
+	e.Uint(uint64(m.OID))
+	e.String(m.Class)
+	e.String(m.Name)
+	e.String(m.State)
+	e.Int(m.CreatedAt)
+	e.Uint(uint64(m.HistoryLen))
+}
+
+// encodeStep writes one step in the wire layout shared by OpGetStep and
+// OpScanSteps.
+func encodeStep(e *rec.Encoder, st *labbase.Step) {
+	e.Uint(uint64(st.OID))
+	e.String(st.Class)
+	e.Uint(uint64(st.Version))
+	e.Int(st.ValidTime)
+	e.Int(st.TxnTime)
+	e.Uint(uint64(len(st.Materials)))
+	for _, m := range st.Materials {
+		e.Uint(uint64(m))
+	}
+	e.Uint(uint64(st.Set))
+	e.Uint(uint64(len(st.Attrs)))
+	for _, av := range st.Attrs {
+		e.String(av.Name)
+		labbase.EncodeValue(e, av.Value)
+	}
+}
 
 func decodeStepSpec(d *rec.Decoder) (labbase.StepSpec, error) {
 	spec, err := decodeStepSpecNoFinish(d)

@@ -1,4 +1,7 @@
-package wire
+// An external test package: it imports labbase/shard, which itself
+// imports wire (the distributed Router is a wire client), so an internal
+// test file here would be an import cycle.
+package wire_test
 
 import (
 	"fmt"
@@ -10,6 +13,7 @@ import (
 	"labflow/internal/labbase/shard"
 	"labflow/internal/storage"
 	"labflow/internal/storage/memstore"
+	. "labflow/internal/wire"
 )
 
 // startShardedServer brings up a server over a 4-shard memstore-backed
@@ -58,7 +62,7 @@ func startShardedServer(t *testing.T, shards int) (dial func() *Client, srv *Ser
 // the final counts verify no batch was lost or doubled.
 func TestShardedServerConcurrentPutSteps(t *testing.T) {
 	dial, srv := startShardedServer(t, 4)
-	if !srv.batchShared {
+	if !BatchSharedForTest(srv) {
 		t.Fatal("sharded server did not detect ConcurrentBatches")
 	}
 

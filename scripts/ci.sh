@@ -104,6 +104,9 @@ echo "$lfload_q" | grep -q '"query_ops"' || {
 	exit 1
 }
 
+echo "== cluster smoke (2 labbase-server processes, lfload through the router)"
+./scripts/cluster_smoke.sh
+
 echo "== write benchmark smoke (BenchmarkPutStepsWriters, 1 iteration each)"
 go test -bench 'BenchmarkPutStepsWriters' -benchtime=1x -run '^$' ./internal/labbase/shard/
 
