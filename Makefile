@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate scripts/ci.sh implements.
 
-.PHONY: check test race bench bench-write table10 lint lint-fix-check crashtest cluster-smoke clean
+.PHONY: check test race bench bench-write table10 lint lint-fix-check crashtest cluster-smoke failover-smoke recovery clean
 
 check:
 	./scripts/ci.sh
@@ -41,6 +41,15 @@ crashtest:
 # lfload closed loop through the shard router, clean SIGTERM teardown.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Warm-standby smoke: 2-shard cluster with per-shard followers, a primary
+# SIGKILLed under load, the router promotes, the load run survives.
+failover-smoke:
+	./scripts/failover_smoke.sh
+
+# The BENCH_6 recovery and failover time table.
+recovery:
+	go run ./cmd/labflow -experiment recovery
 
 clean:
 	go clean ./...

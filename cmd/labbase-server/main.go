@@ -16,6 +16,15 @@
 // handshake, so a router with a different topology refuses to use it).
 // -addrfile writes the bound listen address (useful with -addr :0) so
 // launchers can collect a topology without parsing logs.
+//
+// Replication (DESIGN §12): -ship addr streams every commit's redo record
+// to a warm standby before the commit is acknowledged; -standby runs this
+// process as that standby — it applies shipped records to its own media
+// until an OpPromote arrives, then reopens the media as a real store and
+// serves normally on the same address. -ckpt bounds recovery replay
+// (ostore redo-log checkpoints, texas snapshots, standby journal
+// checkpoints) and -restore lets a torn texas store come back from its
+// last snapshot instead of refusing to open.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"labflow/internal/storage"
 	"labflow/internal/storage/memstore"
 	"labflow/internal/storage/ostore"
+	"labflow/internal/storage/repl"
 	"labflow/internal/storage/texas"
 	"labflow/internal/wire"
 )
@@ -49,10 +59,44 @@ func main() {
 		shards    = flag.Int("shards", 1, "hash-partitioned shard count (each shard gets its own store)")
 		member    = flag.String("shard", "", "serve as cluster member k of n (\"k/n\"); excludes -shards")
 		addrfile  = flag.String("addrfile", "", "write the bound listen address to this file")
+		standby   = flag.Bool("standby", false, "serve as a warm standby: apply shipped redo records to -path until promoted, then reopen and serve normally")
+		ship      = flag.String("ship", "", "standby address to ship every commit's redo record to (persistent single-store only)")
+		ckpt      = flag.Int("ckpt", 8, "checkpoint interval in commits: ostore redo-log checkpoints, texas snapshots, standby journal checkpoints")
+		restore   = flag.Bool("restore", false, "let a torn texas store open from its last snapshot, discarding commits past it")
 	)
 	flag.Parse()
 
-	db, name, err := openDB(*storeName, *path, *pool, *resident, *shards, *member)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("labbase-server: listen: %v", err)
+	}
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("labbase-server: addrfile: %v", err)
+		}
+	}
+
+	if *standby {
+		promoted, err := serveStandby(ln, *path, *ckpt)
+		if err != nil {
+			log.Fatalf("labbase-server: standby: %v", err)
+		}
+		if !promoted {
+			return
+		}
+		// Promotion finalized the media and closed the listener; reopen
+		// both — same port, now fronting a real store over the standby's
+		// files. The brief dial-fail window is covered by the router's
+		// health probes.
+		bound := ln.Addr().String()
+		ln, err = net.Listen("tcp", bound)
+		if err != nil {
+			log.Fatalf("labbase-server: relisten after promote: %v", err)
+		}
+		log.Printf("labbase-server: promoted, reopening %s", *path)
+	}
+
+	db, name, err := openDB(*storeName, *path, *pool, *resident, *shards, *member, *ckpt, *restore, *ship)
 	if err != nil {
 		log.Fatalf("labbase-server: %v", err)
 	}
@@ -69,16 +113,7 @@ func main() {
 		log.Printf("consulted rules from %s", *rules)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("labbase-server: listen: %v", err)
-	}
 	log.Printf("labbase-server: %s store, listening on %s", name, ln.Addr())
-	if *addrfile != "" {
-		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
-			log.Fatalf("labbase-server: addrfile: %v", err)
-		}
-	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -97,13 +132,46 @@ func main() {
 	}
 }
 
+// serveStandby runs the warm-standby phase: a StandbyServer over path's
+// media applies shipped records until promotion or shutdown. It returns
+// whether the standby was promoted (the caller then reopens the media as a
+// real store on the same address).
+func serveStandby(ln net.Listener, path string, every int) (bool, error) {
+	st, err := repl.OpenFileStandby(path, every)
+	if err != nil {
+		return false, err
+	}
+	ss := wire.NewStandbyServer(st)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("labbase-server: standby shutting down")
+		ln.Close()
+		ss.Shutdown()
+	}()
+	log.Printf("labbase-server: warm standby for %s, listening on %s", path, ln.Addr())
+	if err := ss.Serve(ln); err != nil {
+		st.Close()
+		return false, err
+	}
+	signal.Stop(sig)
+	if !ss.Promoted() {
+		return false, st.Close()
+	}
+	return true, nil
+}
+
 // openDB opens the store (or, with -shards N > 1, N stores — persistent
 // paths get a per-shard suffix) behind the labbase.Store facade. A
 // non-empty member spec ("k/n") instead opens one cluster shard whose OIDs
 // carry shard tag k and whose OpShardInfo handshake advertises k of n.
-func openDB(name, path string, pool, resident, shards int, member string) (labbase.Store, string, error) {
+func openDB(name, path string, pool, resident, shards int, member string, ckpt int, restore bool, ship string) (labbase.Store, string, error) {
 	if shards < 1 {
 		return nil, "", fmt.Errorf("-shards must be at least 1")
+	}
+	if ship != "" && shards != 1 {
+		return nil, "", fmt.Errorf("-ship requires a single store (-shards 1); run a cluster member per shard instead")
 	}
 	if member != "" {
 		if shards != 1 {
@@ -113,7 +181,7 @@ func openDB(name, path string, pool, resident, shards int, member string) (labba
 		if err != nil {
 			return nil, "", err
 		}
-		sm, err := openStore(name, path, pool, resident)
+		sm, err := openStore(name, path, pool, resident, ckpt, restore, ship)
 		if err != nil {
 			return nil, "", err
 		}
@@ -125,7 +193,7 @@ func openDB(name, path string, pool, resident, shards int, member string) (labba
 		return db, fmt.Sprintf("%s (shard %d/%d)", storeName, index, count), nil
 	}
 	if shards == 1 {
-		sm, err := openStore(name, path, pool, resident)
+		sm, err := openStore(name, path, pool, resident, ckpt, restore, ship)
 		if err != nil {
 			return nil, "", err
 		}
@@ -138,7 +206,7 @@ func openDB(name, path string, pool, resident, shards int, member string) (labba
 	}
 	managers := make([]storage.Manager, 0, shards)
 	for k := 0; k < shards; k++ {
-		sm, err := openStore(name, fmt.Sprintf("%s.shard%d", path, k), pool, resident)
+		sm, err := openStore(name, fmt.Sprintf("%s.shard%d", path, k), pool, resident, ckpt, restore, "")
 		if err != nil {
 			for _, m := range managers {
 				m.Close()
@@ -173,14 +241,23 @@ func parseMember(spec string) (index, count int, err error) {
 	return index, count, nil
 }
 
-func openStore(name, path string, pool, resident int) (storage.Manager, error) {
+func openStore(name, path string, pool, resident, ckpt int, restore bool, ship string) (storage.Manager, error) {
+	var shipper repl.Shipper
+	if ship != "" {
+		switch name {
+		case "ostore", "OStore", "texas", "Texas", "texas+tc", "Texas+TC":
+			shipper = wire.NewRemoteShipper(ship, 0)
+		default:
+			return nil, fmt.Errorf("-ship requires a persistent store, not %q", name)
+		}
+	}
 	switch name {
 	case "ostore", "OStore":
-		return ostore.Open(ostore.Options{Path: path, PoolPages: pool})
+		return ostore.Open(ostore.Options{Path: path, PoolPages: pool, CheckpointEvery: ckpt, Shipper: shipper})
 	case "texas", "Texas":
-		return texas.Open(texas.Options{Path: path, MaxResidentPages: resident})
+		return texas.Open(texas.Options{Path: path, MaxResidentPages: resident, CheckpointEvery: ckpt, Restore: restore, Shipper: shipper})
 	case "texas+tc", "Texas+TC":
-		return texas.Open(texas.Options{Path: path, MaxResidentPages: resident, Clustering: true})
+		return texas.Open(texas.Options{Path: path, MaxResidentPages: resident, Clustering: true, CheckpointEvery: ckpt, Restore: restore, Shipper: shipper})
 	case "ostore-mm", "OStore-mm":
 		return memstore.Open("OStore-mm"), nil
 	case "texas-mm", "Texas-mm":

@@ -9,12 +9,19 @@
 //	labflow -experiment evolution [-store Texas+TC]
 //	labflow -experiment sweep   [-pools 64,192,512,4096]
 //	labflow -experiment crashtest [-store ostore|texas|all] [-seed N] [-crashruns N]
+//	labflow -experiment failover  [-store ostore|texas|all] [-seed N] [-crashruns N]
+//	labflow -experiment recovery  [-json BENCH_6.json]
 //	labflow -experiment all
 //
 // The crashtest experiment runs seeded crash-recovery schedules against the
 // persistent storage managers (see internal/storage/crashtest). Every
 // schedule is derived from its seed alone, so a failure report's seed
-// replays the exact same crash: rerun with -seed N -crashruns 1.
+// replays the exact same crash: rerun with -seed N -crashruns 1. The
+// failover experiment is its warm-standby counterpart: the primary's
+// commits ship to an in-process standby, the seeded crash kills the
+// primary, and the promoted follower must serve exactly the committed
+// prefix. The recovery experiment measures the BENCH_6 columns —
+// checkpoint-bounded reopen time and standby promote time (see recovery.go).
 //
 // The table10 sweep runs its five server versions concurrently by default
 // (the workload and all simulated counters are deterministic either way);
@@ -62,7 +69,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.experiment, "experiment", "table10", "schema | table10 | ops | clustering | evolution | sweep | all")
+	flag.StringVar(&o.experiment, "experiment", "table10", "schema | table10 | ops | clustering | evolution | sweep | crashtest | failover | recovery | all")
 	flag.StringVar(&o.stores, "stores", "", "comma-separated server versions for table10 (default: all five)")
 	flag.StringVar(&o.store, "store", "Texas+TC", "server version for ops/evolution")
 	flag.StringVar(&o.dir, "dir", "", "working directory (default: a temp dir)")
@@ -271,7 +278,7 @@ func runOne(experiment string, o options, p core.Params) error {
 		}
 		fmt.Print(core.FormatSweep(res))
 
-	case "crashtest":
+	case "crashtest", "failover":
 		backends, err := parseCrashBackends(o.store)
 		if err != nil {
 			return err
@@ -287,23 +294,37 @@ func runOne(experiment string, o options, p core.Params) error {
 		for _, backend := range backends {
 			outcomes := make(map[string]int)
 			for seed := start; seed < start+int64(runs); seed++ {
-				res, err := crashtest.Run(crashtest.Config{
+				cfg := crashtest.Config{
 					Backend: backend,
 					Seed:    seed,
 					Dir:     o.dir,
-				})
+				}
+				var res crashtest.Result
+				var err error
+				if experiment == "failover" {
+					res, err = crashtest.RunFailover(cfg)
+				} else {
+					res, err = crashtest.Run(cfg)
+				}
 				if err != nil {
-					return fmt.Errorf("crash-recovery invariant violated (replay: -experiment crashtest -store %s -seed %d -crashruns 1):\n%w",
-						backend, seed, err)
+					return fmt.Errorf("crash-recovery invariant violated (replay: -experiment %s -store %s -seed %d -crashruns 1):\n%w",
+						experiment, backend, seed, err)
 				}
 				if runs <= 20 {
 					fmt.Println(res)
 				}
 				outcomes[res.Outcome]++
 			}
-			fmt.Printf("%s: %d seeded crash schedules recovered correctly (seeds %d..%d), outcomes %v\n",
-				backend, runs, start, start+int64(runs)-1, outcomes)
+			verdict := "recovered correctly"
+			if experiment == "failover" {
+				verdict = "served the committed prefix after promotion"
+			}
+			fmt.Printf("%s: %d seeded crash schedules %s (seeds %d..%d), outcomes %v\n",
+				backend, runs, verdict, start, start+int64(runs)-1, outcomes)
 		}
+
+	case "recovery":
+		return runRecovery(o)
 
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

@@ -39,6 +39,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -69,6 +70,8 @@ type config struct {
 	writeBatch int
 	shards     int
 	serial     bool
+	retryDown  bool
+	retryFor   time.Duration
 	jsonOut    bool
 }
 
@@ -95,6 +98,8 @@ func main() {
 	flag.IntVar(&cfg.writeBatch, "writebatch", 0, "steps per OpPutSteps frame (0 = whole flight in one frame)")
 	flag.IntVar(&cfg.shards, "shards", 1, "shard count for the in-process server")
 	flag.BoolVar(&cfg.serial, "serial", false, "serialize reads on the in-process server (baseline)")
+	flag.BoolVar(&cfg.retryDown, "retrydown", false, "retry operations that fail while a shard is down instead of aborting (failover runs); cumulative per-worker outage time is reported as downtime_ms")
+	flag.DurationVar(&cfg.retryFor, "retryfor", 30*time.Second, "give up after this much continuous downtime (with -retrydown)")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON")
 	flag.Parse()
 
@@ -149,13 +154,14 @@ func run(cfg config) error {
 	}
 
 	type workerResult struct {
-		rhist   metrics.Hist
-		whist   metrics.Hist
-		qhist   metrics.Hist
-		reads   int
-		writes  int
-		queries int
-		err     error
+		rhist    metrics.Hist
+		whist    metrics.Hist
+		qhist    metrics.Hist
+		reads    int
+		writes   int
+		queries  int
+		downtime time.Duration
+		err      error
 	}
 	results := make([]workerResult, cfg.workers)
 	perWorker := cfg.ops / cfg.workers
@@ -170,7 +176,7 @@ func run(cfg config) error {
 		}
 		go func(id, ops int) {
 			r := &results[id]
-			r.reads, r.writes, r.queries, r.err = worker(id, clients[id], oids, ops, cfg, &r.rhist, &r.whist, &r.qhist)
+			r.reads, r.writes, r.queries, r.downtime, r.err = worker(id, clients[id], addr, oids, ops, cfg, &r.rhist, &r.whist, &r.qhist)
 			done <- id
 		}(i, ops)
 	}
@@ -181,6 +187,7 @@ func run(cfg config) error {
 
 	var rhist, whist, qhist metrics.Hist
 	reads, writes, queries := 0, 0, 0
+	var downtime time.Duration
 	for i := range results {
 		if results[i].err != nil {
 			return fmt.Errorf("worker %d: %w", i, results[i].err)
@@ -191,6 +198,11 @@ func run(cfg config) error {
 		reads += results[i].reads
 		writes += results[i].writes
 		queries += results[i].queries
+		// The report's downtime is the worst worker's cumulative outage —
+		// what a failover actually cost one closed loop end to end.
+		if results[i].downtime > downtime {
+			downtime = results[i].downtime
+		}
 	}
 
 	if reads+writes+queries != cfg.ops {
@@ -203,7 +215,7 @@ func run(cfg config) error {
 	if throughput <= 0 {
 		return fmt.Errorf("self-check: zero throughput")
 	}
-	return report(os.Stdout, cfg, wall, throughput, reads, writes, queries, &rhist, &whist, &qhist)
+	return report(os.Stdout, cfg, wall, throughput, reads, writes, queries, downtime, &rhist, &whist, &qhist)
 }
 
 // startInProcess spins up a memstore-backed server on loopback, sharded
@@ -300,7 +312,17 @@ func preload(addr string, cfg config) ([]storage.OID, error) {
 	}
 	oids := make([]storage.OID, cfg.materials)
 	for i := range oids {
-		oid, err := c.CreateMaterial(matClass, fmt.Sprintf("m-%d", i), initState, int64(i))
+		name := fmt.Sprintf("m-%d", i)
+		// A name collision means a previous run (or a pre-failover round
+		// against the same cluster) already populated this material; reuse
+		// it so repeated runs against persistent stores keep working.
+		if oid, found, err := c.LookupMaterial(name); err != nil {
+			return nil, err
+		} else if found {
+			oids[i] = oid
+			continue
+		}
+		oid, err := c.CreateMaterial(matClass, name, initState, int64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -329,14 +351,60 @@ func preload(addr string, cfg config) ([]storage.OID, error) {
 	return oids, nil
 }
 
+// errSelfCheck marks result-integrity failures (a preloaded material with
+// no most-recent value). These are never retried: a shard coming back
+// without its committed data is the bug the self-check exists to catch.
+var errSelfCheck = errors.New("self-check")
+
 // worker runs one closed loop: build a flight of up to cfg.pipeline
 // operations, issue it (reads pipelined, writes as OpPutSteps batches of
 // cfg.writeBatch steps, 0 = one batch, deductive queries one synchronous
 // round trip each), wait for every response, repeat. Read, write, and query
-// latencies are recorded separately, once per round trip.
-func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhist, whist, qhist *metrics.Hist) (reads, writes, queries int, err error) {
+// latencies are recorded separately, once per successful round trip.
+//
+// With cfg.retryDown a failed round trip is retried — reconnecting first,
+// since a transport error leaves the stream state unknown — until it
+// succeeds or cfg.retryFor of continuous downtime has passed; the time
+// from first failure to the retry that succeeds accumulates into downtime.
+// That makes a failover visible as a downtime window instead of an aborted
+// run. (A write retried across a failover may be applied twice — steps are
+// append-only events, so a duplicate skews the mix accounting at worst.)
+func worker(id int, c *wire.Client, addr string, oids []storage.OID, ops int, cfg config, rhist, whist, qhist *metrics.Hist) (reads, writes, queries int, downtime time.Duration, err error) {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	p := c.Pipeline()
+	orig := c
+	defer func() {
+		if c != orig {
+			c.Close() // replacement from a reconnect; run() only closes orig
+		}
+	}()
+	retry := func(op func() error) error {
+		err := op()
+		if err == nil || !cfg.retryDown || errors.Is(err, errSelfCheck) {
+			return err
+		}
+		outage := time.Now() //lint:allow wallclock downtime measurement, reported not persisted
+		for {
+			if time.Since(outage) > cfg.retryFor { //lint:allow wallclock downtime measurement, reported not persisted
+				return fmt.Errorf("gave up after %v of downtime: %w", cfg.retryFor, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+			if nc, derr := wire.Dial(addr); derr == nil {
+				if c != orig {
+					c.Close()
+				}
+				c, p = nc, nc.Pipeline()
+			}
+			if err = op(); err == nil {
+				downtime += time.Since(outage) //lint:allow wallclock downtime measurement, reported not persisted
+				return nil
+			}
+			if errors.Is(err, errSelfCheck) {
+				return err
+			}
+		}
+	}
+	readOids := make([]storage.OID, 0, cfg.pipeline)
 	futures := make([]*wire.MostRecentFuture, 0, cfg.pipeline)
 	specs := make([]labbase.StepSpec, 0, cfg.pipeline)
 	queryOids := make([]storage.OID, 0, cfg.pipeline)
@@ -346,7 +414,7 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhi
 		if flight > left {
 			flight = left
 		}
-		futures = futures[:0]
+		readOids = readOids[:0]
 		specs = specs[:0]
 		queryOids = queryOids[:0]
 		for i := 0; i < flight; i++ {
@@ -357,7 +425,7 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhi
 				continue
 			}
 			if rng.Float64() < cfg.readMix {
-				futures = append(futures, p.MostRecent(oids[rng.Intn(len(oids))], attrName))
+				readOids = append(readOids, oids[rng.Intn(len(oids))])
 			} else {
 				validTime++
 				specs = append(specs, labbase.StepSpec{
@@ -368,12 +436,30 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhi
 				})
 			}
 		}
-		if len(futures) > 0 {
-			start := time.Now() //lint:allow wallclock latency measurement, never persisted
-			if err := p.Flush(); err != nil {
-				return reads, writes, queries, err
+		if len(readOids) > 0 {
+			if err := retry(func() error {
+				futures = futures[:0]
+				for _, o := range readOids {
+					futures = append(futures, p.MostRecent(o, attrName))
+				}
+				start := time.Now() //lint:allow wallclock latency measurement, never persisted
+				if err := p.Flush(); err != nil {
+					return err
+				}
+				elapsed := time.Since(start) //lint:allow wallclock latency measurement, never persisted
+				for _, f := range futures {
+					if f.Err != nil {
+						return f.Err
+					}
+					if !f.Found {
+						return fmt.Errorf("%w: most-recent miss on preloaded material", errSelfCheck)
+					}
+				}
+				rhist.Record(elapsed)
+				return nil
+			}); err != nil {
+				return reads, writes, queries, downtime, err
 			}
-			rhist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
 		}
 		batch := cfg.writeBatch
 		if batch <= 0 {
@@ -384,37 +470,41 @@ func worker(id int, c *wire.Client, oids []storage.OID, ops int, cfg config, rhi
 			if hi > len(specs) {
 				hi = len(specs)
 			}
-			start := time.Now() //lint:allow wallclock latency measurement, never persisted
-			if _, err := c.PutSteps(specs[lo:hi]); err != nil {
-				return reads, writes, queries, err
+			lo, hi := lo, hi
+			if err := retry(func() error {
+				start := time.Now() //lint:allow wallclock latency measurement, never persisted
+				if _, err := c.PutSteps(specs[lo:hi]); err != nil {
+					return err
+				}
+				whist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
+				return nil
+			}); err != nil {
+				return reads, writes, queries, downtime, err
 			}
-			whist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
 		}
 		for _, q := range queryOids {
-			start := time.Now() //lint:allow wallclock latency measurement, never persisted
-			sols, err := c.Query(fmt.Sprintf("most_recent(%d, %s, V)", uint64(q), attrName), 1)
-			if err != nil {
-				return reads, writes, queries, err
-			}
-			qhist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
-			if len(sols) == 0 {
-				return reads, writes, queries, fmt.Errorf("self-check: deductive query miss on preloaded material")
-			}
-		}
-		for _, f := range futures {
-			if f.Err != nil {
-				return reads, writes, queries, f.Err
-			}
-			if !f.Found {
-				return reads, writes, queries, fmt.Errorf("self-check: most-recent miss on preloaded material")
+			q := q
+			if err := retry(func() error {
+				start := time.Now() //lint:allow wallclock latency measurement, never persisted
+				sols, err := c.Query(fmt.Sprintf("most_recent(%d, %s, V)", uint64(q), attrName), 1)
+				if err != nil {
+					return err
+				}
+				qhist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
+				if len(sols) == 0 {
+					return fmt.Errorf("%w: deductive query miss on preloaded material", errSelfCheck)
+				}
+				return nil
+			}); err != nil {
+				return reads, writes, queries, downtime, err
 			}
 		}
-		reads += len(futures)
+		reads += len(readOids)
 		writes += len(specs)
 		queries += len(queryOids)
 		left -= flight
 	}
-	return reads, writes, queries, nil
+	return reads, writes, queries, downtime, nil
 }
 
 // latencyUS summarizes one histogram for the JSON report.
@@ -442,29 +532,34 @@ func summarize(hist *metrics.Hist) latencyUS {
 }
 
 type jsonReport struct {
-	Addr       string    `json:"addr"`
-	Topology   string    `json:"topology,omitempty"`
-	Workers    int       `json:"workers"`
-	ReadMix    float64   `json:"read_mix"`
-	QueryMix   float64   `json:"query_mix"`
-	Pipeline   int       `json:"pipeline"`
-	WriteBatch int       `json:"write_batch"`
-	Shards     int       `json:"shards"`
-	Serial     bool      `json:"serial"`
-	Seed       int64     `json:"seed"`
-	Materials  int       `json:"materials"`
-	Ops        int       `json:"ops"`
-	ReadOps    int       `json:"read_ops"`
-	WriteOps   int       `json:"write_ops"`
-	QueryOps   int       `json:"query_ops"`
-	WallSecs   float64   `json:"wall_secs"`
-	OpsPerSec  float64   `json:"ops_per_sec"`
+	Addr       string  `json:"addr"`
+	Topology   string  `json:"topology,omitempty"`
+	Workers    int     `json:"workers"`
+	ReadMix    float64 `json:"read_mix"`
+	QueryMix   float64 `json:"query_mix"`
+	Pipeline   int     `json:"pipeline"`
+	WriteBatch int     `json:"write_batch"`
+	Shards     int     `json:"shards"`
+	Serial     bool    `json:"serial"`
+	Seed       int64   `json:"seed"`
+	Materials  int     `json:"materials"`
+	Ops        int     `json:"ops"`
+	ReadOps    int     `json:"read_ops"`
+	WriteOps   int     `json:"write_ops"`
+	QueryOps   int     `json:"query_ops"`
+	WallSecs   float64 `json:"wall_secs"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	RetryDown  bool    `json:"retry_down,omitempty"`
+	// DowntimeMS is the worst worker's cumulative outage time (first
+	// failure to first subsequent success, summed over outages) — the
+	// closed-loop cost of a failover. Only meaningful with -retrydown.
+	DowntimeMS float64   `json:"downtime_ms"`
 	ReadLatUS  latencyUS `json:"read_round_trip_latency_us"`
 	WriteLatUS latencyUS `json:"write_round_trip_latency_us"`
 	QueryLatUS latencyUS `json:"query_round_trip_latency_us"`
 }
 
-func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes, queries int, rhist, whist, qhist *metrics.Hist) error {
+func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes, queries int, downtime time.Duration, rhist, whist, qhist *metrics.Hist) error {
 	if cfg.jsonOut {
 		var r jsonReport
 		r.Addr = cfg.addr
@@ -484,6 +579,8 @@ func report(w io.Writer, cfg config, wall time.Duration, throughput float64, rea
 		r.QueryOps = queries
 		r.WallSecs = wall.Seconds()
 		r.OpsPerSec = throughput
+		r.RetryDown = cfg.retryDown
+		r.DowntimeMS = float64(downtime.Nanoseconds()) / 1e6
 		r.ReadLatUS = summarize(rhist)
 		r.WriteLatUS = summarize(whist)
 		r.QueryLatUS = summarize(qhist)
@@ -496,6 +593,9 @@ func report(w io.Writer, cfg config, wall time.Duration, throughput float64, rea
 	fmt.Fprintf(w, "  %d ops (%d reads, %d writes, %d queries) over %d materials in %s\n",
 		cfg.ops, reads, writes, queries, cfg.materials, wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "  throughput: %.0f ops/s\n", throughput)
+	if cfg.retryDown {
+		fmt.Fprintf(w, "  downtime: %s (worst worker, cumulative)\n", downtime.Round(time.Millisecond))
+	}
 	for _, side := range []struct {
 		label string
 		hist  *metrics.Hist

@@ -25,11 +25,17 @@ type pool struct {
 	addr    string
 	timeout time.Duration // dial bound and per-operation I/O deadline
 
-	// mu guards idle and down. Leaf-like in the router hierarchy: nothing
-	// is acquired while it is held (dials happen outside it).
+	// mu guards addr, idle, down and closed. Leaf-like in the router
+	// hierarchy: nothing is acquired while it is held (dials happen
+	// outside it).
 	mu   sync.Mutex
 	idle []*wire.Client
 	down error // non-nil while the shard is marked down (wraps ErrShardDown)
+	// closed marks the pool shut for good (router Close). A checkout after
+	// close fails, and a connection returned by an operation that was
+	// still in flight when Close ran is closed instead of parked — without
+	// the flag such a connection would sit in idle forever, leaked.
+	closed bool
 }
 
 func newPool(shard int, addr string, timeout time.Duration) *pool {
@@ -42,6 +48,10 @@ func newPool(shard int, addr string, timeout time.Duration) *pool {
 // clears the mark.
 func (p *pool) get() (*wire.Client, error) {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("shard %d: %w: router closed", p.shard, ErrShardDown)
+	}
 	if p.down != nil {
 		err := p.down
 		p.mu.Unlock()
@@ -53,20 +63,23 @@ func (p *pool) get() (*wire.Client, error) {
 		p.mu.Unlock()
 		return c, nil
 	}
+	addr := p.addr
 	p.mu.Unlock()
-	c, err := wire.DialTimeout(p.addr, p.timeout)
+	c, err := wire.DialTimeout(addr, p.timeout)
 	if err != nil {
 		p.markDown(err)
-		return nil, fmt.Errorf("shard %d (%s): %w: %w", p.shard, p.addr, ErrShardDown, err)
+		return nil, fmt.Errorf("shard %d (%s): %w: %w", p.shard, addr, ErrShardDown, err)
 	}
 	return c, nil
 }
 
 // put returns a healthy connection to the idle list. If the shard was
-// marked down in the meantime the connection is stale evidence — close it.
+// marked down — or the pool closed — in the meantime, the connection must
+// not be parked: a down shard makes it stale evidence, and a closed pool
+// would never close it again.
 func (p *pool) put(c *wire.Client) {
 	p.mu.Lock()
-	if p.down != nil {
+	if p.down != nil || p.closed {
 		p.mu.Unlock()
 		c.Close()
 		return
@@ -96,9 +109,16 @@ func (p *pool) markDown(cause error) {
 }
 
 // seed installs a verified connection and clears any down mark (used by
-// the opening handshake and the health monitor's successful probes).
+// the opening handshake and the health monitor's successful probes). A
+// probe racing router Close may land here after the pool shut — the
+// connection is closed, not parked.
 func (p *pool) seed(c *wire.Client) {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
 	p.down = nil
 	p.idle = append(p.idle, c)
 	p.mu.Unlock()
@@ -111,9 +131,35 @@ func (p *pool) isDown() bool {
 	return p.down != nil
 }
 
-// closeAll closes every idle connection (router shutdown).
+// address returns the pool's current target (it changes on failover).
+func (p *pool) address() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+// retarget points the pool at a promoted standby's address. The shard
+// stays marked down — with the new address in the mark — until a health
+// probe verifies the new primary's handshake; idle connections to the old
+// primary are dropped.
+func (p *pool) retarget(addr string, cause error) {
+	p.mu.Lock()
+	p.addr = addr
+	p.down = fmt.Errorf("shard %d (%s): %w: awaiting promoted standby: %w", p.shard, addr, ErrShardDown, cause)
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// closeAll shuts the pool for good: every idle connection is closed, later
+// checkouts fail, and in-flight returns are closed on arrival (router
+// shutdown).
 func (p *pool) closeAll() {
 	p.mu.Lock()
+	p.closed = true
 	idle := p.idle
 	p.idle = nil
 	p.mu.Unlock()

@@ -33,12 +33,22 @@ import (
 // down; operations touching that shard fail fast with ErrShardDown naming
 // it, and the health monitor keeps probing the address, re-admitting the
 // shard when it answers the OpShardInfo handshake with the right identity.
+// When the topology names a warm standby for the shard, a down shard whose
+// revival probe fails is failed over instead: the monitor promotes the
+// standby (OpPromote) and retargets the shard's pool at it, and the old
+// primary's address is never probed again — if the old process comes back
+// it is simply unreachable from this router, which is the split-brain
+// guard (see DESIGN §12).
 type Router struct {
 	pools   []*pool
 	count   int
 	store   string // shard 0's storage-backend name (the map fingerprint)
 	opts    RouterOptions
 	metrics *routerMetrics
+	// standbys holds each shard's warm-standby address ("" = none),
+	// consumed on failover. Written by OpenRouter and then touched only by
+	// the health goroutine, so it needs no locking.
+	standbys []string
 
 	// stmu is the router's catalog-and-transaction lock, mirroring
 	// shard.DB.stmu: it guards the broadcast bracket state (inTxn, the
@@ -93,15 +103,20 @@ func OpenRouter(t Topology, opts RouterOptions) (*Router, error) {
 	if opts.HealthInterval == 0 {
 		opts.HealthInterval = time.Second
 	}
+	if len(t.Standbys) != 0 && len(t.Standbys) != n {
+		return nil, fmt.Errorf("shard: topology names %d standbys for %d shards", len(t.Standbys), n)
+	}
 	r := &Router{
 		pools:      make([]*pool, n),
 		count:      n,
 		opts:       opts,
 		metrics:    newRouterMetrics(n),
+		standbys:   make([]string, n),
 		txConns:    make([]*wire.Client, n),
 		known:      make(map[string]struct{}),
 		stopHealth: make(chan struct{}),
 	}
+	copy(r.standbys, t.Standbys)
 	for k, addr := range t.Shards {
 		r.pools[k] = newPool(k, addr, opts.DialTimeout)
 	}
@@ -128,19 +143,20 @@ func OpenRouter(t Topology, opts RouterOptions) (*Router, error) {
 // refused at both points.
 func (r *Router) verifyShard(k int) (*wire.Client, error) {
 	p := r.pools[k]
-	c, err := wire.DialTimeout(p.addr, p.timeout)
+	addr := p.address()
+	c, err := wire.DialTimeout(addr, p.timeout)
 	if err != nil {
-		return nil, fmt.Errorf("shard %d (%s): %w", k, p.addr, err)
+		return nil, fmt.Errorf("shard %d (%s): %w", k, addr, err)
 	}
 	idx, cnt, store, err := c.ShardInfo()
 	if err != nil {
 		c.Close()
-		return nil, fmt.Errorf("shard %d (%s): handshake: %w", k, p.addr, err)
+		return nil, fmt.Errorf("shard %d (%s): handshake: %w", k, addr, err)
 	}
 	if idx != k || cnt != r.count {
 		c.Close()
 		return nil, fmt.Errorf("shard: topology mismatch: server %s advertises shard %d of %d, this topology needs shard %d of %d",
-			p.addr, idx, cnt, k, r.count)
+			addr, idx, cnt, k, r.count)
 	}
 	if k == 0 && r.store == "" {
 		r.store = store
@@ -174,7 +190,9 @@ func (r *Router) probeAll() {
 		if p.isDown() {
 			if c, err := r.verifyShard(k); err == nil {
 				p.seed(c)
+				continue
 			}
+			r.tryFailover(k)
 			continue
 		}
 		err := r.onShard(k, func(c *wire.Client) error {
@@ -185,6 +203,37 @@ func (r *Router) probeAll() {
 			p.markDown(err)
 		}
 	}
+}
+
+// tryFailover promotes shard k's warm standby after a failed revival
+// probe. The promoted process reopens its media behind a full server on
+// the same address, so the pool is retargeted there and the next probe
+// tick re-admits the shard through the normal handshake. Single shot: the
+// standby is consumed whether or not the new primary ever answers — a
+// second failover needs a new topology. The old primary's address is
+// abandoned, never probed again (the split-brain guard).
+func (r *Router) tryFailover(k int) {
+	addr := r.standbys[k]
+	if addr == "" {
+		return
+	}
+	p := r.pools[k]
+	c, err := wire.DialTimeout(addr, p.timeout)
+	if err != nil {
+		return // standby unreachable too; retry next tick
+	}
+	perr := c.Promote()
+	c.Close()
+	if perr != nil && !errors.Is(perr, wire.ErrRemote) {
+		return // transport failure mid-promote; retry next tick
+	}
+	// A remote refusal means the peer already serves as a primary (an
+	// earlier promote's ack was lost, or an operator promoted by hand);
+	// the retarget below points the shard at it either way.
+	old := p.address()
+	r.standbys[k] = ""
+	p.retarget(addr, fmt.Errorf("failed over from %s", old))
+	r.metrics.failover(k)
 }
 
 // Shards returns the topology's shard count.

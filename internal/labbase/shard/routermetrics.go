@@ -15,15 +15,17 @@ import (
 // record path is a handful of array increments, far below the wire
 // round-trips it measures.
 type routerMetrics struct {
-	mu       sync.Mutex
-	perShard []metrics.Hist
-	fanouts  map[int]uint64
+	mu        sync.Mutex
+	perShard  []metrics.Hist
+	fanouts   map[int]uint64
+	failovers []uint64
 }
 
 func newRouterMetrics(shards int) *routerMetrics {
 	return &routerMetrics{
-		perShard: make([]metrics.Hist, shards),
-		fanouts:  make(map[int]uint64),
+		perShard:  make([]metrics.Hist, shards),
+		fanouts:   make(map[int]uint64),
+		failovers: make([]uint64, shards),
 	}
 }
 
@@ -46,6 +48,13 @@ func (m *routerMetrics) fanout(width int) {
 	m.mu.Unlock()
 }
 
+// failover records one standby promotion for shard k.
+func (m *routerMetrics) failover(k int) {
+	m.mu.Lock()
+	m.failovers[k]++
+	m.mu.Unlock()
+}
+
 // RouterStats is a point-in-time copy of a router's metrics.
 type RouterStats struct {
 	// PerShard holds one latency histogram per shard (round-trip time of
@@ -54,6 +63,9 @@ type RouterStats struct {
 	// Fanouts maps fan-out width (shards touched by one multi-shard
 	// operation) to occurrence count.
 	Fanouts map[int]uint64
+	// Failovers counts standby promotions per shard (0 or 1 per shard per
+	// router lifetime — failover is single-shot).
+	Failovers []uint64
 }
 
 // snapshot copies the counters for reporting.
@@ -61,12 +73,14 @@ func (m *routerMetrics) snapshot() RouterStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := RouterStats{
-		PerShard: make([]metrics.Hist, len(m.perShard)),
-		Fanouts:  make(map[int]uint64, len(m.fanouts)),
+		PerShard:  make([]metrics.Hist, len(m.perShard)),
+		Fanouts:   make(map[int]uint64, len(m.fanouts)),
+		Failovers: make([]uint64, len(m.failovers)),
 	}
 	copy(st.PerShard, m.perShard)
 	for w, n := range m.fanouts {
 		st.Fanouts[w] = n
 	}
+	copy(st.Failovers, m.failovers)
 	return st
 }

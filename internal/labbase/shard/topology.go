@@ -8,9 +8,13 @@ import (
 )
 
 // Topology is the cluster shard map: shard k of the OID space lives behind
-// Shards[k]. The on-disk JSON form is {"shards": ["host:port", ...]}.
+// Shards[k]. The on-disk JSON form is {"shards": ["host:port", ...]}, with
+// an optional parallel {"standbys": [...]} naming each shard's warm
+// standby ("" for none): a labbase-server -standby process receiving the
+// primary's redo stream, which the router promotes when the primary dies.
 type Topology struct {
-	Shards []string `json:"shards"`
+	Shards   []string `json:"shards"`
+	Standbys []string `json:"standbys,omitempty"`
 }
 
 // ParseTopology accepts either an inline address list
@@ -41,6 +45,9 @@ func ParseTopology(arg string) (Topology, error) {
 	}
 	if n := len(t.Shards); n < 1 || n > MaxShards {
 		return Topology{}, fmt.Errorf("shard: topology names %d shards, outside [1, %d]", len(t.Shards), MaxShards)
+	}
+	if len(t.Standbys) != 0 && len(t.Standbys) != len(t.Shards) {
+		return Topology{}, fmt.Errorf("shard: topology names %d standbys for %d shards", len(t.Standbys), len(t.Shards))
 	}
 	return t, nil
 }

@@ -51,13 +51,21 @@ var LockOrder = &Analyzer{
 // classes (the leaves) are mutually unordered and guarded by lockLeaves
 // instead. The fixture mirrors exercise the same table from testdata.
 var lockRanks = map[string]int{
-	"labflow/internal/wire.Server.mu":                 10,
-	"labflow/internal/wire.Server.connMu":             20,
-	"labflow/internal/labbase/shard.DB.stmu":          30,
-	"labflow/internal/labbase/shard.Router.stmu":      32,
-	"labflow/internal/labbase/shard.pool.mu":          34,
-	"labflow/internal/labbase/shard.DB.wmu":           40,
-	"labflow/internal/labbase.DB.wmu":                 50,
+	"labflow/internal/wire.Server.mu":            10,
+	"labflow/internal/wire.Server.connMu":        20,
+	"labflow/internal/wire.StandbyServer.mu":     22,
+	"labflow/internal/labbase/shard.DB.stmu":     30,
+	"labflow/internal/labbase/shard.Router.stmu": 32,
+	"labflow/internal/labbase/shard.pool.mu":     34,
+	"labflow/internal/labbase/shard.DB.wmu":      40,
+	"labflow/internal/labbase.DB.wmu":            50,
+	// RemoteShipper.mu is acquired at commit time with the store's writer
+	// side held (the shipper runs inside Commit); it holds network I/O but
+	// never another lock, so it ranks above every writer lock and is a
+	// leaf. repl.Standby.mu ranks just under the leaves: Apply acquires
+	// the standby's pagefile mutexes (unranked, cycle-checked) while held.
+	"labflow/internal/wire.RemoteShipper.mu":          55,
+	"labflow/internal/storage/repl.Standby.mu":        58,
 	"labflow/internal/labbase.oidCache.mu":            60,
 	"labflow/internal/labbase.verTable.mu":            60,
 	"labflow/internal/labbase.readerSlots.mu":         60,
@@ -69,16 +77,20 @@ var lockRanks = map[string]int{
 	"fixture/lockorder.Router.stmu":   32,
 	"fixture/lockorder.Pool.mu":       34,
 	"fixture/lockorder.DB.wmu":        40,
+	"fixture/lockorder.Shipper.mu":    55,
+	"fixture/lockorder.Standby.mu":    58,
 	"fixture/lockorder.Cache.mu":      60,
 	"fixture/lockorder.Metrics.mu":    60,
 }
 
 // lockLeaves are the classes that may acquire nothing while held.
 var lockLeaves = map[string]bool{
+	"labflow/internal/wire.RemoteShipper.mu":          true,
 	"labflow/internal/labbase.oidCache.mu":            true,
 	"labflow/internal/labbase.verTable.mu":            true,
 	"labflow/internal/labbase.readerSlots.mu":         true,
 	"labflow/internal/labbase/shard.routerMetrics.mu": true,
+	"fixture/lockorder.Shipper.mu":                    true,
 	"fixture/lockorder.Cache.mu":                      true,
 	"fixture/lockorder.Metrics.mu":                    true,
 }

@@ -1,7 +1,8 @@
 // Package lockfix exercises lockorder against the mirrored rank table:
 // Server.mu(10) < Server.connMu(20) < DB.stmu(30) < Router.stmu(32) <
-// Pool.mu(34) < DB.wmu(40), with Cache.mu and Metrics.mu leaves and the
-// storage types unranked (cycle-checked only).
+// Pool.mu(34) < DB.wmu(40) < Shipper.mu(55) < Standby.mu(58), with
+// Cache.mu, Metrics.mu, and Shipper.mu leaves and the storage types
+// unranked (cycle-checked only).
 // Because the analysis is module-wide, the ok functions below still feed
 // the acquisition graph — the ranked-cycle finding reported inside
 // okDescend is the graph-level consequence of badInvert reversing an edge
@@ -199,6 +200,52 @@ func (r *Router) badMetricsLeaf() {
 	r.pools[0].mu.Lock()
 	r.pools[0].mu.Unlock()
 	r.met.mu.Unlock()
+}
+
+// Shipper/Standby mirror the replication locks: the shipper's send lock
+// is acquired at commit time with the writer lock held (a leaf — it
+// brackets network I/O, never another lock), and the standby's apply
+// lock sits just under the leaves because Apply descends into the
+// journal backing's unranked pagefile mutex.
+type Shipper struct {
+	mu sync.Mutex
+}
+
+type Standby struct {
+	mu sync.Mutex
+	pf *pagefile
+}
+
+// ok: a commit holds the writer lock, ships the record, and the standby
+// applies under its own lock while touching the journal backing —
+// wmu(40) < Shipper.mu(55) < Standby.mu(58) > (unranked pagefile).
+func (d *DB) okShipCommit(k int, sh *Shipper, st *Standby) {
+	d.wmu[k].Lock()
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	d.wmu[k].Unlock()
+	st.mu.Lock()
+	st.pf.mu.Lock()
+	st.pf.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// Violation shape 9: the shipper lock is a leaf — it may bracket I/O but
+// never acquire another lock, even a higher-ranked one.
+func badShipperLeaf(sh *Shipper, st *Standby) {
+	sh.mu.Lock()
+	st.mu.Lock()
+	st.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// Violation shape 10: a promoted standby must not re-enter the writer
+// path under its apply lock — Standby.mu(58) -> DB.wmu(40) inverts.
+func (d *DB) badPromoteReenter(k int, st *Standby) {
+	st.mu.Lock()
+	d.wmu[k].Lock()
+	d.wmu[k].Unlock()
+	st.mu.Unlock()
 }
 
 // Suppressed: the directive names the analyzer and gives a reason.

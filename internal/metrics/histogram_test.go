@@ -170,3 +170,80 @@ func TestHistEmptyAndMean(t *testing.T) {
 		t.Errorf("negative record: min=%v count=%d", h.Min(), h.Count())
 	}
 }
+
+// TestHistMergeZeroMin distinguishes a genuine 0ns sample from an empty
+// histogram's zero min: merging a histogram whose true minimum is 0 into a
+// nonempty one must pull the destination's min down to 0, while merging an
+// empty histogram (whose min field is also 0) must not. The recovery-time
+// columns (BENCH_6) merge per-run histograms where a sub-millisecond
+// reopen can legitimately quantize to 0 — the two cases must not blur.
+func TestHistMergeZeroMin(t *testing.T) {
+	var dst Hist
+	dst.Record(700)
+	dst.Record(900)
+
+	var zero Hist
+	zero.Record(0) // a real observation at 0ns
+	dst.Merge(&zero)
+	if dst.Min() != 0 {
+		t.Errorf("min after merging a genuine 0 sample = %v, want 0", dst.Min())
+	}
+	if dst.Count() != 3 {
+		t.Errorf("count = %d, want 3", dst.Count())
+	}
+	if dst.Quantile(0) != 0 {
+		t.Errorf("Quantile(0) = %v, want the merged 0 minimum", dst.Quantile(0))
+	}
+
+	var dst2 Hist
+	dst2.Record(700)
+	var empty Hist // min field is 0, but it is no observation
+	dst2.Merge(&empty)
+	if dst2.Min() != 700 {
+		t.Errorf("min after merging an empty histogram = %v, want 700 preserved", dst2.Min())
+	}
+}
+
+// TestHistQuantileRankBoundaries pins the rank rounding rule at exact
+// k/count boundaries: rank = floor(q*count), and the reported quantile is
+// the (rank+1)-th smallest sample. With count distinct single-sample
+// buckets the quantile must therefore step up exactly AT each multiple of
+// 1/count, not between them.
+func TestHistQuantileRankBoundaries(t *testing.T) {
+	var h Hist
+	const n = 8
+	for v := 0; v < n; v++ {
+		h.Record(time.Duration(v)) // values < histSub: one exact bucket each
+	}
+	for k := 1; k < n; k++ {
+		q := float64(k) / n
+		if got := h.Quantile(q); got != time.Duration(k) {
+			t.Errorf("Quantile(%d/%d) = %v, want %d (rank %d)", k, n, got, k, k)
+		}
+		// Just below the boundary the rank floors to k-1.
+		if got := h.Quantile(q - 0.001); got != time.Duration(k-1) {
+			t.Errorf("Quantile(%d/%d - eps) = %v, want %d", k, n, got, k-1)
+		}
+	}
+
+	// Ranks at the count boundary: a q that floats to just under 1 must
+	// clamp to the last sample, never index past count.
+	var h3 Hist
+	for _, v := range []time.Duration{1, 2, 3} {
+		h3.Record(v)
+	}
+	if got := h3.Quantile(0.999999999); got != 3 {
+		t.Errorf("Quantile(~1) = %v, want max 3", got)
+	}
+	if got := h3.Quantile(0.34); got != 2 {
+		t.Errorf("Quantile(0.34) = %v, want rank-1 sample 2", got)
+	}
+	// float64(1.0/3)*3 rounds to exactly 1.0, so the boundary sample is
+	// reached even though 1/3 is not representable.
+	if got := h3.Quantile(1.0 / 3); got != 2 {
+		t.Errorf("Quantile(1/3) = %v, want 2 (1/3*3 rounds to rank 1)", got)
+	}
+	if got := h3.Quantile(0.33); got != 1 {
+		t.Errorf("Quantile(0.33) = %v, want rank-0 sample 1", got)
+	}
+}

@@ -36,8 +36,16 @@ import (
 	"labflow/internal/storage"
 	"labflow/internal/storage/ostore"
 	"labflow/internal/storage/pagefile"
+	"labflow/internal/storage/repl"
 	"labflow/internal/storage/texas"
 )
+
+// ckptEvery is the checkpoint interval both backends run under in the
+// harness: small enough that most crash schedules cross several checkpoint
+// boundaries, so the bounded-recovery invariants (ostore replays at most
+// this many records; texas restores to a recent snapshot) are exercised
+// rather than vacuous.
+const ckptEvery = 4
 
 // Backend selects the storage manager under test.
 type Backend uint8
@@ -84,7 +92,7 @@ type Result struct {
 	TornOp     string // what the crash tore ("" if a clean cut)
 	FailedCall string // the manager call that observed the death
 	Commits    int    // transactions committed before the crash
-	Outcome    string // recovered-committed | recovered-pending | torn-detected | fresh-empty
+	Outcome    string // recovered-committed | recovered-pending | restored-checkpoint | torn-detected | fresh-empty
 }
 
 // String implements fmt.Stringer.
@@ -124,8 +132,10 @@ func Run(cfg Config) (Result, error) {
 }
 
 // openInjected opens a fresh store for the backend with its media wrapped
-// in the injector.
-func openInjected(cfg Config, dbPath string, in *fault.Injector) (storage.Manager, error) {
+// in the injector (for texas that includes the snapshot slots: a crash may
+// tear a snapshot write, which the two-slot protocol must absorb). ship, if
+// non-nil, pairs the store with a standby — the failover harness's hook.
+func openInjected(cfg Config, dbPath string, in *fault.Injector, ship repl.Shipper) (storage.Manager, error) {
 	fb, err := pagefile.OpenFile(dbPath)
 	if err != nil {
 		return nil, err
@@ -139,26 +149,50 @@ func openInjected(cfg Config, dbPath string, in *fault.Injector) (storage.Manage
 		}
 		// Open owns both media from here: on error it closes them once.
 		return ostore.Open(ostore.Options{
-			Backing:   fault.WrapBacking(fb, in),
-			Log:       fault.WrapFile(logf, in),
-			PoolPages: 48, // small pool: eviction traffic widens the crash surface
+			Backing:         fault.WrapBacking(fb, in),
+			Log:             fault.WrapFile(logf, in),
+			PoolPages:       48, // small pool: eviction traffic widens the crash surface
+			CheckpointEvery: ckptEvery,
+			Shipper:         ship,
 		})
 	default:
+		var slots [2]repl.LogFile
+		for i := range slots {
+			sf, err := os.OpenFile(fmt.Sprintf("%s.ckpt%d", dbPath, i), os.O_RDWR|os.O_CREATE, 0o644)
+			if err != nil {
+				fb.Close()
+				if slots[0] != nil {
+					slots[0].Close()
+				}
+				return nil, err
+			}
+			slots[i] = fault.WrapFile(sf, in)
+		}
 		return texas.Open(texas.Options{
 			Backing:          fault.WrapBacking(fb, in),
 			MaxResidentPages: 48, // small residency: mid-transaction write-backs
+			Snapshots:        slots,
+			CheckpointEvery:  ckptEvery,
+			Shipper:          ship,
 		})
 	}
 }
 
 // openPlain reopens the store cold, without injection — the recovery path a
-// real restart takes.
-func openPlain(cfg Config, dbPath string) (storage.Manager, error) {
+// real restart takes. rec, if non-nil, captures how much recovery work the
+// reopen performed so verifiers can assert it is checkpoint-bounded.
+func openPlain(cfg Config, dbPath string, rec *repl.RecoveryInfo) (storage.Manager, error) {
 	switch cfg.Backend {
 	case BackendOStore:
-		return ostore.Open(ostore.Options{Path: dbPath, PoolPages: 48})
+		return ostore.Open(ostore.Options{
+			Path: dbPath, PoolPages: 48,
+			CheckpointEvery: ckptEvery, Recovery: rec,
+		})
 	default:
-		return texas.Open(texas.Options{Path: dbPath, MaxResidentPages: 48})
+		return texas.Open(texas.Options{
+			Path: dbPath, MaxResidentPages: 48,
+			CheckpointEvery: ckptEvery, Restore: true, Recovery: rec,
+		})
 	}
 }
 
@@ -168,7 +202,7 @@ func openPlain(cfg Config, dbPath string) (storage.Manager, error) {
 func countPass(cfg Config) (uint64, error) {
 	dbPath := filepath.Join(cfg.Dir, fmt.Sprintf("%s-count-%d.db", cfg.Backend, cfg.Seed))
 	in := fault.NewInjector(fault.Plan{Seed: cfg.Seed}) // CrashOp 0: count only
-	m, err := openInjected(cfg, dbPath, in)
+	m, err := openInjected(cfg, dbPath, in, nil)
 	if err != nil {
 		return 0, fmt.Errorf("open: %w", err)
 	}
@@ -182,13 +216,18 @@ func countPass(cfg Config) (uint64, error) {
 	}
 	total := in.Ops()
 
-	m2, err := openPlain(cfg, dbPath)
+	var rec repl.RecoveryInfo
+	m2, err := openPlain(cfg, dbPath, &rec)
 	if err != nil {
 		return 0, fmt.Errorf("clean reopen: %w", err)
 	}
 	defer m2.Close()
 	if err := w.committed.diff(m2); err != nil {
 		return 0, fmt.Errorf("clean reopen state: %w", err)
+	}
+	// A clean close ends on a checkpoint: the reopen must do zero work.
+	if rec.Replayed != 0 || rec.Restored {
+		return 0, fmt.Errorf("clean reopen did recovery work: %+v", rec)
 	}
 	return total, nil
 }
@@ -200,7 +239,7 @@ func crashPass(cfg Config, plan fault.Plan, res *Result) error {
 	in := fault.NewInjector(plan)
 
 	w := newWorkload(cfg.Seed)
-	m, err := openInjected(cfg, dbPath, in)
+	m, err := openInjected(cfg, dbPath, in, nil)
 	switch {
 	case err != nil && errors.Is(err, fault.ErrCrashed):
 		// Died while formatting the store: nothing was ever committed.
@@ -229,21 +268,26 @@ func crashPass(cfg Config, plan fault.Plan, res *Result) error {
 	res.TornOp = in.TornOp()
 	res.Commits = w.commits
 
-	m2, err := openPlain(cfg, dbPath)
+	var rec repl.RecoveryInfo
+	m2, err := openPlain(cfg, dbPath, &rec)
 	if cfg.Backend == BackendTexas {
-		return verifyTexas(m2, err, in, w, res)
+		return verifyTexas(m2, err, &rec, in, w, res)
 	}
-	return verifyOStore(m2, err, w, res)
+	return verifyOStore(m2, err, &rec, w, res)
 }
 
-// verifyOStore checks the redo-log contract: reopen always succeeds, and
-// the recovered state is exactly the committed model — or, only when the
-// crash hit inside Commit, exactly the in-flight transaction's state.
-func verifyOStore(m2 storage.Manager, openErr error, w *workload, res *Result) error {
+// verifyOStore checks the redo-log contract: reopen always succeeds, the
+// recovered state is exactly the committed model — or, only when the crash
+// hit inside Commit, exactly the in-flight transaction's state — and the
+// replay work is bounded by the checkpoint interval.
+func verifyOStore(m2 storage.Manager, openErr error, rec *repl.RecoveryInfo, w *workload, res *Result) error {
 	if openErr != nil {
 		return fmt.Errorf("reopen after crash: %w", openErr)
 	}
 	defer m2.Close()
+	if rec.Replayed > ckptEvery {
+		return fmt.Errorf("reopen replayed %d records, checkpoint interval is %d", rec.Replayed, ckptEvery)
+	}
 	commErr := w.committed.diff(m2)
 	if commErr == nil {
 		res.Outcome = "recovered-committed"
@@ -262,13 +306,12 @@ func verifyOStore(m2 storage.Manager, openErr error, w *workload, res *Result) e
 	return fmt.Errorf("committed state not recovered: %w", commErr)
 }
 
-// verifyTexas checks the log-less contract: a store the crash may have torn
-// must fail to open loudly (ErrTornStore from the dirty marker, or a
-// superblock that no longer validates); a reopen may only succeed when the
-// on-disk state is exactly the committed model — which happens when the
-// crash cut before anything reached the file, or after Close had already
-// flushed and synced everything.
-func verifyTexas(m2 storage.Manager, openErr error, in *fault.Injector, w *workload, res *Result) error {
+// verifyTexas checks the log-less contract, now with snapshot restore: a
+// reopen may refuse (the crash left neither a clean store nor a usable
+// snapshot), serve the exactly-committed state, or — the restore path —
+// serve exactly the commit boundary its snapshot claims, which must be one
+// of the workload's committed prefixes.
+func verifyTexas(m2 storage.Manager, openErr error, rec *repl.RecoveryInfo, in *fault.Injector, w *workload, res *Result) error {
 	if openErr != nil {
 		// Any refusal is safe; the marker's explicit verdict is the
 		// designed one.
@@ -280,6 +323,33 @@ func verifyTexas(m2 storage.Manager, openErr error, in *fault.Injector, w *workl
 		return nil
 	}
 	defer m2.Close()
+	if rec.Restored {
+		// RestoredLSN counts every commit including store creation (LSN 1),
+		// so workload commit i is LSN i+1: the snapshot at LSN j holds the
+		// state after j-1 workload commits.
+		if rec.RestoredLSN == 0 {
+			return fmt.Errorf("restore claims LSN 0")
+		}
+		idx := int(rec.RestoredLSN - 1)
+		switch {
+		case idx < len(w.history):
+			if err := w.history[idx].diff(m2); err != nil {
+				return fmt.Errorf("restored snapshot (LSN %d = %d workload commits) does not match that prefix: %w",
+					rec.RestoredLSN, idx, err)
+			}
+		case idx == len(w.history) && res.FailedCall == "Commit":
+			// The crash hit inside Commit after its snapshot was already
+			// durable: the in-flight transaction is the restored state.
+			if err := w.pending.diff(m2); err != nil {
+				return fmt.Errorf("restored snapshot past last commit does not match in-flight transaction: %w", err)
+			}
+		default:
+			return fmt.Errorf("restored snapshot claims LSN %d with only %d commits (failed call %s)",
+				rec.RestoredLSN, w.commits, res.FailedCall)
+		}
+		res.Outcome = "restored-checkpoint"
+		return nil
+	}
 	if err := w.committed.diff(m2); err != nil {
 		return fmt.Errorf("store reopened silently after crash (%d completed writes, %d commits) with torn state: %w",
 			in.Writes(), w.commits, err)

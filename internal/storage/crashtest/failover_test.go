@@ -1,0 +1,42 @@
+package crashtest
+
+import (
+	"testing"
+)
+
+func runFailoverSeeds(t *testing.T, backend Backend) {
+	t.Helper()
+	dir := t.TempDir()
+	outcomes := make(map[string]int)
+	for seed := int64(FixedSeedBase); seed < FixedSeedBase+seedCount(t); seed++ {
+		res, err := RunFailover(Config{Backend: backend, Seed: seed, Dir: dir})
+		if err != nil {
+			t.Fatalf("replay with: go run ./cmd/labflow -experiment failover -store %s -seed %d -crashruns 1\n%v",
+				backend, seed, err)
+		}
+		outcomes[res.Outcome]++
+	}
+	t.Logf("%s failover outcomes over %d seeds: %v", backend, seedCount(t), outcomes)
+	if outcomes["follower-committed"] == 0 {
+		t.Error("no seed exercised the follower-committed path; schedule space too narrow")
+	}
+}
+
+func TestFailoverScheduleOStore(t *testing.T) { runFailoverSeeds(t, BackendOStore) }
+
+func TestFailoverScheduleTexas(t *testing.T) { runFailoverSeeds(t, BackendTexas) }
+
+// TestFailoverDeterministic replays one seed and requires the identical
+// verdict, as for Run.
+func TestFailoverDeterministic(t *testing.T) {
+	for _, backend := range []Backend{BackendOStore, BackendTexas} {
+		a, errA := RunFailover(Config{Backend: backend, Seed: 11, Dir: t.TempDir()})
+		b, errB := RunFailover(Config{Backend: backend, Seed: 11, Dir: t.TempDir()})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: replay verdict diverged: %v vs %v", backend, errA, errB)
+		}
+		if a != b {
+			t.Fatalf("%s: replay result diverged:\n%+v\n%+v", backend, a, b)
+		}
+	}
+}

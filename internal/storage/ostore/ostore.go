@@ -14,25 +14,38 @@
 //   - the buffer pool is bounded, so locality of reference governs the fault
 //     rate as the database outgrows the pool;
 //   - commits write a redo record (page images) to a log before updating the
-//     database in place, and Open replays a complete log record, so a crash
-//     between the log write and the page write-back loses nothing.
+//     database in place, and Open replays the complete records a crash left
+//     behind, so a crash between the log write and the page write-back loses
+//     nothing.
+//
+// Since the checkpoint/replication work (DESIGN §12) the log is an
+// append-only sequence of LSN-numbered records behind a checkpoint cursor
+// (the repl package's protocol): records retire in batches at periodic
+// checkpoints instead of one Truncate per commit, which bounds reopen replay
+// to the delta since the last checkpoint and gives every commit a stable
+// record that can be shipped to a warm standby (Options.Shipper) before it
+// retires.
 package ostore
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"sync"
 
 	"labflow/internal/storage"
 	"labflow/internal/storage/pagefile"
+	"labflow/internal/storage/repl"
 )
 
 // DefaultPoolPages is the buffer-pool capacity used when Options leaves it 0.
 const DefaultPoolPages = 512
+
+// DefaultCheckpointEvery is the number of flushed commit groups between
+// checkpoints when Options leaves CheckpointEvery 0. Reopen replays at most
+// this many records.
+const DefaultCheckpointEvery = 8
 
 // LogFile is the redo-log medium. Production use wraps an *os.File (Open
 // does this from LogPath); tests and the crashtest harness substitute
@@ -41,8 +54,8 @@ const DefaultPoolPages = 512
 type LogFile interface {
 	io.ReaderAt
 	io.WriterAt
-	// Truncate discards the log; a commit's record is retired this way
-	// once its pages are in place.
+	// Truncate discards the log; records are retired this way at each
+	// checkpoint, once their pages are in place and synced.
 	Truncate(size int64) error
 	// Sync forces the log to stable storage (the SyncLog option).
 	Sync() error
@@ -84,6 +97,19 @@ type Options struct {
 	// measures CPU and locality, not disk latency, and the paper's runs
 	// were likewise not fsync-bound.
 	SyncLog bool
+	// CheckpointEvery is the number of flushed commit groups between
+	// checkpoints (default DefaultCheckpointEvery). 1 retires every record
+	// as soon as its pages are in place — the historical per-commit
+	// truncation. Larger values amortize the checkpoint sync and leave a
+	// longer (but still bounded) replay tail.
+	CheckpointEvery int
+	// Shipper, if non-nil, receives every redo record at its durability
+	// point, before the commit is acknowledged and long before the record
+	// can retire — the warm-standby feed. A Ship error fails the commit.
+	Shipper repl.Shipper
+	// Recovery, if non-nil, is filled with what Open's recovery had to do
+	// (checkpoint cursor found, records replayed, next LSN).
+	Recovery *repl.RecoveryInfo
 	// Name overrides the report name ("OStore" by default).
 	Name string
 }
@@ -131,18 +157,31 @@ func Open(opts Options) (storage.Manager, error) {
 			backing = fb
 		}
 	}
+	nextLSN := uint64(1)
 	if logFile != nil {
-		if err := recoverLog(logFile, backing); err != nil {
+		n, err := recoverLog(logFile, backing, opts.SyncLog, opts.Recovery)
+		if err != nil {
 			backing.Close()
 			logFile.Close()
 			return nil, fmt.Errorf("ostore: recovery: %w", err)
 		}
+		nextLSN = n
+	} else if opts.Recovery != nil {
+		*opts.Recovery = repl.RecoveryInfo{NextLSN: nextLSN}
 	}
 
+	ckptEvery := opts.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = DefaultCheckpointEvery
+	}
 	p := &pager{
 		backing:   backing,
 		log:       logFile,
 		syncLog:   opts.SyncLog,
+		shipper:   opts.Shipper,
+		nextLSN:   nextLSN,
+		logEnd:    repl.CursorSize,
+		ckptEvery: ckptEvery,
 		pool:      make(map[pagefile.PageID]*frame),
 		capacity:  pool,
 		locks:     make(map[pagefile.PageID]pagefile.Mode),
@@ -163,77 +202,37 @@ func Open(opts Options) (storage.Manager, error) {
 	return store, nil
 }
 
-const commitMagic = 0xC0111117C0111117
-
-// recordSize is the encoded length of a redo record holding count pages:
-// count header, per-page id+image entries, CRC32, commit magic.
-func recordSize(count uint32) int64 {
-	return 4 + int64(count)*(4+pagefile.PageSize) + 12
-}
-
-// validRecord reports whether data begins with a complete redo record,
-// returning its page count. The trailing magic proves the write reached the
-// record's end; the CRC32 (IEEE) over the count and entries proves the
-// middle arrived too — a torn write can land the first and last sectors
-// while losing everything between, which the magic alone cannot see.
-func validRecord(data []byte) (uint32, bool) {
-	if len(data) < 4 {
-		return 0, false
-	}
-	count := binary.LittleEndian.Uint32(data)
-	need := recordSize(count)
-	if count == 0 || int64(len(data)) < need {
-		return 0, false
-	}
-	if binary.LittleEndian.Uint64(data[need-8:]) != commitMagic {
-		return 0, false
-	}
-	if binary.LittleEndian.Uint32(data[need-12:]) != crc32.ChecksumIEEE(data[:need-12]) {
-		return 0, false
-	}
-	return count, true
-}
-
-// recoverLog replays a complete redo record left by an interrupted commit
-// and truncates the log. An incomplete or corrupt record is discarded: its
-// transaction never reached the durability point.
-func recoverLog(log LogFile, backing pagefile.Backing) error {
-	size, err := log.Size()
+// recoverLog replays the contiguous run of complete redo records the last
+// session left past its checkpoint cursor, then checkpoints so the next
+// reopen starts from zero replay. Work is O(records since the last
+// checkpoint), never O(history): everything before the cursor was synced
+// into the backing when the cursor was written. A torn tail record is
+// discarded — its transaction never reached the durability point. Returns
+// the next LSN to assign.
+func recoverLog(log LogFile, backing pagefile.Backing, syncLog bool, info *repl.RecoveryInfo) (uint64, error) {
+	cursorLSN, records, err := repl.ScanLog(log)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if size == 0 {
-		return nil
-	}
-	data := make([]byte, size)
-	n, err := log.ReadAt(data, 0)
-	if err != nil && err != io.EOF {
-		return err
-	}
-	// Only the bytes actually delivered may be validated: a short read
-	// returns fewer than Size reported, and the slack beyond n is not log
-	// content.
-	data = data[:n]
-	if count, ok := validRecord(data); ok {
-		off := 4
-		for i := uint32(0); i < count; i++ {
-			id := pagefile.PageID(binary.LittleEndian.Uint32(data[off:]))
-			off += 4
-			for backing.NumPages() <= uint32(id) {
-				if _, err := backing.Grow(); err != nil {
-					return err
-				}
-			}
-			if err := backing.WritePage(id, data[off:off+pagefile.PageSize]); err != nil {
-				return err
-			}
-			off += pagefile.PageSize
+	last := cursorLSN
+	for _, rec := range records {
+		if err := repl.ApplyRecord(backing, rec); err != nil {
+			return 0, fmt.Errorf("replay record %d: %w", rec.LSN, err)
 		}
+		last = rec.LSN
+	}
+	if len(records) > 0 {
 		if err := backing.Sync(); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return log.Truncate(0)
+	if err := repl.Checkpoint(log, last, syncLog); err != nil {
+		return 0, err
+	}
+	if info != nil {
+		*info = repl.RecoveryInfo{CheckpointLSN: cursorLSN, Replayed: len(records), NextLSN: last + 1}
+	}
+	return last + 1, nil
 }
 
 type frame struct {
@@ -277,6 +276,14 @@ type pager struct {
 	locks    map[pagefile.PageID]pagefile.Mode // locks held by the current transaction
 	stats    pagefile.PagerStats
 	closed   bool
+
+	// Log/shipping state, touched only by the flushLoop goroutine (plus Open
+	// and Close, which never race with it), so it needs no locking.
+	shipper   repl.Shipper
+	nextLSN   uint64
+	logEnd    int64
+	ckptEvery int
+	sinceCkpt int
 
 	faultReq  chan faultRequest
 	commitReq chan *commitBatch
@@ -494,8 +501,10 @@ func (p *pager) flushLoop() {
 // flushBatches forms one redo record from the union of the batches' dirty
 // pages and applies it. Pages keep first-dirtied order; a page appearing in
 // several batches keeps the latest image — the same state replaying the
-// batches in order would produce. The log format is unchanged from the
-// per-commit scheme, so recoverLog replays a coalesced record identically.
+// batches in order would produce. The record is appended to the log under
+// the next LSN, shipped to the standby (if any) once durable, applied in
+// place, and eventually retired by a periodic checkpoint instead of a
+// per-commit truncation.
 func (p *pager) flushBatches(batches []*commitBatch) error {
 	var order []*frame
 	seen := make(map[pagefile.PageID]int, len(batches[0].frames))
@@ -512,25 +521,36 @@ func (p *pager) flushBatches(batches []*commitBatch) error {
 	if len(order) == 0 {
 		return nil
 	}
-	if p.log != nil {
-		buf := make([]byte, 0, recordSize(uint32(len(order))))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(order)))
-		for _, fr := range order {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(fr.pf.ID))
-			buf = append(buf, fr.pf.Data...)
+	if p.log != nil || p.shipper != nil {
+		pages := make([]repl.PageImage, len(order))
+		for i, fr := range order {
+			pages[i] = repl.PageImage{ID: fr.pf.ID, Data: fr.pf.Data}
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-		buf = binary.LittleEndian.AppendUint64(buf, commitMagic)
-		if _, err := p.log.WriteAt(buf, 0); err != nil {
-			return fmt.Errorf("ostore: write log: %w", err)
-		}
-		if p.syncLog {
-			if err := p.log.Sync(); err != nil {
-				return fmt.Errorf("ostore: sync log: %w", err)
+		buf := repl.EncodeRecord(p.nextLSN, pages)
+		if p.log != nil {
+			if _, err := p.log.WriteAt(buf, p.logEnd); err != nil {
+				return fmt.Errorf("ostore: write log: %w", err)
+			}
+			if p.syncLog {
+				if err := p.log.Sync(); err != nil {
+					return fmt.Errorf("ostore: sync log: %w", err)
+				}
 			}
 		}
+		// The record is durable locally; it must reach the standby before any
+		// client learns the commit succeeded. A Ship failure fails the whole
+		// group — the record stays in the log, so the commit lands on reopen
+		// even though its clients saw an error (the crash-inside-Commit
+		// "either side" contract).
+		if p.shipper != nil {
+			if err := p.shipper.Ship(p.nextLSN, buf); err != nil {
+				return fmt.Errorf("ostore: ship record %d: %w", p.nextLSN, err)
+			}
+		}
+		p.nextLSN++
+		p.logEnd += int64(len(buf))
 	}
-	// Durability point passed: apply in place, then retire the record.
+	// Durability point passed: apply in place.
 	for _, fr := range order {
 		if err := p.backing.WritePage(fr.pf.ID, fr.pf.Data); err != nil {
 			return fmt.Errorf("ostore: commit write page %d: %w", fr.pf.ID, err)
@@ -540,8 +560,22 @@ func (p *pager) flushBatches(batches []*commitBatch) error {
 	p.stats.PageWrites += uint64(len(order))
 	p.mu.Unlock()
 	if p.log != nil {
-		if err := p.log.Truncate(0); err != nil {
-			return fmt.Errorf("ostore: truncate log: %w", err)
+		p.sinceCkpt++
+		every := p.ckptEvery
+		if every < 1 {
+			every = 1
+		}
+		if p.sinceCkpt >= every {
+			// Checkpoint: force the applied pages down, then retire every
+			// logged record behind a fresh cursor.
+			if err := p.backing.Sync(); err != nil {
+				return fmt.Errorf("ostore: checkpoint sync: %w", err)
+			}
+			if err := repl.Checkpoint(p.log, p.nextLSN-1, p.syncLog); err != nil {
+				return fmt.Errorf("ostore: checkpoint: %w", err)
+			}
+			p.sinceCkpt = 0
+			p.logEnd = repl.CursorSize
 		}
 	}
 	return nil
@@ -609,7 +643,9 @@ func (p *pager) Close() error {
 		errs = append(errs, err)
 	}
 	if p.log != nil {
-		if err := p.log.Truncate(0); err != nil {
+		// Final checkpoint: the backing was just synced, so every logged
+		// record is retired and the next open replays nothing.
+		if err := repl.Checkpoint(p.log, p.nextLSN-1, p.syncLog); err != nil {
 			errs = append(errs, err)
 		}
 		if err := p.log.Close(); err != nil {

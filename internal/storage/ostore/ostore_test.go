@@ -2,9 +2,7 @@ package ostore
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -12,6 +10,7 @@ import (
 
 	"labflow/internal/storage"
 	"labflow/internal/storage/pagefile"
+	"labflow/internal/storage/repl"
 	"labflow/internal/storage/storagetest"
 )
 
@@ -145,17 +144,14 @@ func TestRecovery(t *testing.T) {
 	copy(img, db[pageOf*pagefile.PageSize:(pageOf+1)*pagefile.PageSize])
 	copy(img[indexOf(img, []byte("before crash")):], []byte("after replay"))
 
-	var log []byte
-	log = binary.LittleEndian.AppendUint32(log, 1)
-	log = binary.LittleEndian.AppendUint32(log, uint32(pageOf))
-	log = append(log, img...)
-	log = binary.LittleEndian.AppendUint32(log, crc32.ChecksumIEEE(log))
-	log = binary.LittleEndian.AppendUint64(log, commitMagic)
+	log := repl.EncodeCursor(1)
+	log = append(log, repl.EncodeRecord(2, []repl.PageImage{{ID: pagefile.PageID(pageOf), Data: img}})...)
 	if err := os.WriteFile(logPath, log, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	m2, err := Open(Options{Path: path})
+	var info repl.RecoveryInfo
+	m2, err := Open(Options{Path: path, Recovery: &info})
 	if err != nil {
 		t.Fatalf("reopen with log: %v", err)
 	}
@@ -164,9 +160,12 @@ func TestRecovery(t *testing.T) {
 	if err != nil || string(got) != "after replay" {
 		t.Fatalf("after recovery Read = %q, %v; want %q", got, err, "after replay")
 	}
-	// The log must have been truncated.
-	if info, err := os.Stat(logPath); err != nil || info.Size() != 0 {
-		t.Fatalf("log not truncated after recovery: %v, %v", info, err)
+	if info.CheckpointLSN != 1 || info.Replayed != 1 || info.NextLSN != 3 {
+		t.Errorf("RecoveryInfo = %+v, want cursor 1, 1 replayed, next LSN 3", info)
+	}
+	// The log must have been checkpointed down to a bare cursor.
+	if st, err := os.Stat(logPath); err != nil || st.Size() != int64(repl.CursorSize) {
+		t.Fatalf("log not checkpointed after recovery: %v, %v", st, err)
 	}
 }
 
@@ -193,11 +192,9 @@ func TestIncompleteLogIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A record claiming one page but cut off before the commit marker.
-	var log []byte
-	log = binary.LittleEndian.AppendUint32(log, 1)
-	log = binary.LittleEndian.AppendUint32(log, 1)
-	log = append(log, make([]byte, pagefile.PageSize/2)...) // torn
+	// A valid cursor, then a record cut off halfway through its page image.
+	torn := repl.EncodeRecord(2, []repl.PageImage{{ID: 1, Data: bytes.Repeat([]byte{0xEE}, pagefile.PageSize)}})
+	log := append(repl.EncodeCursor(1), torn[:len(torn)/2]...)
 	if err := os.WriteFile(path+".log", log, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -242,18 +239,15 @@ func TestTornMiddleLogIgnored(t *testing.T) {
 	// A well-formed record for page 0 (the superblock), then tear out the
 	// middle: everything between the first and last 512-byte sectors becomes
 	// zeros, exactly what a partially completed multi-sector write leaves.
-	var log []byte
-	log = binary.LittleEndian.AppendUint32(log, 1)
-	log = binary.LittleEndian.AppendUint32(log, 0)
-	log = append(log, bytes.Repeat([]byte{0xEE}, pagefile.PageSize)...)
-	log = binary.LittleEndian.AppendUint32(log, crc32.ChecksumIEEE(log))
-	log = binary.LittleEndian.AppendUint64(log, commitMagic)
+	// The trailing magic lives in the final sector, so it survives the tear
+	// and a magic-only check would wrongly accept the record.
+	rec := repl.EncodeRecord(2, []repl.PageImage{{ID: 0, Data: bytes.Repeat([]byte{0xEE}, pagefile.PageSize)}})
+	log := append(repl.EncodeCursor(1), rec...)
+	tail := append([]byte(nil), log[len(log)-512:]...)
 	for i := 512; i < len(log)-512; i++ {
 		log[i] = 0
 	}
-	// Re-stamp bytes that happened to survive in the real tear geometry: the
-	// trailing magic lives in the final sector, so it is intact.
-	binary.LittleEndian.PutUint64(log[len(log)-8:], commitMagic)
+	copy(log[len(log)-512:], tail)
 	if err := os.WriteFile(path+".log", log, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -267,8 +261,8 @@ func TestTornMiddleLogIgnored(t *testing.T) {
 	if err != nil || string(got) != "stable" {
 		t.Fatalf("Read = %q, %v; want stable (torn record must be discarded)", got, err)
 	}
-	if info, err := os.Stat(path + ".log"); err != nil || info.Size() != 0 {
-		t.Fatalf("torn log not truncated: %v, %v", info, err)
+	if info, err := os.Stat(path + ".log"); err != nil || info.Size() != int64(repl.CursorSize) {
+		t.Fatalf("torn log not checkpointed: %v, %v", info, err)
 	}
 }
 
@@ -279,16 +273,12 @@ func TestShortReadLogIgnored(t *testing.T) {
 	backing := pagefile.NewMem()
 	defer backing.Close()
 
-	// A record that would be valid at full length.
-	var rec []byte
-	rec = binary.LittleEndian.AppendUint32(rec, 1)
-	rec = binary.LittleEndian.AppendUint32(rec, 0)
-	rec = append(rec, bytes.Repeat([]byte{0xEE}, pagefile.PageSize)...)
-	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
-	rec = binary.LittleEndian.AppendUint64(rec, commitMagic)
+	// A cursor plus a record that would be valid at full length.
+	rec := append(repl.EncodeCursor(0),
+		repl.EncodeRecord(1, []repl.PageImage{{ID: 0, Data: bytes.Repeat([]byte{0xEE}, pagefile.PageSize)}})...)
 
 	log := &shortLog{data: rec, deliver: len(rec) / 2}
-	if err := recoverLog(log, backing); err != nil {
+	if _, err := recoverLog(log, backing, false, nil); err != nil {
 		t.Fatalf("recoverLog: %v", err)
 	}
 	// Nothing may have been replayed: the store still has only its original
@@ -304,11 +294,15 @@ func TestShortReadLogIgnored(t *testing.T) {
 	backing2 := pagefile.NewMem()
 	defer backing2.Close()
 	full := &shortLog{data: rec, deliver: len(rec)}
-	if err := recoverLog(full, backing2); err != nil {
+	next, err := recoverLog(full, backing2, false, nil)
+	if err != nil {
 		t.Fatalf("recoverLog (full): %v", err)
 	}
 	if n := backing2.NumPages(); n != 1 {
 		t.Fatalf("backing = %d pages after full replay, want 1", n)
+	}
+	if next != 2 {
+		t.Fatalf("next LSN = %d after replaying record 1, want 2", next)
 	}
 }
 
@@ -477,6 +471,104 @@ func TestAbandonedProcessKeepsCommits(t *testing.T) {
 		got, err := m2.Read(oid)
 		if err != nil || string(got) != want {
 			t.Fatalf("record %d = %q, %v; want %q", i, got, err, want)
+		}
+	}
+}
+
+// TestCheckpointBoundsReplay abandons a store mid-stream (no Close) and
+// checks that reopen replays only the records since the last checkpoint —
+// the bounded-recovery contract — rather than the whole history.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.db")
+	m, err := Open(Options{Path: path, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oids []storage.OID
+	for txn := 0; txn < 10; txn++ {
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		oid, err := m.Allocate(storage.SegHistory, []byte(fmt.Sprintf("txn%d", txn)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon without Close. Store creation itself commits once (the
+	// superblock), so 11 records were flushed; checkpoints landed at LSNs 4
+	// and 8, leaving the cursor at 8 with records 9–11 in the log.
+	m = nil
+
+	var info repl.RecoveryInfo
+	m2, err := Open(Options{Path: path, CheckpointEvery: 4, Recovery: &info})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	if info.CheckpointLSN != 8 || info.Replayed != 3 || info.NextLSN != 12 {
+		t.Errorf("RecoveryInfo = %+v, want cursor 8, 3 replayed, next LSN 12", info)
+	}
+	for i, oid := range oids {
+		got, err := m2.Read(oid)
+		if err != nil || string(got) != fmt.Sprintf("txn%d", i) {
+			t.Fatalf("txn %d = %q, %v", i, got, err)
+		}
+	}
+}
+
+// TestShipperFeedsStandby pairs a primary with an in-process standby and
+// checks every commit's record arrives before the commit returns, and that
+// the promoted standby's media open as an equivalent store.
+func TestShipperFeedsStandby(t *testing.T) {
+	dir := t.TempDir()
+	standbyPath := filepath.Join(dir, "follower.db")
+	st, err := repl.OpenFileStandby(standbyPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(Options{Path: filepath.Join(dir, "primary.db"), Shipper: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oids []storage.OID
+	for txn := 0; txn < 6; txn++ {
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		oid, err := m.Allocate(storage.SegMaterial, []byte(fmt.Sprintf("ship%d", txn)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// Store creation committed once before the first transaction, so the
+		// standby runs one LSN ahead of the transaction count.
+		if got := st.LastLSN(); got != uint64(txn+2) {
+			t.Fatalf("standby LSN = %d after commit %d, want %d", got, txn, txn+2)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Promote and open a real store over the standby's media.
+	if err := st.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(Options{Path: standbyPath})
+	if err != nil {
+		t.Fatalf("open promoted standby: %v", err)
+	}
+	defer f.Close()
+	for i, oid := range oids {
+		got, err := f.Read(oid)
+		if err != nil || string(got) != fmt.Sprintf("ship%d", i) {
+			t.Fatalf("promoted read %d = %q, %v", i, got, err)
 		}
 	}
 }

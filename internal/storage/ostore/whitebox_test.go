@@ -9,6 +9,7 @@ import (
 
 	"labflow/internal/storage"
 	"labflow/internal/storage/pagefile"
+	"labflow/internal/storage/repl"
 )
 
 // TestNoStealAndTrim verifies the pool policy: during a transaction dirty
@@ -199,6 +200,9 @@ func newWhiteboxPager(t *testing.T, logPath string) *pager {
 	p := &pager{
 		backing:   pagefile.NewMem(),
 		log:       log,
+		nextLSN:   1,
+		logEnd:    repl.CursorSize,
+		ckptEvery: 1, // checkpoint every flush: the historical retire-per-commit shape
 		pool:      make(map[pagefile.PageID]*frame),
 		capacity:  64,
 		locks:     make(map[pagefile.PageID]pagefile.Mode),
@@ -260,8 +264,8 @@ func TestGroupCommitCoalesce(t *testing.T) {
 				want.fr.pf.ID, buf[0], buf[pagefile.PageSize-1], want.fill)
 		}
 	}
-	if info, err := os.Stat(logPath); err != nil || info.Size() != 0 {
-		t.Errorf("log not truncated after flush: %v, %v", info, err)
+	if info, err := os.Stat(logPath); err != nil || info.Size() != int64(repl.CursorSize) {
+		t.Errorf("log not checkpointed down to its cursor after flush: %v, %v", info, err)
 	}
 }
 
@@ -332,7 +336,7 @@ func TestGroupCommitConcurrent(t *testing.T) {
 			}
 		}
 	}
-	if info, err := os.Stat(logPath); err != nil || info.Size() != 0 {
-		t.Errorf("log not truncated after final commit: %v, %v", info, err)
+	if info, err := os.Stat(logPath); err != nil || info.Size() != int64(repl.CursorSize) {
+		t.Errorf("log not checkpointed down to its cursor after final commit: %v, %v", info, err)
 	}
 }

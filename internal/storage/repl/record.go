@@ -1,0 +1,284 @@
+// Package repl is the replication and bounded-recovery substrate shared by
+// the persistent storage managers: the LSN-sequenced redo-record encoding,
+// the checkpoint cursor that retires replayed history so reopen work is
+// O(delta since checkpoint), page-image snapshot slots (texas
+// restore-from-checkpoint), and the warm Standby that applies shipped
+// records continuously and can be promoted when a primary dies.
+//
+// The log protocol is append-only within a checkpoint interval:
+//
+//	[cursor][record lsn=c+1][record lsn=c+2]...
+//
+// The cursor at offset 0 names the last LSN already durable in the page
+// backing; every following record carries the next consecutive LSN, a CRC32
+// over its header and page images, and a trailing magic. Recovery replays
+// the contiguous valid prefix after the cursor and discards the torn tail —
+// a record is only ever trusted whole. A checkpoint truncates the log and
+// writes a fresh cursor, after the backing has been synced, so the records
+// it retires can never be needed again.
+//
+// The same record bytes double as the shipping unit: a primary streams each
+// record to its standby before the record can retire (Shipper), so the
+// follower always holds every commit a client may have observed.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"labflow/internal/storage/pagefile"
+)
+
+// LogFile is a positioned-I/O medium for redo logs, checkpoint cursors and
+// snapshot slots. Production use wraps an *os.File (OpenFile); tests and the
+// crashtest harness substitute fault-injecting implementations.
+type LogFile interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate discards the medium's contents beyond size.
+	Truncate(size int64) error
+	// Sync forces the medium to stable storage.
+	Sync() error
+	// Size returns the current length in bytes.
+	Size() (int64, error)
+	// Close releases the medium.
+	Close() error
+}
+
+// osLog adapts *os.File to LogFile.
+type osLog struct{ *os.File }
+
+// Size implements LogFile.
+func (l osLog) Size() (int64, error) {
+	info, err := l.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// OpenFile opens (creating if necessary) a LogFile at path.
+func OpenFile(path string) (LogFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("repl: open %s: %w", path, err)
+	}
+	return osLog{f}, nil
+}
+
+const (
+	// recordMagic trails every redo record; its presence proves the write
+	// reached the record's end (the historical ostore commit magic).
+	recordMagic = 0xC0111117C0111117
+	// cursorMagic heads the checkpoint cursor at log offset 0.
+	cursorMagic = 0xC8EC9017C8EC9017
+	// recordHeader is the fixed prefix of a record: LSN and page count.
+	recordHeader = 8 + 4
+)
+
+// CursorSize is the encoded length of a checkpoint cursor:
+// magic, LSN, CRC32.
+const CursorSize = 8 + 8 + 4
+
+// PageImage is one page's full image inside a redo record.
+type PageImage struct {
+	ID   pagefile.PageID
+	Data []byte // len PageSize; decoded images alias the record buffer
+}
+
+// Record is a decoded redo record: the page images one commit group made
+// durable, under a log sequence number.
+type Record struct {
+	LSN   uint64
+	Pages []PageImage
+}
+
+// RecordSize is the encoded length of a redo record holding count pages:
+// LSN + count header, per-page id+image entries, CRC32, trailing magic.
+func RecordSize(count uint32) int64 {
+	return recordHeader + int64(count)*(4+pagefile.PageSize) + 12
+}
+
+// EncodeRecord serializes one redo record. A record may be empty (count 0):
+// texas ships one record per commit even when the commit wrote no pages, so
+// the follower's LSN tracks the primary's commit count exactly.
+func EncodeRecord(lsn uint64, pages []PageImage) []byte {
+	buf := make([]byte, 0, RecordSize(uint32(len(pages))))
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pages)))
+	for _, pg := range pages {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(pg.ID))
+		buf = append(buf, pg.Data[:pagefile.PageSize]...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = binary.LittleEndian.AppendUint64(buf, recordMagic)
+	return buf
+}
+
+// DecodeRecord parses the record at the head of data, returning it with its
+// encoded size. The trailing magic proves the write reached the record's
+// end; the CRC32 (IEEE) over the header and entries proves the middle
+// arrived too — a torn write can land the first and last sectors while
+// losing everything between, which the magic alone cannot see. Decoded page
+// images alias data.
+func DecodeRecord(data []byte) (Record, int64, bool) {
+	if len(data) < recordHeader {
+		return Record{}, 0, false
+	}
+	lsn := binary.LittleEndian.Uint64(data)
+	count := binary.LittleEndian.Uint32(data[8:])
+	need := RecordSize(count)
+	if int64(len(data)) < need {
+		return Record{}, 0, false
+	}
+	if binary.LittleEndian.Uint64(data[need-8:]) != recordMagic {
+		return Record{}, 0, false
+	}
+	if binary.LittleEndian.Uint32(data[need-12:]) != crc32.ChecksumIEEE(data[:need-12]) {
+		return Record{}, 0, false
+	}
+	rec := Record{LSN: lsn}
+	off := int64(recordHeader)
+	for i := uint32(0); i < count; i++ {
+		id := pagefile.PageID(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		rec.Pages = append(rec.Pages, PageImage{ID: id, Data: data[off : off+pagefile.PageSize]})
+		off += pagefile.PageSize
+	}
+	return rec, need, true
+}
+
+// EncodeCursor serializes a checkpoint cursor naming the last LSN already
+// durable in the page backing.
+func EncodeCursor(lsn uint64) []byte {
+	buf := make([]byte, 0, CursorSize)
+	buf = binary.LittleEndian.AppendUint64(buf, cursorMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// DecodeCursor parses a checkpoint cursor at the head of data.
+func DecodeCursor(data []byte) (uint64, bool) {
+	if len(data) < CursorSize {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(data) != cursorMagic {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(data[16:]) != crc32.ChecksumIEEE(data[:16]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(data[8:]), true
+}
+
+// Checkpoint retires the log's records: truncate, then write a fresh cursor
+// at offset 0. The caller must have synced the page backing first — after
+// this call the retired records can never be replayed again. If the cursor
+// write itself tears, recovery finds an invalid head and trusts the (synced)
+// backing alone, which is exactly the checkpoint state.
+func Checkpoint(log LogFile, lsn uint64, sync bool) error {
+	if err := log.Truncate(0); err != nil {
+		return fmt.Errorf("repl: checkpoint truncate: %w", err)
+	}
+	if _, err := log.WriteAt(EncodeCursor(lsn), 0); err != nil {
+		return fmt.Errorf("repl: checkpoint cursor: %w", err)
+	}
+	if sync {
+		if err := log.Sync(); err != nil {
+			return fmt.Errorf("repl: checkpoint sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// ScanLog reads the whole log and returns the checkpoint cursor's LSN plus
+// the contiguous run of valid records after it (LSNs cursor+1, cursor+2, …).
+// A log without a valid cursor at offset 0 yields nothing: the protocol only
+// ever appends records after a durable cursor, so an invalid head means a
+// torn cursor write with no records beyond it worth trusting. The first
+// invalid or out-of-sequence record ends the scan — a torn tail whose
+// transaction never reached its durability point.
+func ScanLog(log LogFile) (cursorLSN uint64, records []Record, err error) {
+	size, err := log.Size()
+	if err != nil {
+		return 0, nil, err
+	}
+	if size == 0 {
+		return 0, nil, nil
+	}
+	data := make([]byte, size)
+	n, err := log.ReadAt(data, 0)
+	if err != nil && err != io.EOF {
+		return 0, nil, err
+	}
+	// Only the bytes actually delivered may be validated: a short read
+	// returns fewer than Size reported, and the slack beyond n is not log
+	// content.
+	data = data[:n]
+	cursorLSN, ok := DecodeCursor(data)
+	if !ok {
+		return 0, nil, nil
+	}
+	off := int64(CursorSize)
+	next := cursorLSN + 1
+	for off < int64(len(data)) {
+		rec, sz, ok := DecodeRecord(data[off:])
+		if !ok || rec.LSN != next {
+			break
+		}
+		records = append(records, rec)
+		off += sz
+		next++
+	}
+	return cursorLSN, records, nil
+}
+
+// ApplyRecord writes a record's page images into the backing, growing it as
+// needed. Replay is idempotent: records carry whole page images, so applying
+// an already-applied record reproduces the same state.
+func ApplyRecord(b pagefile.Backing, rec Record) error {
+	for _, pg := range rec.Pages {
+		for b.NumPages() <= uint32(pg.ID) {
+			if _, err := b.Grow(); err != nil {
+				return err
+			}
+		}
+		if err := b.WritePage(pg.ID, pg.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoveryInfo reports what a reopen had to do, so callers (and the
+// crashtest harness) can assert recovery work is bounded by the checkpoint
+// interval instead of the store's whole history.
+type RecoveryInfo struct {
+	// CheckpointLSN is the cursor found in the log (0 if none).
+	CheckpointLSN uint64
+	// Replayed is the number of redo records replayed past the checkpoint.
+	Replayed int
+	// NextLSN is the first LSN the reopened store will assign.
+	NextLSN uint64
+	// Restored reports a texas restore-from-checkpoint: the store was torn
+	// and was rebuilt from the newest valid snapshot instead of refusing.
+	Restored bool
+	// RestoredLSN is the snapshot's commit LSN (the committed prefix the
+	// restored store serves).
+	RestoredLSN uint64
+	// RestoredPages is the number of page images the restore wrote.
+	RestoredPages int
+}
+
+// Shipper receives each redo record at its durability point, before the
+// record can retire. Ship must not return until the follower has applied
+// (acked) the record: a commit only reports success once its record is on
+// the standby, which is what makes the promoted follower's state a superset
+// of everything any client observed as committed.
+type Shipper interface {
+	Ship(lsn uint64, record []byte) error
+}

@@ -1,0 +1,229 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"labflow/internal/storage/pagefile"
+)
+
+func page(fill byte) []byte {
+	b := make([]byte, pagefile.PageSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func openLog(t *testing.T) LogFile {
+	t.Helper()
+	lf, err := OpenFile(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lf.Close() })
+	return lf
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	pages := []PageImage{{ID: 3, Data: page(0xAA)}, {ID: 0, Data: page(0xBB)}}
+	buf := EncodeRecord(7, pages)
+	rec, size, ok := DecodeRecord(buf)
+	if !ok || size != int64(len(buf)) {
+		t.Fatalf("decode: ok=%v size=%d len=%d", ok, size, len(buf))
+	}
+	if rec.LSN != 7 || len(rec.Pages) != 2 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.Pages[0].ID != 3 || !bytes.Equal(rec.Pages[0].Data, pages[0].Data) {
+		t.Fatal("page 0 mismatch")
+	}
+
+	// Empty records are valid (texas ships one per commit, pages or not).
+	empty := EncodeRecord(9, nil)
+	rec, _, ok = DecodeRecord(empty)
+	if !ok || rec.LSN != 9 || len(rec.Pages) != 0 {
+		t.Fatalf("empty record: ok=%v rec=%+v", ok, rec)
+	}
+
+	// Any single corrupted byte must invalidate the record.
+	for _, off := range []int{0, 11, 20, len(buf) - 10, len(buf) - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[off] ^= 0x01
+		if _, _, ok := DecodeRecord(bad); ok {
+			t.Errorf("corrupt byte at %d still decoded", off)
+		}
+	}
+	// A truncated record must not validate.
+	if _, _, ok := DecodeRecord(buf[:len(buf)-1]); ok {
+		t.Error("truncated record decoded")
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	buf := EncodeCursor(42)
+	if len(buf) != CursorSize {
+		t.Fatalf("cursor len %d", len(buf))
+	}
+	lsn, ok := DecodeCursor(buf)
+	if !ok || lsn != 42 {
+		t.Fatalf("cursor = %d, %v", lsn, ok)
+	}
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x01
+		if _, ok := DecodeCursor(bad); ok {
+			t.Errorf("corrupt cursor byte %d still decoded", i)
+		}
+	}
+	if _, ok := DecodeCursor(make([]byte, CursorSize)); ok {
+		t.Error("all-zero cursor decoded")
+	}
+}
+
+// TestScanLogTornTail pins the recovery scan: records replay in LSN order
+// from the cursor, and the first invalid record discards the rest.
+func TestScanLogTornTail(t *testing.T) {
+	lf := openLog(t)
+	if err := Checkpoint(lf, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	off := int64(CursorSize)
+	for lsn := uint64(11); lsn <= 13; lsn++ {
+		buf := EncodeRecord(lsn, []PageImage{{ID: pagefile.PageID(lsn), Data: page(byte(lsn))}})
+		if _, err := lf.WriteAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(len(buf))
+	}
+	// A torn fourth record: only half its bytes land.
+	torn := EncodeRecord(14, []PageImage{{ID: 99, Data: page(0xEE)}})
+	if _, err := lf.WriteAt(torn[:len(torn)/2], off); err != nil {
+		t.Fatal(err)
+	}
+
+	cursor, records, err := ScanLog(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 10 || len(records) != 3 {
+		t.Fatalf("cursor=%d records=%d, want 10, 3", cursor, len(records))
+	}
+	for i, rec := range records {
+		if rec.LSN != 11+uint64(i) {
+			t.Fatalf("record %d has LSN %d", i, rec.LSN)
+		}
+	}
+
+	// A log whose head is not a valid cursor yields nothing at all.
+	if err := lf.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf.WriteAt(EncodeRecord(1, nil), 0); err != nil {
+		t.Fatal(err)
+	}
+	if cursor, records, err := ScanLog(lf); err != nil || cursor != 0 || len(records) != 0 {
+		t.Fatalf("cursorless log: %d records cursor=%d err=%v", len(records), cursor, err)
+	}
+}
+
+func TestSnapshotSlots(t *testing.T) {
+	dir := t.TempDir()
+	var slots [2]LogFile
+	for i := range slots {
+		lf, err := OpenFile(filepath.Join(dir, "ckpt"+string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lf.Close()
+		slots[i] = lf
+	}
+	if _, _, _, ok := BestSnapshot(slots); ok {
+		t.Fatal("empty slots produced a snapshot")
+	}
+	if err := WriteSnapshot(slots[0], 1, 5, [][]byte{page(0x11)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(slots[1], 2, 9, [][]byte{page(0x22), page(0x33)}); err != nil {
+		t.Fatal(err)
+	}
+	seq, lsn, pages, ok := BestSnapshot(slots)
+	if !ok || seq != 2 || lsn != 9 || len(pages) != 2 {
+		t.Fatalf("best = seq %d lsn %d pages %d ok %v", seq, lsn, len(pages), ok)
+	}
+	// Tear the newer slot: restore falls back to the older one.
+	raw, err := os.ReadFile(filepath.Join(dir, "ckpt1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(filepath.Join(dir, "ckpt1"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, lsn, pages, ok = BestSnapshot(slots)
+	if !ok || seq != 1 || lsn != 5 || len(pages) != 1 || !bytes.Equal(pages[0], page(0x11)) {
+		t.Fatalf("fallback = seq %d lsn %d pages %d ok %v", seq, lsn, len(pages), ok)
+	}
+}
+
+// TestStandbyApplyAndRecover drives the full standby life cycle: sequenced
+// applies, gap refusal, crash-replay of its own journal tail, promotion.
+func TestStandbyApplyAndRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "follow.db")
+	st, err := OpenFileStandby(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lsn := uint64(1); lsn <= 3; lsn++ {
+		if err := st.Ship(lsn, EncodeRecord(lsn, []PageImage{{ID: pagefile.PageID(lsn - 1), Data: page(byte(lsn))}})); err != nil {
+			t.Fatalf("ship %d: %v", lsn, err)
+		}
+	}
+	// Out-of-sequence record refused, state unchanged.
+	if err := st.Ship(9, EncodeRecord(9, nil)); !errors.Is(err, ErrStandbyGap) {
+		t.Fatalf("gap: %v", err)
+	}
+	if st.LastLSN() != 3 || st.Applied() != 3 {
+		t.Fatalf("lsn=%d applied=%d", st.LastLSN(), st.Applied())
+	}
+	// Abandon without promoting (the standby "crashes"): a new incarnation
+	// over the same files replays the un-checkpointed tail and continues.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenFileStandby(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.LastLSN() != 3 {
+		t.Fatalf("reopened standby at LSN %d, want 3", st2.LastLSN())
+	}
+	if err := st2.Ship(4, EncodeRecord(4, []PageImage{{ID: 0, Data: page(0x44)}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Apply(EncodeRecord(5, nil)); !errors.Is(err, ErrStandbyDone) {
+		t.Fatalf("apply after promote: %v", err)
+	}
+
+	// The promoted backing holds every applied image.
+	fb, err := pagefile.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	buf := make([]byte, pagefile.PageSize)
+	for id, fill := range map[pagefile.PageID]byte{0: 0x44, 1: 0x02, 2: 0x03} {
+		if err := fb.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != fill || buf[pagefile.PageSize-1] != fill {
+			t.Errorf("page %d = %#x, want %#x", id, buf[0], fill)
+		}
+	}
+}

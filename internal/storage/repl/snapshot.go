@@ -1,0 +1,114 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"labflow/internal/storage/pagefile"
+)
+
+// Snapshot slots are full page-image checkpoints for log-less stores
+// (texas): every page of the backing at a commit boundary, under a sequence
+// number and the commit LSN the image corresponds to. Writers alternate
+// between two slots so a torn snapshot write can never destroy the previous
+// good snapshot; readers pick the valid slot with the highest sequence.
+//
+// Layout:
+//
+//	[snapMagic u64][seq u64][lsn u64][npages u32][pages npages×PageSize]
+//	[crc32 u32][snapMagic u64]
+
+const (
+	snapMagic  = 0x51AB51AB51AB51AB
+	snapHeader = 8 + 8 + 8 + 4
+)
+
+// snapshotSize is the encoded length of a snapshot holding npages pages.
+func snapshotSize(npages uint32) int64 {
+	return snapHeader + int64(npages)*pagefile.PageSize + 12
+}
+
+// WriteSnapshot serializes pages into slot (truncate, write, sync). The sync
+// is unconditional: a snapshot only counts as a restore source once it is on
+// stable storage.
+func WriteSnapshot(slot LogFile, seq, lsn uint64, pages [][]byte) error {
+	buf := make([]byte, 0, snapshotSize(uint32(len(pages))))
+	buf = binary.LittleEndian.AppendUint64(buf, snapMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pages)))
+	for _, pg := range pages {
+		buf = append(buf, pg[:pagefile.PageSize]...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = binary.LittleEndian.AppendUint64(buf, snapMagic)
+	if err := slot.Truncate(0); err != nil {
+		return fmt.Errorf("repl: snapshot truncate: %w", err)
+	}
+	if _, err := slot.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("repl: snapshot write: %w", err)
+	}
+	if err := slot.Sync(); err != nil {
+		return fmt.Errorf("repl: snapshot sync: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses one slot, reporting ok=false for an empty, torn, or
+// alien file (never an error — an unreadable slot is simply not a restore
+// source). Returned pages alias one freshly read buffer.
+func ReadSnapshot(slot LogFile) (seq, lsn uint64, pages [][]byte, ok bool) {
+	size, err := slot.Size()
+	if err != nil || size < snapHeader+12 {
+		return 0, 0, nil, false
+	}
+	data := make([]byte, size)
+	n, err := slot.ReadAt(data, 0)
+	if err != nil && err != io.EOF {
+		return 0, 0, nil, false
+	}
+	data = data[:n]
+	if len(data) < snapHeader+12 {
+		return 0, 0, nil, false
+	}
+	if binary.LittleEndian.Uint64(data) != snapMagic {
+		return 0, 0, nil, false
+	}
+	seq = binary.LittleEndian.Uint64(data[8:])
+	lsn = binary.LittleEndian.Uint64(data[16:])
+	npages := binary.LittleEndian.Uint32(data[24:])
+	need := snapshotSize(npages)
+	if int64(len(data)) < need {
+		return 0, 0, nil, false
+	}
+	if binary.LittleEndian.Uint64(data[need-8:]) != snapMagic {
+		return 0, 0, nil, false
+	}
+	if binary.LittleEndian.Uint32(data[need-12:]) != crc32.ChecksumIEEE(data[:need-12]) {
+		return 0, 0, nil, false
+	}
+	pages = make([][]byte, npages)
+	off := int64(snapHeader)
+	for i := range pages {
+		pages[i] = data[off : off+pagefile.PageSize]
+		off += pagefile.PageSize
+	}
+	return seq, lsn, pages, true
+}
+
+// BestSnapshot picks the valid slot with the highest sequence number. A nil
+// slot is skipped.
+func BestSnapshot(slots [2]LogFile) (seq, lsn uint64, pages [][]byte, ok bool) {
+	for _, slot := range slots {
+		if slot == nil {
+			continue
+		}
+		s, l, p, valid := ReadSnapshot(slot)
+		if valid && (!ok || s > seq) {
+			seq, lsn, pages, ok = s, l, p, true
+		}
+	}
+	return seq, lsn, pages, ok
+}

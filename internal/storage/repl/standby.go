@@ -1,0 +1,207 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"labflow/internal/storage/pagefile"
+)
+
+// ErrStandbyGap is returned by Apply when a shipped record's LSN is not the
+// next consecutive one: the stream lost a record (or the standby was paired
+// with a primary that already had history it never saw). A standby must
+// refuse loudly rather than silently serve a state with holes, so pairing
+// requires both sides to start from the same point — standby bootstrap from
+// a live primary is future work.
+var ErrStandbyGap = errors.New("repl: shipped record out of sequence")
+
+// ErrStandbyDone is returned by Apply after Promote or Close.
+var ErrStandbyDone = errors.New("repl: standby no longer accepting records")
+
+// Standby is a warm follower: it applies shipped redo records to its own
+// page backing, journaling each record through the same append-log/cursor
+// protocol a primary uses (so a crashed standby recovers its own tail), and
+// checkpointing every few records. Promote finalizes the media so a real
+// storage manager can be opened over the same files.
+type Standby struct {
+	mu        sync.Mutex
+	backing   pagefile.Backing
+	log       LogFile
+	every     int // records between checkpoints
+	lastLSN   uint64
+	applied   int // records applied this session
+	logEnd    int64
+	sinceCkpt int
+	done      bool
+}
+
+// DefaultStandbyEvery is the checkpoint interval used when NewStandby gets
+// every <= 0.
+const DefaultStandbyEvery = 8
+
+// NewStandby opens a standby over its media, replaying any log tail a
+// previous incarnation left (the standby's own crash recovery) and
+// checkpointing so it starts with a retired log.
+func NewStandby(backing pagefile.Backing, log LogFile, every int) (*Standby, error) {
+	if every <= 0 {
+		every = DefaultStandbyEvery
+	}
+	cursorLSN, records, err := ScanLog(log)
+	if err != nil {
+		return nil, fmt.Errorf("repl: standby recovery: %w", err)
+	}
+	last := cursorLSN
+	for _, rec := range records {
+		if err := ApplyRecord(backing, rec); err != nil {
+			return nil, fmt.Errorf("repl: standby replay record %d: %w", rec.LSN, err)
+		}
+		last = rec.LSN
+	}
+	if len(records) > 0 {
+		if err := backing.Sync(); err != nil {
+			return nil, fmt.Errorf("repl: standby recovery sync: %w", err)
+		}
+	}
+	if err := Checkpoint(log, last, false); err != nil {
+		return nil, err
+	}
+	return &Standby{
+		backing: backing,
+		log:     log,
+		every:   every,
+		lastLSN: last,
+		logEnd:  CursorSize,
+	}, nil
+}
+
+// OpenFileStandby is NewStandby over path (the page backing) and path+".log"
+// (the standby's journal) — the same file layout ostore.Open uses, so a
+// promoted ostore standby is opened simply by its path.
+func OpenFileStandby(path string, every int) (*Standby, error) {
+	fb, err := pagefile.OpenFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("repl: standby backing: %w", err)
+	}
+	log, err := OpenFile(path + ".log")
+	if err != nil {
+		fb.Close()
+		return nil, err
+	}
+	st, err := NewStandby(fb, log, every)
+	if err != nil {
+		fb.Close()
+		log.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// Apply journals and applies one shipped record, returning its LSN. The
+// record must carry lastLSN+1 (see ErrStandbyGap). Journal-then-apply: the
+// record is in the standby's own log before any of its pages land, so a
+// standby killed mid-apply replays the tail on reopen instead of serving a
+// torn page set.
+func (s *Standby) Apply(record []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return 0, ErrStandbyDone
+	}
+	rec, size, ok := DecodeRecord(record)
+	if !ok || size != int64(len(record)) {
+		return 0, fmt.Errorf("repl: shipped record corrupt (%d bytes)", len(record))
+	}
+	if rec.LSN != s.lastLSN+1 {
+		return 0, fmt.Errorf("repl: got record %d after %d: %w", rec.LSN, s.lastLSN, ErrStandbyGap)
+	}
+	if _, err := s.log.WriteAt(record, s.logEnd); err != nil {
+		return 0, fmt.Errorf("repl: standby journal: %w", err)
+	}
+	if err := ApplyRecord(s.backing, rec); err != nil {
+		return 0, fmt.Errorf("repl: standby apply record %d: %w", rec.LSN, err)
+	}
+	s.logEnd += size
+	s.lastLSN = rec.LSN
+	s.applied++
+	s.sinceCkpt++
+	if s.sinceCkpt >= s.every {
+		if err := s.backing.Sync(); err != nil {
+			return 0, fmt.Errorf("repl: standby checkpoint sync: %w", err)
+		}
+		if err := Checkpoint(s.log, s.lastLSN, false); err != nil {
+			return 0, err
+		}
+		s.sinceCkpt = 0
+		s.logEnd = CursorSize
+	}
+	return rec.LSN, nil
+}
+
+// Ship implements Shipper for in-process pairing (the crashtest failover
+// harness wires a primary's Options.Shipper directly to its standby).
+func (s *Standby) Ship(lsn uint64, record []byte) error {
+	applied, err := s.Apply(record)
+	if err != nil {
+		return err
+	}
+	if applied != lsn {
+		return fmt.Errorf("repl: shipped lsn %d acked as %d: %w", lsn, applied, ErrStandbyGap)
+	}
+	return nil
+}
+
+// LastLSN returns the highest LSN applied.
+func (s *Standby) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastLSN
+}
+
+// Applied returns the number of records applied this session.
+func (s *Standby) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Promote finalizes the standby for takeover: sync the backing, checkpoint
+// and sync the journal, and close both media. The caller then opens a real
+// storage manager over the same path — for ostore the standby's journal IS
+// the store's redo log (same protocol, same default path), so even an
+// unsynced tail is recovered by the store's own open. Apply fails after
+// Promote.
+func (s *Standby) Promote() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return ErrStandbyDone
+	}
+	s.done = true
+	var errs []error
+	if err := s.backing.Sync(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := Checkpoint(s.log, s.lastLSN, true); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.backing.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.log.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// Close abandons the standby without finalizing (the media are closed but
+// not checkpointed). Safe after Promote.
+func (s *Standby) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil
+	}
+	s.done = true
+	return errors.Join(s.backing.Close(), s.log.Close())
+}

@@ -1,0 +1,172 @@
+package texas
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"labflow/internal/storage"
+	"labflow/internal/storage/repl"
+)
+
+// TestRestoreFromSnapshot tears a snapshotting store mid-stream and checks
+// Open's restore path: without Restore the torn store is still refused; with
+// it, the store comes back at exactly the last snapshot's commit boundary —
+// commits up to the boundary readable, the commit past it gone.
+func TestRestoreFromSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "texas.db")
+	m, err := Open(Options{Path: path, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store creation commits once (LSN 1); workload commit i is LSN i+1, so
+	// with CheckpointEvery 2 snapshots land at LSNs 2, 4 and 6.
+	var oids []storage.OID
+	for i := 0; i < 6; i++ {
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		oid, err := m.Allocate(storage.SegHistory, []byte(fmt.Sprintf("commit%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon without Close: the 6th workload commit (LSN 7) happened after
+	// the last snapshot (LSN 6) and will be lost to the restore.
+	m = nil
+
+	if _, err := Open(Options{Path: path, CheckpointEvery: 2}); !errors.Is(err, ErrTornStore) {
+		t.Fatalf("torn open without Restore: err = %v, want ErrTornStore", err)
+	}
+
+	var info repl.RecoveryInfo
+	m2, err := Open(Options{Path: path, CheckpointEvery: 2, Restore: true, Recovery: &info})
+	if err != nil {
+		t.Fatalf("restore open: %v", err)
+	}
+	defer m2.Close()
+	if !info.Restored || info.RestoredLSN != 6 || info.RestoredPages == 0 {
+		t.Errorf("RecoveryInfo = %+v, want restore to LSN 6", info)
+	}
+	if info.NextLSN != 7 {
+		t.Errorf("NextLSN = %d, want 7", info.NextLSN)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := m2.Read(oids[i])
+		if err != nil || string(got) != fmt.Sprintf("commit%d", i) {
+			t.Fatalf("commit %d after restore = %q, %v", i, got, err)
+		}
+	}
+	if got, err := m2.Read(oids[5]); err == nil {
+		t.Fatalf("commit past the snapshot boundary still readable: %q", got)
+	}
+}
+
+// TestCleanReopenResumesSequence checks the Close-time snapshot: a clean
+// reopen picks its LSN and snapshot sequence up where the last session left
+// them instead of restarting from 1.
+func TestCleanReopenResumesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "texas.db")
+	m, err := Open(Options{Path: path, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Allocate(storage.SegHistory, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var info repl.RecoveryInfo
+	m2, err := Open(Options{Path: path, CheckpointEvery: 4, Recovery: &info})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	// Creation commit + 3 workload commits = LSN 4; the Close snapshot pins
+	// it, so the next session starts at 5.
+	if info.Restored || info.NextLSN != 5 {
+		t.Errorf("RecoveryInfo = %+v, want clean open resuming at LSN 5", info)
+	}
+}
+
+// TestShipperTracksCommits pairs a texas primary with an in-process standby:
+// every commit (including a read-only one, which ships an empty record)
+// advances the follower in lockstep, and the promoted follower's media open
+// as a clean store holding everything committed.
+func TestShipperTracksCommits(t *testing.T) {
+	dir := t.TempDir()
+	standbyPath := filepath.Join(dir, "follower.db")
+	st, err := repl.OpenFileStandby(standbyPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(Options{Path: filepath.Join(dir, "primary.db"), Shipper: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LastLSN(); got != 1 {
+		t.Fatalf("standby LSN after store creation = %d, want 1", got)
+	}
+	var oids []storage.OID
+	for i := 0; i < 4; i++ {
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		oid, err := m.Allocate(storage.SegMaterial, []byte(fmt.Sprintf("ship%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if got := st.LastLSN(); got != uint64(i+2) {
+			t.Fatalf("standby LSN = %d after commit %d, want %d", got, i, i+2)
+		}
+	}
+	// A read-only transaction still ships (an empty record): the follower's
+	// LSN is the primary's commit count, not its page-write count.
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(oids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LastLSN(); got != 6 {
+		t.Fatalf("standby LSN after read-only commit = %d, want 6", got)
+	}
+	// Abandon the primary (crash) and promote the follower.
+	m = nil
+	if err := st.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(Options{Path: standbyPath})
+	if err != nil {
+		t.Fatalf("open promoted standby: %v", err)
+	}
+	defer f.Close()
+	for i, oid := range oids {
+		got, err := f.Read(oid)
+		if err != nil || string(got) != fmt.Sprintf("ship%d", i) {
+			t.Fatalf("promoted read %d = %q, %v", i, got, err)
+		}
+	}
+}

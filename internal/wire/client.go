@@ -697,6 +697,40 @@ func (c *Client) Dump() (labbase.DumpStats, error) {
 	return st, d.Err()
 }
 
+// ShipRecord forwards one encoded redo record (see internal/storage/repl)
+// to a standby server and returns the LSN the standby acknowledges. The
+// payload is the raw record encoding, not a rec-framed body: the standby
+// journals the exact bytes the primary logged. Records are bounded by
+// MaxFrame, which caps one commit at roughly 2000 dirty pages — far above
+// any group the storage engines produce.
+func (c *Client) ShipRecord(record []byte) (uint64, error) {
+	d, err := c.roundTrip(OpShipRecord, record)
+	if err != nil {
+		return 0, err
+	}
+	return d.Uint(), d.Err()
+}
+
+// Promote finalizes a standby server: the standby checkpoints its media,
+// stops accepting records, and begins serving as a primary. Against a
+// server that is already a primary it returns a remote error.
+func (c *Client) Promote() error {
+	_, err := c.roundTrip(OpPromote, nil)
+	return err
+}
+
+// ReplState reports the peer's replication role (0 = primary, 1 = standby)
+// and, for a standby, the last LSN it has applied.
+func (c *Client) ReplState() (role int, lastLSN uint64, err error) {
+	d, err := c.roundTrip(OpReplState, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	role = int(d.Uint())
+	lastLSN = d.Uint()
+	return role, lastLSN, d.Err()
+}
+
 // Stats returns the server's storage-manager name and counters.
 func (c *Client) Stats() (string, storage.Stats, error) {
 	d, err := c.roundTrip(OpStats, nil)

@@ -65,6 +65,9 @@ const (
 	OpMostRecentScan
 	OpMostRecentAsOf
 	OpAttrTimeline
+	OpShipRecord
+	OpPromote
+	OpReplState
 )
 
 // readOnlyOp classifies each opcode for the server's lock discipline: read
@@ -85,7 +88,9 @@ const (
 //	write: DefineMaterialClass, DefineAttr, DefineState, DefineStepClass,
 //	       CreateMaterial, CreateSet, RecordStep, PutSteps, SetState,
 //	       Begin, Commit (the explicit-bracket opcodes manage the writer
-//	       lock themselves — see connState)
+//	       lock themselves — see connState),
+//	       ShipRecord, Promote (replication opcodes; a primary rejects
+//	       them, and a StandbyServer applies them under its own lock)
 func readOnlyOp(op uint8) bool {
 	switch op {
 	case OpHello, OpShardInfo, OpState, OpMostRecent, OpMostRecentScan,
@@ -93,7 +98,7 @@ func readOnlyOp(op uint8) bool {
 		OpCountMaterials, OpCountSteps, OpCountInState, OpMaterialsInState,
 		OpSetMembers, OpStepsInvolving, OpDump, OpStats, OpLookupMaterial,
 		OpMaterialClasses, OpStepClasses, OpStates, OpStepClassVersions,
-		OpScanMaterials, OpScanAllMaterials, OpScanSteps, OpQuery:
+		OpScanMaterials, OpScanAllMaterials, OpScanSteps, OpQuery, OpReplState:
 		return true
 	}
 	return false
@@ -148,5 +153,8 @@ func readFrame(r io.Reader) (uint8, []byte, error) {
 // explicit transaction bracket (OpBegin/OpCommit), the shard-topology
 // handshake (OpShardInfo), the catalog/scan/timeline opcodes, structured
 // error frames ([code u8][message]; see errors.go) and the structured
-// OpPutSteps reply carrying the failing batch index.
-const protocolVersion = 2
+// OpPutSteps reply carrying the failing batch index. Version 3 added the
+// replication opcodes (OpShipRecord/OpPromote/OpReplState) and with them
+// the warm-standby role: a StandbyServer speaks only the hello exchange,
+// OpReplState, OpShipRecord and OpPromote until promoted.
+const protocolVersion = 3

@@ -824,6 +824,18 @@ func (s *Server) dispatch(cs *connState, op uint8, payload []byte) ([]byte, erro
 			labbase.EncodeValue(e, te.Value)
 		}
 
+	case OpReplState:
+		// A full server is always a primary; standbys are served by
+		// StandbyServer, which answers role 1 and its applied LSN.
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		e.Uint(0) // role: primary
+		e.Uint(0) // lastLSN: meaningless for a primary
+
+	case OpShipRecord, OpPromote:
+		return nil, fmt.Errorf("wire: not a standby")
+
 	default:
 		return nil, fmt.Errorf("wire: unknown opcode %d", op)
 	}

@@ -1,0 +1,307 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"labflow/internal/rec"
+	"labflow/internal/storage/repl"
+)
+
+// StandbyServer is the network face of a warm standby: it wraps a
+// repl.Standby and speaks a deliberately tiny slice of the protocol — the
+// hello exchange, OpReplState, OpShipRecord and OpPromote. Every data
+// opcode (including OpShardInfo, the router's handshake) is refused, so a
+// router probing a standby's address before promotion sees a failed
+// handshake, not a healthy shard.
+//
+// OpPromote finalizes the standby's media and shuts the server down:
+// Serve returns nil, and the owning process reopens the media with a real
+// storage manager behind a full Server on the same address.
+type StandbyServer struct {
+	st   *repl.Standby
+	logf func(format string, args ...any)
+
+	// mu guards the connection registry and shutdown state. It is held
+	// only around registry mutation and the promote/close transition —
+	// never across a frame — and ranks above Server.connMu territory but
+	// below every storage lock (see internal/lint lock order).
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	promoted bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewStandbyServer wraps an open standby.
+func NewStandbyServer(st *repl.Standby) *StandbyServer {
+	return &StandbyServer{
+		st:    st,
+		logf:  log.Printf,
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// SetLogf redirects server logging (nil silences it).
+func (s *StandbyServer) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// Promoted reports whether OpPromote has been served.
+func (s *StandbyServer) Promoted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted
+}
+
+// Serve accepts connections until the listener is closed or the standby is
+// promoted. After a promotion it returns nil with the standby's media
+// finalized and every connection drained.
+func (s *StandbyServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			s.wg.Wait()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Shutdown closes the listener and cuts off every connection's read side,
+// draining in-flight frames (mirroring Server.Shutdown). It does not touch
+// the standby itself: an unpromoted standby stays open for the owner to
+// Close or hand elsewhere.
+func (s *StandbyServer) Shutdown() {
+	s.shutdownLocked(false)
+	s.wg.Wait()
+}
+
+// shutdownLocked flips the server closed and unblocks the accept and read
+// loops. With fromPromote set the caller is a connection goroutine that
+// still has a response to flush, so only read sides are cut.
+func (s *StandbyServer) shutdownLocked(fromPromote bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.promoted = s.promoted || fromPromote
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now()) //lint:allow wallclock immediate deadline to unblock readers on shutdown, never persisted
+	}
+}
+
+func (s *StandbyServer) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, payload, err := readFrame(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				s.logf("wire: standby read: %v", err)
+			}
+			return
+		}
+		resp, promote, err := s.handle(op, payload)
+		if err != nil {
+			e := rec.NewEncoder(len(err.Error()) + 8)
+			encodeRemoteErr(e, err)
+			if werr := writeFrame(w, statusErr, e.Bytes()); werr != nil {
+				return
+			}
+		} else {
+			if werr := writeFrame(w, statusOK, resp); werr != nil {
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if promote {
+			// The ack is flushed; now take the whole server down so the
+			// owner can reopen the media behind a real Server.
+			s.shutdownLocked(true)
+			return
+		}
+	}
+}
+
+// handle executes one standby request. The bool result signals a served
+// promotion: the caller flushes the ack and then shuts the server down.
+func (s *StandbyServer) handle(op uint8, payload []byte) ([]byte, bool, error) {
+	d := rec.NewDecoder(payload)
+	e := rec.NewEncoder(32)
+	switch op {
+	case OpHello:
+		v := d.Uint()
+		if err := d.Finish(); err != nil {
+			return nil, false, err
+		}
+		if v != protocolVersion {
+			return nil, false, fmt.Errorf("wire: protocol version %d not supported", v)
+		}
+		e.Uint(protocolVersion)
+		e.String("labflow-standby")
+
+	case OpReplState:
+		if err := d.Finish(); err != nil {
+			return nil, false, err
+		}
+		e.Uint(1) // role: standby
+		e.Uint(s.st.LastLSN())
+
+	case OpShipRecord:
+		// The payload is the raw record encoding; Apply validates the
+		// magic, CRC and LSN sequencing before journaling it.
+		lsn, err := s.st.Apply(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		e.Uint(lsn)
+
+	case OpPromote:
+		if err := d.Finish(); err != nil {
+			return nil, false, err
+		}
+		if err := s.st.Promote(); err != nil {
+			return nil, false, err
+		}
+		e.Uint(s.st.LastLSN())
+		return e.Bytes(), true, nil
+
+	default:
+		// Everything else — data opcodes and OpShardInfo in particular —
+		// is refused so nothing mistakes an unpromoted standby for a
+		// serving shard.
+		return nil, false, fmt.Errorf("wire: standby not promoted")
+	}
+	if err := d.Err(); err != nil {
+		return nil, false, err
+	}
+	return e.Bytes(), false, nil
+}
+
+// RemoteShipper implements repl.Shipper over the wire: each shipped record
+// becomes one OpShipRecord round trip to a StandbyServer. The connection is
+// dialed lazily on first use and redialed once per Ship after a transport
+// error; a remote refusal (ErrRemote — gap, corrupt record, standby done)
+// is returned as-is, failing the primary's commit, because retrying cannot
+// help a standby that has rejected the sequence.
+type RemoteShipper struct {
+	// mu serializes shipments (commits on the primary are already
+	// serialized; the lock also covers lazy dialing and Close). It is a
+	// lock leaf: network I/O happens under it, storage locks do not.
+	mu      sync.Mutex
+	addr    string
+	timeout time.Duration
+	c       *Client
+}
+
+// DefaultShipTimeout bounds each shipment round trip when the caller
+// passes no timeout: long enough for a standby checkpoint fsync, short
+// enough that a dead follower fails the commit promptly.
+const DefaultShipTimeout = 10 * time.Second
+
+// NewRemoteShipper targets a standby address. No connection is made until
+// the first Ship.
+func NewRemoteShipper(addr string, timeout time.Duration) *RemoteShipper {
+	if timeout <= 0 {
+		timeout = DefaultShipTimeout
+	}
+	return &RemoteShipper{addr: addr, timeout: timeout}
+}
+
+// Ship implements repl.Shipper.
+func (r *RemoteShipper) Ship(lsn uint64, record []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acked, err := r.shipLocked(record)
+	if err != nil && !errors.Is(err, ErrRemote) {
+		// Transport failure: the standby may be fine and the connection
+		// stale. One redial, then give up and fail the commit.
+		r.dropLocked()
+		acked, err = r.shipLocked(record)
+	}
+	if err != nil {
+		if !errors.Is(err, ErrRemote) {
+			r.dropLocked()
+		}
+		return fmt.Errorf("repl: ship lsn %d to %s: %w", lsn, r.addr, err)
+	}
+	if acked != lsn {
+		r.dropLocked()
+		return fmt.Errorf("repl: ship lsn %d to %s: acked as %d", lsn, r.addr, acked)
+	}
+	return nil
+}
+
+func (r *RemoteShipper) shipLocked(record []byte) (uint64, error) {
+	if r.c == nil {
+		c, err := DialTimeout(r.addr, r.timeout)
+		if err != nil {
+			return 0, err
+		}
+		r.c = c
+	}
+	return r.c.ShipRecord(record)
+}
+
+func (r *RemoteShipper) dropLocked() {
+	if r.c != nil {
+		r.c.Close()
+		r.c = nil
+	}
+}
+
+// Close drops the connection; a later Ship redials.
+func (r *RemoteShipper) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropLocked()
+	return nil
+}

@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"labflow/internal/storage"
+	"labflow/internal/storage/ostore"
+	"labflow/internal/storage/repl"
+)
+
+// startStandby brings up a StandbyServer over fresh media and returns its
+// address plus a waiter for Serve's result (safe to call more than once).
+func startStandby(t *testing.T, path string) (string, *StandbyServer, func() error) {
+	t.Helper()
+	st, err := repl.OpenFileStandby(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStandbyServer(st)
+	ss.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ss.Serve(ln) }()
+	var once sync.Once
+	var serveErr error
+	wait := func() error {
+		once.Do(func() { serveErr = <-done })
+		return serveErr
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		ss.Shutdown()
+		if err := wait(); err != nil {
+			t.Errorf("standby Serve: %v", err)
+		}
+	})
+	return ln.Addr().String(), ss, wait
+}
+
+// TestStandbyShipPromote runs the whole replication path over real TCP: an
+// ostore primary ships every commit through a RemoteShipper to a
+// StandbyServer, the standby tracks the primary's LSNs, and after an
+// OpPromote the standby's media open as a complete store.
+func TestStandbyShipPromote(t *testing.T) {
+	dir := t.TempDir()
+	standbyPath := filepath.Join(dir, "follower.db")
+	addr, ss, wait := startStandby(t, standbyPath)
+
+	shipper := NewRemoteShipper(addr, 5*time.Second)
+	defer shipper.Close()
+	m, err := ostore.Open(ostore.Options{
+		Path:    filepath.Join(dir, "primary.db"),
+		Shipper: shipper,
+	})
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+
+	// A probe client sees a standby, and the shard handshake is refused so
+	// no router mistakes the follower for a live shard.
+	probe, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	role, lsn, err := probe.ReplState()
+	if err != nil || role != 1 {
+		t.Fatalf("ReplState = (%d, %d, %v), want standby role", role, lsn, err)
+	}
+	if lsn != 1 {
+		t.Fatalf("standby LSN after store creation = %d, want 1", lsn)
+	}
+	if _, _, _, err := probe.ShardInfo(); err == nil || !strings.Contains(err.Error(), "not promoted") {
+		t.Fatalf("ShardInfo on standby: err = %v, want refusal", err)
+	}
+
+	var oids []storage.OID
+	for i := 0; i < 5; i++ {
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		oid, err := m.Allocate(storage.SegMaterial, []byte(fmt.Sprintf("ship%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+		if err := m.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		// Store creation occupies LSN 1; workload commit i acks as i+2.
+		if _, lsn, err := probe.ReplState(); err != nil || lsn != uint64(i+2) {
+			t.Fatalf("standby LSN after commit %d = %d (%v), want %d", i, lsn, err, i+2)
+		}
+	}
+
+	// Kill the primary without a clean close and promote over the wire.
+	if err := probe.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("standby Serve after promote: %v", err)
+	}
+	if !ss.Promoted() {
+		t.Fatal("server does not report promotion")
+	}
+
+	f, err := ostore.Open(ostore.Options{Path: standbyPath})
+	if err != nil {
+		t.Fatalf("open promoted media: %v", err)
+	}
+	defer f.Close()
+	for i, oid := range oids {
+		got, err := f.Read(oid)
+		if err != nil || string(got) != fmt.Sprintf("ship%d", i) {
+			t.Fatalf("promoted read %d = %q, %v", i, got, err)
+		}
+	}
+	_ = m // the primary's media are abandoned, as after a crash
+}
+
+// TestShipFailureFailsCommit points a primary at a dead standby address:
+// the very first shipped record (store creation) must fail the operation
+// instead of silently diverging from the follower.
+func TestShipFailureFailsCommit(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+
+	shipper := NewRemoteShipper(addr, 500*time.Millisecond)
+	defer shipper.Close()
+	_, err = ostore.Open(ostore.Options{
+		Path:    filepath.Join(t.TempDir(), "primary.db"),
+		Shipper: shipper,
+	})
+	if err == nil {
+		t.Fatal("open with dead standby succeeded; creation commit should have failed to ship")
+	}
+}
+
+// TestPrimaryRejectsReplWrites checks the role split on a full server:
+// ReplState answers primary, and the standby-only opcodes are refused as
+// remote errors.
+func TestPrimaryRejectsReplWrites(t *testing.T) {
+	c, _ := startServer(t)
+	role, _, err := c.ReplState()
+	if err != nil || role != 0 {
+		t.Fatalf("ReplState = (%d, %v), want primary role", role, err)
+	}
+	if err := c.Promote(); !errors.Is(err, ErrRemote) {
+		t.Fatalf("Promote on primary: err = %v, want remote refusal", err)
+	}
+	if _, err := c.ShipRecord(repl.EncodeRecord(1, nil)); !errors.Is(err, ErrRemote) {
+		t.Fatalf("ShipRecord on primary: err = %v, want remote refusal", err)
+	}
+}
+
+// TestStandbyRejectsGap ships a record with the wrong LSN and requires the
+// standby to refuse it while staying alive for the correct sequence.
+func TestStandbyRejectsGap(t *testing.T) {
+	dir := t.TempDir()
+	addr, _, _ := startStandby(t, filepath.Join(dir, "follower.db"))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.ShipRecord(repl.EncodeRecord(7, nil)); !errors.Is(err, ErrRemote) {
+		t.Fatalf("gap ship: err = %v, want remote refusal", err)
+	}
+	lsn, err := c.ShipRecord(repl.EncodeRecord(1, nil))
+	if err != nil || lsn != 1 {
+		t.Fatalf("in-sequence ship after refusal = (%d, %v), want LSN 1", lsn, err)
+	}
+}

@@ -107,6 +107,19 @@ echo "$lfload_q" | grep -q '"query_ops"' || {
 echo "== cluster smoke (2 labbase-server processes, lfload through the router)"
 ./scripts/cluster_smoke.sh
 
+echo "== failover smoke (warm standbys, primary SIGKILLed under load)"
+./scripts/failover_smoke.sh
+
+echo "== failover crashtest (fixed seeds, committed-prefix after promotion)"
+go run ./cmd/labflow -experiment failover -store all -crashruns 25 >/dev/null || {
+	echo "failover crashtest FAILED; replay:" >&2
+	echo "  go run ./cmd/labflow -experiment failover -store all -crashruns 25" >&2
+	exit 1
+}
+
+echo "== recovery experiment smoke (checkpointed reopen, bounded replay)"
+go run ./cmd/labflow -experiment recovery -crashruns 40 >/dev/null
+
 echo "== write benchmark smoke (BenchmarkPutStepsWriters, 1 iteration each)"
 go test -bench 'BenchmarkPutStepsWriters' -benchtime=1x -run '^$' ./internal/labbase/shard/
 
