@@ -60,6 +60,7 @@ func main() {
 		member    = flag.String("shard", "", "serve as cluster member k of n (\"k/n\"); excludes -shards")
 		addrfile  = flag.String("addrfile", "", "write the bound listen address to this file")
 		standby   = flag.Bool("standby", false, "serve as a warm standby: apply shipped redo records to -path until promoted, then reopen and serve normally")
+		stbySync  = flag.Bool("standby-sync", false, "fsync the standby journal before acking each shipped record (power-loss durability; default covers process crashes only)")
 		ship      = flag.String("ship", "", "standby address to ship every commit's redo record to (persistent single-store only)")
 		ckpt      = flag.Int("ckpt", 8, "checkpoint interval in commits: ostore redo-log checkpoints, texas snapshots, standby journal checkpoints")
 		restore   = flag.Bool("restore", false, "let a torn texas store open from its last snapshot, discarding commits past it")
@@ -77,7 +78,7 @@ func main() {
 	}
 
 	if *standby {
-		promoted, err := serveStandby(ln, *path, *ckpt)
+		promoted, err := serveStandby(ln, *path, *ckpt, *stbySync)
 		if err != nil {
 			log.Fatalf("labbase-server: standby: %v", err)
 		}
@@ -136,11 +137,12 @@ func main() {
 // media applies shipped records until promotion or shutdown. It returns
 // whether the standby was promoted (the caller then reopens the media as a
 // real store on the same address).
-func serveStandby(ln net.Listener, path string, every int) (bool, error) {
+func serveStandby(ln net.Listener, path string, every int, sync bool) (bool, error) {
 	st, err := repl.OpenFileStandby(path, every)
 	if err != nil {
 		return false, err
 	}
+	st.SetSync(sync)
 	ss := wire.NewStandbyServer(st)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

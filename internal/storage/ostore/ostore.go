@@ -158,14 +158,26 @@ func Open(opts Options) (storage.Manager, error) {
 		}
 	}
 	nextLSN := uint64(1)
+	var pending []pendingRecord
 	if logFile != nil {
-		n, err := recoverLog(logFile, backing, opts.SyncLog, opts.Recovery)
+		n, replayed, err := recoverLog(logFile, backing, opts.SyncLog, opts.Recovery)
 		if err != nil {
 			backing.Close()
 			logFile.Close()
 			return nil, fmt.Errorf("ostore: recovery: %w", err)
 		}
 		nextLSN = n
+		if opts.Shipper != nil {
+			// A replayed record reached its durability point here but the
+			// crash may have cut it off before (or mid-) shipment, leaving
+			// the follower behind while the stream would resume past it.
+			// Queue the replayed records for redelivery ahead of the next
+			// commit group; records the follower already holds are retired
+			// there without retransmission (see resolvePendingShips).
+			for _, rec := range replayed {
+				pending = append(pending, pendingRecord{lsn: rec.LSN, rec: repl.EncodeRecord(rec.LSN, rec.Pages)})
+			}
+		}
 	} else if opts.Recovery != nil {
 		*opts.Recovery = repl.RecoveryInfo{NextLSN: nextLSN}
 	}
@@ -180,6 +192,7 @@ func Open(opts Options) (storage.Manager, error) {
 		syncLog:   opts.SyncLog,
 		shipper:   opts.Shipper,
 		nextLSN:   nextLSN,
+		pending:   pending,
 		logEnd:    repl.CursorSize,
 		ckptEvery: ckptEvery,
 		pool:      make(map[pagefile.PageID]*frame),
@@ -188,6 +201,7 @@ func Open(opts Options) (storage.Manager, error) {
 		faultReq:  make(chan faultRequest),
 		commitReq: make(chan *commitBatch, commitQueueDepth),
 		done:      make(chan struct{}),
+		flushDone: make(chan struct{}),
 	}
 	go p.serve()
 	go p.flushLoop()
@@ -208,31 +222,32 @@ func Open(opts Options) (storage.Manager, error) {
 // checkpoint), never O(history): everything before the cursor was synced
 // into the backing when the cursor was written. A torn tail record is
 // discarded — its transaction never reached the durability point. Returns
-// the next LSN to assign.
-func recoverLog(log LogFile, backing pagefile.Backing, syncLog bool, info *repl.RecoveryInfo) (uint64, error) {
+// the next LSN to assign and the replayed records (whose page images stay
+// valid: they alias the scan buffer).
+func recoverLog(log LogFile, backing pagefile.Backing, syncLog bool, info *repl.RecoveryInfo) (uint64, []repl.Record, error) {
 	cursorLSN, records, err := repl.ScanLog(log)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	last := cursorLSN
 	for _, rec := range records {
 		if err := repl.ApplyRecord(backing, rec); err != nil {
-			return 0, fmt.Errorf("replay record %d: %w", rec.LSN, err)
+			return 0, nil, fmt.Errorf("replay record %d: %w", rec.LSN, err)
 		}
 		last = rec.LSN
 	}
 	if len(records) > 0 {
 		if err := backing.Sync(); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	if err := repl.Checkpoint(log, last, syncLog); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if info != nil {
 		*info = repl.RecoveryInfo{CheckpointLSN: cursorLSN, Replayed: len(records), NextLSN: last + 1}
 	}
-	return last + 1, nil
+	return last + 1, records, nil
 }
 
 type frame struct {
@@ -277,10 +292,12 @@ type pager struct {
 	stats    pagefile.PagerStats
 	closed   bool
 
-	// Log/shipping state, touched only by the flushLoop goroutine (plus Open
-	// and Close, which never race with it), so it needs no locking.
+	// Log/shipping state, touched only by the flushLoop goroutine (plus
+	// Open, and Close after it has waited for flushDone), so it needs no
+	// locking.
 	shipper   repl.Shipper
 	nextLSN   uint64
+	pending   []pendingRecord
 	logEnd    int64
 	ckptEvery int
 	sinceCkpt int
@@ -288,6 +305,17 @@ type pager struct {
 	faultReq  chan faultRequest
 	commitReq chan *commitBatch
 	done      chan struct{}
+	flushDone chan struct{} // closed when flushLoop exits
+}
+
+// pendingRecord is a redo record that reached its local durability point
+// but was never acked by the follower: its Ship failed, or it was replayed
+// from the log by a reopen. The LSN is burned — these exact bytes are
+// redelivered ahead of the next commit group (resolvePendingShips) so the
+// stream never reuses an LSN for different contents.
+type pendingRecord struct {
+	lsn uint64
+	rec []byte
 }
 
 // serve is the page-server goroutine: every cache miss is a round trip here,
@@ -475,7 +503,15 @@ func (p *pager) Commit() error {
 // redo record: one log write, one optional fsync, one pass of in-place page
 // writes, one truncate. Every batch in the group is then released at once.
 func (p *pager) flushLoop() {
+	defer close(p.flushDone)
 	for {
+		// Prefer shutdown over another batch when both are ready: Close
+		// waits on flushDone before it touches the log and backing.
+		select {
+		case <-p.done:
+			return
+		default:
+		}
 		select {
 		case b := <-p.commitReq:
 			batches := []*commitBatch{b}
@@ -521,6 +557,15 @@ func (p *pager) flushBatches(batches []*commitBatch) error {
 	if len(order) == 0 {
 		return nil
 	}
+	// Records whose earlier shipment was never acked must land on the
+	// follower before this group's record: acking LSN n promises the
+	// follower holds everything through n. A redelivery failure fails the
+	// group before it burns a new LSN.
+	if p.shipper != nil && len(p.pending) > 0 {
+		if err := p.resolvePendingShips(); err != nil {
+			return err
+		}
+	}
 	if p.log != nil || p.shipper != nil {
 		pages := make([]repl.PageImage, len(order))
 		for i, fr := range order {
@@ -541,10 +586,19 @@ func (p *pager) flushBatches(batches []*commitBatch) error {
 		// client learns the commit succeeded. A Ship failure fails the whole
 		// group — the record stays in the log, so the commit lands on reopen
 		// even though its clients saw an error (the crash-inside-Commit
-		// "either side" contract).
+		// "either side" contract). The LSN is burned either way: the exact
+		// bytes are kept for redelivery ahead of the next group, and the
+		// stream advances past them, so an LSN is never reused for different
+		// contents (the invariant the standby's duplicate re-ack relies on).
 		if p.shipper != nil {
 			if err := p.shipper.Ship(p.nextLSN, buf); err != nil {
-				return fmt.Errorf("ostore: ship record %d: %w", p.nextLSN, err)
+				lsn := p.nextLSN
+				p.pending = append(p.pending, pendingRecord{lsn: lsn, rec: buf})
+				p.nextLSN++
+				if p.log != nil {
+					p.logEnd += int64(len(buf))
+				}
+				return fmt.Errorf("ostore: ship record %d: %w", lsn, err)
 			}
 		}
 		p.nextLSN++
@@ -577,6 +631,37 @@ func (p *pager) flushBatches(batches []*commitBatch) error {
 			p.sinceCkpt = 0
 			p.logEnd = repl.CursorSize
 		}
+	}
+	return nil
+}
+
+// resolvePendingShips redelivers records whose shipment was never acked —
+// a Ship that returned a transport error, or records replayed from the log
+// at Open. When the shipper can report the follower's state, records the
+// follower already holds (shipped successfully with the ack lost) are
+// retired without retransmission; the rest go out in LSN order with their
+// original bytes. Any failure leaves the unresolved tail queued and fails
+// the caller's commit group.
+func (p *pager) resolvePendingShips() error {
+	if sq, ok := p.shipper.(repl.StateShipper); ok {
+		last, err := sq.FollowerLSN()
+		if err != nil {
+			return fmt.Errorf("ostore: query follower state: %w", err)
+		}
+		kept := p.pending[:0]
+		for _, pr := range p.pending {
+			if pr.lsn > last {
+				kept = append(kept, pr)
+			}
+		}
+		p.pending = kept
+	}
+	for len(p.pending) > 0 {
+		pr := p.pending[0]
+		if err := p.shipper.Ship(pr.lsn, pr.rec); err != nil {
+			return fmt.Errorf("ostore: re-ship record %d: %w", pr.lsn, err)
+		}
+		p.pending = p.pending[1:]
 	}
 	return nil
 }
@@ -626,7 +711,14 @@ func (p *pager) Close() error {
 		return nil
 	}
 	p.closed = true
+	p.mu.Unlock()
+	// Stop the daemons, then wait for an in-flight group flush to drain:
+	// flushBatches writes the log and backing and owns nextLSN/logEnd, so
+	// none of the teardown below may overlap it. The wait must happen
+	// outside p.mu — flushBatches takes p.mu for its stats update.
 	close(p.done)
+	<-p.flushDone
+	p.mu.Lock()
 	var errs []error
 	for _, fr := range p.ring {
 		if fr.dirty {

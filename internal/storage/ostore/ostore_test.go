@@ -2,10 +2,12 @@ package ostore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"labflow/internal/storage"
@@ -278,7 +280,7 @@ func TestShortReadLogIgnored(t *testing.T) {
 		repl.EncodeRecord(1, []repl.PageImage{{ID: 0, Data: bytes.Repeat([]byte{0xEE}, pagefile.PageSize)}})...)
 
 	log := &shortLog{data: rec, deliver: len(rec) / 2}
-	if _, err := recoverLog(log, backing, false, nil); err != nil {
+	if _, _, err := recoverLog(log, backing, false, nil); err != nil {
 		t.Fatalf("recoverLog: %v", err)
 	}
 	// Nothing may have been replayed: the store still has only its original
@@ -294,7 +296,7 @@ func TestShortReadLogIgnored(t *testing.T) {
 	backing2 := pagefile.NewMem()
 	defer backing2.Close()
 	full := &shortLog{data: rec, deliver: len(rec)}
-	next, err := recoverLog(full, backing2, false, nil)
+	next, _, err := recoverLog(full, backing2, false, nil)
 	if err != nil {
 		t.Fatalf("recoverLog (full): %v", err)
 	}
@@ -570,6 +572,127 @@ func TestShipperFeedsStandby(t *testing.T) {
 		if err != nil || string(got) != fmt.Sprintf("ship%d", i) {
 			t.Fatalf("promoted read %d = %q, %v", i, got, err)
 		}
+	}
+}
+
+// flakyShipper wraps an in-process standby and fails exactly one armed
+// Ship, in either of the two transport-failure shapes: "ackLost" delivers
+// the record before erroring (the standby applied it; only the ack died)
+// and "dropped" errors without delivering. FollowerLSN is promoted from the
+// embedded standby, so the primary can resolve the ambiguity the same way
+// the wire shipper does.
+type flakyShipper struct {
+	*repl.Standby
+	mu   sync.Mutex
+	arm  string // "", "ackLost", "dropped"
+	errs int
+}
+
+func (f *flakyShipper) Arm(mode string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.arm = mode
+}
+
+func (f *flakyShipper) Ship(lsn uint64, record []byte) error {
+	f.mu.Lock()
+	mode := f.arm
+	f.arm = ""
+	if mode != "" {
+		f.errs++
+	}
+	f.mu.Unlock()
+	switch mode {
+	case "ackLost":
+		if err := f.Standby.Ship(lsn, record); err != nil {
+			return err
+		}
+		return errors.New("flaky: ack lost")
+	case "dropped":
+		return errors.New("flaky: record dropped")
+	}
+	return f.Standby.Ship(lsn, record)
+}
+
+// TestShipFailureRecovery is the wedge regression: a commit whose record
+// fails to ship must fail, but the NEXT commit must succeed — the burned
+// LSN's bytes are redelivered (or recognized as already applied) ahead of
+// the new record, never re-encoded under a reused LSN. Both failure shapes
+// are exercised.
+func TestShipFailureRecovery(t *testing.T) {
+	for _, mode := range []string{"ackLost", "dropped"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			standbyPath := filepath.Join(dir, "follower.db")
+			st, err := repl.OpenFileStandby(standbyPath, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := &flakyShipper{Standby: st}
+			m, err := Open(Options{Path: filepath.Join(dir, "primary.db"), Shipper: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oids := map[string]storage.OID{}
+			commit := func(payload string) error {
+				if err := m.Begin(); err != nil {
+					t.Fatal(err)
+				}
+				oid, err := m.Allocate(storage.SegMaterial, []byte(payload))
+				if err != nil {
+					t.Fatal(err)
+				}
+				oids[payload] = oid
+				return m.Commit()
+			}
+			if err := commit("a"); err != nil {
+				t.Fatalf("commit a: %v", err)
+			}
+			// Creation is LSN 1, commit a is LSN 2.
+			if got := st.LastLSN(); got != 2 {
+				t.Fatalf("standby LSN = %d, want 2", got)
+			}
+
+			fs.Arm(mode)
+			if err := commit("b"); err == nil {
+				t.Fatal("commit b succeeded despite ship failure")
+			}
+			// The follower may or may not hold record 3 now — that is the
+			// ambiguity — but the primary must not be wedged.
+			if err := commit("c"); err != nil {
+				t.Fatalf("commit c after ship failure: %v (stream wedged)", err)
+			}
+			if got := st.LastLSN(); got != 4 {
+				t.Fatalf("standby LSN after recovery = %d, want 4 (burned LSN 3 resolved, c is 4)", got)
+			}
+			if err := commit("d"); err != nil {
+				t.Fatalf("commit d: %v", err)
+			}
+			if got := st.LastLSN(); got != 5 {
+				t.Fatalf("standby LSN = %d, want 5", got)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The promoted follower serves every successfully committed
+			// payload; the failed commit's pages rode along in the redelivered
+			// superset record, so its state is a superset of what clients saw.
+			if err := st.Promote(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := Open(Options{Path: standbyPath})
+			if err != nil {
+				t.Fatalf("open promoted standby: %v", err)
+			}
+			defer f.Close()
+			for _, want := range []string{"a", "c", "d"} {
+				got, err := f.Read(oids[want])
+				if err != nil || string(got) != want {
+					t.Fatalf("promoted read %q = %q, %v", want, got, err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"labflow/internal/storage"
 	"labflow/internal/storage/pagefile"
@@ -209,6 +210,7 @@ func newWhiteboxPager(t *testing.T, logPath string) *pager {
 		faultReq:  make(chan faultRequest),
 		commitReq: make(chan *commitBatch, commitQueueDepth),
 		done:      make(chan struct{}),
+		flushDone: make(chan struct{}),
 	}
 	go p.serve()
 	go p.flushLoop()
@@ -338,5 +340,73 @@ func TestGroupCommitConcurrent(t *testing.T) {
 	}
 	if info, err := os.Stat(logPath); err != nil || info.Size() != int64(repl.CursorSize) {
 		t.Errorf("log not checkpointed down to its cursor after final commit: %v, %v", info, err)
+	}
+}
+
+// slowWAL delays every log write, widening the window in which Close can
+// land while flushBatches is mid-flush.
+type slowWAL struct {
+	LogFile
+}
+
+func (l slowWAL) WriteAt(p []byte, off int64) (int, error) {
+	time.Sleep(time.Millisecond)
+	return l.LogFile.WriteAt(p, off)
+}
+
+// TestCloseDrainsInFlightFlush races Close against committers whose flushes
+// are artificially slow. Close must wait for the in-flight group flush to
+// drain before tearing down the log and backing — under the race detector
+// this catches any overlap between flushBatches and teardown — and late
+// committers get ErrPagerClosed, never a write into closed media.
+func TestCloseDrainsInFlightFlush(t *testing.T) {
+	f, err := os.OpenFile(filepath.Join(t.TempDir(), "wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &pager{
+		backing:   pagefile.NewMem(),
+		log:       slowWAL{osLog{f}},
+		nextLSN:   1,
+		logEnd:    repl.CursorSize,
+		ckptEvery: 1,
+		pool:      make(map[pagefile.PageID]*frame),
+		capacity:  64,
+		locks:     make(map[pagefile.PageID]pagefile.Mode),
+		faultReq:  make(chan faultRequest),
+		commitReq: make(chan *commitBatch, commitQueueDepth),
+		done:      make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	go p.serve()
+	go p.flushLoop()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				fr, err := p.AllocPage()
+				if err != nil {
+					return // pager closed under us: the expected exit
+				}
+				for i := range fr.Data {
+					fr.Data[i] = byte(w)
+				}
+				p.Unpin(fr, true)
+				if err := p.Commit(); err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond) // let flushes overlap the close
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }

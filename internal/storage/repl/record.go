@@ -151,6 +151,18 @@ func DecodeRecord(data []byte) (Record, int64, bool) {
 	return rec, need, true
 }
 
+// RecordCRC returns a record's embedded CRC32 (computed over its header
+// and page images) — a fingerprint of the record's contents. Note that a
+// whole-record checksum would NOT work here: CRC32 of a message followed
+// by its own CRC is a constant (the residue property), identical for every
+// valid record.
+func RecordCRC(record []byte) uint32 {
+	if len(record) < 12 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(record[len(record)-12:])
+}
+
 // EncodeCursor serializes a checkpoint cursor naming the last LSN already
 // durable in the page backing.
 func EncodeCursor(lsn uint64) []byte {
@@ -279,6 +291,25 @@ type RecoveryInfo struct {
 // (acked) the record: a commit only reports success once its record is on
 // the standby, which is what makes the promoted follower's state a superset
 // of everything any client observed as committed.
+//
+// Callers must never reuse an LSN for different bytes: once Ship has been
+// attempted for (lsn, record) — even if it returned an error — any later
+// Ship of that LSN must carry the identical record. A failed ship is
+// ambiguous (the follower may have applied the record with only the ack
+// lost), and the whole retry protocol — the standby's idempotent re-ack,
+// the wire shipper's state-query-before-retransmit, the storage managers'
+// pending-record redelivery — is sound only because an LSN names one
+// immutable byte string.
 type Shipper interface {
 	Ship(lsn uint64, record []byte) error
+}
+
+// StateShipper is a Shipper that can also report the follower's last
+// applied LSN. A primary uses it to resolve records whose ship ended in a
+// transport error: a record the follower already holds (shipped, applied,
+// ack lost) is retired without retransmission, and only genuinely missing
+// records are re-shipped.
+type StateShipper interface {
+	Shipper
+	FollowerLSN() (uint64, error)
 }

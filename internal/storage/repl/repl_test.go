@@ -227,3 +227,82 @@ func TestStandbyApplyAndRecover(t *testing.T) {
 		}
 	}
 }
+
+// TestStandbyReacksLostAckDuplicate pins the ack-lost resolution: a
+// byte-identical retransmission of the record just applied is re-acked
+// without being reapplied, while the same LSN with different bytes — a
+// diverged or mispaired peer — is refused, and older LSNs stay gaps.
+func TestStandbyReacksLostAckDuplicate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "follow.db")
+	st, err := OpenFileStandby(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := EncodeRecord(2, []PageImage{{ID: 1, Data: page(0x22)}})
+	if err := st.Ship(1, EncodeRecord(1, []PageImage{{ID: 0, Data: page(0x11)}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Ship(2, rec2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exact bytes again: re-acked, nothing reapplied.
+	lsn, err := st.Apply(rec2)
+	if err != nil || lsn != 2 {
+		t.Fatalf("duplicate apply = (%d, %v), want re-ack of 2", lsn, err)
+	}
+	if st.LastLSN() != 2 || st.Applied() != 2 {
+		t.Fatalf("after re-ack: lsn=%d applied=%d, want 2, 2", st.LastLSN(), st.Applied())
+	}
+
+	// Same LSN, different contents: refused loudly.
+	if _, err := st.Apply(EncodeRecord(2, []PageImage{{ID: 1, Data: page(0xDD)}})); !errors.Is(err, ErrStandbyGap) {
+		t.Fatalf("conflicting duplicate: err = %v, want ErrStandbyGap", err)
+	}
+	// An LSN behind the last applied one is still a gap, not a re-ack.
+	if _, err := st.Apply(EncodeRecord(1, []PageImage{{ID: 0, Data: page(0x11)}})); !errors.Is(err, ErrStandbyGap) {
+		t.Fatalf("stale LSN: err = %v, want ErrStandbyGap", err)
+	}
+
+	// A standby restart keeps the duplicate check when the tail record is
+	// still in its journal: LSN 2 was applied after the every=4 checkpoint
+	// window opened, so the reopened standby re-derives its CRC and still
+	// refuses conflicting bytes while re-acking the original.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenFileStandby(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if lsn, err := st2.Apply(rec2); err != nil || lsn != 2 {
+		t.Fatalf("re-ack after restart = (%d, %v), want 2", lsn, err)
+	}
+	if _, err := st2.Apply(EncodeRecord(2, []PageImage{{ID: 1, Data: page(0xDD)}})); !errors.Is(err, ErrStandbyGap) {
+		t.Fatalf("conflicting duplicate after restart: err = %v, want ErrStandbyGap", err)
+	}
+	if lsn, err := st2.Apply(EncodeRecord(3, nil)); err != nil || lsn != 3 {
+		t.Fatalf("stream resumes after re-ack = (%d, %v), want 3", lsn, err)
+	}
+}
+
+// TestStandbyFollowerLSN pins the StateShipper view used by the primaries'
+// pending-record resolution.
+func TestStandbyFollowerLSN(t *testing.T) {
+	st, err := OpenFileStandby(filepath.Join(t.TempDir(), "follow.db"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var _ StateShipper = st
+	if lsn, err := st.FollowerLSN(); err != nil || lsn != 0 {
+		t.Fatalf("FollowerLSN = (%d, %v), want 0", lsn, err)
+	}
+	if err := st.Ship(1, EncodeRecord(1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if lsn, err := st.FollowerLSN(); err != nil || lsn != 1 {
+		t.Fatalf("FollowerLSN = (%d, %v), want 1", lsn, err)
+	}
+}

@@ -61,18 +61,33 @@ func (p *pager) snapshotsOn() bool {
 	return p.slots[0] != nil || p.slots[1] != nil
 }
 
+// pendingRecord is a commit's encoded redo record that was never acked by
+// the follower (its Ship failed): the LSN is burned, and these exact bytes
+// are redelivered ahead of the next commit so the stream never reuses an
+// LSN for different contents.
+type pendingRecord struct {
+	lsn uint64
+	rec []byte
+}
+
 // commitReplLocked runs after a successful flush: assign the commit its LSN,
 // ship the captured page images (an empty record for a read-only commit, so
 // the standby's LSN tracks the primary's commit count exactly), and write a
 // snapshot every snapEvery commits. A Ship or snapshot error fails the
 // commit — its pages are already in the backing, so the caller must treat
-// the store like one that crashed inside Commit.
+// the store like one that crashed inside Commit. A failed ship does not
+// stall the stream: the record's bytes are queued under their burned LSN
+// and redelivered (or retired, if the follower turns out to have applied
+// them with only the ack lost) ahead of the next commit's record.
 func (p *pager) commitReplLocked() error {
 	if p.shipper == nil && !p.snapshotsOn() {
 		return nil
 	}
-	lsn := p.nextLSN
 	if p.shipper != nil {
+		if err := p.resolvePendingLocked(); err != nil {
+			return err
+		}
+		lsn := p.nextLSN
 		ids := make([]pagefile.PageID, 0, len(p.ship))
 		for id := range p.ship {
 			ids = append(ids, id)
@@ -82,10 +97,15 @@ func (p *pager) commitReplLocked() error {
 		for i, id := range ids {
 			pages[i] = repl.PageImage{ID: id, Data: p.ship[id]}
 		}
-		if err := p.shipper.Ship(lsn, repl.EncodeRecord(lsn, pages)); err != nil {
+		buf := repl.EncodeRecord(lsn, pages)
+		// The record owns the delta now (EncodeRecord copied the images),
+		// whether or not the shipment below succeeds.
+		clear(p.ship)
+		if err := p.shipper.Ship(lsn, buf); err != nil {
+			p.pending = append(p.pending, pendingRecord{lsn: lsn, rec: buf})
+			p.nextLSN++
 			return fmt.Errorf("texas: ship record %d: %w", lsn, err)
 		}
-		clear(p.ship)
 	}
 	p.nextLSN++
 	if p.snapshotsOn() {
@@ -99,6 +119,39 @@ func (p *pager) commitReplLocked() error {
 				return fmt.Errorf("texas: snapshot: %w", err)
 			}
 		}
+	}
+	return nil
+}
+
+// resolvePendingLocked redelivers records whose earlier Ship was never
+// acked, before a new LSN goes out. When the shipper can report the
+// follower's state, records the follower already holds (applied, ack lost
+// in transport) are retired without retransmission; the rest are re-shipped
+// in LSN order with their original bytes. Any failure leaves the unresolved
+// tail queued and fails this commit.
+func (p *pager) resolvePendingLocked() error {
+	if len(p.pending) == 0 {
+		return nil
+	}
+	if sq, ok := p.shipper.(repl.StateShipper); ok {
+		last, err := sq.FollowerLSN()
+		if err != nil {
+			return fmt.Errorf("texas: query follower state: %w", err)
+		}
+		kept := p.pending[:0]
+		for _, pr := range p.pending {
+			if pr.lsn > last {
+				kept = append(kept, pr)
+			}
+		}
+		p.pending = kept
+	}
+	for len(p.pending) > 0 {
+		pr := p.pending[0]
+		if err := p.shipper.Ship(pr.lsn, pr.rec); err != nil {
+			return fmt.Errorf("texas: re-ship record %d: %w", pr.lsn, err)
+		}
+		p.pending = p.pending[1:]
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"labflow/internal/storage"
@@ -168,5 +169,113 @@ func TestShipperTracksCommits(t *testing.T) {
 		if err != nil || string(got) != fmt.Sprintf("ship%d", i) {
 			t.Fatalf("promoted read %d = %q, %v", i, got, err)
 		}
+	}
+}
+
+// flakyShipper wraps an in-process standby and fails exactly one armed
+// Ship: "ackLost" delivers the record before erroring (the standby applied
+// it; only the ack died), "dropped" errors without delivering. FollowerLSN
+// is promoted from the embedded standby, mirroring the wire shipper.
+type flakyShipper struct {
+	*repl.Standby
+	mu  sync.Mutex
+	arm string
+}
+
+func (f *flakyShipper) Arm(mode string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.arm = mode
+}
+
+func (f *flakyShipper) Ship(lsn uint64, record []byte) error {
+	f.mu.Lock()
+	mode := f.arm
+	f.arm = ""
+	f.mu.Unlock()
+	switch mode {
+	case "ackLost":
+		if err := f.Standby.Ship(lsn, record); err != nil {
+			return err
+		}
+		return errors.New("flaky: ack lost")
+	case "dropped":
+		return errors.New("flaky: record dropped")
+	}
+	return f.Standby.Ship(lsn, record)
+}
+
+// TestShipFailureRecovery is the wedge regression for texas: a commit whose
+// record fails to ship must fail, but the next commit redelivers the burned
+// LSN's original bytes (or retires them via the follower's state) and
+// succeeds — the stream never reuses an LSN for different contents and
+// never stalls.
+func TestShipFailureRecovery(t *testing.T) {
+	for _, mode := range []string{"ackLost", "dropped"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			standbyPath := filepath.Join(dir, "follower.db")
+			st, err := repl.OpenFileStandby(standbyPath, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := &flakyShipper{Standby: st}
+			m, err := Open(Options{Path: filepath.Join(dir, "primary.db"), Shipper: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oids := map[string]storage.OID{}
+			commit := func(payload string) error {
+				if err := m.Begin(); err != nil {
+					t.Fatal(err)
+				}
+				oid, err := m.Allocate(storage.SegMaterial, []byte(payload))
+				if err != nil {
+					t.Fatal(err)
+				}
+				oids[payload] = oid
+				return m.Commit()
+			}
+			if err := commit("a"); err != nil {
+				t.Fatalf("commit a: %v", err)
+			}
+			if got := st.LastLSN(); got != 2 {
+				t.Fatalf("standby LSN = %d, want 2", got)
+			}
+
+			fs.Arm(mode)
+			if err := commit("b"); err == nil {
+				t.Fatal("commit b succeeded despite ship failure")
+			}
+			if err := commit("c"); err != nil {
+				t.Fatalf("commit c after ship failure: %v (stream wedged)", err)
+			}
+			if got := st.LastLSN(); got != 4 {
+				t.Fatalf("standby LSN after recovery = %d, want 4", got)
+			}
+			if err := commit("d"); err != nil {
+				t.Fatalf("commit d: %v", err)
+			}
+			if got := st.LastLSN(); got != 5 {
+				t.Fatalf("standby LSN = %d, want 5", got)
+			}
+
+			// Promote: every committed payload is served; the failed commit's
+			// pages rode along in the redelivered record, a superset.
+			if err := st.Promote(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := Open(Options{Path: standbyPath})
+			if err != nil {
+				t.Fatalf("open promoted standby: %v", err)
+			}
+			defer f.Close()
+			for _, want := range []string{"a", "c", "d"} {
+				got, err := f.Read(oids[want])
+				if err != nil || string(got) != want {
+					t.Fatalf("promoted read %q = %q, %v", want, got, err)
+				}
+			}
+		})
 	}
 }

@@ -269,6 +269,7 @@ type pager struct {
 	sinceSnap int                        // commits since the last snapshot
 	shipper   repl.Shipper               // nil: no standby
 	ship      map[pagefile.PageID][]byte // unstamped images pending shipment
+	pending   []pendingRecord            // encoded records never acked by the follower
 }
 
 // writePageLocked is the single path to the backing for page images. For a

@@ -226,12 +226,16 @@ func (s *StandbyServer) handle(op uint8, payload []byte) ([]byte, bool, error) {
 	return e.Bytes(), false, nil
 }
 
-// RemoteShipper implements repl.Shipper over the wire: each shipped record
-// becomes one OpShipRecord round trip to a StandbyServer. The connection is
-// dialed lazily on first use and redialed once per Ship after a transport
-// error; a remote refusal (ErrRemote — gap, corrupt record, standby done)
-// is returned as-is, failing the primary's commit, because retrying cannot
-// help a standby that has rejected the sequence.
+// RemoteShipper implements repl.StateShipper over the wire: each shipped
+// record becomes one OpShipRecord round trip to a StandbyServer. The
+// connection is dialed lazily on first use. A transport error leaves the
+// outcome ambiguous — the standby may have journaled the record with only
+// the ack lost — so Ship redials once and asks OpReplState before doing
+// anything else: a follower already at (or past) the shipped LSN acks the
+// record without a retransmission, and only a follower still behind gets
+// the record again. A remote refusal (ErrRemote — gap, corrupt record,
+// standby done) is returned as-is, failing the primary's commit, because
+// retrying cannot help a standby that has rejected the sequence.
 type RemoteShipper struct {
 	// mu serializes shipments (commits on the primary are already
 	// serialized; the lock also covers lazy dialing and Close). It is a
@@ -246,6 +250,8 @@ type RemoteShipper struct {
 // passes no timeout: long enough for a standby checkpoint fsync, short
 // enough that a dead follower fails the commit promptly.
 const DefaultShipTimeout = 10 * time.Second
+
+var _ repl.StateShipper = (*RemoteShipper)(nil)
 
 // NewRemoteShipper targets a standby address. No connection is made until
 // the first Ship.
@@ -262,10 +268,23 @@ func (r *RemoteShipper) Ship(lsn uint64, record []byte) error {
 	defer r.mu.Unlock()
 	acked, err := r.shipLocked(record)
 	if err != nil && !errors.Is(err, ErrRemote) {
-		// Transport failure: the standby may be fine and the connection
-		// stale. One redial, then give up and fail the commit.
+		// Transport failure: the record may or may not be on the standby —
+		// the request could have died before arriving, or the ack on the
+		// way back. Reconnect and ask before retransmitting: a blind resend
+		// of an already-applied record is indistinguishable, to the
+		// standby, from a diverged primary reusing the LSN, and the old
+		// blind-retry behaviour wedged the stream permanently on a lost
+		// ack. One reconnect, then give up and fail the commit.
 		r.dropLocked()
-		acked, err = r.shipLocked(record)
+		var last uint64
+		_, last, err = r.stateLocked()
+		switch {
+		case err == nil && last >= lsn:
+			// Applied; only the ack was lost.
+			acked = lsn
+		case err == nil:
+			acked, err = r.shipLocked(record)
+		}
 	}
 	if err != nil {
 		if !errors.Is(err, ErrRemote) {
@@ -280,15 +299,49 @@ func (r *RemoteShipper) Ship(lsn uint64, record []byte) error {
 	return nil
 }
 
-func (r *RemoteShipper) shipLocked(record []byte) (uint64, error) {
-	if r.c == nil {
-		c, err := DialTimeout(r.addr, r.timeout)
-		if err != nil {
-			return 0, err
+// FollowerLSN implements repl.StateShipper: one OpReplState round trip,
+// redialing once after a transport error.
+func (r *RemoteShipper) FollowerLSN() (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, last, err := r.stateLocked()
+	if err != nil && !errors.Is(err, ErrRemote) {
+		r.dropLocked()
+		_, last, err = r.stateLocked()
+	}
+	if err != nil {
+		if !errors.Is(err, ErrRemote) {
+			r.dropLocked()
 		}
-		r.c = c
+		return 0, fmt.Errorf("repl: query %s state: %w", r.addr, err)
+	}
+	return last, nil
+}
+
+func (r *RemoteShipper) shipLocked(record []byte) (uint64, error) {
+	if err := r.dialLocked(); err != nil {
+		return 0, err
 	}
 	return r.c.ShipRecord(record)
+}
+
+func (r *RemoteShipper) stateLocked() (role int, lastLSN uint64, err error) {
+	if err := r.dialLocked(); err != nil {
+		return 0, 0, err
+	}
+	return r.c.ReplState()
+}
+
+func (r *RemoteShipper) dialLocked() error {
+	if r.c != nil {
+		return nil
+	}
+	c, err := DialTimeout(r.addr, r.timeout)
+	if err != nil {
+		return err
+	}
+	r.c = c
+	return nil
 }
 
 func (r *RemoteShipper) dropLocked() {

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -147,6 +148,132 @@ func TestShipFailureFailsCommit(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("open with dead standby succeeded; creation commit should have failed to ship")
+	}
+}
+
+// lossyProxy sits between a RemoteShipper and a StandbyServer, forwarding
+// frames verbatim except for one sabotaged OpShipRecord round trip. Mode
+// dropAck forwards the ship and lets the standby apply it, then discards
+// the ack and kills the connection — the classic lost-ack shape. Mode
+// dropReq discards the ship before it reaches the standby. Either way the
+// shipper sees a transport error on a record whose fate it cannot know.
+type lossyProxy struct {
+	ln      net.Listener
+	backend string
+	mode    string // "dropAck" or "dropReq"
+
+	sabotaged atomic.Bool  // the one failure has been injected
+	forwarded atomic.Int32 // OpShipRecord frames actually delivered
+}
+
+func startLossyProxy(t *testing.T, backend, mode string) *lossyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &lossyProxy{ln: ln, backend: backend, mode: mode}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go p.serve(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *lossyProxy) serve(client net.Conn) {
+	defer client.Close()
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	for {
+		op, payload, err := readFrame(client)
+		if err != nil {
+			return
+		}
+		sabotage := op == OpShipRecord && p.mode != "" && p.sabotaged.CompareAndSwap(false, true)
+		if sabotage && p.mode == "dropReq" {
+			// The record never reaches the standby; the shipper's write (or
+			// its read of the never-coming ack) fails when both sides close.
+			return
+		}
+		if err := writeFrame(server, op, payload); err != nil {
+			return
+		}
+		if op == OpShipRecord {
+			p.forwarded.Add(1)
+		}
+		status, resp, err := readFrame(server)
+		if err != nil {
+			return
+		}
+		if sabotage && p.mode == "dropAck" {
+			// The standby applied and acked; the ack dies here.
+			return
+		}
+		if err := writeFrame(client, status, resp); err != nil {
+			return
+		}
+	}
+}
+
+// TestRemoteShipperLostAck kills the connection after the standby has
+// applied a record but before its ack returns. The shipper must resolve the
+// ambiguity through OpReplState on a fresh connection — treating the record
+// as acked without retransmitting it — and the stream must keep flowing.
+func TestRemoteShipperLostAck(t *testing.T) {
+	dir := t.TempDir()
+	addr, _, _ := startStandby(t, filepath.Join(dir, "follower.db"))
+	proxy := startLossyProxy(t, addr, "dropAck")
+
+	shipper := NewRemoteShipper(proxy.ln.Addr().String(), 2*time.Second)
+	defer shipper.Close()
+
+	rec1 := repl.EncodeRecord(1, nil)
+	if err := shipper.Ship(1, rec1); err != nil {
+		t.Fatalf("ship with lost ack: %v", err)
+	}
+	if n := proxy.forwarded.Load(); n != 1 {
+		t.Fatalf("record 1 delivered %d times, want 1 (no blind retransmit)", n)
+	}
+	if last, err := shipper.FollowerLSN(); err != nil || last != 1 {
+		t.Fatalf("FollowerLSN = (%d, %v), want 1", last, err)
+	}
+	// The stream continues on the reconnected session.
+	if err := shipper.Ship(2, repl.EncodeRecord(2, nil)); err != nil {
+		t.Fatalf("ship after recovery: %v", err)
+	}
+	if n := proxy.forwarded.Load(); n != 2 {
+		t.Fatalf("forwarded ships = %d, want 2", n)
+	}
+}
+
+// TestRemoteShipperLostRequest kills the connection before the record
+// reaches the standby. The state query finds the follower still behind, so
+// the shipper retransmits exactly once and the commit succeeds.
+func TestRemoteShipperLostRequest(t *testing.T) {
+	dir := t.TempDir()
+	addr, _, _ := startStandby(t, filepath.Join(dir, "follower.db"))
+	proxy := startLossyProxy(t, addr, "dropReq")
+
+	shipper := NewRemoteShipper(proxy.ln.Addr().String(), 2*time.Second)
+	defer shipper.Close()
+
+	if err := shipper.Ship(1, repl.EncodeRecord(1, nil)); err != nil {
+		t.Fatalf("ship with lost request: %v", err)
+	}
+	if n := proxy.forwarded.Load(); n != 1 {
+		t.Fatalf("record 1 delivered %d times, want exactly 1 retransmission", n)
+	}
+	if err := shipper.Ship(2, repl.EncodeRecord(2, nil)); err != nil {
+		t.Fatalf("ship after recovery: %v", err)
 	}
 }
 
