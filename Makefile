@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate scripts/ci.sh implements.
 
-.PHONY: check test race bench bench-write table10 lint lint-fix-check crashtest cluster-smoke failover-smoke recovery clean
+.PHONY: check test race bench bench-write bench-query table10 lint lint-fix-check crashtest cluster-smoke failover-smoke recovery provenance clean
 
 check:
 	./scripts/ci.sh
@@ -30,6 +30,11 @@ bench:
 bench-write:
 	go test -bench 'BenchmarkPutStepsWriters' -benchmem -run '^$$' ./internal/labbase/shard/
 
+# Lineage-closure microbenchmarks: tabled rules vs native externs vs the
+# untabled baseline over generated derivation DAGs.
+bench-query:
+	go test -bench 'BenchmarkLineage' -benchmem -run '^$$' ./internal/core/
+
 table10:
 	go run ./cmd/labflow -experiment table10
 
@@ -50,6 +55,11 @@ failover-smoke:
 # The BENCH_6 recovery and failover time table.
 recovery:
 	go run ./cmd/labflow -experiment recovery
+
+# The BENCH_7 provenance closure table: tabled vs untabled vs native over
+# chain / fanout / diamond derivation DAGs.
+provenance:
+	go run ./cmd/labflow -experiment provenance
 
 clean:
 	go clean ./...

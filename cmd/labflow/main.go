@@ -11,6 +11,7 @@
 //	labflow -experiment crashtest [-store ostore|texas|all] [-seed N] [-crashruns N]
 //	labflow -experiment failover  [-store ostore|texas|all] [-seed N] [-crashruns N]
 //	labflow -experiment recovery  [-json BENCH_6.json]
+//	labflow -experiment provenance [-depths 4,8,16,32,64] [-width 2] [-json BENCH_7.json]
 //	labflow -experiment all
 //
 // The crashtest experiment runs seeded crash-recovery schedules against the
@@ -65,11 +66,14 @@ type options struct {
 	crashruns  int
 	shards     int
 	topology   string
+	depths     string
+	width      int
+	budget     int64
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.experiment, "experiment", "table10", "schema | table10 | ops | clustering | evolution | sweep | crashtest | failover | recovery | all")
+	flag.StringVar(&o.experiment, "experiment", "table10", "schema | table10 | ops | clustering | evolution | sweep | crashtest | failover | recovery | provenance | all")
 	flag.StringVar(&o.stores, "stores", "", "comma-separated server versions for table10 (default: all five)")
 	flag.StringVar(&o.store, "store", "Texas+TC", "server version for ops/evolution")
 	flag.StringVar(&o.dir, "dir", "", "working directory (default: a temp dir)")
@@ -84,6 +88,9 @@ func main() {
 	flag.IntVar(&o.crashruns, "crashruns", 100, "number of consecutive seeds for crashtest (starting at -seed)")
 	flag.IntVar(&o.shards, "shards", 0, "run table10 through the sharded facade (0 = plain DB; table10 supports 1 only)")
 	flag.StringVar(&o.topology, "topology", "", "run table10 through a shard router over these labbase-servers (shards.json or host:port,...; 1-server topologies only)")
+	flag.StringVar(&o.depths, "depths", "4,8,16,32,64", "DAG depths for the provenance sweep")
+	flag.IntVar(&o.width, "width", 2, "DAG width for the provenance sweep (fanout and diamond shapes)")
+	flag.Int64Var(&o.budget, "budget", 2_000_000, "resolution-step budget for untabled provenance cells (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -325,6 +332,9 @@ func runOne(experiment string, o options, p core.Params) error {
 
 	case "recovery":
 		return runRecovery(o)
+
+	case "provenance":
+		return runProvenance(o)
 
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

@@ -10,7 +10,11 @@
 // the identical operation sequence. -querymix additionally diverts a
 // fraction of operations to OpQuery requests — the signature most_recent
 // lookup phrased through the deductive engine — which exercise the server's
-// shared-mode query path. Reads are pipelined -pipeline deep; writes in a
+// shared-mode query path. -lineagemix diverts a further fraction to recursive
+// lineage closures (derived_from over a preloaded diamond derivation DAG) —
+// the provenance workload's signature query, answered by the server's native
+// closure externs — recorded in their own latency histogram. Reads are
+// pipelined -pipeline deep; writes in a
 // flight are batched into OpPutSteps frames of -writebatch steps (0 = the
 // whole flight in one frame); queries are one synchronous round trip each.
 // Read, write, and query latencies are recorded per round trip in separate
@@ -51,6 +55,7 @@ import (
 
 	"labflow/internal/labbase"
 	"labflow/internal/labbase/shard"
+	"labflow/internal/lbq"
 	"labflow/internal/metrics"
 	"labflow/internal/storage"
 	"labflow/internal/storage/memstore"
@@ -63,6 +68,7 @@ type config struct {
 	workers    int
 	readMix    float64
 	queryMix   float64
+	lineageMix float64
 	materials  int
 	ops        int
 	seed       int64
@@ -91,6 +97,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 4, "concurrent closed-loop workers")
 	flag.Float64Var(&cfg.readMix, "readmix", 0.9, "fraction of operations that are reads (0..1)")
 	flag.Float64Var(&cfg.queryMix, "querymix", 0, "fraction of operations that are deductive OpQuery requests (0..1)")
+	flag.Float64Var(&cfg.lineageMix, "lineagemix", 0, "fraction of operations that are recursive lineage queries (derived_from closure) over a preloaded derivation DAG (0..1)")
 	flag.IntVar(&cfg.materials, "materials", 1000, "materials to preload")
 	flag.IntVar(&cfg.ops, "ops", 20000, "total operations across all workers")
 	flag.Int64Var(&cfg.seed, "seed", 1, "base RNG seed (worker i uses seed+i)")
@@ -105,7 +112,7 @@ func main() {
 
 	if cfg.workers < 1 || cfg.materials < 1 || cfg.ops < 1 || cfg.pipeline < 1 ||
 		cfg.writeBatch < 0 || cfg.shards < 1 || cfg.readMix < 0 || cfg.readMix > 1 ||
-		cfg.queryMix < 0 || cfg.queryMix > 1 {
+		cfg.queryMix < 0 || cfg.queryMix > 1 || cfg.lineageMix < 0 || cfg.lineageMix > 1 {
 		log.Fatal("lfload: invalid flags")
 	}
 	if cfg.addr != "" && (cfg.serial || cfg.shards != 1) {
@@ -142,6 +149,10 @@ func run(cfg config) error {
 	if err != nil {
 		return fmt.Errorf("preload: %w", err)
 	}
+	linOids, err := preloadLineage(addr, cfg)
+	if err != nil {
+		return fmt.Errorf("preload lineage: %w", err)
+	}
 
 	clients := make([]*wire.Client, cfg.workers)
 	for i := range clients {
@@ -157,9 +168,11 @@ func run(cfg config) error {
 		rhist    metrics.Hist
 		whist    metrics.Hist
 		qhist    metrics.Hist
+		lhist    metrics.Hist
 		reads    int
 		writes   int
 		queries  int
+		lineage  int
 		downtime time.Duration
 		err      error
 	}
@@ -176,7 +189,7 @@ func run(cfg config) error {
 		}
 		go func(id, ops int) {
 			r := &results[id]
-			r.reads, r.writes, r.queries, r.downtime, r.err = worker(id, clients[id], addr, oids, ops, cfg, &r.rhist, &r.whist, &r.qhist)
+			r.reads, r.writes, r.queries, r.lineage, r.downtime, r.err = worker(id, clients[id], addr, oids, linOids, ops, cfg, &r.rhist, &r.whist, &r.qhist, &r.lhist)
 			done <- id
 		}(i, ops)
 	}
@@ -185,8 +198,8 @@ func run(cfg config) error {
 	}
 	wall := metrics.Sample().Sub(before).Wall
 
-	var rhist, whist, qhist metrics.Hist
-	reads, writes, queries := 0, 0, 0
+	var rhist, whist, qhist, lhist metrics.Hist
+	reads, writes, queries, lineage := 0, 0, 0, 0
 	var downtime time.Duration
 	for i := range results {
 		if results[i].err != nil {
@@ -195,9 +208,11 @@ func run(cfg config) error {
 		rhist.Merge(&results[i].rhist)
 		whist.Merge(&results[i].whist)
 		qhist.Merge(&results[i].qhist)
+		lhist.Merge(&results[i].lhist)
 		reads += results[i].reads
 		writes += results[i].writes
 		queries += results[i].queries
+		lineage += results[i].lineage
 		// The report's downtime is the worst worker's cumulative outage —
 		// what a failover actually cost one closed loop end to end.
 		if results[i].downtime > downtime {
@@ -205,8 +220,8 @@ func run(cfg config) error {
 		}
 	}
 
-	if reads+writes+queries != cfg.ops {
-		return fmt.Errorf("self-check: %d ops completed, want %d", reads+writes+queries, cfg.ops)
+	if reads+writes+queries+lineage != cfg.ops {
+		return fmt.Errorf("self-check: %d ops completed, want %d", reads+writes+queries+lineage, cfg.ops)
 	}
 	if wall <= 0 {
 		return fmt.Errorf("self-check: zero wall time")
@@ -215,7 +230,7 @@ func run(cfg config) error {
 	if throughput <= 0 {
 		return fmt.Errorf("self-check: zero throughput")
 	}
-	return report(os.Stdout, cfg, wall, throughput, reads, writes, queries, downtime, &rhist, &whist, &qhist)
+	return report(os.Stdout, cfg, wall, throughput, reads, writes, queries, lineage, downtime, &rhist, &whist, &qhist, &lhist)
 }
 
 // startInProcess spins up a memstore-backed server on loopback, sharded
@@ -351,6 +366,86 @@ func preload(addr string, cfg config) ([]storage.OID, error) {
 	return oids, nil
 }
 
+// preloadLineage builds a diamond-shaped derivation DAG over the wire for
+// -lineagemix: linDepth stacked split/merge stages of width linWidth, each
+// "derive" step recording its input materials in the inputs attribute the
+// native lineage externs traverse (see internal/lbq/lineage.go). It returns
+// the nodes with at least one ancestor — every node except the root — so a
+// lineage query on any of them yields a non-empty closure. Nil when the mix
+// is zero: the preload traffic stays identical to pre-lineagemix runs.
+func preloadLineage(addr string, cfg config) ([]storage.OID, error) {
+	if cfg.lineageMix == 0 {
+		return nil, nil
+	}
+	const (
+		linDepth = 8
+		linWidth = 2
+		linClass = "derive"
+	)
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	vt := int64(1 << 19) // past the preload seed steps, before the write window
+	fresh := false
+	mat := func(name string) (storage.OID, error) {
+		if oid, found, err := c.LookupMaterial(name); err != nil {
+			return 0, err
+		} else if found {
+			return oid, nil
+		}
+		fresh = true
+		vt++
+		return c.CreateMaterial(matClass, name, initState, vt)
+	}
+	root, err := mat("lin-m0")
+	if err != nil {
+		return nil, err
+	}
+	cur := root
+	var nodes []storage.OID
+	for i := 0; i < linDepth; i++ {
+		var specs []labbase.StepSpec
+		mids := make([]storage.OID, linWidth)
+		midRefs := make([]labbase.Value, linWidth)
+		for j := range mids {
+			if mids[j], err = mat(fmt.Sprintf("lin-a%d-%d", i, j)); err != nil {
+				return nil, err
+			}
+			midRefs[j] = labbase.Ref(mids[j])
+			vt++
+			specs = append(specs, labbase.StepSpec{
+				Class: linClass, ValidTime: vt,
+				Materials: []storage.OID{cur, mids[j]},
+				Attrs:     []labbase.AttrValue{{Name: lbq.InputsAttr, Value: labbase.ListOf(labbase.Ref(cur))}},
+			})
+		}
+		merge, err := mat(fmt.Sprintf("lin-m%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		vt++
+		specs = append(specs, labbase.StepSpec{
+			Class: linClass, ValidTime: vt,
+			Materials: append(append([]storage.OID{}, mids...), merge),
+			Attrs:     []labbase.AttrValue{{Name: lbq.InputsAttr, Value: labbase.ListOf(midRefs...)}},
+		})
+		// Re-runs against a persistent store find the materials already
+		// present and skip the steps: the DAG's edges were committed with
+		// the nodes, and re-deriving would only duplicate them.
+		if fresh {
+			if _, err := c.PutSteps(specs); err != nil {
+				return nil, err
+			}
+		}
+		nodes = append(nodes, mids...)
+		nodes = append(nodes, merge)
+		cur = merge
+	}
+	return nodes, nil
+}
+
 // errSelfCheck marks result-integrity failures (a preloaded material with
 // no most-recent value). These are never retried: a shard coming back
 // without its committed data is the bug the self-check exists to catch.
@@ -369,7 +464,7 @@ var errSelfCheck = errors.New("self-check")
 // That makes a failover visible as a downtime window instead of an aborted
 // run. (A write retried across a failover may be applied twice — steps are
 // append-only events, so a duplicate skews the mix accounting at worst.)
-func worker(id int, c *wire.Client, addr string, oids []storage.OID, ops int, cfg config, rhist, whist, qhist *metrics.Hist) (reads, writes, queries int, downtime time.Duration, err error) {
+func worker(id int, c *wire.Client, addr string, oids, linOids []storage.OID, ops int, cfg config, rhist, whist, qhist, lhist *metrics.Hist) (reads, writes, queries, lineage int, downtime time.Duration, err error) {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	p := c.Pipeline()
 	orig := c
@@ -408,6 +503,7 @@ func worker(id int, c *wire.Client, addr string, oids []storage.OID, ops int, cf
 	futures := make([]*wire.MostRecentFuture, 0, cfg.pipeline)
 	specs := make([]labbase.StepSpec, 0, cfg.pipeline)
 	queryOids := make([]storage.OID, 0, cfg.pipeline)
+	lineageOids := make([]storage.OID, 0, cfg.pipeline)
 	validTime := int64(1 << 20) // past all preload times, so writes win most-recent
 	for left := ops; left > 0; {
 		flight := cfg.pipeline
@@ -417,11 +513,17 @@ func worker(id int, c *wire.Client, addr string, oids []storage.OID, ops int, cf
 		readOids = readOids[:0]
 		specs = specs[:0]
 		queryOids = queryOids[:0]
+		lineageOids = lineageOids[:0]
 		for i := 0; i < flight; i++ {
 			// The query draw is skipped entirely at -querymix 0, so the
 			// operation sequence stays identical to pre-querymix runs.
 			if cfg.queryMix > 0 && rng.Float64() < cfg.queryMix {
 				queryOids = append(queryOids, oids[rng.Intn(len(oids))])
+				continue
+			}
+			// Same guard for -lineagemix 0: no extra generator draws.
+			if cfg.lineageMix > 0 && rng.Float64() < cfg.lineageMix {
+				lineageOids = append(lineageOids, linOids[rng.Intn(len(linOids))])
 				continue
 			}
 			if rng.Float64() < cfg.readMix {
@@ -458,7 +560,7 @@ func worker(id int, c *wire.Client, addr string, oids []storage.OID, ops int, cf
 				rhist.Record(elapsed)
 				return nil
 			}); err != nil {
-				return reads, writes, queries, downtime, err
+				return reads, writes, queries, lineage, downtime, err
 			}
 		}
 		batch := cfg.writeBatch
@@ -479,7 +581,7 @@ func worker(id int, c *wire.Client, addr string, oids []storage.OID, ops int, cf
 				whist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
 				return nil
 			}); err != nil {
-				return reads, writes, queries, downtime, err
+				return reads, writes, queries, lineage, downtime, err
 			}
 		}
 		for _, q := range queryOids {
@@ -496,15 +598,37 @@ func worker(id int, c *wire.Client, addr string, oids []storage.OID, ops int, cf
 				}
 				return nil
 			}); err != nil {
-				return reads, writes, queries, downtime, err
+				return reads, writes, queries, lineage, downtime, err
+			}
+		}
+		// Lineage closures are the recursive provenance queries — one
+		// synchronous round trip each, answered by the server's native
+		// derived_from extern (visited-set BFS over the reverse involves
+		// index), so their cost follows the DAG's edges, not its paths.
+		for _, q := range lineageOids {
+			q := q
+			if err := retry(func() error {
+				start := time.Now() //lint:allow wallclock latency measurement, never persisted
+				sols, err := c.Query(fmt.Sprintf("derived_from(%d, A)", uint64(q)), 0)
+				if err != nil {
+					return err
+				}
+				lhist.Record(time.Since(start)) //lint:allow wallclock latency measurement, never persisted
+				if len(sols) == 0 {
+					return fmt.Errorf("%w: empty lineage closure on preloaded DAG node", errSelfCheck)
+				}
+				return nil
+			}); err != nil {
+				return reads, writes, queries, lineage, downtime, err
 			}
 		}
 		reads += len(readOids)
 		writes += len(specs)
 		queries += len(queryOids)
+		lineage += len(lineageOids)
 		left -= flight
 	}
-	return reads, writes, queries, downtime, nil
+	return reads, writes, queries, lineage, downtime, nil
 }
 
 // latencyUS summarizes one histogram for the JSON report.
@@ -547,19 +671,22 @@ type jsonReport struct {
 	ReadOps    int     `json:"read_ops"`
 	WriteOps   int     `json:"write_ops"`
 	QueryOps   int     `json:"query_ops"`
+	LineageMix float64 `json:"lineage_mix"`
+	LineageOps int     `json:"lineage_ops"`
 	WallSecs   float64 `json:"wall_secs"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	RetryDown  bool    `json:"retry_down,omitempty"`
 	// DowntimeMS is the worst worker's cumulative outage time (first
 	// failure to first subsequent success, summed over outages) — the
 	// closed-loop cost of a failover. Only meaningful with -retrydown.
-	DowntimeMS float64   `json:"downtime_ms"`
-	ReadLatUS  latencyUS `json:"read_round_trip_latency_us"`
-	WriteLatUS latencyUS `json:"write_round_trip_latency_us"`
-	QueryLatUS latencyUS `json:"query_round_trip_latency_us"`
+	DowntimeMS   float64   `json:"downtime_ms"`
+	ReadLatUS    latencyUS `json:"read_round_trip_latency_us"`
+	WriteLatUS   latencyUS `json:"write_round_trip_latency_us"`
+	QueryLatUS   latencyUS `json:"query_round_trip_latency_us"`
+	LineageLatUS latencyUS `json:"lineage_round_trip_latency_us"`
 }
 
-func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes, queries int, downtime time.Duration, rhist, whist, qhist *metrics.Hist) error {
+func report(w io.Writer, cfg config, wall time.Duration, throughput float64, reads, writes, queries, lineage int, downtime time.Duration, rhist, whist, qhist, lhist *metrics.Hist) error {
 	if cfg.jsonOut {
 		var r jsonReport
 		r.Addr = cfg.addr
@@ -577,6 +704,8 @@ func report(w io.Writer, cfg config, wall time.Duration, throughput float64, rea
 		r.ReadOps = reads
 		r.WriteOps = writes
 		r.QueryOps = queries
+		r.LineageMix = cfg.lineageMix
+		r.LineageOps = lineage
 		r.WallSecs = wall.Seconds()
 		r.OpsPerSec = throughput
 		r.RetryDown = cfg.retryDown
@@ -584,14 +713,15 @@ func report(w io.Writer, cfg config, wall time.Duration, throughput float64, rea
 		r.ReadLatUS = summarize(rhist)
 		r.WriteLatUS = summarize(whist)
 		r.QueryLatUS = summarize(qhist)
+		r.LineageLatUS = summarize(lhist)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(&r)
 	}
-	fmt.Fprintf(w, "lfload: %d workers, readmix %.2f, querymix %.2f, pipeline %d, writebatch %d, shards %d, serial=%v, seed %d\n",
-		cfg.workers, cfg.readMix, cfg.queryMix, cfg.pipeline, cfg.writeBatch, cfg.shards, cfg.serial, cfg.seed)
-	fmt.Fprintf(w, "  %d ops (%d reads, %d writes, %d queries) over %d materials in %s\n",
-		cfg.ops, reads, writes, queries, cfg.materials, wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "lfload: %d workers, readmix %.2f, querymix %.2f, lineagemix %.2f, pipeline %d, writebatch %d, shards %d, serial=%v, seed %d\n",
+		cfg.workers, cfg.readMix, cfg.queryMix, cfg.lineageMix, cfg.pipeline, cfg.writeBatch, cfg.shards, cfg.serial, cfg.seed)
+	fmt.Fprintf(w, "  %d ops (%d reads, %d writes, %d queries, %d lineage) over %d materials in %s\n",
+		cfg.ops, reads, writes, queries, lineage, cfg.materials, wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "  throughput: %.0f ops/s\n", throughput)
 	if cfg.retryDown {
 		fmt.Fprintf(w, "  downtime: %s (worst worker, cumulative)\n", downtime.Round(time.Millisecond))
@@ -599,7 +729,7 @@ func report(w io.Writer, cfg config, wall time.Duration, throughput float64, rea
 	for _, side := range []struct {
 		label string
 		hist  *metrics.Hist
-	}{{"read round-trip latency", rhist}, {"write round-trip latency", whist}, {"query round-trip latency", qhist}} {
+	}{{"read round-trip latency", rhist}, {"write round-trip latency", whist}, {"query round-trip latency", qhist}, {"lineage round-trip latency", lhist}} {
 		if side.hist.Count() == 0 {
 			continue
 		}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"labflow/internal/datalog"
+	"labflow/internal/lbq"
+)
+
+// TestShippedRulesGolden pins the full solution transcript of the shipped
+// rules file (plus the deductive example's view layer) over a deterministic
+// build. The tabling engine must leave untabled evaluation byte-identical —
+// same answers, same order — and this golden is the proof. Regenerate
+// deliberately with UPDATE_GOLDEN=1.
+func TestShippedRulesGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "rules", "labflow1.lbq"))
+	if err != nil {
+		t.Fatalf("read shipped rules: %v", err)
+	}
+	built, err := Build(StoreTexasMM, t.TempDir(), testParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer built.Close()
+	bridge := lbq.New(built.DB)
+	if err := bridge.Engine().Consult(string(src)); err != nil {
+		t.Fatalf("consult shipped rules: %v", err)
+	}
+	// The deductive example's extra views, so the examples surface is
+	// pinned too (rules/labflow1.lbq already defines finished/1 etc.).
+	if err := bridge.Engine().Consult(`
+		ready_to_archive(M) <- finished(M), well_covered(M).
+		example_quality(Q) <- material(M, tclone), most_recent(M, quality, Q), Q > 0.
+		audit_nattrs(C, V, N) <- evolution_audit(C, V, A), length(A, N).
+		audit_attrs_sorted(C, S) <- evolution_audit(C, 1, A), setof(X, member(X, A), S).
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []struct {
+		q   string
+		max int
+	}{
+		{"count_finished(N)", 0},
+		{"count_interesting(N)", 0},
+		{"finished(M)", 0},
+		{"well_covered(M)", 0},
+		{"interesting(M)", 0},
+		{"finished(M), \\+ interesting(M)", 0},
+		{"tclone_quality(M, Q), Q > 0", 10},
+		{"interesting(M), homology_hit(M, Acc, S)", 10},
+		// evolution_audit/3 enumerates class definitions (and their attr
+		// lists) in Go map order, so pin sorted projections of it.
+		{"setof(C, evolution_audit(C, 1, _), Cs)", 0},
+		{"audit_nattrs(determine_sequence, V, N)", 0},
+		{"audit_attrs_sorted(determine_sequence, S)", 0},
+		{"setof(M, finished(M), L), length(L, N)", 0},
+		{"findall(Q, example_quality(Q), Qs), length(Qs, N), sum_list(Qs, Sum)", 0},
+		{"ready_to_archive(M)", 5},
+		{"(finished(M) -> R = some ; R = none)", 1},
+	}
+	var b strings.Builder
+	for _, gq := range queries {
+		fmt.Fprintf(&b, "?- %s  (max %d)\n", gq.q, gq.max)
+		sols, err := bridge.Query(gq.q, gq.max)
+		if err != nil {
+			fmt.Fprintf(&b, "   error: %v\n", err)
+			continue
+		}
+		if len(sols) == 0 {
+			fmt.Fprintf(&b, "   no.\n")
+		}
+		for _, sol := range sols {
+			b.WriteString("   " + formatGoldenSolution(sol) + "\n")
+		}
+	}
+
+	got := b.String()
+	path := filepath.Join("testdata", "rules_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("shipped-rules transcript drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func formatGoldenSolution(sol datalog.Solution) string {
+	if len(sol) == 0 {
+		return "yes."
+	}
+	names := make([]string, 0, len(sol))
+	for n := range sol {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + " = " + sol[n].String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,10 +1,19 @@
 package datalog
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 )
+
+// ErrDepthLimit is the typed sentinel wrapped by resolution-depth failures;
+// match it with errors.Is. The limit is configured with Engine.SetMaxDepth.
+var ErrDepthLimit = errors.New("datalog: depth limit exceeded")
+
+// ErrStepBudget is the typed sentinel wrapped when a query exhausts the
+// resolution-step budget set on its Qctx (Qctx.MaxSteps).
+var ErrStepBudget = errors.New("datalog: resolution step budget exceeded")
 
 // Cont is a search continuation: it returns true to stop the whole search
 // (enough answers) and false to ask for more solutions via backtracking.
@@ -48,9 +57,21 @@ type Qctx struct {
 	// the query, so nothing memoized can outlive the snapshot it was read
 	// from.
 	Memo map[string]any
+	// MaxSteps, when positive, bounds the number of goal resolutions this
+	// query may perform; exceeding it fails the query with an error
+	// wrapping ErrStepBudget. Zero means unbounded. It bounds total work
+	// (breadth and backtracking included) where the depth limit only
+	// bounds the deepest chain.
+	MaxSteps int64
 
-	barrier int64 // cut-barrier counter, private to this resolution
+	barrier  int64 // cut-barrier counter, private to this resolution
+	steps    int64 // resolution steps taken, for MaxSteps
+	negDepth int   // negation-as-failure nesting, for the tabling guard
+	tab      *tabState
 }
+
+// Steps reports how many goal resolutions the query has performed so far.
+func (qc *Qctx) Steps() int64 { return qc.steps }
 
 // NewQctx returns a context for one query over handle.
 func NewQctx(handle any, readOnly bool) *Qctx {
@@ -70,9 +91,13 @@ type Engine struct {
 	clauses  map[string]*predicate
 	builtins map[string]builtin
 	externs  map[string]CtxExtern
+	tabled   map[string]bool
 	out      io.Writer
 	maxDepth int
 }
+
+// defaultMaxDepth is the resolution depth bound engines start with.
+const defaultMaxDepth = 100000
 
 // New returns an engine with the standard builtins and library predicates
 // loaded.
@@ -82,7 +107,7 @@ func New() *Engine {
 		builtins: make(map[string]builtin),
 		externs:  make(map[string]CtxExtern),
 		out:      os.Stdout,
-		maxDepth: 100000,
+		maxDepth: defaultMaxDepth,
 	}
 	registerBuiltins(e)
 	if err := e.Consult(prelude); err != nil {
@@ -93,6 +118,17 @@ func New() *Engine {
 
 // SetOutput redirects write/1 and friends.
 func (e *Engine) SetOutput(w io.Writer) { e.out = w }
+
+// SetMaxDepth bounds resolution depth for subsequent queries; exceeding it
+// fails the query with an error wrapping ErrDepthLimit. Non-positive values
+// restore the default. Like the other configuration calls it must happen
+// before concurrent use.
+func (e *Engine) SetMaxDepth(n int) {
+	if n <= 0 {
+		n = defaultMaxDepth
+	}
+	e.maxDepth = n
+}
 
 // Consult parses and adds a program.
 func (e *Engine) Consult(src string) error {
@@ -108,17 +144,25 @@ func (e *Engine) Consult(src string) error {
 	return nil
 }
 
-// Add appends one clause to the database.
+// Add appends one clause to the database (or executes a directive clause,
+// as produced by the parser for ":- table name/arity.").
 func (e *Engine) Add(c Clause) error {
 	key, ok := indicator(c.Head)
 	if !ok {
 		return fmt.Errorf("datalog: clause head %s is not callable", c.Head)
+	}
+	if key == tableDirectiveKey {
+		h := c.Head.(*Compound)
+		return e.Table(string(h.Args[0].(Atom)), int(h.Args[1].(Int)))
 	}
 	if _, isB := e.builtins[key]; isB {
 		return fmt.Errorf("datalog: cannot redefine builtin %s", key)
 	}
 	if _, isX := e.externs[key]; isX {
 		return fmt.Errorf("datalog: cannot redefine external predicate %s", key)
+	}
+	if e.tabled[key] && bodyHasCut(c.Body) {
+		return fmt.Errorf("%w: %s", ErrTabledCut, key)
 	}
 	p, ok := e.clauses[key]
 	if !ok {
@@ -208,7 +252,7 @@ func (e *Engine) Solve(goals []Term, bs *Bindings, k Cont) (bool, error) {
 
 func (e *Engine) solveSeq(goals []Term, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	if depth > e.maxDepth {
-		return false, fmt.Errorf("datalog: depth limit %d exceeded", e.maxDepth)
+		return false, fmt.Errorf("%w (limit %d)", ErrDepthLimit, e.maxDepth)
 	}
 	if len(goals) == 0 {
 		return k()
@@ -222,7 +266,12 @@ func (e *Engine) solveSeq(goals []Term, qc *Qctx, bs *Bindings, depth int, k Con
 
 func (e *Engine) solveGoal(goal Term, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	if depth > e.maxDepth {
-		return false, fmt.Errorf("datalog: depth limit %d exceeded", e.maxDepth)
+		return false, fmt.Errorf("%w (limit %d)", ErrDepthLimit, e.maxDepth)
+	}
+	if qc.MaxSteps > 0 {
+		if qc.steps++; qc.steps > qc.MaxSteps {
+			return false, fmt.Errorf("%w (budget %d)", ErrStepBudget, qc.MaxSteps)
+		}
 	}
 	g := deref(goal)
 	switch t := g.(type) {
@@ -279,6 +328,9 @@ func (e *Engine) solveGoal(goal Term, qc *Qctx, bs *Bindings, depth int, k Cont)
 	}
 	if x, isX := e.externs[key]; isX {
 		return x(qc, goalArgs(g), bs, k)
+	}
+	if e.tabled[key] {
+		return e.tabledCall(g, key, qc, bs, depth, k)
 	}
 	return e.call(g, key, qc, bs, depth, k)
 }
@@ -398,10 +450,12 @@ func (e *Engine) solveIfThenElse(cond, then, els Term, qc *Qctx, bs *Bindings, d
 func (e *Engine) solveNeg(g Term, qc *Qctx, bs *Bindings, depth int, k Cont) (bool, error) {
 	mark := bs.Mark()
 	found := false
+	qc.negDepth++
 	_, err := e.solveGoal(g, qc, bs, depth+1, func() (bool, error) {
 		found = true
 		return true, nil
 	})
+	qc.negDepth--
 	if _, isCut := err.(cutSignal); isCut {
 		err = nil
 	}

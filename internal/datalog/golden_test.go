@@ -1,0 +1,129 @@
+package datalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The tabling work promises that untabled predicates keep byte-identical
+// semantics: same solutions, same order, same errors. This golden pins a
+// battery of representative programs and queries — every control construct,
+// the prelude list library, aggregation, cut, negation — against a recorded
+// transcript. Regenerate deliberately with UPDATE_GOLDEN=1.
+
+const goldenProgram = `
+	parent(a, b).  parent(a, c).  parent(b, d).  parent(c, d).  parent(d, e).
+	anc(X, Y) <- parent(X, Y).
+	anc(X, Y) <- parent(X, Z), anc(Z, Y).
+
+	first_child(P, C) <- parent(P, C), !.
+	leaf(X) <- parent(_, X), \+ parent(X, _).
+	grade(S, pass) <- score(S, N), N >= 60, !.
+	grade(_, fail).
+	score(amy, 91).  score(bob, 42).
+
+	classify(N, R) <- (N > 0 -> R = pos ; N < 0 -> R = neg ; R = zero).
+	sum_to(0, 0) <- !.
+	sum_to(N, S) <- N > 0, M is N - 1, sum_to(M, T), S is T + N.
+`
+
+var goldenQueries = []struct {
+	q   string
+	max int
+}{
+	{"parent(a, X)", 0},
+	{"anc(a, X)", 0},
+	{"anc(X, e)", 0},
+	{"anc(a, X), anc(X, e)", 0},
+	{"first_child(a, C)", 0},
+	{"leaf(X)", 0},
+	{"grade(amy, G)", 0},
+	{"grade(bob, G)", 0},
+	{"grade(zoe, G)", 0},
+	{"classify(3, R)", 0},
+	{"classify(-2, R)", 0},
+	{"classify(0, R)", 0},
+	{"sum_to(10, S)", 0},
+	{"findall(X, parent(a, X), L)", 0},
+	{"findall(P-C, parent(P, C), L), length(L, N)", 0},
+	{"setof(X, anc(a, X), L)", 0},
+	{"setof(X, parent(zzz, X), L)", 0},
+	{"\\+ parent(e, _)", 0},
+	{"parent(a, X), !", 0},
+	{"member(X, [1, 2, 3]), X > 1", 0},
+	{"append(A, B, [1, 2, 3])", 0},
+	{"reverse([a, b, c], R)", 0},
+	{"sum_list([1, 2, 3, 4], S), max_list([1, 9, 4], M)", 0},
+	{"X is 2 + 3 * 4, Y is X mod 7", 0},
+	{"X = f(Y), Y = 1", 0},
+	{"(parent(a, b) ; parent(b, a))", 0},
+	{"(parent(b, a) -> R = yes ; R = no)", 0},
+	{"anc(a, X), X = d", 2},
+	{"parent(X, Y)", 3},
+	{"between(1, 4, X)", 0},
+}
+
+func goldenTranscript(t *testing.T) string {
+	t.Helper()
+	e := New()
+	if err := e.Consult(goldenProgram); err != nil {
+		t.Fatalf("consult golden program: %v", err)
+	}
+	var b strings.Builder
+	for _, gq := range goldenQueries {
+		fmt.Fprintf(&b, "?- %s  (max %d)\n", gq.q, gq.max)
+		sols, err := e.Query(gq.q, gq.max)
+		if err != nil {
+			fmt.Fprintf(&b, "   error: %v\n", err)
+			continue
+		}
+		if len(sols) == 0 {
+			fmt.Fprintf(&b, "   no.\n")
+		}
+		for _, sol := range sols {
+			b.WriteString("   " + formatSolution(sol) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// formatSolution renders a solution with sorted variable names so the
+// transcript is deterministic regardless of map iteration order.
+func formatSolution(sol Solution) string {
+	if len(sol) == 0 {
+		return "yes."
+	}
+	names := make([]string, 0, len(sol))
+	for n := range sol {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + " = " + sol[n].String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func TestUntabledGoldenTranscript(t *testing.T) {
+	got := goldenTranscript(t)
+	path := filepath.Join("testdata", "untabled_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("untabled transcript drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

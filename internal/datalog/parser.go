@@ -75,8 +75,15 @@ func ParseQuery(src string) ([]Term, map[string]*Var, error) {
 	return flattenConj(t), p.vars, nil
 }
 
+// tableDirectiveKey is the indicator of the pseudo-clause the parser emits
+// for a ":- table name/arity." directive; Engine.Add dispatches on it.
+const tableDirectiveKey = "$table/2"
+
 func (p *parser) parseClause() (Clause, error) {
 	p.vars = make(map[string]*Var)
+	if tok, err := p.lx.peek(); err == nil && tok.kind == tokPunct && (tok.text == ":-" || tok.text == "<-") {
+		return p.parseDirective()
+	}
 	t, err := p.parseExpr(1200)
 	if err != nil {
 		return Clause{}, err
@@ -99,6 +106,62 @@ func (p *parser) parseClause() (Clause, error) {
 		return Clause{}, p.lx.errf("fact %s is not callable", t)
 	}
 	return Clause{Head: t}, nil
+}
+
+// parseDirective parses a clause that starts with ":-" (or "<-") in prefix
+// position: a directive. Only "table name/arity" is supported, written
+// either ":- table anc/2." or ":- table(anc/2)."; it becomes a pseudo-
+// clause with head $table(name, arity) that Engine.Add executes.
+func (p *parser) parseDirective() (Clause, error) {
+	p.lx.next() // the ':-' / '<-'
+	tok, err := p.lx.next()
+	if err != nil {
+		return Clause{}, err
+	}
+	if tok.kind != tokAtom {
+		return Clause{}, p.lx.errf("expected a directive name after ':-', got %q", tok.text)
+	}
+	if tok.text != "table" {
+		return Clause{}, p.lx.errf("unknown directive %q (only 'table name/arity' is supported)", tok.text)
+	}
+	spec, err := p.parseDirectiveSpec()
+	if err != nil {
+		return Clause{}, err
+	}
+	if err := p.expect("."); err != nil {
+		return Clause{}, err
+	}
+	c, ok := spec.(*Compound)
+	if !ok || c.Functor != "/" || len(c.Args) != 2 {
+		return Clause{}, p.lx.errf("table directive needs name/arity, got %s", spec)
+	}
+	name, nameOK := c.Args[0].(Atom)
+	arity, arityOK := c.Args[1].(Int)
+	if !nameOK || !arityOK || arity < 0 {
+		return Clause{}, p.lx.errf("table directive needs name/arity, got %s", spec)
+	}
+	return Clause{Head: &Compound{Functor: "$table", Args: []Term{name, arity}}}, nil
+}
+
+// parseDirectiveSpec reads the directive operand, accepting both the bare
+// "table name/arity" form and the parenthesized "table(name/arity)" form.
+func (p *parser) parseDirectiveSpec() (Term, error) {
+	tok, err := p.lx.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind == tokPunct && tok.text == "(" {
+		p.lx.next()
+		spec, err := p.parseExpr(999)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return spec, nil
+	}
+	return p.parseExpr(999)
 }
 
 func callable(t Term) bool {

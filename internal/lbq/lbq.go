@@ -20,6 +20,13 @@
 //	count_steps(Class, N)
 //	count_in_state(State, N)
 //
+// Provenance predicates (native lineage closure; see lineage.go):
+//
+//	step_materials(S, Ms)      a step's involved materials
+//	derived_from(M, A)         A is a strict ancestor of M
+//	downstream_of(D, A)        D is a strict descendant of A
+//	impacted_by(S, M)          S involves M or a material downstream of M
+//
 // Update predicates (each runs in its own transaction unless one is open):
 //
 //	create_material(Class, Name, State, ValidTime, M)
@@ -35,6 +42,7 @@
 package lbq
 
 import (
+	"errors"
 	"fmt"
 
 	"labflow/internal/datalog"
@@ -227,10 +235,16 @@ func (b *Bridge) withTxn(fn func() error) error {
 	return b.db.Commit()
 }
 
+// ErrReadOnlyUpdate is the typed sentinel wrapped whenever an update
+// predicate is reached in a read-only (QueryOn) resolution — whether called
+// directly or re-entered through findall/3, setof/3 or \+. Match it with
+// errors.Is.
+var ErrReadOnlyUpdate = errors.New("lbq: update predicate in a read-only query")
+
 // readOnlyErr is the rejection every update predicate returns in a QueryOn
 // resolution.
 func readOnlyErr(pred string) error {
-	return fmt.Errorf("lbq: %s is an update and is not allowed in a read-only query", pred)
+	return fmt.Errorf("%w: %s is an update and is not allowed in a read-only query", ErrReadOnlyUpdate, pred)
 }
 
 func (b *Bridge) register() {
@@ -685,6 +699,8 @@ func (b *Bridge) register() {
 	}
 	e.RegisterExternCtx("assert_state", 2, setStateExt("assert_state", false))
 	e.RegisterExternCtx("retract_state", 2, setStateExt("retract_state", true))
+
+	b.registerLineage()
 }
 
 // errStop aborts a scan once the continuation asks to stop.

@@ -1,0 +1,272 @@
+// Native lineage closure. The provenance workload's recursive queries —
+// "every material X was derived from", "everything downstream of X",
+// "every step a failed material impacts" — have a fixed shape: a reachability
+// closure over the derivation DAG. The pure-Datalog formulation (shipped in
+// rules/provenance.lbq) expresses them as tabled recursive rules; the externs
+// here are the same relations computed natively: a visited-set BFS over the
+// snapshot's reverse involves index (Reader.StepsInvolving) with step
+// decoding through the per-query step memo, O(reachable edges) per query.
+// The equivalence tests in lineage_test.go prove the two answer-set
+// identical (sorted) on generated DAGs.
+//
+// Derivation edges are encoded by convention: a derivation step lists every
+// material it touches in its Materials (so the reverse index serves both
+// directions) and records its input subset in a list-of-OID step attribute
+// named "inputs" (InputsAttr). The step's outputs are its involved materials
+// minus its inputs, and each output has every input as a parent.
+package lbq
+
+import (
+	"fmt"
+
+	"labflow/internal/datalog"
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+)
+
+// InputsAttr is the step attribute naming a derivation step's input
+// materials (a list of OID values). Steps without it contribute no lineage
+// edges.
+const InputsAttr = "inputs"
+
+// stepIO is a derivation step's decoded edge set.
+type stepIO struct {
+	inputs  []storage.OID
+	outputs []storage.OID
+}
+
+// lineageIO decodes a step's derivation edges (nil if the step carries no
+// inputs attribute), reading the step through the per-query memo.
+func lineageIO(qc *datalog.Qctx, db labbase.Reader, step storage.OID) (*stepIO, error) {
+	s, err := getStep(qc, db, step)
+	if err != nil {
+		return nil, err
+	}
+	var inputs []storage.OID
+	for _, av := range s.Attrs {
+		if av.Name != InputsAttr || av.Value.Kind != labbase.KindList {
+			continue
+		}
+		for _, v := range av.Value.List {
+			if v.Kind == labbase.KindOID {
+				inputs = append(inputs, v.OID)
+			}
+		}
+	}
+	if inputs == nil {
+		return nil, nil
+	}
+	io := &stepIO{inputs: inputs}
+	for _, m := range s.Materials {
+		if !oidIn(inputs, m) {
+			io.outputs = append(io.outputs, m)
+		}
+	}
+	return io, nil
+}
+
+func oidIn(list []storage.OID, oid storage.OID) bool {
+	for _, o := range list {
+		if o == oid {
+			return true
+		}
+	}
+	return false
+}
+
+// lineageParents returns the direct parents of m: the inputs of every
+// derivation step that produced m (steps where m is an output), in the
+// step-index order the reverse index yields.
+func lineageParents(qc *datalog.Qctx, db labbase.Reader, m storage.OID) ([]storage.OID, error) {
+	steps, err := db.StepsInvolving(m)
+	if err != nil {
+		return nil, nil // not a material: no edges
+	}
+	var parents []storage.OID
+	for _, s := range steps {
+		io, err := lineageIO(qc, db, s)
+		if err != nil {
+			return nil, err
+		}
+		if io == nil || oidIn(io.inputs, m) {
+			continue // not a derivation step, or m was an input here
+		}
+		for _, p := range io.inputs {
+			if !oidIn(parents, p) {
+				parents = append(parents, p)
+			}
+		}
+	}
+	return parents, nil
+}
+
+// lineageChildren returns the direct children of m: the outputs of every
+// derivation step that consumed m.
+func lineageChildren(qc *datalog.Qctx, db labbase.Reader, m storage.OID) ([]storage.OID, error) {
+	steps, err := db.StepsInvolving(m)
+	if err != nil {
+		return nil, nil
+	}
+	var children []storage.OID
+	for _, s := range steps {
+		io, err := lineageIO(qc, db, s)
+		if err != nil {
+			return nil, err
+		}
+		if io == nil || !oidIn(io.inputs, m) {
+			continue
+		}
+		for _, c := range io.outputs {
+			if !oidIn(children, c) {
+				children = append(children, c)
+			}
+		}
+	}
+	return children, nil
+}
+
+// lineageClosure BFS-walks the derivation DAG from start along expand,
+// returning every strictly reachable material once, in discovery order.
+func lineageClosure(qc *datalog.Qctx, db labbase.Reader, start storage.OID,
+	expand func(*datalog.Qctx, labbase.Reader, storage.OID) ([]storage.OID, error)) ([]storage.OID, error) {
+	visited := map[storage.OID]bool{start: true}
+	frontier := []storage.OID{start}
+	var out []storage.OID
+	for len(frontier) > 0 {
+		node := frontier[0]
+		frontier = frontier[1:]
+		next, err := expand(qc, db, node)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range next {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			out = append(out, n)
+			frontier = append(frontier, n)
+		}
+	}
+	return out, nil
+}
+
+// closureExtern builds a closure predicate pred(X, Y): with X bound it
+// enumerates the closure along expand from X; with only Y bound it
+// enumerates the closure along the co-direction from Y; with both bound it
+// checks membership by walking from X.
+func (b *Bridge) closureExtern(pred string,
+	expand, coExpand func(*datalog.Qctx, labbase.Reader, storage.OID) ([]storage.OID, error)) datalog.CtxExtern {
+	return func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
+		x, xBound := TermOID(datalog.Resolve(args[0]))
+		y, yBound := TermOID(datalog.Resolve(args[1]))
+		switch {
+		case xBound:
+			reach, err := lineageClosure(qc, db, x, expand)
+			if err != nil {
+				return false, err
+			}
+			if yBound {
+				if oidIn(reach, y) {
+					return k()
+				}
+				return false, nil
+			}
+			for _, r := range reach {
+				done, err := yield(bs, k, [2]datalog.Term{args[1], OIDTerm(r)})
+				if err != nil || done {
+					return done, err
+				}
+			}
+			return false, nil
+		case yBound:
+			reach, err := lineageClosure(qc, db, y, coExpand)
+			if err != nil {
+				return false, err
+			}
+			for _, r := range reach {
+				done, err := yield(bs, k, [2]datalog.Term{args[0], OIDTerm(r)})
+				if err != nil || done {
+					return done, err
+				}
+			}
+			return false, nil
+		default:
+			return false, fmt.Errorf("lbq: %s/2 needs at least one bound material", pred)
+		}
+	}
+}
+
+// registerLineage installs the provenance predicates:
+//
+//	step_materials(S, Ms)  a step's involved materials, as recorded
+//	derived_from(M, A)     A is a strict ancestor of M in the derivation DAG
+//	downstream_of(D, A)    D is a strict descendant of A (the inverse view)
+//	impacted_by(S, M)      step S involves M or a material downstream of M
+func (b *Bridge) registerLineage() {
+	e := b.e
+
+	e.RegisterExternCtx("step_materials", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
+		oid, ok := TermOID(datalog.Resolve(args[0]))
+		if !ok {
+			return false, fmt.Errorf("lbq: step_materials/2 needs a bound step")
+		}
+		s, err := getStep(qc, db, oid)
+		if err != nil {
+			return false, nil
+		}
+		terms := make([]datalog.Term, len(s.Materials))
+		for i, m := range s.Materials {
+			terms[i] = OIDTerm(m)
+		}
+		return yield(bs, k, [2]datalog.Term{args[1], datalog.MkList(terms...)})
+	})
+
+	// downstream_of(D, A) holds exactly when derived_from(D, A) does — the
+	// two names read the closure from opposite ends, and both index modes
+	// work on both: a bound first argument walks parents, a bound second
+	// argument walks children.
+	e.RegisterExternCtx("derived_from", 2, b.closureExtern("derived_from", lineageParents, lineageChildren))
+	e.RegisterExternCtx("downstream_of", 2, b.closureExtern("downstream_of", lineageParents, lineageChildren))
+
+	e.RegisterExternCtx("impacted_by", 2, func(qc *datalog.Qctx, args []datalog.Term, bs *datalog.Bindings, k datalog.Cont) (bool, error) {
+		db := b.storeFor(qc)
+		m, ok := TermOID(datalog.Resolve(args[1]))
+		if !ok {
+			return false, fmt.Errorf("lbq: impacted_by/2 needs a bound material")
+		}
+		down, err := lineageClosure(qc, db, m, lineageChildren)
+		if err != nil {
+			return false, err
+		}
+		seen := make(map[storage.OID]bool)
+		var steps []storage.OID
+		for _, node := range append([]storage.OID{m}, down...) {
+			ss, err := db.StepsInvolving(node)
+			if err != nil {
+				continue
+			}
+			for _, s := range ss {
+				if !seen[s] {
+					seen[s] = true
+					steps = append(steps, s)
+				}
+			}
+		}
+		if wantStep, bound := TermOID(datalog.Resolve(args[0])); bound {
+			if oidIn(steps, wantStep) {
+				return k()
+			}
+			return false, nil
+		}
+		for _, s := range steps {
+			done, err := yield(bs, k, [2]datalog.Term{args[0], OIDTerm(s)})
+			if err != nil || done {
+				return done, err
+			}
+		}
+		return false, nil
+	})
+}

@@ -1,0 +1,410 @@
+package lbq
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"labflow/internal/datalog"
+	"labflow/internal/labbase"
+	"labflow/internal/storage"
+	"labflow/internal/storage/memstore"
+)
+
+// seedDAG builds a small derivation DAG:
+//
+//	  r
+//	 / \          s1: b, c derived from r
+//	b   c
+//	 \ /          s2: d derived from b and c
+//	  d
+//	  |           s3: e derived from d
+//	  e
+//
+// plus an unrelated material u touched by a non-derivation step.
+func seedDAG(t *testing.T) (*labbase.DB, *Bridge, map[string]storage.OID) {
+	t.Helper()
+	db, err := labbase.Open(memstore.Open("lineage-mm"), labbase.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineMaterialClass("mat", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.DefineState("made"); err != nil {
+		t.Fatal(err)
+	}
+	oids := make(map[string]storage.OID)
+	for i, name := range []string{"r", "b", "c", "d", "e", "u"} {
+		oid, err := db.CreateMaterial("mat", name, "made", int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids[name] = oid
+	}
+	derive := func(vt int64, inputs, outputs []storage.OID) {
+		t.Helper()
+		ins := make([]labbase.Value, len(inputs))
+		for i, in := range inputs {
+			ins[i] = labbase.Ref(in)
+		}
+		if _, err := db.RecordStep(labbase.StepSpec{
+			Class: "derive", ValidTime: vt,
+			Materials: append(append([]storage.OID{}, inputs...), outputs...),
+			Attrs:     []labbase.AttrValue{{Name: InputsAttr, Value: labbase.ListOf(ins...)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	derive(10, []storage.OID{oids["r"]}, []storage.OID{oids["b"], oids["c"]})
+	derive(11, []storage.OID{oids["b"], oids["c"]}, []storage.OID{oids["d"]})
+	derive(12, []storage.OID{oids["d"]}, []storage.OID{oids["e"]})
+	// A non-derivation step touching u (no inputs attribute: no edges).
+	if _, err := db.RecordStep(labbase.StepSpec{
+		Class: "observe", ValidTime: 13,
+		Materials: []storage.OID{oids["u"]},
+		Attrs:     []labbase.AttrValue{{Name: "ok", Value: labbase.Bool(true)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db, New(db), oids
+}
+
+// answerSet runs q and returns the sorted, deduplicated set of bindings for
+// variable v.
+func answerSet(t *testing.T, run func(string, int) ([]datalog.Solution, error), q, v string) []string {
+	t.Helper()
+	sols, err := run(q, 0)
+	if err != nil {
+		t.Fatalf("query %s: %v", q, err)
+	}
+	set := make(map[string]bool)
+	for _, sol := range sols {
+		set[sol[v].String()] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func names(oids map[string]storage.OID, ns ...string) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = OIDTerm(oids[n]).String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eqSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLineageNativeModes(t *testing.T) {
+	_, b, oids := seedDAG(t)
+	q := func(format string, args ...any) string {
+		return fmt.Sprintf(format, args...)
+	}
+	// Ancestors of e: everything above it.
+	got := answerSet(t, b.Query, q("derived_from(%d, A)", oids["e"]), "A")
+	if want := names(oids, "d", "b", "c", "r"); !eqSlices(got, want) {
+		t.Fatalf("derived_from(e, A) = %v, want %v", got, want)
+	}
+	// Descendants of r, through both predicates.
+	want := names(oids, "b", "c", "d", "e")
+	if got := answerSet(t, b.Query, q("derived_from(M, %d)", oids["r"]), "M"); !eqSlices(got, want) {
+		t.Fatalf("derived_from(M, r) = %v, want %v", got, want)
+	}
+	if got := answerSet(t, b.Query, q("downstream_of(D, %d)", oids["r"]), "D"); !eqSlices(got, want) {
+		t.Fatalf("downstream_of(D, r) = %v, want %v", got, want)
+	}
+	// Membership checks, both verdicts.
+	if ok, err := b.Prove(q("derived_from(%d, %d)", oids["d"], oids["r"])); err != nil || !ok {
+		t.Fatalf("derived_from(d, r) = %v, %v", ok, err)
+	}
+	if ok, err := b.Prove(q("derived_from(%d, %d)", oids["r"], oids["d"])); err != nil || ok {
+		t.Fatalf("derived_from(r, d) should fail, got %v, %v", ok, err)
+	}
+	// The closure is strict: nothing is its own ancestor.
+	if ok, err := b.Prove(q("derived_from(%d, %d)", oids["d"], oids["d"])); err != nil || ok {
+		t.Fatalf("derived_from(d, d) should fail, got %v, %v", ok, err)
+	}
+	// impacted_by from b: the step producing b and everything below.
+	if got := answerSet(t, b.Query, q("impacted_by(S, %d)", oids["b"]), "S"); len(got) != 3 {
+		t.Fatalf("impacted_by(S, b) = %v, want 3 steps", got)
+	}
+	// u has no derivation edges: one observing step, no ancestors.
+	if got := answerSet(t, b.Query, q("impacted_by(S, %d)", oids["u"]), "S"); len(got) != 1 {
+		t.Fatalf("impacted_by(S, u) = %v, want 1 step", got)
+	}
+	if got := answerSet(t, b.Query, q("derived_from(%d, A)", oids["u"]), "A"); len(got) != 0 {
+		t.Fatalf("derived_from(u, A) = %v, want none", got)
+	}
+	// Fully unbound calls are mode errors.
+	if _, err := b.Query("derived_from(M, A)", 0); err == nil {
+		t.Fatal("derived_from with no bound argument should error")
+	}
+	if _, err := b.Query("impacted_by(S, M)", 0); err == nil {
+		t.Fatal("impacted_by with unbound material should error")
+	}
+}
+
+// loadProvenanceRules consults the shipped provenance rules into the bridge,
+// optionally stripping the table directives for the untabled variant.
+func loadProvenanceRules(t *testing.T, b *Bridge, tabled bool) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "rules", "provenance.lbq"))
+	if err != nil {
+		t.Fatalf("read shipped provenance rules: %v", err)
+	}
+	text := string(src)
+	if !tabled {
+		var keep []string
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), ":- table") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		text = strings.Join(keep, "\n")
+	}
+	if err := b.Engine().Consult(text); err != nil {
+		t.Fatalf("consult provenance rules (tabled=%v): %v", tabled, err)
+	}
+}
+
+// TestLineageEquivalence proves the native externs answer-set-identical
+// (sorted) to the pure-Datalog recursive rules, tabled and untabled, over
+// every call pattern the workload uses — on the live store and on a snapshot.
+func TestLineageEquivalence(t *testing.T) {
+	db, native, oids := seedDAG(t)
+	tabled := New(db)
+	loadProvenanceRules(t, tabled, true)
+	untabled := New(db)
+	loadProvenanceRules(t, untabled, false)
+
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	onSnap := func(b *Bridge) func(string, int) ([]datalog.Solution, error) {
+		return func(q string, max int) ([]datalog.Solution, error) { return b.QueryOn(snap, q, max) }
+	}
+
+	type variant struct {
+		name string
+		run  func(string, int) ([]datalog.Solution, error)
+		df   string // derived_from-equivalent predicate
+		ds   string // downstream_of equivalent
+		imp  string // impacted_by equivalent
+	}
+	variants := []variant{
+		{"native-live", native.Query, "derived_from", "downstream_of", "impacted_by"},
+		{"native-snap", onSnap(native), "derived_from", "downstream_of", "impacted_by"},
+		{"tabled-rules", tabled.Query, "derived", "downstream", "impacted"},
+		{"tabled-snap", onSnap(tabled), "derived", "downstream", "impacted"},
+		{"untabled-rules", untabled.Query, "derived", "downstream", "impacted"},
+	}
+
+	for _, node := range []string{"r", "b", "c", "d", "e", "u"} {
+		oid := oids[node]
+		queries := []struct {
+			label string
+			q     func(variant) string
+			v     string
+		}{
+			{"ancestors", func(vr variant) string { return fmt.Sprintf("%s(%d, A)", vr.df, oid) }, "A"},
+			{"descendants", func(vr variant) string { return fmt.Sprintf("%s(D, %d)", vr.ds, oid) }, "D"},
+			{"impact", func(vr variant) string { return fmt.Sprintf("%s(S, %d)", vr.imp, oid) }, "S"},
+		}
+		for _, qq := range queries {
+			base := answerSet(t, variants[0].run, qq.q(variants[0]), qq.v)
+			for _, vr := range variants[1:] {
+				got := answerSet(t, vr.run, qq.q(vr), qq.v)
+				if !eqSlices(got, base) {
+					t.Errorf("%s of %s: %s = %v, native = %v", qq.label, node, vr.name, got, base)
+				}
+			}
+		}
+	}
+}
+
+// TestReadOnlyUpdateSentinel pins the named rejection for update predicates
+// in read-only queries — reached directly, through findall/3, setof/3, and
+// negation — so callers can match it with errors.Is.
+func TestReadOnlyUpdateSentinel(t *testing.T) {
+	db, b, _ := seedDAG(t)
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	for _, q := range []string{
+		"create_material(mat, zz, made, 99, M)",
+		"findall(M, create_material(mat, zz, made, 99, M), L)",
+		"setof(M, create_material(mat, zz, made, 99, M), L)",
+		"findall(S, record_step(derive, 99, [], [], S), L)",
+		"\\+ assert_state(1, made)",
+		"findall(X, (member(X, [1,2]), retract_state(X, made)), L)",
+	} {
+		_, err := b.QueryOn(snap, q, 0)
+		if !errors.Is(err, ErrReadOnlyUpdate) {
+			t.Errorf("QueryOn %s: err = %v, want wrapping ErrReadOnlyUpdate", q, err)
+		}
+	}
+	// The same goals are fine against the live store (roll back the txn
+	// side effects by deleting nothing: memstore is test-local anyway).
+	if _, err := b.Query("findall(M, create_material(mat, zz, made, 99, M), L)", 0); err != nil {
+		t.Fatalf("live findall over update: %v", err)
+	}
+}
+
+// TestDepthLimitSurfacedAsQueryError pins that the engine's typed depth
+// error reaches lbq callers intact (errors.Is, not a generic string).
+func TestDepthLimitSurfacedAsQueryError(t *testing.T) {
+	db, b, _ := seedDAG(t)
+	if err := b.Engine().Consult("spin(X) <- spin(X)."); err != nil {
+		t.Fatal(err)
+	}
+	b.Engine().SetMaxDepth(64)
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	_, qerr := b.QueryOn(snap, "spin(1)", 0)
+	if !errors.Is(qerr, datalog.ErrDepthLimit) {
+		t.Fatalf("QueryOn depth error = %v, want wrapping datalog.ErrDepthLimit", qerr)
+	}
+}
+
+// TestLineageSnapshotStableUnderWrites drives the lineage closure over one
+// snapshot while a racing writer keeps appending derivation steps under the
+// closure's leaves: every read must see exactly the snapshot's DAG. Run
+// under -race this also proves the closure path takes no locks against the
+// writer. (The querystress test in internal/wire covers the same property
+// end-to-end over the protocol.)
+func TestLineageSnapshotStableUnderWrites(t *testing.T) {
+	db, b, oids := seedDAG(t)
+	loadProvenanceRules(t, b, true)
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	qAnc := fmt.Sprintf("derived_from(%d, A)", oids["e"])
+	qDown := fmt.Sprintf("downstream_of(D, %d)", oids["r"])
+	qImp := fmt.Sprintf("impacted_by(S, %d)", oids["r"])
+	qRules := fmt.Sprintf("derived(%d, A)", oids["e"])
+	run := func(q string, max int) ([]datalog.Solution, error) { return b.QueryOn(snap, q, max) }
+	baseAnc := answerSet(t, run, qAnc, "A")
+	baseDown := answerSet(t, run, qDown, "D")
+	baseImp := answerSet(t, run, qImp, "S")
+	baseRules := answerSet(t, run, qRules, "A")
+
+	stop := make(chan struct{})
+	writerErr := make(chan error, 1)
+	go func() {
+		defer close(writerErr)
+		parent := oids["e"]
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Begin(); err != nil {
+				writerErr <- err
+				return
+			}
+			child, err := db.CreateMaterial("mat", fmt.Sprintf("w%d", i), "made", int64(100+i))
+			if err != nil {
+				writerErr <- err
+				return
+			}
+			if _, err := db.RecordStep(labbase.StepSpec{
+				Class: "derive", ValidTime: int64(100 + i),
+				Materials: []storage.OID{parent, child},
+				Attrs:     []labbase.AttrValue{{Name: InputsAttr, Value: labbase.ListOf(labbase.Ref(parent))}},
+			}); err != nil {
+				writerErr <- err
+				return
+			}
+			if err := db.Commit(); err != nil {
+				writerErr <- err
+				return
+			}
+			parent = child
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if got := answerSet(t, run, qAnc, "A"); !eqSlices(got, baseAnc) {
+					t.Errorf("ancestors drifted under writes: %v != %v", got, baseAnc)
+					return
+				}
+				if got := answerSet(t, run, qDown, "D"); !eqSlices(got, baseDown) {
+					t.Errorf("descendants drifted under writes: %v != %v", got, baseDown)
+					return
+				}
+				if got := answerSet(t, run, qImp, "S"); !eqSlices(got, baseImp) {
+					t.Errorf("impact set drifted under writes: %v != %v", got, baseImp)
+					return
+				}
+				if got := answerSet(t, run, qRules, "A"); !eqSlices(got, baseRules) {
+					t.Errorf("tabled rules drifted under writes: %v != %v", got, baseRules)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-writerErr; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+
+	// A fresh snapshot must see the writer's extensions.
+	snap2, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap2.Close()
+	after, err := b.QueryOn(snap2, qDown, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(baseDown) {
+		t.Fatalf("fresh snapshot should see appended lineage: %d <= %d", len(after), len(baseDown))
+	}
+}

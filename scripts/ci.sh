@@ -120,6 +120,23 @@ go run ./cmd/labflow -experiment failover -store all -crashruns 25 >/dev/null ||
 echo "== recovery experiment smoke (checkpointed reopen, bounded replay)"
 go run ./cmd/labflow -experiment recovery -crashruns 40 >/dev/null
 
+echo "== provenance smoke (tabled vs untabled vs native, answer sets asserted)"
+# Small DAGs, all three evaluation modes; the experiment itself fails on any
+# cross-mode answer-set inequality, so a pass IS the equivalence check.
+go run ./cmd/labflow -experiment provenance -depths 3,6 -width 2 >/dev/null || {
+	echo "provenance smoke FAILED; replay:" >&2
+	echo "  go run ./cmd/labflow -experiment provenance -depths 3,6 -width 2" >&2
+	exit 1
+}
+
+echo "== lfload lineagemix smoke (recursive closure queries in the closed loop)"
+lfload_l=$(go run ./cmd/lfload -workers 4 -pipeline 4 -readmix 1.0 -lineagemix 0.3 \
+	-ops 2000 -materials 200 -json)
+echo "$lfload_l" | grep -q '"lineage_ops"' || {
+	echo "lfload lineagemix smoke: no lineage ops in report" >&2
+	exit 1
+}
+
 echo "== write benchmark smoke (BenchmarkPutStepsWriters, 1 iteration each)"
 go test -bench 'BenchmarkPutStepsWriters' -benchtime=1x -run '^$' ./internal/labbase/shard/
 
